@@ -1,0 +1,217 @@
+//! Query classification.
+//!
+//! * **Kim's types** (Section 2.2): a nested query block is of type
+//!   `A`/`JA` when it contains an aggregate function (a *scalar
+//!   subquery*), and of type `J`/`JA` when it contains a correlation
+//!   predicate. `N` has neither.
+//! * **Muralikrishna's nesting shapes**, completed by the paper: a
+//!   *simple* query has exactly one nested block, a *linear* query nests
+//!   at most one block within any block, and a *tree* query has a block
+//!   with two or more blocks nested at the same level.
+
+use std::sync::Arc;
+
+use crate::plan::LogicalPlan;
+
+/// Kim's four types of nested query blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KimType {
+    /// Aggregate, uncorrelated.
+    A,
+    /// No aggregate, uncorrelated (table subquery).
+    N,
+    /// No aggregate, correlated (table subquery).
+    J,
+    /// Aggregate and correlated — the challenging case the paper unnests.
+    JA,
+}
+
+/// Classification result for one nested block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubqueryClass {
+    pub has_aggregate: bool,
+    pub correlated: bool,
+}
+
+impl SubqueryClass {
+    pub fn kim_type(&self) -> KimType {
+        match (self.has_aggregate, self.correlated) {
+            (true, true) => KimType::JA,
+            (true, false) => KimType::A,
+            (false, true) => KimType::J,
+            (false, false) => KimType::N,
+        }
+    }
+}
+
+/// Classify a nested block given as its canonical plan.
+///
+/// A scalar subquery produced by the canonical translation has a
+/// key-less [`LogicalPlan::Aggregate`] at the top; correlation shows as
+/// free column references.
+pub fn classify_subquery(plan: &LogicalPlan) -> SubqueryClass {
+    let has_aggregate = plan_contains_aggregate(plan);
+    let correlated = !plan.free_refs().is_empty();
+    SubqueryClass {
+        has_aggregate,
+        correlated,
+    }
+}
+
+fn plan_contains_aggregate(plan: &LogicalPlan) -> bool {
+    if matches!(plan, LogicalPlan::Aggregate { keys, .. } if keys.is_empty()) {
+        return true;
+    }
+    plan.children()
+        .iter()
+        .any(|c| plan_contains_aggregate(c))
+}
+
+/// The nesting structure of a whole query plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NestingShape {
+    /// No nested blocks at all.
+    Flat,
+    /// Exactly one nested block (the paper's completion of the
+    /// classification).
+    Simple,
+    /// A chain of single nestings deeper than one level.
+    Linear,
+    /// Some block has two or more blocks nested at the same level.
+    Tree,
+}
+
+/// Compute the nesting shape of `plan`.
+pub fn nesting_shape(plan: &LogicalPlan) -> NestingShape {
+    let (max_width, depth, total) = analyze(plan);
+    if total == 0 {
+        NestingShape::Flat
+    } else if max_width >= 2 {
+        NestingShape::Tree
+    } else if depth >= 2 {
+        NestingShape::Linear
+    } else {
+        NestingShape::Simple
+    }
+}
+
+/// Returns `(max direct-subquery fan-out of any block, max nesting
+/// depth, total subquery count)`.
+fn analyze(plan: &LogicalPlan) -> (usize, usize, usize) {
+    let direct = direct_subqueries(plan);
+    let mut max_width = direct.len();
+    let mut max_depth = 0usize;
+    let mut total = direct.len();
+    for sub in &direct {
+        let (w, d, t) = analyze(sub);
+        max_width = max_width.max(w);
+        max_depth = max_depth.max(d);
+        total += t;
+    }
+    (max_width, if direct.is_empty() { 0 } else { max_depth + 1 }, total)
+}
+
+/// Subquery plans appearing directly in this block (in any node's
+/// expressions), without descending into the subqueries themselves.
+fn direct_subqueries(plan: &LogicalPlan) -> Vec<Arc<LogicalPlan>> {
+    let mut out = Vec::new();
+    collect_direct(plan, &mut out);
+    out
+}
+
+fn collect_direct(plan: &LogicalPlan, out: &mut Vec<Arc<LogicalPlan>>) {
+    for e in plan.exprs() {
+        for sq in e.subquery_plans() {
+            out.push(sq.clone());
+        }
+    }
+    for c in plan.children() {
+        collect_direct(c, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{AggCall, Scalar};
+    use crate::plan::PlanBuilder;
+
+    /// Canonical Q1-style subquery: count over σ_{a2=b2}(S), correlated.
+    fn correlated_agg_sub() -> Arc<LogicalPlan> {
+        PlanBuilder::test_scan("s", &["b1", "b2"])
+            .filter(Scalar::col("a2").eq(Scalar::qcol("s", "b2")))
+            .aggregate(vec![], vec![(AggCall::count_star(), "c".into())])
+            .build()
+    }
+
+    fn uncorrelated_agg_sub() -> Arc<LogicalPlan> {
+        PlanBuilder::test_scan("s", &["b1", "b2"])
+            .filter(Scalar::qcol("s", "b2").gt(Scalar::lit(0i64)))
+            .aggregate(vec![], vec![(AggCall::count_star(), "c".into())])
+            .build()
+    }
+
+    #[test]
+    fn kim_types() {
+        assert_eq!(
+            classify_subquery(&correlated_agg_sub()).kim_type(),
+            KimType::JA
+        );
+        assert_eq!(
+            classify_subquery(&uncorrelated_agg_sub()).kim_type(),
+            KimType::A
+        );
+        // Table subqueries (no aggregate).
+        let j = PlanBuilder::test_scan("s", &["b2"])
+            .filter(Scalar::col("a2").eq(Scalar::qcol("s", "b2")))
+            .build();
+        assert_eq!(classify_subquery(&j).kim_type(), KimType::J);
+        let n = PlanBuilder::test_scan("s", &["b2"]).build();
+        assert_eq!(classify_subquery(&n).kim_type(), KimType::N);
+    }
+
+    #[test]
+    fn shapes() {
+        // Flat.
+        let flat = PlanBuilder::test_scan("r", &["a1"]).build();
+        assert_eq!(nesting_shape(&flat), NestingShape::Flat);
+
+        // Simple: one nested block.
+        let simple = PlanBuilder::test_scan("r", &["a1", "a4"])
+            .filter(
+                Scalar::qcol("r", "a1")
+                    .eq(Scalar::Subquery(correlated_agg_sub()))
+                    .or(Scalar::qcol("r", "a4").gt(Scalar::lit(1500i64))),
+            )
+            .build();
+        assert_eq!(nesting_shape(&simple), NestingShape::Simple);
+
+        // Tree: two blocks at the same level (paper's Q3).
+        let tree = PlanBuilder::test_scan("r", &["a1", "a3"])
+            .filter(
+                Scalar::qcol("r", "a1")
+                    .eq(Scalar::Subquery(correlated_agg_sub()))
+                    .or(Scalar::qcol("r", "a3").eq(Scalar::Subquery(uncorrelated_agg_sub()))),
+            )
+            .build();
+        assert_eq!(nesting_shape(&tree), NestingShape::Tree);
+
+        // Linear: a block nested in a block (paper's Q4).
+        let inner = PlanBuilder::test_scan("t", &["c2"])
+            .filter(Scalar::col("b4").eq(Scalar::qcol("t", "c2")))
+            .aggregate(vec![], vec![(AggCall::count_star(), "c".into())])
+            .build();
+        let mid = PlanBuilder::test_scan("s", &["b2", "b3", "b4"])
+            .filter(
+                Scalar::col("a2")
+                    .eq(Scalar::qcol("s", "b2"))
+                    .or(Scalar::qcol("s", "b3").eq(Scalar::Subquery(inner))),
+            )
+            .aggregate(vec![], vec![(AggCall::count_star(), "c".into())])
+            .build();
+        let linear = PlanBuilder::test_scan("r", &["a1"])
+            .filter(Scalar::qcol("r", "a1").eq(Scalar::Subquery(mid)))
+            .build();
+        assert_eq!(nesting_shape(&linear), NestingShape::Linear);
+    }
+}

@@ -1,0 +1,7 @@
+//! Scalar expressions and aggregate calls of the logical algebra.
+
+mod aggregate;
+mod scalar;
+
+pub use aggregate::{AggCall, AggFunc};
+pub use scalar::{BinOp, ColumnRef, Scalar};

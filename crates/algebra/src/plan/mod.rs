@@ -1,0 +1,10 @@
+//! Logical plan nodes, schema derivation, display and construction.
+
+mod builder;
+mod display;
+mod node;
+mod visit;
+
+pub use builder::PlanBuilder;
+pub use node::{LogicalPlan, Stream};
+pub use visit::transform_up;

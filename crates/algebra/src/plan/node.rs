@@ -1,0 +1,634 @@
+use std::sync::Arc;
+
+use bypass_types::{DataType, Field, Schema, Value};
+
+use crate::expr::{AggCall, BinOp, ColumnRef, Scalar};
+
+/// Which output stream of a bypass operator a [`LogicalPlan::Stream`]
+/// node consumes. The paper draws the positive stream as a solid line and
+/// the negative stream as a dotted line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stream {
+    Positive,
+    Negative,
+}
+
+impl Stream {
+    pub fn sign(self) -> &'static str {
+        match self {
+            Stream::Positive => "+",
+            Stream::Negative => "-",
+        }
+    }
+}
+
+/// A node of the logical algebra (Fig. 1 of the paper).
+///
+/// Children are `Arc`-shared; plans containing bypass operators are DAGs
+/// in which two [`LogicalPlan::Stream`] nodes reference the *same*
+/// [`LogicalPlan::BypassFilter`] / [`LogicalPlan::BypassJoin`] node.
+/// Rewrites must preserve that sharing (see [`crate::plan::transform_up`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Base-table scan. The stored schema is already qualified with the
+    /// FROM-clause alias.
+    Scan {
+        table: String,
+        alias: String,
+        schema: Schema,
+    },
+    /// Selection σ_p. The predicate may contain nested algebraic
+    /// expressions (scalar subqueries) — the canonical translation of
+    /// nested query blocks.
+    Filter {
+        input: Arc<LogicalPlan>,
+        predicate: Scalar,
+    },
+    /// Projection Π (with optional output aliases). Unaliased plain
+    /// column expressions keep their field; other expressions get the
+    /// alias or a synthesized name.
+    Project {
+        input: Arc<LogicalPlan>,
+        exprs: Vec<(Scalar, Option<String>)>,
+    },
+    /// Cross product ×.
+    CrossJoin {
+        left: Arc<LogicalPlan>,
+        right: Arc<LogicalPlan>,
+    },
+    /// Inner join ⋈_p.
+    Join {
+        left: Arc<LogicalPlan>,
+        right: Arc<LogicalPlan>,
+        predicate: Scalar,
+    },
+    /// Left outerjoin with defaults ⟕^{g:f(∅)}_p: unmatched left tuples
+    /// are padded with NULLs on the right side, except that the columns
+    /// listed in `defaults` receive the given values (`g: f(∅)` — the
+    /// count-bug fix).
+    OuterJoin {
+        left: Arc<LogicalPlan>,
+        right: Arc<LogicalPlan>,
+        predicate: Scalar,
+        defaults: Vec<(String, Value)>,
+    },
+    /// Unary grouping Γ_{g;=A;f} (`keys` non-empty) or scalar aggregation
+    /// (`keys` empty, exactly one output row). Keys must be plain column
+    /// references. Output schema: key fields followed by one field per
+    /// aggregate.
+    Aggregate {
+        input: Arc<LogicalPlan>,
+        keys: Vec<Scalar>,
+        aggs: Vec<(AggCall, String)>,
+    },
+    /// Binary grouping Γ_{g;A1θA2;f}: for every left tuple `x`, compute
+    /// `g = f({y ∈ right | x.left_key θ y.right_key})`. Handles empty
+    /// groups natively (`g = f(∅)`), which is why Eqv. 5 uses it.
+    BinaryGroup {
+        left: Arc<LogicalPlan>,
+        right: Arc<LogicalPlan>,
+        left_key: Scalar,
+        right_key: Scalar,
+        cmp: BinOp,
+        agg: AggCall,
+        name: String,
+    },
+    /// Map χ_{name:expr}: extends every tuple by one computed attribute.
+    Map {
+        input: Arc<LogicalPlan>,
+        expr: Scalar,
+        name: String,
+    },
+    /// Numbering ν_name: extends every tuple by a unique integer
+    /// (deterministic: the input position). Turns a multiset into a set
+    /// — required by Eqv. 5.
+    Numbering {
+        input: Arc<LogicalPlan>,
+        name: String,
+    },
+    /// Duplicate elimination.
+    Distinct { input: Arc<LogicalPlan> },
+    /// Sorting (ORDER BY); `true` = descending.
+    Sort {
+        input: Arc<LogicalPlan>,
+        keys: Vec<(Scalar, bool)>,
+    },
+    /// LIMIT: keep the first `n` rows of the input order.
+    Limit {
+        input: Arc<LogicalPlan>,
+        n: usize,
+    },
+    /// Derived-table aliasing: identity on rows, re-qualifies every
+    /// output column with `alias` (a FROM-clause `(SELECT …) AS x`).
+    Alias {
+        input: Arc<LogicalPlan>,
+        alias: String,
+    },
+    /// Disjoint union ∪̇. The rewrites guarantee disjointness (a bypass
+    /// operator partitions its input); execution is bag concatenation.
+    Union {
+        left: Arc<LogicalPlan>,
+        right: Arc<LogicalPlan>,
+    },
+    /// Bypass selection σ±_p: the positive stream carries tuples whose
+    /// predicate is TRUE; the negative stream the rest (FALSE *and*
+    /// UNKNOWN). Consumed via two [`LogicalPlan::Stream`] nodes.
+    BypassFilter {
+        input: Arc<LogicalPlan>,
+        predicate: Scalar,
+    },
+    /// Bypass join ⋈±_p: the positive stream carries joined pairs
+    /// satisfying p, the negative stream the complementary pairs
+    /// (two-valued logic, cf. Fig. 1 footnote).
+    BypassJoin {
+        left: Arc<LogicalPlan>,
+        right: Arc<LogicalPlan>,
+        predicate: Scalar,
+    },
+    /// Stream selector: consumes one output of a bypass operator.
+    Stream {
+        source: Arc<LogicalPlan>,
+        stream: Stream,
+    },
+}
+
+impl LogicalPlan {
+    /// The output schema of this node.
+    pub fn schema(&self) -> Schema {
+        match self {
+            LogicalPlan::Scan { schema, .. } => schema.clone(),
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Distinct { input }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => input.schema(),
+            LogicalPlan::Alias { input, alias } => input.schema().with_qualifier(alias),
+            LogicalPlan::Project { input, exprs } => {
+                let in_schema = input.schema();
+                Schema::new(
+                    exprs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, (e, alias))| project_field(e, alias.as_deref(), &in_schema, i))
+                        .collect(),
+                )
+            }
+            LogicalPlan::CrossJoin { left, right } | LogicalPlan::Join { left, right, .. } => {
+                left.schema().concat(&right.schema())
+            }
+            LogicalPlan::OuterJoin { left, right, .. } => left.schema().concat(&right.schema()),
+            LogicalPlan::Aggregate { input, keys, aggs } => {
+                let in_schema = input.schema();
+                let mut fields = Vec::with_capacity(keys.len() + aggs.len());
+                for (i, k) in keys.iter().enumerate() {
+                    fields.push(project_field(k, None, &in_schema, i));
+                }
+                for (agg, name) in aggs {
+                    fields.push(Field::new(name, agg.data_type(&in_schema)));
+                }
+                Schema::new(fields)
+            }
+            LogicalPlan::BinaryGroup {
+                left, right, agg, name, ..
+            } => left
+                .schema()
+                .extended(Field::new(name, agg.data_type(&right.schema()))),
+            LogicalPlan::Map { input, expr, name } => {
+                let s = input.schema();
+                let dt = expr.data_type(&s);
+                s.extended(Field::new(name, dt))
+            }
+            LogicalPlan::Numbering { input, name } => {
+                input.schema().extended(Field::new(name, DataType::Int))
+            }
+            LogicalPlan::Union { left, .. } => left.schema(),
+            LogicalPlan::BypassFilter { input, .. } => input.schema(),
+            LogicalPlan::BypassJoin { left, right, .. } => left.schema().concat(&right.schema()),
+            LogicalPlan::Stream { source, .. } => source.schema(),
+        }
+    }
+
+    /// The schema this node's expressions are resolved against: the
+    /// concatenation of the children's output schemas.
+    pub fn input_schema(&self) -> Schema {
+        let children = self.children();
+        match children.len() {
+            0 => Schema::empty(),
+            1 => children[0].schema(),
+            _ => children[1..]
+                .iter()
+                .fold(children[0].schema(), |acc, c| acc.concat(&c.schema())),
+        }
+    }
+
+    /// Direct children (for Stream nodes: the shared bypass source).
+    pub fn children(&self) -> Vec<&Arc<LogicalPlan>> {
+        match self {
+            LogicalPlan::Scan { .. } => vec![],
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Map { input, .. }
+            | LogicalPlan::Numbering { input, .. }
+            | LogicalPlan::Distinct { input }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. }
+            | LogicalPlan::Alias { input, .. }
+            | LogicalPlan::BypassFilter { input, .. } => vec![input],
+            LogicalPlan::CrossJoin { left, right }
+            | LogicalPlan::Join { left, right, .. }
+            | LogicalPlan::OuterJoin { left, right, .. }
+            | LogicalPlan::BinaryGroup { left, right, .. }
+            | LogicalPlan::Union { left, right }
+            | LogicalPlan::BypassJoin { left, right, .. } => vec![left, right],
+            LogicalPlan::Stream { source, .. } => vec![source],
+        }
+    }
+
+    /// Rebuild this node with new children (same order as
+    /// [`LogicalPlan::children`]). Panics on arity mismatch — that is a
+    /// rewrite bug, not a runtime condition.
+    pub fn with_children(&self, mut children: Vec<Arc<LogicalPlan>>) -> LogicalPlan {
+        assert_eq!(
+            children.len(),
+            self.children().len(),
+            "with_children arity mismatch"
+        );
+        let mut next = || children.remove(0);
+        match self {
+            LogicalPlan::Scan { .. } => self.clone(),
+            LogicalPlan::Filter { predicate, .. } => LogicalPlan::Filter {
+                input: next(),
+                predicate: predicate.clone(),
+            },
+            LogicalPlan::Project { exprs, .. } => LogicalPlan::Project {
+                input: next(),
+                exprs: exprs.clone(),
+            },
+            LogicalPlan::CrossJoin { .. } => LogicalPlan::CrossJoin {
+                left: next(),
+                right: next(),
+            },
+            LogicalPlan::Join { predicate, .. } => LogicalPlan::Join {
+                left: next(),
+                right: next(),
+                predicate: predicate.clone(),
+            },
+            LogicalPlan::OuterJoin {
+                predicate, defaults, ..
+            } => LogicalPlan::OuterJoin {
+                left: next(),
+                right: next(),
+                predicate: predicate.clone(),
+                defaults: defaults.clone(),
+            },
+            LogicalPlan::Aggregate { keys, aggs, .. } => LogicalPlan::Aggregate {
+                input: next(),
+                keys: keys.clone(),
+                aggs: aggs.clone(),
+            },
+            LogicalPlan::BinaryGroup {
+                left_key,
+                right_key,
+                cmp,
+                agg,
+                name,
+                ..
+            } => LogicalPlan::BinaryGroup {
+                left: next(),
+                right: next(),
+                left_key: left_key.clone(),
+                right_key: right_key.clone(),
+                cmp: *cmp,
+                agg: agg.clone(),
+                name: name.clone(),
+            },
+            LogicalPlan::Map { expr, name, .. } => LogicalPlan::Map {
+                input: next(),
+                expr: expr.clone(),
+                name: name.clone(),
+            },
+            LogicalPlan::Numbering { name, .. } => LogicalPlan::Numbering {
+                input: next(),
+                name: name.clone(),
+            },
+            LogicalPlan::Distinct { .. } => LogicalPlan::Distinct { input: next() },
+            LogicalPlan::Sort { keys, .. } => LogicalPlan::Sort {
+                input: next(),
+                keys: keys.clone(),
+            },
+            LogicalPlan::Limit { n, .. } => LogicalPlan::Limit {
+                input: next(),
+                n: *n,
+            },
+            LogicalPlan::Alias { alias, .. } => LogicalPlan::Alias {
+                input: next(),
+                alias: alias.clone(),
+            },
+            LogicalPlan::Union { .. } => LogicalPlan::Union {
+                left: next(),
+                right: next(),
+            },
+            LogicalPlan::BypassFilter { predicate, .. } => LogicalPlan::BypassFilter {
+                input: next(),
+                predicate: predicate.clone(),
+            },
+            LogicalPlan::BypassJoin { predicate, .. } => LogicalPlan::BypassJoin {
+                left: next(),
+                right: next(),
+                predicate: predicate.clone(),
+            },
+            LogicalPlan::Stream { stream, .. } => LogicalPlan::Stream {
+                source: next(),
+                stream: *stream,
+            },
+        }
+    }
+
+    /// The expressions evaluated by this node (not descending into
+    /// children).
+    pub fn exprs(&self) -> Vec<&Scalar> {
+        match self {
+            LogicalPlan::Scan { .. }
+            | LogicalPlan::CrossJoin { .. }
+            | LogicalPlan::Numbering { .. }
+            | LogicalPlan::Distinct { .. }
+            | LogicalPlan::Limit { .. }
+            | LogicalPlan::Alias { .. }
+            | LogicalPlan::Union { .. }
+            | LogicalPlan::Stream { .. } => vec![],
+            LogicalPlan::Filter { predicate, .. }
+            | LogicalPlan::Join { predicate, .. }
+            | LogicalPlan::OuterJoin { predicate, .. }
+            | LogicalPlan::BypassFilter { predicate, .. }
+            | LogicalPlan::BypassJoin { predicate, .. } => vec![predicate],
+            LogicalPlan::Project { exprs, .. } => exprs.iter().map(|(e, _)| e).collect(),
+            LogicalPlan::Aggregate { keys, aggs, .. } => keys
+                .iter()
+                .chain(aggs.iter().filter_map(|(a, _)| a.arg.as_deref()))
+                .collect(),
+            LogicalPlan::BinaryGroup {
+                left_key,
+                right_key,
+                agg,
+                ..
+            } => {
+                let mut v = vec![left_key, right_key];
+                if let Some(a) = agg.arg.as_deref() {
+                    v.push(a);
+                }
+                v
+            }
+            LogicalPlan::Map { expr, .. } => vec![expr],
+            LogicalPlan::Sort { keys, .. } => keys.iter().map(|(e, _)| e).collect(),
+        }
+    }
+
+    /// Column references that are free in this whole (sub)plan: they do
+    /// not resolve against any scope inside the plan. A non-empty result
+    /// for a subquery plan means the subquery is *correlated* (Kim types
+    /// J / JA).
+    pub fn free_refs(&self) -> Vec<ColumnRef> {
+        let mut out = Vec::new();
+        self.collect_free(&mut out);
+        out
+    }
+
+    fn collect_free(&self, out: &mut Vec<ColumnRef>) {
+        for c in self.children() {
+            c.collect_free(out);
+        }
+        let scope = self.expr_scope();
+        for e in self.exprs() {
+            for r in e.free_refs(&scope) {
+                if !out.contains(&r) {
+                    out.push(r);
+                }
+            }
+        }
+    }
+
+    /// The scope a node's expressions see. This differs from
+    /// [`LogicalPlan::input_schema`] only for [`LogicalPlan::BinaryGroup`],
+    /// whose `right_key` and aggregate argument see the right input while
+    /// `left_key` sees the left one — the concatenation covers both.
+    fn expr_scope(&self) -> Schema {
+        self.input_schema()
+    }
+
+    /// True if any expression in this plan (including nested subquery
+    /// plans) contains a subquery.
+    pub fn contains_subquery(&self) -> bool {
+        if self.exprs().iter().any(|e| e.contains_subquery()) {
+            return true;
+        }
+        self.children().iter().any(|c| c.contains_subquery())
+    }
+}
+
+/// Derive the output field for a projection / group-key expression.
+fn project_field(e: &Scalar, alias: Option<&str>, in_schema: &Schema, idx: usize) -> Field {
+    match (e, alias) {
+        (Scalar::Column(c), None) => in_schema
+            .find(c.qualifier.as_deref(), &c.name)
+            .map(|i| in_schema.field(i).clone())
+            .unwrap_or_else(|| Field::new(&c.name, DataType::Unknown)),
+        (Scalar::Column(c), Some(a)) => in_schema
+            .find(c.qualifier.as_deref(), &c.name)
+            .map(|i| in_schema.field(i).with_name(a).unqualified())
+            .unwrap_or_else(|| Field::new(a, DataType::Unknown)),
+        (e, Some(a)) => Field::new(a, e.data_type(in_schema)),
+        (e, None) => Field::new(format!("__col{idx}"), e.data_type(in_schema)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanBuilder;
+
+    fn scan_r() -> Arc<LogicalPlan> {
+        PlanBuilder::test_scan("r", &["a1", "a2", "a3", "a4"]).build()
+    }
+
+    fn scan_s() -> Arc<LogicalPlan> {
+        PlanBuilder::test_scan("s", &["b1", "b2", "b3", "b4"]).build()
+    }
+
+    #[test]
+    fn scan_schema_is_qualified() {
+        let r = scan_r();
+        let s = r.schema();
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.field(0).qualifier(), Some("r"));
+        assert_eq!(s.field(0).name(), "a1");
+    }
+
+    #[test]
+    fn join_schema_concatenates() {
+        let j = LogicalPlan::Join {
+            left: scan_r(),
+            right: scan_s(),
+            predicate: Scalar::qcol("r", "a2").eq(Scalar::qcol("s", "b2")),
+        };
+        assert_eq!(j.schema().arity(), 8);
+        assert_eq!(j.schema().field(4).name(), "b1");
+    }
+
+    #[test]
+    fn aggregate_schema() {
+        let g = LogicalPlan::Aggregate {
+            input: scan_s(),
+            keys: vec![Scalar::qcol("s", "b2")],
+            aggs: vec![(AggCall::count_star(), "g".into())],
+        };
+        let sch = g.schema();
+        assert_eq!(sch.arity(), 2);
+        assert_eq!(sch.field(0).name(), "b2");
+        assert_eq!(sch.field(0).qualifier(), Some("s"));
+        assert_eq!(sch.field(1).name(), "g");
+        assert_eq!(sch.field(1).data_type(), DataType::Int);
+    }
+
+    #[test]
+    fn map_and_numbering_extend_schema() {
+        let m = LogicalPlan::Map {
+            input: scan_r(),
+            expr: Scalar::binary(
+                BinOp::Add,
+                Scalar::qcol("r", "a1"),
+                Scalar::qcol("r", "a2"),
+            ),
+            name: "g".into(),
+        };
+        assert_eq!(m.schema().arity(), 5);
+        assert_eq!(m.schema().field(4).name(), "g");
+
+        let n = LogicalPlan::Numbering {
+            input: scan_r(),
+            name: "t".into(),
+        };
+        assert_eq!(n.schema().field(4).data_type(), DataType::Int);
+    }
+
+    #[test]
+    fn project_field_naming() {
+        let p = LogicalPlan::Project {
+            input: scan_r(),
+            exprs: vec![
+                (Scalar::qcol("r", "a1"), None),
+                (Scalar::qcol("r", "a2"), Some("x".into())),
+                (
+                    Scalar::binary(BinOp::Add, Scalar::qcol("r", "a1"), Scalar::lit(1i64)),
+                    None,
+                ),
+            ],
+        };
+        let s = p.schema();
+        assert_eq!(s.field(0).qualified_name(), "r.a1");
+        assert_eq!(s.field(1).qualified_name(), "x");
+        assert_eq!(s.field(2).name(), "__col2");
+    }
+
+    #[test]
+    fn bypass_stream_schemas() {
+        let bp = Arc::new(LogicalPlan::BypassFilter {
+            input: scan_r(),
+            predicate: Scalar::qcol("r", "a4").gt(Scalar::lit(1500i64)),
+        });
+        let pos = LogicalPlan::Stream {
+            source: bp.clone(),
+            stream: Stream::Positive,
+        };
+        let neg = LogicalPlan::Stream {
+            source: bp,
+            stream: Stream::Negative,
+        };
+        assert_eq!(pos.schema(), neg.schema());
+        assert_eq!(pos.schema().arity(), 4);
+
+        let bj = Arc::new(LogicalPlan::BypassJoin {
+            left: scan_r(),
+            right: scan_s(),
+            predicate: Scalar::qcol("r", "a2").eq(Scalar::qcol("s", "b2")),
+        });
+        let pos = LogicalPlan::Stream {
+            source: bj.clone(),
+            stream: Stream::Positive,
+        };
+        assert_eq!(pos.schema().arity(), 8, "both join streams are pairs");
+    }
+
+    #[test]
+    fn free_refs_detect_correlation() {
+        // σ_{a2 = b2}(S): a2 is free (outer reference into R).
+        let inner = LogicalPlan::Filter {
+            input: scan_s(),
+            predicate: Scalar::col("a2").eq(Scalar::qcol("s", "b2")),
+        };
+        let free = inner.free_refs();
+        assert_eq!(free.len(), 1);
+        assert_eq!(free[0].name, "a2");
+
+        // Uncorrelated filter has no free refs.
+        let inner = LogicalPlan::Filter {
+            input: scan_s(),
+            predicate: Scalar::qcol("s", "b4").gt(Scalar::lit(1500i64)),
+        };
+        assert!(inner.free_refs().is_empty());
+    }
+
+    #[test]
+    fn free_refs_see_through_subqueries() {
+        // Outer filter on R whose predicate holds a subquery over S that
+        // references r.a2: the *outer* plan has no free refs because a2
+        // resolves against R.
+        let sub = Arc::new(LogicalPlan::Aggregate {
+            input: Arc::new(LogicalPlan::Filter {
+                input: scan_s(),
+                predicate: Scalar::qcol("r", "a2").eq(Scalar::qcol("s", "b2")),
+            }),
+            keys: vec![],
+            aggs: vec![(AggCall::count_star(), "c".into())],
+        });
+        assert_eq!(sub.free_refs().len(), 1, "subquery itself is correlated");
+
+        let outer = LogicalPlan::Filter {
+            input: scan_r(),
+            predicate: Scalar::qcol("r", "a1").eq(Scalar::Subquery(sub)),
+        };
+        assert!(outer.free_refs().is_empty(), "correlation binds in outer");
+        assert!(outer.contains_subquery());
+    }
+
+    #[test]
+    fn alias_requalifies_schema() {
+        let a = LogicalPlan::Alias {
+            input: scan_r(),
+            alias: "x".into(),
+        };
+        let s = a.schema();
+        assert!(s.fields().iter().all(|f| f.qualifier() == Some("x")));
+        assert_eq!(s.resolve(Some("x"), "a1").unwrap(), 0);
+        assert!(s.resolve(Some("r"), "a1").is_err(), "old qualifier gone");
+    }
+
+    #[test]
+    fn with_children_roundtrip() {
+        let f = LogicalPlan::Filter {
+            input: scan_r(),
+            predicate: Scalar::qcol("r", "a1").gt(Scalar::lit(0i64)),
+        };
+        let rebuilt = f.with_children(vec![scan_r()]);
+        assert_eq!(f, rebuilt);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn with_children_checks_arity() {
+        let f = LogicalPlan::Filter {
+            input: scan_r(),
+            predicate: Scalar::lit(true),
+        };
+        let _ = f.with_children(vec![]);
+    }
+}

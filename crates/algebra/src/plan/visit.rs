@@ -1,0 +1,101 @@
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::plan::node::LogicalPlan;
+
+/// Bottom-up plan transformation that **preserves DAG sharing**: a bypass
+/// node referenced by two `Stream` parents is transformed exactly once,
+/// and both parents end up pointing at the same rewritten `Arc`.
+///
+/// A naive recursive rebuild would duplicate shared sub-plans, silently
+/// turning the DAG into a tree and doubling the work of every shared
+/// bypass operator at execution time.
+pub fn transform_up(
+    plan: &Arc<LogicalPlan>,
+    f: &mut impl FnMut(Arc<LogicalPlan>) -> Arc<LogicalPlan>,
+) -> Arc<LogicalPlan> {
+    let mut memo: HashMap<*const LogicalPlan, Arc<LogicalPlan>> = HashMap::new();
+    transform_up_memo(plan, f, &mut memo)
+}
+
+fn transform_up_memo(
+    plan: &Arc<LogicalPlan>,
+    f: &mut impl FnMut(Arc<LogicalPlan>) -> Arc<LogicalPlan>,
+    memo: &mut HashMap<*const LogicalPlan, Arc<LogicalPlan>>,
+) -> Arc<LogicalPlan> {
+    if let Some(done) = memo.get(&Arc::as_ptr(plan)) {
+        return done.clone();
+    }
+    let old_children = plan.children();
+    let new_children: Vec<Arc<LogicalPlan>> = old_children
+        .iter()
+        .map(|c| transform_up_memo(c, f, memo))
+        .collect();
+    let unchanged = new_children
+        .iter()
+        .zip(&old_children)
+        .all(|(a, b)| Arc::ptr_eq(a, b));
+    let rebuilt = if unchanged {
+        plan.clone()
+    } else {
+        Arc::new(plan.with_children(new_children))
+    };
+    let out = f(rebuilt);
+    memo.insert(Arc::as_ptr(plan), out.clone());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Scalar;
+    use crate::plan::PlanBuilder;
+
+    #[test]
+    fn identity_transform_preserves_pointers() {
+        let plan = PlanBuilder::test_scan("r", &["a"])
+            .filter(Scalar::qcol("r", "a").gt(Scalar::lit(0i64)))
+            .build();
+        let out = transform_up(&plan, &mut |p| p);
+        assert!(Arc::ptr_eq(&plan, &out));
+    }
+
+    #[test]
+    fn shared_bypass_stays_shared_after_rewrite() {
+        // Build: Union(Stream+(B), Stream-(B)) where B = BypassFilter(Scan).
+        let (pos, neg) = PlanBuilder::test_scan("r", &["a"])
+            .bypass_filter(Scalar::qcol("r", "a").gt(Scalar::lit(0i64)));
+        let plan = pos.union(neg).build();
+
+        // Rewrite every Scan (forces rebuilding the whole DAG).
+        let replacement = PlanBuilder::test_scan("r2", &["a"]).build();
+        let out = transform_up(&plan, &mut |p| {
+            if matches!(p.as_ref(), LogicalPlan::Scan { .. }) {
+                replacement.clone()
+            } else {
+                p
+            }
+        });
+
+        let LogicalPlan::Union { left, right } = out.as_ref() else {
+            panic!("expected union");
+        };
+        let (LogicalPlan::Stream { source: sl, .. }, LogicalPlan::Stream { source: sr, .. }) =
+            (left.as_ref(), right.as_ref())
+        else {
+            panic!("expected streams");
+        };
+        assert!(
+            Arc::ptr_eq(sl, sr),
+            "rewritten bypass node must remain shared"
+        );
+        // And the scan under it was actually replaced.
+        let LogicalPlan::BypassFilter { input, .. } = sl.as_ref() else {
+            panic!("expected bypass");
+        };
+        assert!(matches!(
+            input.as_ref(),
+            LogicalPlan::Scan { table, .. } if table == "r2"
+        ));
+    }
+}

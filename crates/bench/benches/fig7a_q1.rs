@@ -1,0 +1,29 @@
+//! Criterion bench for Fig. 7(a): Q1 (disjunctive linking) on the RST
+//! schema, every strategy. Uses small instances so `cargo bench`
+//! terminates quickly; the full sweep lives in the `fig7` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bypass_bench::{rst_database, Q1};
+use bypass_core::Strategy;
+
+fn bench_q1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7a_q1");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (sf1, sf2) in [(0.02, 0.02), (0.05, 0.05)] {
+        let db = rst_database(sf1, sf2, 42);
+        for strategy in Strategy::all() {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.to_string(), format!("sf{sf1}x{sf2}")),
+                &db,
+                |b, db| b.iter(|| db.sql_with(Q1, strategy, None).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_q1);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for Fig. 7(b): TPC-H Query 2d (disjunctive linking
+//! against a realistic multi-join workload).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bypass_bench::QUERY_2D;
+use bypass_bench::tpch_database;
+use bypass_core::Strategy;
+
+fn bench_q2d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7b_q2d");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for sf in [0.001, 0.002] {
+        let db = tpch_database(sf, 42);
+        for strategy in Strategy::all() {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.to_string(), format!("sf{sf}")),
+                &db,
+                |b, db| b.iter(|| db.sql_with(QUERY_2D, strategy, None).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_q2d);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for Fig. 7(c): Q2 (disjunctive correlation) — the
+//! case no pre-bypass technique can unnest. `canonical`, `S1`, `S2` and
+//! `S3` all evaluate the nested block per outer tuple; `unnested` runs
+//! the Eqv. 4 plan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bypass_bench::{rst_database, Q2};
+use bypass_core::Strategy;
+
+fn bench_q2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7c_q2");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (sf1, sf2) in [(0.02, 0.02), (0.05, 0.05)] {
+        let db = rst_database(sf1, sf2, 42);
+        for strategy in Strategy::all() {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.to_string(), format!("sf{sf1}x{sf2}")),
+                &db,
+                |b, db| b.iter(|| db.sql_with(Q2, strategy, None).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_q2);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Operator-level micro-benchmarks: the physical building blocks the
+//! unnested plans rely on (hash join vs nested loop, grouping, distinct,
+//! the bypass selection) plus the memoization ablations of the nested-
+//! loop strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bypass_bench::rst_database;
+use bypass_core::Strategy;
+
+fn bench_operators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("operators");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let db = rst_database(0.1, 0.1, 42);
+
+    // Equi join: hash (planner picks it) — the workhorse of Eqv. 1-4.
+    group.bench_function("hash_join_1k", |b| {
+        b.iter(|| db.sql("SELECT COUNT(*) FROM r, s WHERE a1 = b1").unwrap())
+    });
+    // θ-join falls back to a nested loop.
+    group.bench_function("nl_join_theta_1k", |b| {
+        b.iter(|| {
+            db.sql("SELECT COUNT(*) FROM r, s WHERE a1 < b1 AND a2 > b2 AND a3 = 7")
+                .unwrap()
+        })
+    });
+    // Unary grouping Γ.
+    group.bench_function("hash_group_1k", |b| {
+        b.iter(|| db.sql("SELECT COUNT(*) FROM s WHERE b2 = 100").unwrap())
+    });
+    // Duplicate elimination.
+    group.bench_function("distinct_1k", |b| {
+        b.iter(|| db.sql("SELECT DISTINCT a2 FROM r").unwrap())
+    });
+    // Bypass selection (whole unnested Q1 plan at this scale).
+    group.bench_function("bypass_chain_q1_1k", |b| {
+        b.iter(|| db.sql_with(bypass_bench::Q1, Strategy::Unnested, None).unwrap())
+    });
+
+    // Memoization ablation: an uncorrelated (type A) subquery evaluated
+    // with and without materialization.
+    let type_a = "SELECT COUNT(*) FROM r \
+                  WHERE a1 >= (SELECT MIN(b1) FROM s WHERE b4 > 1500) OR a4 > 2900";
+    for strategy in [Strategy::Canonical, Strategy::S1Naive] {
+        group.bench_with_input(
+            BenchmarkId::new("type_a_memo", strategy.to_string()),
+            &db,
+            |b, db| b.iter(|| db.sql_with(type_a, strategy, None).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

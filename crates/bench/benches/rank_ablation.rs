@@ -1,0 +1,30 @@
+//! Criterion bench for the Section 3.1 Remark: evaluation order of the
+//! bypass chain (Eqv. 2 — plain disjunct first — vs Eqv. 3 — unnested
+//! linking predicate first) across plain-disjunct selectivities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bypass_bench::{q1_with_threshold, rst_database};
+use bypass_core::Strategy;
+
+fn bench_rank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rank_ablation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let db = rst_database(0.1, 0.1, 42);
+    for threshold in [300i64, 1500, 2700] {
+        let sql = q1_with_threshold(threshold);
+        for strategy in [Strategy::Unnested, Strategy::UnnestedSubqueryFirst] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.to_string(), format!("a4_gt_{threshold}")),
+                &sql,
+                |b, sql| b.iter(|| db.sql_with(sql, strategy, None).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rank);
+criterion_main!(benches);

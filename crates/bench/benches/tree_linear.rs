@@ -1,0 +1,29 @@
+//! Criterion bench for the technical-report experiments the paper's
+//! Section 4 references: tree query Q3 and linear query Q4, where "the
+//! performance gains observed for simple queries exponentiate".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bypass_bench::{rst_database, Q3, Q4};
+use bypass_core::Strategy;
+
+fn bench_tree_linear(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_linear");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let db = rst_database(0.02, 0.02, 42);
+    for (name, sql) in [("q3_tree", Q3), ("q4_linear", Q4)] {
+        for strategy in [Strategy::Canonical, Strategy::Unnested, Strategy::S2UnionRewrite] {
+            group.bench_with_input(
+                BenchmarkId::new(name, strategy.to_string()),
+                &db,
+                |b, db| b.iter(|| db.sql_with(sql, strategy, None).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_linear);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Experiment harness for the reproduction of the paper's evaluation
+//! (Section 4): workload definitions, timed single-shot measurement with
+//! timeouts (`n/a` cells, like the paper's six-hour aborts), and the
+//! Fig. 7-style table renderer.
+//!
+//! The `fig7` binary drives everything:
+//!
+//! ```text
+//! cargo run --release -p bypass-bench --bin fig7 -- all
+//! ```
+
+pub mod queries;
+pub mod report;
+pub mod runner;
+
+pub use queries::*;
+pub use report::Table;
+pub use runner::{measure, rst_database, tpch_database, Measurement};

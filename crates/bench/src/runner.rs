@@ -1,0 +1,117 @@
+//! Timed single-shot execution with timeouts.
+
+use std::time::{Duration, Instant};
+
+use bypass_core::{Database, Strategy};
+use bypass_datagen::{rst, tpch};
+
+/// One measured cell: elapsed seconds, or `None` for a timeout /
+/// unsupported run (rendered as `n/a`, like the paper's aborted runs).
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    pub secs: Option<f64>,
+    pub rows: Option<usize>,
+}
+
+impl Measurement {
+    pub fn render(&self) -> String {
+        match self.secs {
+            Some(s) if s >= 100.0 => format!("{s:.0}"),
+            Some(s) if s >= 1.0 => format!("{s:.1}"),
+            Some(s) => format!("{s:.3}"),
+            None => "n/a".to_string(),
+        }
+    }
+}
+
+/// A database holding one RST instance (outer scale `sf1`, inner scale
+/// `sf2`, deterministic seed).
+pub fn rst_database(sf1: f64, sf2: f64, seed: u64) -> Database {
+    let mut db = Database::new();
+    rst::register(db.catalog_mut(), &rst::generate(sf1, sf2, seed)).expect("fresh catalog");
+    db
+}
+
+/// A database holding one TPC-H instance.
+pub fn tpch_database(sf: f64, seed: u64) -> Database {
+    let mut db = Database::new();
+    tpch::register(db.catalog_mut(), &tpch::generate_2d(sf, seed)).expect("fresh catalog");
+    db
+}
+
+/// Run `sql` once under `strategy` and measure wall-clock time. The
+/// query runs cold (plans are rebuilt), mirroring the paper's cold-
+/// buffer single-shot methodology.
+pub fn measure(
+    db: &Database,
+    sql: &str,
+    strategy: Strategy,
+    timeout: Duration,
+) -> Measurement {
+    let start = Instant::now();
+    match db.sql_with(sql, strategy, Some(timeout)) {
+        Ok(rel) => Measurement {
+            secs: Some(start.elapsed().as_secs_f64()),
+            rows: Some(rel.len()),
+        },
+        Err(_) => Measurement {
+            secs: None,
+            rows: None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bypass_core::Strategy;
+
+    #[test]
+    fn render_formats_by_magnitude() {
+        let m = |secs| Measurement {
+            secs,
+            rows: Some(1),
+        };
+        assert_eq!(m(Some(0.0123)).render(), "0.012");
+        assert_eq!(m(Some(2.34)).render(), "2.3");
+        assert_eq!(m(Some(123.4)).render(), "123");
+        assert_eq!(m(None).render(), "n/a");
+    }
+
+    #[test]
+    fn rst_database_scales_and_runs() {
+        let db = rst_database(0.002, 0.004, 1);
+        assert_eq!(db.catalog().get("r").unwrap().row_count(), 20);
+        assert_eq!(db.catalog().get("s").unwrap().row_count(), 40);
+        let m = measure(
+            &db,
+            "SELECT COUNT(*) FROM r",
+            Strategy::Unnested,
+            Duration::from_secs(5),
+        );
+        assert!(m.secs.is_some());
+        assert_eq!(m.rows, Some(1));
+    }
+
+    #[test]
+    fn timeout_reports_na() {
+        let db = rst_database(0.05, 0.05, 1);
+        // A pathological triple θ-join against a zero-ish timeout.
+        let m = measure(
+            &db,
+            "SELECT COUNT(*) FROM r a, r b, r c WHERE a.a1 <> b.a1 AND b.a2 <> c.a2",
+            Strategy::Canonical,
+            Duration::from_millis(1),
+        );
+        assert!(m.secs.is_none());
+        assert_eq!(m.render(), "n/a");
+    }
+
+    #[test]
+    fn tpch_database_has_2d_tables() {
+        let db = tpch_database(0.001, 1);
+        for t in ["region", "nation", "supplier", "part", "partsupp"] {
+            assert!(db.catalog().contains(t), "{t}");
+        }
+    }
+}

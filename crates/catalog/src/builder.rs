@@ -1,0 +1,142 @@
+use bypass_types::{DataType, Error, Field, Relation, Result, Schema, Tuple, Value};
+
+/// Convenience builder for constructing [`Relation`]s row by row with
+/// type checking — used by the data generators, `INSERT` handling, and
+/// (heavily) by tests.
+///
+/// ```
+/// use bypass_catalog::TableBuilder;
+/// use bypass_types::DataType;
+///
+/// let rel = TableBuilder::new()
+///     .column("id", DataType::Int)
+///     .column("name", DataType::Text)
+///     .row(vec![1i64.into(), "ada".into()])
+///     .unwrap()
+///     .row(vec![2i64.into(), "grace".into()])
+///     .unwrap()
+///     .build();
+/// assert_eq!(rel.len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct TableBuilder {
+    fields: Vec<Field>,
+    rows: Vec<Tuple>,
+}
+
+impl TableBuilder {
+    pub fn new() -> TableBuilder {
+        TableBuilder::default()
+    }
+
+    /// Declare the next column. Panics if rows were already added (the
+    /// schema must be fixed first) — that is a programming error, not a
+    /// runtime condition.
+    pub fn column(mut self, name: impl AsRef<str>, dtype: DataType) -> Self {
+        assert!(
+            self.rows.is_empty(),
+            "declare all columns before adding rows"
+        );
+        self.fields.push(Field::new(name, dtype));
+        self
+    }
+
+    /// Append a row, verifying arity and types. NULLs are accepted in any
+    /// column; Int widens to Float automatically.
+    pub fn row(mut self, values: Vec<Value>) -> Result<Self> {
+        if values.len() != self.fields.len() {
+            return Err(Error::catalog(format!(
+                "row arity {} does not match schema arity {}",
+                values.len(),
+                self.fields.len()
+            )));
+        }
+        let mut coerced = Vec::with_capacity(values.len());
+        for (v, f) in values.into_iter().zip(&self.fields) {
+            coerced.push(coerce(v, f)?);
+        }
+        self.rows.push(Tuple::new(coerced));
+        Ok(self)
+    }
+
+    /// Append many rows.
+    pub fn rows<I: IntoIterator<Item = Vec<Value>>>(mut self, rows: I) -> Result<Self> {
+        for r in rows {
+            self = self.row(r)?;
+        }
+        Ok(self)
+    }
+
+    pub fn build(self) -> Relation {
+        Relation::new(Schema::new(self.fields), self.rows)
+    }
+}
+
+fn coerce(v: Value, f: &Field) -> Result<Value> {
+    match (&v, f.data_type()) {
+        (Value::Null, _) => Ok(v),
+        (Value::Int(i), DataType::Float) => Ok(Value::Float(*i as f64)),
+        _ if v.data_type() == f.data_type() => Ok(v),
+        _ => Err(Error::catalog(format!(
+            "value {v} ({}) is not assignable to column `{}` ({})",
+            v.data_type(),
+            f.name(),
+            f.data_type()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_typed_relation() {
+        let rel = TableBuilder::new()
+            .column("a", DataType::Int)
+            .column("b", DataType::Text)
+            .row(vec![1i64.into(), "x".into()])
+            .unwrap()
+            .build();
+        assert_eq!(rel.schema().field(1).data_type(), DataType::Text);
+        assert_eq!(rel.len(), 1);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let err = TableBuilder::new()
+            .column("a", DataType::Int)
+            .row(vec![1i64.into(), 2i64.into()])
+            .unwrap_err();
+        assert!(err.to_string().contains("arity"), "{err}");
+    }
+
+    #[test]
+    fn type_mismatch_rejected_null_and_widening_ok() {
+        let b = TableBuilder::new()
+            .column("a", DataType::Float)
+            .row(vec![1i64.into()]) // Int → Float widening
+            .unwrap()
+            .row(vec![Value::Null])
+            .unwrap();
+        let rel = b.build();
+        assert_eq!(rel.rows()[0][0], Value::Float(1.0));
+        assert!(rel.rows()[1][0].is_null());
+
+        let err = TableBuilder::new()
+            .column("a", DataType::Int)
+            .row(vec!["oops".into()])
+            .unwrap_err();
+        assert!(err.to_string().contains("not assignable"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "declare all columns")]
+    fn columns_after_rows_panics() {
+        let _ = TableBuilder::new()
+            .column("a", DataType::Int)
+            .row(vec![1i64.into()])
+            .unwrap()
+            .column("b", DataType::Int);
+    }
+}

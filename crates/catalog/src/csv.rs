@@ -1,0 +1,243 @@
+//! Minimal CSV loading: header row for column names, automatic type
+//! inference (INT → FLOAT → BOOL → TEXT; empty fields are NULL),
+//! RFC-4180-style quoting with `""` escapes. No external dependencies —
+//! enough to load real datasets into the engine.
+
+use std::path::Path;
+
+use bypass_types::{DataType, Error, Field, Relation, Result, Schema, Tuple, Value};
+
+/// Load a CSV file (first row = column names) into a relation.
+pub fn load_csv_file(path: impl AsRef<Path>) -> Result<Relation> {
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        Error::catalog(format!(
+            "cannot read `{}`: {e}",
+            path.as_ref().display()
+        ))
+    })?;
+    load_csv_str(&text)
+}
+
+/// Load CSV from a string (first row = column names).
+pub fn load_csv_str(text: &str) -> Result<Relation> {
+    let mut records = parse_records(text)?;
+    if records.is_empty() {
+        return Err(Error::catalog("CSV input has no header row"));
+    }
+    let header = records.remove(0);
+    let arity = header.len();
+    for (i, rec) in records.iter().enumerate() {
+        if rec.len() != arity {
+            return Err(Error::catalog(format!(
+                "CSV row {} has {} fields, header has {arity}",
+                i + 2,
+                rec.len()
+            )));
+        }
+    }
+
+    // Infer one type per column over the non-empty fields.
+    let mut types = vec![DataType::Int; arity];
+    for (c, t) in types.iter_mut().enumerate() {
+        *t = infer_column(records.iter().map(|r| r[c].as_str()));
+    }
+
+    let schema = Schema::new(
+        header
+            .iter()
+            .zip(&types)
+            .map(|(name, t)| Field::new(name.trim(), *t))
+            .collect(),
+    );
+    let rows = records
+        .iter()
+        .map(|rec| {
+            Tuple::new(
+                rec.iter()
+                    .zip(&types)
+                    .map(|(field, t)| parse_value(field, *t))
+                    .collect(),
+            )
+        })
+        .collect();
+    Ok(Relation::new(schema, rows))
+}
+
+/// Infer the narrowest type accommodating every non-empty field.
+fn infer_column<'a>(fields: impl Iterator<Item = &'a str>) -> DataType {
+    let mut t = DataType::Int;
+    let mut saw_value = false;
+    for f in fields {
+        if f.is_empty() {
+            continue;
+        }
+        saw_value = true;
+        t = match t {
+            DataType::Int if f.parse::<i64>().is_ok() => DataType::Int,
+            DataType::Int | DataType::Float if f.parse::<f64>().is_ok() => DataType::Float,
+            DataType::Bool | DataType::Int | DataType::Float
+                if matches!(f, "true" | "false" | "TRUE" | "FALSE")
+                    && t != DataType::Float =>
+            {
+                DataType::Bool
+            }
+            _ => DataType::Text,
+        };
+        if t == DataType::Text {
+            break;
+        }
+    }
+    if saw_value {
+        t
+    } else {
+        DataType::Text
+    }
+}
+
+fn parse_value(field: &str, t: DataType) -> Value {
+    if field.is_empty() {
+        return Value::Null;
+    }
+    match t {
+        DataType::Int => field.parse::<i64>().map(Value::Int).unwrap_or(Value::Null),
+        DataType::Float => field
+            .parse::<f64>()
+            .map(Value::Float)
+            .unwrap_or(Value::Null),
+        DataType::Bool => match field {
+            "true" | "TRUE" => Value::Bool(true),
+            "false" | "FALSE" => Value::Bool(false),
+            _ => Value::Null,
+        },
+        _ => Value::text(field),
+    }
+}
+
+/// Split CSV text into records of fields, honoring quotes.
+fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut any = false;
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                c => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                if field.is_empty() {
+                    in_quotes = true;
+                } else {
+                    return Err(Error::catalog(
+                        "CSV: quote in the middle of an unquoted field",
+                    ));
+                }
+            }
+            ',' => {
+                record.push(std::mem::take(&mut field));
+            }
+            '\r' => {}
+            '\n' => {
+                record.push(std::mem::take(&mut field));
+                records.push(std::mem::take(&mut record));
+            }
+            c => field.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(Error::catalog("CSV: unterminated quoted field"));
+    }
+    if any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_inference() {
+        let rel = load_csv_str("id,name,score\n1,ada,9.5\n2,bob,8\n").unwrap();
+        assert_eq!(rel.len(), 2);
+        let s = rel.schema();
+        assert_eq!(s.field(0).data_type(), DataType::Int);
+        assert_eq!(s.field(1).data_type(), DataType::Text);
+        assert_eq!(s.field(2).data_type(), DataType::Float);
+        assert_eq!(rel.rows()[1][2], Value::Float(8.0));
+    }
+
+    #[test]
+    fn empty_fields_are_null() {
+        let rel = load_csv_str("a,b\n1,\n,2\n").unwrap();
+        assert!(rel.rows()[0][1].is_null());
+        assert!(rel.rows()[1][0].is_null());
+        assert_eq!(rel.rows()[1][1], Value::Int(2));
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let rel = load_csv_str("x\n\"a,b\"\n\"say \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(rel.rows()[0][0], Value::text("a,b"));
+        assert_eq!(rel.rows()[1][0], Value::text("say \"hi\""));
+    }
+
+    #[test]
+    fn mixed_column_degrades_to_text() {
+        let rel = load_csv_str("v\n1\nx\n2\n").unwrap();
+        assert_eq!(rel.schema().field(0).data_type(), DataType::Text);
+        assert_eq!(rel.rows()[0][0], Value::text("1"));
+    }
+
+    #[test]
+    fn bool_column() {
+        let rel = load_csv_str("flag\ntrue\nfalse\n\n").unwrap();
+        assert_eq!(rel.schema().field(0).data_type(), DataType::Bool);
+        assert_eq!(rel.rows()[0][0], Value::Bool(true));
+    }
+
+    #[test]
+    fn crlf_and_missing_trailing_newline() {
+        let rel = load_csv_str("a,b\r\n1,2\r\n3,4").unwrap();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.rows()[1][1], Value::Int(4));
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error() {
+        let err = load_csv_str("a,b\n1\n").unwrap_err();
+        assert!(err.to_string().contains("fields"), "{err}");
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        assert!(load_csv_str("a\n\"oops\n").is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("bypass_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        std::fs::write(&path, "k,v\n1,alpha\n2,beta\n").unwrap();
+        let rel = load_csv_file(&path).unwrap();
+        assert_eq!(rel.len(), 2);
+        assert!(load_csv_file(dir.join("missing.csv")).is_err());
+    }
+}

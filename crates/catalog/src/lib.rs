@@ -1,0 +1,17 @@
+//! In-memory table storage and catalog.
+//!
+//! Tables are fully materialized [`Relation`]s guarded behind `Arc` so
+//! that scans share data with zero copying. Statistics are collected at
+//! registration / load time and feed the optimizer's rank model.
+
+mod builder;
+mod csv;
+mod catalog;
+mod table;
+
+pub use builder::TableBuilder;
+pub use csv::{load_csv_file, load_csv_str};
+pub use catalog::Catalog;
+pub use table::Table;
+
+pub use bypass_types::Relation;

@@ -1,0 +1,523 @@
+use std::sync::Arc;
+use std::time::Duration;
+
+use bypass_algebra::LogicalPlan;
+use bypass_catalog::Catalog;
+use bypass_exec::{
+    evaluate_with, physical_plan, ExecContext, ExecOptions, PhysExpr, PhysNode,
+};
+use bypass_sql::{parse_statement, Expr, Statement};
+use bypass_translate::{translate_query, Translator};
+use bypass_types::{
+    DataType, Error, Field, Relation, Result, Schema, Tuple, Value,
+};
+
+use crate::Strategy;
+
+/// [`bypass_unnest::cost::StatsSource`] backed by the catalog's table
+/// statistics.
+struct CatalogStats<'a>(&'a Catalog);
+
+impl bypass_unnest::cost::StatsSource for CatalogStats<'_> {
+    fn table_rows(&self, table: &str) -> Option<f64> {
+        self.0.get(table).ok().map(|t| t.row_count() as f64)
+    }
+
+    fn column_distinct(&self, table: &str, column: &str) -> Option<f64> {
+        let t = self.0.get(table).ok()?;
+        let idx = t.schema().find(None, column)?;
+        t.stats().columns.get(idx).map(|c| c.distinct as f64)
+    }
+}
+
+/// A query compiled once and executable many times: parsing,
+/// translation, strategy rewrites and physical planning are all done;
+/// [`Prepared::execute`] only evaluates. The plan holds `Arc`s to the
+/// table storage it was planned against, so it stays valid (with that
+/// snapshot of the data) even if the database later changes.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    physical: Arc<PhysNode>,
+    options: ExecOptions,
+    strategy: Strategy,
+}
+
+impl Prepared {
+    /// Run the compiled plan.
+    pub fn execute(&self) -> Result<Relation> {
+        self.execute_with_timeout(None)
+    }
+
+    /// Run the compiled plan with a timeout.
+    pub fn execute_with_timeout(&self, timeout: Option<Duration>) -> Result<Relation> {
+        let options = ExecOptions {
+            timeout,
+            ..self.options
+        };
+        evaluate_with(&self.physical, options)
+    }
+
+    /// The concrete strategy the query was compiled under (CostBased is
+    /// resolved at preparation time).
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+}
+
+/// Result of [`Database::execute_sql`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A query result.
+    Rows(Relation),
+    /// `CREATE TABLE` succeeded.
+    Created,
+    /// `INSERT` succeeded with this many rows.
+    Inserted(usize),
+}
+
+impl Response {
+    /// The relation of a `Rows` response; errors otherwise.
+    pub fn into_rows(self) -> Result<Relation> {
+        match self {
+            Response::Rows(r) => Ok(r),
+            other => Err(Error::execution(format!(
+                "statement did not produce rows: {other:?}"
+            ))),
+        }
+    }
+}
+
+/// An in-memory database: catalog + SQL pipeline.
+///
+/// ```
+/// use bypass_core::{Database, Strategy};
+///
+/// let mut db = Database::new();
+/// db.execute_sql("CREATE TABLE r (a1 INT, a4 INT)").unwrap();
+/// db.execute_sql("INSERT INTO r VALUES (1, 2000), (2, 10)").unwrap();
+/// let out = db.sql("SELECT a1 FROM r WHERE a4 > 1500").unwrap();
+/// assert_eq!(out.len(), 1);
+///
+/// // The same query under every strategy of the evaluation study:
+/// for s in Strategy::all() {
+///     let r = db.sql_with("SELECT a1 FROM r WHERE a4 > 1500", s, None).unwrap();
+///     assert_eq!(r.len(), 1);
+/// }
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Database {
+    catalog: Catalog,
+    default_strategy: Strategy,
+}
+
+impl Database {
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Use `strategy` for [`Database::sql`] calls.
+    pub fn with_default_strategy(mut self, strategy: Strategy) -> Database {
+        self.default_strategy = strategy;
+        self
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable catalog access (bulk registration by the data
+    /// generators' `register` helpers).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Register a pre-built relation as a table.
+    pub fn register_table(&mut self, name: impl AsRef<str>, data: Relation) -> Result<()> {
+        self.catalog.register(name, data)
+    }
+
+    /// Execute any supported statement.
+    pub fn execute_sql(&mut self, sql: &str) -> Result<Response> {
+        match parse_statement(sql)? {
+            Statement::Query(q) => {
+                let logical = translate_query(&self.catalog, &q)?;
+                let rel = self.run(&logical, self.default_strategy, None)?;
+                Ok(Response::Rows(rel))
+            }
+            Statement::CreateTable { name, columns } => {
+                let schema = Schema::new(
+                    columns
+                        .iter()
+                        .map(|(n, t)| Field::new(n, *t))
+                        .collect(),
+                );
+                self.catalog.register(&name, Relation::empty(schema))?;
+                Ok(Response::Created)
+            }
+            Statement::Insert { table, rows } => {
+                let n = self.insert(&table, rows)?;
+                Ok(Response::Inserted(n))
+            }
+        }
+    }
+
+    /// Run a `SELECT` with the default strategy.
+    pub fn sql(&self, sql: &str) -> Result<Relation> {
+        self.sql_with(sql, self.default_strategy, None)
+    }
+
+    /// Run a `SELECT` with an explicit strategy and optional timeout.
+    pub fn sql_with(
+        &self,
+        sql: &str,
+        strategy: Strategy,
+        timeout: Option<Duration>,
+    ) -> Result<Relation> {
+        let logical = self.logical_plan(sql)?;
+        self.run(&logical, strategy, timeout)
+    }
+
+    /// The canonical logical plan of a query (before strategy rewrites).
+    pub fn logical_plan(&self, sql: &str) -> Result<Arc<LogicalPlan>> {
+        match parse_statement(sql)? {
+            Statement::Query(q) => translate_query(&self.catalog, &q),
+            _ => Err(Error::plan("not a SELECT statement")),
+        }
+    }
+
+    /// Execute a prepared logical plan under a strategy.
+    pub fn run(
+        &self,
+        canonical: &Arc<LogicalPlan>,
+        strategy: Strategy,
+        timeout: Option<Duration>,
+    ) -> Result<Relation> {
+        let strategy = self.resolve_strategy(canonical, strategy)?;
+        let logical = strategy.prepare(canonical)?;
+        let physical = physical_plan(&logical, &self.catalog)?;
+        let options = ExecOptions {
+            timeout,
+            ..strategy.exec_options()
+        };
+        evaluate_with(&physical, options)
+    }
+
+    /// Compile a `SELECT` once for repeated execution.
+    ///
+    /// ```
+    /// use bypass_core::{Database, Strategy};
+    /// let mut db = Database::new();
+    /// db.execute_sql("CREATE TABLE t (x INT)").unwrap();
+    /// db.execute_sql("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+    /// let q = db.prepare("SELECT x FROM t WHERE x > 1", Strategy::Unnested).unwrap();
+    /// assert_eq!(q.execute().unwrap().len(), 2);
+    /// assert_eq!(q.execute().unwrap().len(), 2); // no re-planning
+    /// ```
+    pub fn prepare(&self, sql: &str, strategy: Strategy) -> Result<Prepared> {
+        let canonical = self.logical_plan(sql)?;
+        let strategy = self.resolve_strategy(&canonical, strategy)?;
+        let logical = strategy.prepare(&canonical)?;
+        let physical = physical_plan(&logical, &self.catalog)?;
+        Ok(Prepared {
+            physical,
+            options: strategy.exec_options(),
+            strategy,
+        })
+    }
+
+    /// EXPLAIN: the strategy-rewritten logical plan followed by the
+    /// physical operator tree. For [`Strategy::CostBased`], the chosen
+    /// strategy and all candidate cost estimates are reported.
+    pub fn explain(&self, sql: &str, strategy: Strategy) -> Result<String> {
+        let canonical = self.logical_plan(sql)?;
+        let mut header = String::new();
+        let strategy = if strategy == Strategy::CostBased {
+            let (chosen, estimates) =
+                Strategy::choose_by_cost(&canonical, &CatalogStats(&self.catalog))?;
+            header.push_str("-- cost-based choice:\n");
+            for (s, cost) in estimates {
+                header.push_str(&format!(
+                    "--   {s}: {cost:.0}{}\n",
+                    if s == chosen { "  <- chosen" } else { "" }
+                ));
+            }
+            chosen
+        } else {
+            strategy
+        };
+        let logical = strategy.prepare(&canonical)?;
+        let physical = physical_plan(&logical, &self.catalog)?;
+        Ok(format!(
+            "{header}-- logical plan ({strategy})\n{}\n-- physical plan\n{}",
+            logical.explain(),
+            physical.explain()
+        ))
+    }
+
+    /// EXPLAIN ANALYZE: execute the query with per-operator
+    /// instrumentation and render the physical plan annotated with
+    /// calls, row counts and inclusive wall time. Operators inside a
+    /// correlated subplan show `calls > 1` — the visible signature of
+    /// nested-loop evaluation that unnesting removes.
+    pub fn explain_analyze(&self, sql: &str, strategy: Strategy) -> Result<String> {
+        let canonical = self.logical_plan(sql)?;
+        let strategy = self.resolve_strategy(&canonical, strategy)?;
+        let logical = strategy.prepare(&canonical)?;
+        let physical = physical_plan(&logical, &self.catalog)?;
+        let mut ctx = ExecContext::new(strategy.exec_options()).with_metrics();
+        let rel = ctx.eval_plan(&physical)?;
+        let metrics = ctx.take_metrics();
+        Ok(format!(
+            "-- physical plan ({strategy}), {} output rows\n{}",
+            rel.len(),
+            physical.explain_with_metrics(&metrics)
+        ))
+    }
+
+    /// Resolve [`Strategy::CostBased`] to a concrete strategy for this
+    /// plan; other strategies pass through.
+    fn resolve_strategy(
+        &self,
+        canonical: &Arc<LogicalPlan>,
+        strategy: Strategy,
+    ) -> Result<Strategy> {
+        if strategy == Strategy::CostBased {
+            let (chosen, _) =
+                Strategy::choose_by_cost(canonical, &CatalogStats(&self.catalog))?;
+            Ok(chosen)
+        } else {
+            Ok(strategy)
+        }
+    }
+
+    fn insert(&mut self, table: &str, rows: Vec<Vec<Expr>>) -> Result<usize> {
+        // Evaluate the literal expressions against an empty tuple.
+        let translator = Translator::new(&self.catalog);
+        let empty_schema = Schema::empty();
+        let mut resolver_catalog = Catalog::new();
+        let mut evaluated: Vec<Vec<Value>> = Vec::with_capacity(rows.len());
+        let mut ctx = ExecContext::new(ExecOptions::default());
+        for row in &rows {
+            let mut vals = Vec::with_capacity(row.len());
+            for e in row {
+                let scalar = translator.expr(e)?;
+                let phys = resolve_constant(&scalar, &empty_schema, &mut resolver_catalog)?;
+                vals.push(ctx.eval_expr(&phys, &Tuple::empty())?);
+            }
+            evaluated.push(vals);
+        }
+
+        let table = self.catalog.get_mut(table)?;
+        let schema = table.schema().clone();
+        let mut new_rows: Vec<Tuple> = table.data().rows().to_vec();
+        for vals in evaluated {
+            if vals.len() != schema.arity() {
+                return Err(Error::plan(format!(
+                    "INSERT row arity {} does not match table arity {}",
+                    vals.len(),
+                    schema.arity()
+                )));
+            }
+            let coerced: Vec<Value> = vals
+                .into_iter()
+                .zip(schema.fields())
+                .map(|(v, f)| coerce(v, f))
+                .collect::<Result<_>>()?;
+            new_rows.push(Tuple::new(coerced));
+        }
+        let n = rows.len();
+        table.replace_data(Relation::new(schema, new_rows));
+        Ok(n)
+    }
+}
+
+/// Resolve a constant expression (INSERT values): no columns, no
+/// subqueries.
+fn resolve_constant(
+    scalar: &bypass_algebra::Scalar,
+    schema: &Schema,
+    catalog: &mut Catalog,
+) -> Result<PhysExpr> {
+    if scalar.contains_subquery() || !scalar.column_refs().is_empty() {
+        return Err(Error::plan(
+            "INSERT values must be constant expressions".to_string(),
+        ));
+    }
+    let mut resolver = bypass_exec::Resolver::new(catalog);
+    resolver.resolve(scalar, schema)
+}
+
+fn coerce(v: Value, f: &Field) -> Result<Value> {
+    match (&v, f.data_type()) {
+        (Value::Null, _) => Ok(v),
+        (Value::Int(i), DataType::Float) => Ok(Value::Float(*i as f64)),
+        _ if v.data_type() == f.data_type() => Ok(v),
+        _ => Err(Error::plan(format!(
+            "value {v} ({}) is not assignable to column `{}` ({})",
+            v.data_type(),
+            f.name(),
+            f.data_type()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.execute_sql("CREATE TABLE r (a1 INT, a2 INT, a3 INT, a4 INT)")
+            .unwrap();
+        db.execute_sql(
+            "INSERT INTO r VALUES (2, 10, 1, 100), (0, 11, 2, 2000), (1, 12, 3, 1501)",
+        )
+        .unwrap();
+        db.execute_sql("CREATE TABLE s (b1 INT, b2 INT, b3 INT, b4 INT)")
+            .unwrap();
+        db.execute_sql("INSERT INTO s VALUES (1, 10, 7, 1600), (2, 10, 7, 10), (3, 12, 8, 20)")
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_insert_select_roundtrip() {
+        let db = db();
+        let out = db.sql("SELECT a1 FROM r WHERE a4 > 1500").unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn all_strategies_agree_on_q1() {
+        let db = db();
+        let q = "SELECT DISTINCT * FROM r \
+                 WHERE a1 = (SELECT COUNT(DISTINCT *) FROM s WHERE a2 = b2) OR a4 > 1500";
+        let expected = db.sql_with(q, Strategy::Canonical, None).unwrap();
+        assert_eq!(expected.len(), 3);
+        for s in Strategy::all() {
+            let got = db.sql_with(q, s, None).unwrap();
+            assert!(got.bag_eq(&expected), "strategy {s} differs");
+        }
+    }
+
+    #[test]
+    fn insert_arity_and_type_checks() {
+        let mut db = db();
+        let err = db
+            .execute_sql("INSERT INTO r VALUES (1, 2, 3)")
+            .unwrap_err();
+        assert!(err.to_string().contains("arity"), "{err}");
+        let err = db
+            .execute_sql("INSERT INTO r VALUES ('x', 2, 3, 4)")
+            .unwrap_err();
+        assert!(err.to_string().contains("not assignable"), "{err}");
+    }
+
+    #[test]
+    fn insert_constant_arithmetic_and_null() {
+        let mut db = Database::new();
+        db.execute_sql("CREATE TABLE t (x INT, y FLOAT)").unwrap();
+        db.execute_sql("INSERT INTO t VALUES (1 + 2 * 3, NULL)")
+            .unwrap();
+        let out = db.sql("SELECT x, y FROM t").unwrap();
+        assert_eq!(out.rows()[0][0], Value::Int(7));
+        assert!(out.rows()[0][1].is_null());
+    }
+
+    #[test]
+    fn explain_shows_both_plans() {
+        let db = db();
+        let text = db
+            .explain(
+                "SELECT * FROM r WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2) OR a4 > 1500",
+                Strategy::Unnested,
+            )
+            .unwrap();
+        assert!(text.contains("-- logical plan (unnested)"), "{text}");
+        assert!(text.contains("σ±"), "{text}");
+        assert!(text.contains("-- physical plan"), "{text}");
+        assert!(text.contains("HashOuterJoin"), "{text}");
+    }
+
+    #[test]
+    fn timeout_propagates() {
+        let mut db = Database::new();
+        db.execute_sql("CREATE TABLE big (x INT)").unwrap();
+        let values: Vec<String> = (0..400).map(|i| format!("({i})")).collect();
+        db.execute_sql(&format!("INSERT INTO big VALUES {}", values.join(",")))
+            .unwrap();
+        let err = db
+            .sql_with(
+                "SELECT * FROM big a, big b, big c WHERE a.x <> b.x AND b.x <> c.x",
+                Strategy::Canonical,
+                Some(Duration::from_millis(1)),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("timed out"), "{err}");
+    }
+
+    #[test]
+    fn response_into_rows() {
+        let mut db = Database::new();
+        let r = db.execute_sql("CREATE TABLE t (x INT)").unwrap();
+        assert_eq!(r, Response::Created);
+        assert!(r.into_rows().is_err());
+        let r = db.execute_sql("INSERT INTO t VALUES (1)").unwrap();
+        assert_eq!(r, Response::Inserted(1));
+    }
+
+    #[test]
+    fn explain_analyze_shows_calls_and_rows() {
+        let db = db();
+        let q = "SELECT * FROM r WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2) OR a4 > 5000";
+        // Canonical: the subplan runs once per probed outer tuple.
+        let text = db.explain_analyze(q, Strategy::Canonical).unwrap();
+        assert!(text.contains("calls="), "{text}");
+        assert!(text.contains("output rows"), "{text}");
+        // The inner aggregate executes more than once (nested loop).
+        let nested_calls = text
+            .lines()
+            .filter(|l| l.contains("HashAggregate"))
+            .any(|l| !l.contains("calls=1 "));
+        assert!(nested_calls, "expected repeated subplan calls:\n{text}");
+        // Unnested: every operator runs exactly once.
+        let text = db.explain_analyze(q, Strategy::Unnested).unwrap();
+        assert!(
+            text.lines()
+                .filter(|l| l.contains("calls="))
+                .all(|l| l.contains("calls=1 ")),
+            "bypass plan runs each operator once:\n{text}"
+        );
+    }
+
+    #[test]
+    fn prepared_queries_survive_and_snapshot() {
+        let mut db = db();
+        let q = db
+            .prepare(
+                "SELECT a1 FROM r WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2) OR a4 > 1500",
+                Strategy::CostBased,
+            )
+            .unwrap();
+        // CostBased resolved at prepare time.
+        assert_ne!(q.strategy(), Strategy::CostBased);
+        let first = q.execute().unwrap();
+        // The prepared plan snapshots the data: inserting afterwards
+        // does not change its result...
+        db.execute_sql("INSERT INTO r VALUES (9, 9, 9, 9000)").unwrap();
+        let second = q.execute().unwrap();
+        assert!(first.bag_eq(&second));
+        // ...while a fresh query sees the new row.
+        let fresh = db
+            .sql("SELECT a1 FROM r WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2) OR a4 > 1500")
+            .unwrap();
+        assert_eq!(fresh.len(), first.len() + 1);
+    }
+
+    #[test]
+    fn default_strategy_is_unnested() {
+        let db = db().with_default_strategy(Strategy::Canonical);
+        assert_eq!(db.default_strategy, Strategy::Canonical);
+        assert_eq!(Database::new().default_strategy, Strategy::Unnested);
+    }
+}

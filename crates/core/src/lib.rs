@@ -1,0 +1,15 @@
+//! Engine facade: a [`Database`] owning a catalog, with SQL execution
+//! under selectable evaluation [`Strategy`]s — the canonical nested-loop
+//! plans, the paper's bypass-unnested plans, and the three simulated
+//! commercial baselines of the evaluation study.
+
+mod database;
+mod strategy;
+
+pub use database::{Database, Prepared, Response};
+pub use strategy::Strategy;
+
+pub use bypass_algebra::LogicalPlan;
+pub use bypass_catalog::{Catalog, TableBuilder};
+pub use bypass_exec::ExecOptions;
+pub use bypass_types::{DataType, Error, Field, Relation, Result, Schema, Tuple, Value};

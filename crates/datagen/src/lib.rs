@@ -1,0 +1,14 @@
+//! Workload generators for the evaluation (Section 4 of the paper).
+//!
+//! * [`rst`] — the synthetic R/S/T schema: three tables of four integer
+//!   columns each, independently scaled (SF 1 → 10 000 rows).
+//! * [`tpch`] — a dbgen-style generator for the five TPC-H tables
+//!   Query 2d touches (`region`, `nation`, `supplier`, `part`,
+//!   `partsupp`), reproducing the key structure, value domains and the
+//!   selectivities the query depends on (`p_size = 15`, `p_type LIKE
+//!   '%BRASS'`, `r_name = 'EUROPE'`, `ps_availqty > 2000`).
+//!
+//! All generators are deterministic given a seed.
+
+pub mod rst;
+pub mod tpch;

@@ -1,0 +1,320 @@
+use std::collections::HashSet;
+
+use bypass_algebra::AggFunc;
+use bypass_types::{Error, Result, Tuple, Value};
+
+use crate::expr::PhysExpr;
+
+/// A resolved aggregate call: function, DISTINCT flag and the (optional)
+/// argument expression. `arg == None` aggregates whole input tuples
+/// (`COUNT(*)` / `COUNT(DISTINCT *)`).
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    pub func: AggFunc,
+    pub distinct: bool,
+    pub arg: Option<PhysExpr>,
+}
+
+/// Streaming accumulator for one aggregate over one group.
+///
+/// SQL semantics: `COUNT(*)` counts rows, `COUNT(e)` counts non-NULL
+/// values, SUM/AVG/MIN/MAX ignore NULLs, every aggregate except COUNT
+/// yields NULL over an empty (or all-NULL) input — the `f(∅)` values the
+/// outerjoin defaults must reproduce.
+#[derive(Debug)]
+pub enum Accumulator {
+    CountRows {
+        n: i64,
+    },
+    CountDistinctRows {
+        seen: HashSet<Tuple>,
+    },
+    CountValues {
+        n: i64,
+    },
+    CountDistinctValues {
+        seen: HashSet<Value>,
+    },
+    Sum {
+        acc: Option<Value>,
+    },
+    SumDistinct {
+        seen: HashSet<Value>,
+    },
+    Avg {
+        sum: f64,
+        n: i64,
+    },
+    AvgDistinct {
+        seen: HashSet<Value>,
+    },
+    Min {
+        acc: Option<Value>,
+    },
+    Max {
+        acc: Option<Value>,
+    },
+}
+
+/// Build the accumulator matching an [`AggSpec`].
+pub fn create_accumulator(spec: &AggSpec) -> Accumulator {
+    match (spec.func, spec.distinct, spec.arg.is_some()) {
+        (AggFunc::Count, false, false) => Accumulator::CountRows { n: 0 },
+        (AggFunc::Count, true, false) => Accumulator::CountDistinctRows {
+            seen: HashSet::new(),
+        },
+        (AggFunc::Count, false, true) => Accumulator::CountValues { n: 0 },
+        (AggFunc::Count, true, true) => Accumulator::CountDistinctValues {
+            seen: HashSet::new(),
+        },
+        (AggFunc::Sum, false, _) => Accumulator::Sum { acc: None },
+        (AggFunc::Sum, true, _) => Accumulator::SumDistinct {
+            seen: HashSet::new(),
+        },
+        (AggFunc::Avg, false, _) => Accumulator::Avg { sum: 0.0, n: 0 },
+        (AggFunc::Avg, true, _) => Accumulator::AvgDistinct {
+            seen: HashSet::new(),
+        },
+        // MIN/MAX are duplicate-insensitive; DISTINCT is a no-op.
+        (AggFunc::Min, _, _) => Accumulator::Min { acc: None },
+        (AggFunc::Max, _, _) => Accumulator::Max { acc: None },
+    }
+}
+
+impl Accumulator {
+    /// Fold one row into the accumulator. `value` is the evaluated
+    /// argument (ignored by the whole-row COUNT variants, which use
+    /// `tuple`).
+    pub fn update(&mut self, tuple: &Tuple, value: Option<&Value>) -> Result<()> {
+        match self {
+            Accumulator::CountRows { n } => *n += 1,
+            Accumulator::CountDistinctRows { seen } => {
+                seen.insert(tuple.clone());
+            }
+            Accumulator::CountValues { n } => {
+                if value.is_some_and(|v| !v.is_null()) {
+                    *n += 1;
+                }
+            }
+            Accumulator::CountDistinctValues { seen } => {
+                if let Some(v) = value {
+                    if !v.is_null() {
+                        seen.insert(v.clone());
+                    }
+                }
+            }
+            Accumulator::Sum { acc } => {
+                if let Some(v) = value {
+                    if !v.is_null() {
+                        *acc = Some(match acc.take() {
+                            None => v.clone(),
+                            Some(a) => a.add(v)?,
+                        });
+                    }
+                }
+            }
+            Accumulator::SumDistinct { seen } | Accumulator::AvgDistinct { seen } => {
+                if let Some(v) = value {
+                    if !v.is_null() {
+                        seen.insert(v.clone());
+                    }
+                }
+            }
+            Accumulator::Avg { sum, n } => {
+                if let Some(v) = value {
+                    match v {
+                        Value::Null => {}
+                        Value::Int(i) => {
+                            *sum += *i as f64;
+                            *n += 1;
+                        }
+                        Value::Float(x) => {
+                            *sum += *x;
+                            *n += 1;
+                        }
+                        other => {
+                            return Err(Error::type_err(format!(
+                                "avg over non-numeric value {other}"
+                            )))
+                        }
+                    }
+                }
+            }
+            Accumulator::Min { acc } => {
+                if let Some(v) = value {
+                    if !v.is_null() {
+                        let replace = match acc.as_ref() {
+                            None => true,
+                            Some(a) => matches!(
+                                v.sql_cmp(a),
+                                Some(std::cmp::Ordering::Less)
+                            ),
+                        };
+                        if replace {
+                            *acc = Some(v.clone());
+                        }
+                    }
+                }
+            }
+            Accumulator::Max { acc } => {
+                if let Some(v) = value {
+                    if !v.is_null() {
+                        let replace = match acc.as_ref() {
+                            None => true,
+                            Some(a) => matches!(
+                                v.sql_cmp(a),
+                                Some(std::cmp::Ordering::Greater)
+                            ),
+                        };
+                        if replace {
+                            *acc = Some(v.clone());
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Final aggregate value.
+    pub fn finish(self) -> Result<Value> {
+        Ok(match self {
+            Accumulator::CountRows { n } | Accumulator::CountValues { n } => Value::Int(n),
+            Accumulator::CountDistinctRows { seen } => Value::Int(seen.len() as i64),
+            Accumulator::CountDistinctValues { seen } => Value::Int(seen.len() as i64),
+            Accumulator::Sum { acc } => acc.unwrap_or(Value::Null),
+            Accumulator::SumDistinct { seen } => {
+                let mut acc: Option<Value> = None;
+                for v in seen {
+                    acc = Some(match acc.take() {
+                        None => v,
+                        Some(a) => a.add(&v)?,
+                    });
+                }
+                acc.unwrap_or(Value::Null)
+            }
+            Accumulator::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / n as f64)
+                }
+            }
+            Accumulator::AvgDistinct { seen } => {
+                if seen.is_empty() {
+                    Value::Null
+                } else {
+                    let mut sum = 0.0;
+                    let n = seen.len() as f64;
+                    for v in seen {
+                        match v {
+                            Value::Int(i) => sum += i as f64,
+                            Value::Float(x) => sum += x,
+                            other => {
+                                return Err(Error::type_err(format!(
+                                    "avg over non-numeric value {other}"
+                                )))
+                            }
+                        }
+                    }
+                    Value::Float(sum / n)
+                }
+            }
+            Accumulator::Min { acc } | Accumulator::Max { acc } => acc.unwrap_or(Value::Null),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(func: AggFunc, distinct: bool, with_arg: bool) -> AggSpec {
+        AggSpec {
+            func,
+            distinct,
+            arg: with_arg.then_some(PhysExpr::Column(0)),
+        }
+    }
+
+    fn run(spec: &AggSpec, values: &[Value]) -> Value {
+        let mut acc = create_accumulator(spec);
+        for v in values {
+            let t = Tuple::new(vec![v.clone()]);
+            acc.update(&t, Some(v)).unwrap();
+        }
+        acc.finish().unwrap()
+    }
+
+    #[test]
+    fn count_star_counts_rows_including_nulls() {
+        let mut acc = create_accumulator(&spec(AggFunc::Count, false, false));
+        for v in [Value::Int(1), Value::Null] {
+            acc.update(&Tuple::new(vec![v]), None).unwrap();
+        }
+        assert_eq!(acc.finish().unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn count_expr_skips_nulls() {
+        let v = run(
+            &spec(AggFunc::Count, false, true),
+            &[Value::Int(1), Value::Null, Value::Int(2)],
+        );
+        assert_eq!(v, Value::Int(2));
+    }
+
+    #[test]
+    fn count_distinct_rows_and_values() {
+        let mut acc = create_accumulator(&spec(AggFunc::Count, true, false));
+        for v in [1, 1, 2] {
+            acc.update(&Tuple::new(vec![Value::Int(v)]), None).unwrap();
+        }
+        assert_eq!(acc.finish().unwrap(), Value::Int(2));
+
+        let v = run(
+            &spec(AggFunc::Count, true, true),
+            &[Value::Int(1), Value::Int(1), Value::Null, Value::Int(3)],
+        );
+        assert_eq!(v, Value::Int(2));
+    }
+
+    #[test]
+    fn sum_and_sum_distinct() {
+        let vals = [Value::Int(1), Value::Int(1), Value::Int(2), Value::Null];
+        assert_eq!(run(&spec(AggFunc::Sum, false, true), &vals), Value::Int(4));
+        assert_eq!(run(&spec(AggFunc::Sum, true, true), &vals), Value::Int(3));
+        // Empty / all-NULL → NULL.
+        assert_eq!(run(&spec(AggFunc::Sum, false, true), &[]), Value::Null);
+        assert_eq!(
+            run(&spec(AggFunc::Sum, false, true), &[Value::Null]),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn avg_variants() {
+        let vals = [Value::Int(1), Value::Int(1), Value::Int(4)];
+        assert_eq!(run(&spec(AggFunc::Avg, false, true), &vals), Value::Float(2.0));
+        assert_eq!(run(&spec(AggFunc::Avg, true, true), &vals), Value::Float(2.5));
+        assert_eq!(run(&spec(AggFunc::Avg, false, true), &[]), Value::Null);
+    }
+
+    #[test]
+    fn min_max_ignore_nulls_and_distinct() {
+        let vals = [Value::Int(5), Value::Null, Value::Int(2), Value::Int(9)];
+        assert_eq!(run(&spec(AggFunc::Min, false, true), &vals), Value::Int(2));
+        assert_eq!(run(&spec(AggFunc::Max, false, true), &vals), Value::Int(9));
+        assert_eq!(run(&spec(AggFunc::Min, true, true), &vals), Value::Int(2));
+        assert_eq!(run(&spec(AggFunc::Min, false, true), &[]), Value::Null);
+    }
+
+    #[test]
+    fn mixed_numeric_sum() {
+        let vals = [Value::Int(1), Value::Float(2.5)];
+        assert_eq!(
+            run(&spec(AggFunc::Sum, false, true), &vals),
+            Value::Float(3.5)
+        );
+    }
+}

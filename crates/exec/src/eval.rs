@@ -1,0 +1,1210 @@
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bypass_types::{compare_tuples, Error, Relation, Result, SortKey, Truth, Tuple, Value};
+
+use crate::agg::{create_accumulator, Accumulator, AggSpec};
+use crate::expr::{eval_binop, in_membership, outer_value, value_truth, PhysExpr};
+use crate::node::{PhysKind, PhysNode};
+
+/// Execution options — these implement the evaluation-strategy knobs the
+/// benchmark harness uses to emulate the commercial systems of the
+/// paper's study (see DESIGN.md §1, row 8).
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Materialize uncorrelated (type A) subqueries once per query.
+    /// The paper (Section 3): "it suffices to materialize the computed
+    /// result".
+    pub memo_uncorrelated: bool,
+    /// Cache correlated subquery results keyed by the outer tuple's
+    /// correlation values ("magic" memoization; helps only when
+    /// correlation values repeat).
+    pub memo_correlated: bool,
+    /// Abort evaluation after this long (the paper aborted runs at six
+    /// hours and reports `n/a`).
+    pub timeout: Option<Duration>,
+    /// Refuse to materialize a single intermediate result larger than
+    /// this many rows (nested-loop and bypass joins can produce
+    /// |L|·|R| tuples). A clean error beats the OOM killer; `None`
+    /// disables the guard.
+    pub max_intermediate_rows: Option<usize>,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            memo_uncorrelated: true,
+            memo_correlated: false,
+            timeout: None,
+            max_intermediate_rows: Some(50_000_000),
+        }
+    }
+}
+
+/// Evaluate a physical plan with default options.
+pub fn evaluate(root: &Arc<PhysNode>) -> Result<Relation> {
+    evaluate_with(root, ExecOptions::default())
+}
+
+/// Evaluate a physical plan with explicit options.
+pub fn evaluate_with(root: &Arc<PhysNode>, options: ExecOptions) -> Result<Relation> {
+    let mut ctx = ExecContext::new(options);
+    let rel = ctx.eval_plan(root)?;
+    Ok(rel.as_ref().clone())
+}
+
+/// Mutable evaluation state: the correlation binding stack, the subquery
+/// caches and the timeout clock. One context lives for the duration of
+/// one top-level query.
+pub struct ExecContext {
+    options: ExecOptions,
+    /// Per-node runtime counters, keyed by node pointer; `None` unless
+    /// metric collection was requested.
+    metrics: Option<HashMap<usize, NodeMetrics>>,
+    /// Outer tuple bindings, outermost first; `PhysExpr::Outer { depth }`
+    /// indexes from the back.
+    outer: Vec<Tuple>,
+    /// Cache for uncorrelated subquery plans (pointer-keyed).
+    uncorr: HashMap<usize, Arc<Relation>>,
+    /// Cache for correlated subquery plans keyed by (plan, correlation
+    /// values).
+    corr: HashMap<(usize, Vec<Value>), Arc<Relation>>,
+    deadline: Option<Instant>,
+    ticks: u32,
+}
+
+/// Per-operator runtime counters collected when metrics are enabled
+/// (EXPLAIN ANALYZE). Time is inclusive of children.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NodeMetrics {
+    /// How many times the operator ran (> 1 inside correlated subplans).
+    pub calls: u64,
+    /// Total rows produced across all calls.
+    pub rows: u64,
+    /// Total inclusive wall time.
+    pub nanos: u128,
+}
+
+/// Output of a bypass operator: both streams.
+type Dual = (Arc<Relation>, Arc<Relation>);
+
+/// Per-plan-evaluation memo for bypass operators (fresh for the root and
+/// for every subquery invocation, because bypass results depend on the
+/// current outer bindings).
+type Local = HashMap<usize, Dual>;
+
+impl ExecContext {
+    pub fn new(options: ExecOptions) -> ExecContext {
+        ExecContext {
+            options,
+            metrics: None,
+            outer: Vec::new(),
+            uncorr: HashMap::new(),
+            corr: HashMap::new(),
+            deadline: options.timeout.map(|t| Instant::now() + t),
+            ticks: 0,
+        }
+    }
+
+    /// Enable per-operator metric collection (EXPLAIN ANALYZE).
+    pub fn with_metrics(mut self) -> ExecContext {
+        self.metrics = Some(HashMap::new());
+        self
+    }
+
+    /// The collected metrics, keyed by `Arc::as_ptr(node) as usize`.
+    pub fn take_metrics(&mut self) -> HashMap<usize, NodeMetrics> {
+        self.metrics.take().unwrap_or_default()
+    }
+
+    /// Cheap cancellation check, amortized over 4096 calls.
+    #[inline]
+    fn tick(&mut self) -> Result<()> {
+        self.ticks = self.ticks.wrapping_add(1);
+        if self.ticks.is_multiple_of(4096) {
+            if let Some(d) = self.deadline {
+                if Instant::now() > d {
+                    return Err(Error::execution("query timed out"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Enforce the intermediate-size guard on a growing buffer.
+    #[inline]
+    fn check_size(&self, rows: usize) -> Result<()> {
+        match self.options.max_intermediate_rows {
+            Some(cap) if rows > cap => Err(Error::execution(format!(
+                "intermediate result exceeds {cap} rows (max_intermediate_rows)"
+            ))),
+            _ => Ok(()),
+        }
+    }
+
+    /// Evaluate a plan root (fresh bypass memo).
+    pub fn eval_plan(&mut self, node: &Arc<PhysNode>) -> Result<Arc<Relation>> {
+        let mut local = Local::new();
+        self.eval_node(node, &mut local)
+    }
+
+    fn eval_node(&mut self, node: &Arc<PhysNode>, local: &mut Local) -> Result<Arc<Relation>> {
+        if self.metrics.is_none() {
+            return self.eval_node_inner(node, local);
+        }
+        let start = Instant::now();
+        let result = self.eval_node_inner(node, local);
+        let elapsed = start.elapsed().as_nanos();
+        if let (Some(metrics), Ok(rel)) = (self.metrics.as_mut(), &result) {
+            let m = metrics
+                .entry(Arc::as_ptr(node) as usize)
+                .or_default();
+            m.calls += 1;
+            m.rows += rel.len() as u64;
+            m.nanos += elapsed;
+        }
+        result
+    }
+
+    fn eval_node_inner(
+        &mut self,
+        node: &Arc<PhysNode>,
+        local: &mut Local,
+    ) -> Result<Arc<Relation>> {
+        let schema = node.schema.clone();
+        let rel = match &node.kind {
+            PhysKind::Scan { data } => return Ok(data.clone()),
+            PhysKind::Filter { input, predicate } => {
+                let input = self.eval_node(input, local)?;
+                let mut out = Vec::new();
+                for t in input.rows() {
+                    self.tick()?;
+                    if self.eval_truth(predicate, t)?.is_true() {
+                        out.push(t.clone());
+                    }
+                }
+                Relation::new(schema, out)
+            }
+            PhysKind::Project { input, exprs } => {
+                let input = self.eval_node(input, local)?;
+                let mut out = Vec::with_capacity(input.len());
+                for t in input.rows() {
+                    self.tick()?;
+                    let mut vals = Vec::with_capacity(exprs.len());
+                    for e in exprs {
+                        vals.push(self.eval_expr(e, t)?);
+                    }
+                    out.push(Tuple::new(vals));
+                }
+                Relation::new(schema, out)
+            }
+            PhysKind::NLJoin {
+                left,
+                right,
+                predicate,
+            } => {
+                let l = self.eval_node(left, local)?;
+                let r = self.eval_node(right, local)?;
+                let mut out = Vec::new();
+                for lt in l.rows() {
+                    self.check_size(out.len())?;
+                    for rt in r.rows() {
+                        self.tick()?;
+                        let joined = lt.concat(rt);
+                        match predicate {
+                            None => out.push(joined),
+                            Some(p) => {
+                                if self.eval_truth(p, &joined)?.is_true() {
+                                    out.push(joined);
+                                }
+                            }
+                        }
+                    }
+                }
+                Relation::new(schema, out)
+            }
+            PhysKind::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                residual,
+            } => {
+                let l = self.eval_node(left, local)?;
+                let r = self.eval_node(right, local)?;
+                let table = self.build_hash_table(&r, right_keys)?;
+                let mut out = Vec::new();
+                for lt in l.rows() {
+                    self.tick()?;
+                    let Some(key) = self.eval_key(left_keys, lt)? else {
+                        continue; // NULL keys never match
+                    };
+                    if let Some(matches) = table.get(&key) {
+                        for &ri in matches {
+                            let joined = lt.concat(&r.rows()[ri]);
+                            if let Some(p) = residual {
+                                if !self.eval_truth(p, &joined)?.is_true() {
+                                    continue;
+                                }
+                            }
+                            out.push(joined);
+                        }
+                    }
+                }
+                Relation::new(schema, out)
+            }
+            PhysKind::HashOuterJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                residual,
+                defaults,
+            } => {
+                let l = self.eval_node(left, local)?;
+                let r = self.eval_node(right, local)?;
+                let table = self.build_hash_table(&r, right_keys)?;
+                let pad = padded_right(r.schema().arity(), defaults);
+                let mut out = Vec::new();
+                for lt in l.rows() {
+                    self.tick()?;
+                    let mut matched = false;
+                    if let Some(key) = self.eval_key(left_keys, lt)? {
+                        if let Some(matches) = table.get(&key) {
+                            for &ri in matches {
+                                let joined = lt.concat(&r.rows()[ri]);
+                                if let Some(p) = residual {
+                                    if !self.eval_truth(p, &joined)?.is_true() {
+                                        continue;
+                                    }
+                                }
+                                matched = true;
+                                out.push(joined);
+                            }
+                        }
+                    }
+                    if !matched {
+                        out.push(lt.concat(&pad));
+                    }
+                }
+                Relation::new(schema, out)
+            }
+            PhysKind::NLOuterJoin {
+                left,
+                right,
+                predicate,
+                defaults,
+            } => {
+                let l = self.eval_node(left, local)?;
+                let r = self.eval_node(right, local)?;
+                let pad = padded_right(r.schema().arity(), defaults);
+                let mut out = Vec::new();
+                for lt in l.rows() {
+                    let mut matched = false;
+                    for rt in r.rows() {
+                        self.tick()?;
+                        let joined = lt.concat(rt);
+                        if self.eval_truth(predicate, &joined)?.is_true() {
+                            matched = true;
+                            out.push(joined);
+                        }
+                    }
+                    if !matched {
+                        out.push(lt.concat(&pad));
+                    }
+                }
+                Relation::new(schema, out)
+            }
+            PhysKind::HashAggregate { input, keys, aggs } => {
+                let input = self.eval_node(input, local)?;
+                self.hash_aggregate(&input, keys, aggs, schema)?
+            }
+            PhysKind::BinaryGroupEq {
+                left,
+                right,
+                left_key,
+                right_key,
+                agg,
+            } => {
+                let l = self.eval_node(left, local)?;
+                let r = self.eval_node(right, local)?;
+                // Aggregate the right side per distinct key, once.
+                let mut groups: HashMap<Value, Accumulator> = HashMap::new();
+                for rt in r.rows() {
+                    self.tick()?;
+                    let k = self.eval_expr(right_key, rt)?;
+                    if k.is_null() {
+                        continue; // θ over NULL never matches
+                    }
+                    let acc = groups
+                        .entry(k)
+                        .or_insert_with(|| create_accumulator(agg));
+                    let v = match &agg.arg {
+                        Some(a) => Some(self.eval_expr(a, rt)?),
+                        None => None,
+                    };
+                    acc.update(rt, v.as_ref())?;
+                }
+                let finished: HashMap<Value, Value> = groups
+                    .into_iter()
+                    .map(|(k, acc)| Ok((k, acc.finish()?)))
+                    .collect::<Result<_>>()?;
+                let empty = create_accumulator(agg).finish()?;
+                let mut out = Vec::with_capacity(l.len());
+                for lt in l.rows() {
+                    self.tick()?;
+                    let k = self.eval_expr(left_key, lt)?;
+                    let g = if k.is_null() {
+                        empty.clone()
+                    } else {
+                        finished.get(&k).cloned().unwrap_or_else(|| empty.clone())
+                    };
+                    out.push(lt.extended(g));
+                }
+                Relation::new(schema, out)
+            }
+            PhysKind::BinaryGroupTheta {
+                left,
+                right,
+                left_key,
+                right_key,
+                cmp,
+                agg,
+            } => {
+                let l = self.eval_node(left, local)?;
+                let r = self.eval_node(right, local)?;
+                let right_kv: Vec<(Value, &Tuple)> = r
+                    .rows()
+                    .iter()
+                    .map(|rt| Ok((self.eval_expr(right_key, rt)?, rt)))
+                    .collect::<Result<_>>()?;
+                let mut out = Vec::with_capacity(l.len());
+                for lt in l.rows() {
+                    let lk = self.eval_expr(left_key, lt)?;
+                    let mut acc = create_accumulator(agg);
+                    for (rk, rt) in &right_kv {
+                        self.tick()?;
+                        if value_truth(&eval_binop(*cmp, &lk, rk)?).is_true() {
+                            let v = match &agg.arg {
+                                Some(a) => Some(self.eval_expr(a, rt)?),
+                                None => None,
+                            };
+                            acc.update(rt, v.as_ref())?;
+                        }
+                    }
+                    out.push(lt.extended(acc.finish()?));
+                }
+                Relation::new(schema, out)
+            }
+            PhysKind::Map { input, expr } => {
+                let input = self.eval_node(input, local)?;
+                let mut out = Vec::with_capacity(input.len());
+                for t in input.rows() {
+                    self.tick()?;
+                    let v = self.eval_expr(expr, t)?;
+                    out.push(t.extended(v));
+                }
+                Relation::new(schema, out)
+            }
+            PhysKind::Numbering { input } => {
+                let input = self.eval_node(input, local)?;
+                let out = input
+                    .rows()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| t.extended(Value::Int(i as i64)))
+                    .collect();
+                Relation::new(schema, out)
+            }
+            PhysKind::Distinct { input } => {
+                let input = self.eval_node(input, local)?;
+                Relation::new(schema, input.rows().to_vec()).distinct()
+            }
+            PhysKind::Sort { input, keys } => {
+                let input = self.eval_node(input, local)?;
+                // Evaluate sort keys once per row, then argsort.
+                let mut decorated: Vec<(Tuple, Tuple)> = Vec::with_capacity(input.len());
+                for t in input.rows() {
+                    self.tick()?;
+                    let mut kv = Vec::with_capacity(keys.len());
+                    for (e, _) in keys {
+                        kv.push(self.eval_expr(e, t)?);
+                    }
+                    decorated.push((Tuple::new(kv), t.clone()));
+                }
+                let spec: Vec<SortKey> = keys
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (_, desc))| {
+                        if *desc {
+                            SortKey::desc(i)
+                        } else {
+                            SortKey::asc(i)
+                        }
+                    })
+                    .collect();
+                decorated.sort_by(|a, b| compare_tuples(&a.0, &b.0, &spec));
+                Relation::new(schema, decorated.into_iter().map(|(_, t)| t).collect())
+            }
+            PhysKind::Limit { input, n } => {
+                let input = self.eval_node(input, local)?;
+                Relation::new(schema, input.rows().iter().take(*n).cloned().collect())
+            }
+            PhysKind::Alias { input } => {
+                let input = self.eval_node(input, local)?;
+                Relation::new(schema, input.rows().to_vec())
+            }
+            PhysKind::UnionAll { left, right } => {
+                let l = self.eval_node(left, local)?;
+                let r = self.eval_node(right, local)?;
+                let mut rows = l.rows().to_vec();
+                rows.extend_from_slice(r.rows());
+                Relation::new(schema, rows)
+            }
+            PhysKind::BypassFilter { .. } | PhysKind::BypassNLJoin { .. } => {
+                return Err(Error::execution(
+                    "bypass operators must be consumed through Stream nodes",
+                ))
+            }
+            PhysKind::Stream { source, positive } => {
+                let (pos, neg) = self.eval_bypass(source, local)?;
+                return Ok(if *positive { pos } else { neg });
+            }
+        };
+        Ok(Arc::new(rel))
+    }
+
+    /// Evaluate a bypass operator once per plan evaluation; both streams
+    /// are memoized so the second Stream consumer gets the cached half.
+    fn eval_bypass(&mut self, source: &Arc<PhysNode>, local: &mut Local) -> Result<Dual> {
+        let ptr = Arc::as_ptr(source) as usize;
+        if let Some(d) = local.get(&ptr) {
+            return Ok(d.clone());
+        }
+        let schema = source.schema.clone();
+        let dual: Dual = match &source.kind {
+            PhysKind::BypassFilter { input, predicate } => {
+                let input = self.eval_node(input, local)?;
+                let mut pos = Vec::new();
+                let mut neg = Vec::new();
+                for t in input.rows() {
+                    self.tick()?;
+                    if self.eval_truth(predicate, t)?.is_true() {
+                        pos.push(t.clone());
+                    } else {
+                        neg.push(t.clone());
+                    }
+                }
+                (
+                    Arc::new(Relation::new(schema.clone(), pos)),
+                    Arc::new(Relation::new(schema, neg)),
+                )
+            }
+            PhysKind::BypassNLJoin {
+                left,
+                right,
+                predicate,
+                neg_filter,
+            } => {
+                let l = self.eval_node(left, local)?;
+                let r = self.eval_node(right, local)?;
+                let mut pos = Vec::new();
+                let mut neg = Vec::new();
+                for lt in l.rows() {
+                    self.check_size(pos.len().max(neg.len()))?;
+                    for rt in r.rows() {
+                        self.tick()?;
+                        let joined = lt.concat(rt);
+                        if self.eval_truth(predicate, &joined)?.is_true() {
+                            pos.push(joined);
+                        } else {
+                            match neg_filter {
+                                None => neg.push(joined),
+                                Some(f) => {
+                                    if self.eval_truth(f, &joined)?.is_true() {
+                                        neg.push(joined);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                (
+                    Arc::new(Relation::new(schema.clone(), pos)),
+                    Arc::new(Relation::new(schema, neg)),
+                )
+            }
+            _ => {
+                return Err(Error::execution(
+                    "Stream node must point at a bypass operator",
+                ))
+            }
+        };
+        local.insert(ptr, dual.clone());
+        Ok(dual)
+    }
+
+    fn hash_aggregate(
+        &mut self,
+        input: &Relation,
+        keys: &[PhysExpr],
+        aggs: &[AggSpec],
+        schema: bypass_types::Schema,
+    ) -> Result<Relation> {
+        if keys.is_empty() {
+            // Scalar aggregation: exactly one output row, even for empty
+            // input (f(∅)).
+            let mut accs: Vec<Accumulator> = aggs.iter().map(create_accumulator).collect();
+            for t in input.rows() {
+                self.tick()?;
+                for (acc, spec) in accs.iter_mut().zip(aggs) {
+                    let v = match &spec.arg {
+                        Some(a) => Some(self.eval_expr(a, t)?),
+                        None => None,
+                    };
+                    acc.update(t, v.as_ref())?;
+                }
+            }
+            let vals = accs
+                .into_iter()
+                .map(|a| a.finish())
+                .collect::<Result<Vec<_>>>()?;
+            return Ok(Relation::new(schema, vec![Tuple::new(vals)]));
+        }
+        // Grouped aggregation; group order = first appearance
+        // (deterministic output).
+        let mut order: Vec<Vec<Value>> = Vec::new();
+        let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
+        for t in input.rows() {
+            self.tick()?;
+            let mut key = Vec::with_capacity(keys.len());
+            for k in keys {
+                key.push(self.eval_expr(k, t)?);
+            }
+            let accs = match groups.get_mut(&key) {
+                Some(a) => a,
+                None => {
+                    order.push(key.clone());
+                    groups
+                        .entry(key)
+                        .or_insert_with(|| aggs.iter().map(create_accumulator).collect())
+                }
+            };
+            for (acc, spec) in accs.iter_mut().zip(aggs) {
+                let v = match &spec.arg {
+                    Some(a) => Some(self.eval_expr(a, t)?),
+                    None => None,
+                };
+                acc.update(t, v.as_ref())?;
+            }
+        }
+        let mut out = Vec::with_capacity(order.len());
+        for key in order {
+            let accs = groups.remove(&key).expect("group exists");
+            let mut vals = key;
+            for a in accs {
+                vals.push(a.finish()?);
+            }
+            out.push(Tuple::new(vals));
+        }
+        Ok(Relation::new(schema, out))
+    }
+
+    fn build_hash_table(
+        &mut self,
+        rel: &Relation,
+        keys: &[PhysExpr],
+    ) -> Result<HashMap<Vec<Value>, Vec<usize>>> {
+        let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(rel.len());
+        for (i, t) in rel.rows().iter().enumerate() {
+            self.tick()?;
+            if let Some(key) = self.eval_key(keys, t)? {
+                table.entry(key).or_default().push(i);
+            }
+        }
+        Ok(table)
+    }
+
+    /// Evaluate join keys; `None` when any key is NULL (never matches).
+    fn eval_key(&mut self, keys: &[PhysExpr], t: &Tuple) -> Result<Option<Vec<Value>>> {
+        let mut out = Vec::with_capacity(keys.len());
+        for k in keys {
+            let v = self.eval_expr(k, t)?;
+            if v.is_null() {
+                return Ok(None);
+            }
+            out.push(v);
+        }
+        Ok(Some(out))
+    }
+
+    // ----- expression evaluation ---------------------------------------
+
+    pub fn eval_truth(&mut self, e: &PhysExpr, t: &Tuple) -> Result<Truth> {
+        Ok(value_truth(&self.eval_expr(e, t)?))
+    }
+
+    pub fn eval_expr(&mut self, e: &PhysExpr, t: &Tuple) -> Result<Value> {
+        Ok(match e {
+            PhysExpr::Column(i) => t
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| Error::execution(format!("column #{i} out of range")))?,
+            PhysExpr::Outer { depth, index } => outer_value(&self.outer, *depth, *index)?,
+            PhysExpr::Literal(v) => v.clone(),
+            PhysExpr::Binary { op, left, right } => {
+                // Short-circuit AND/OR (3-valued: TRUE∨x = TRUE, FALSE∧x
+                // = FALSE) — this is what makes cheap-disjunct-first
+                // orderings pay off in canonical plans.
+                match op {
+                    bypass_algebra::BinOp::Or => {
+                        let l = self.eval_expr(left, t)?;
+                        if value_truth(&l) == Truth::True {
+                            return Ok(Value::Bool(true));
+                        }
+                        let r = self.eval_expr(right, t)?;
+                        value_truth(&l).or(value_truth(&r)).to_value()
+                    }
+                    bypass_algebra::BinOp::And => {
+                        let l = self.eval_expr(left, t)?;
+                        if value_truth(&l) == Truth::False {
+                            return Ok(Value::Bool(false));
+                        }
+                        let r = self.eval_expr(right, t)?;
+                        value_truth(&l).and(value_truth(&r)).to_value()
+                    }
+                    _ => {
+                        let l = self.eval_expr(left, t)?;
+                        let r = self.eval_expr(right, t)?;
+                        eval_binop(*op, &l, &r)?
+                    }
+                }
+            }
+            PhysExpr::Not(x) => value_truth(&self.eval_expr(x, t)?).not().to_value(),
+            PhysExpr::Neg(x) => self.eval_expr(x, t)?.neg()?,
+            PhysExpr::IsNull { negated, expr } => {
+                let is_null = self.eval_expr(expr, t)?.is_null();
+                Value::Bool(is_null != *negated)
+            }
+            PhysExpr::Like {
+                negated,
+                expr,
+                pattern,
+            } => {
+                let v = self.eval_expr(expr, t)?;
+                let p = self.eval_expr(pattern, t)?;
+                let truth = v.sql_like(&p)?;
+                if *negated {
+                    truth.not().to_value()
+                } else {
+                    truth.to_value()
+                }
+            }
+            PhysExpr::InList {
+                negated,
+                expr,
+                list,
+            } => {
+                let needle = self.eval_expr(expr, t)?;
+                let mut vals = Vec::with_capacity(list.len());
+                for item in list {
+                    vals.push(self.eval_expr(item, t)?);
+                }
+                let truth = in_membership(&needle, vals.iter());
+                if *negated {
+                    truth.not().to_value()
+                } else {
+                    truth.to_value()
+                }
+            }
+            PhysExpr::Subquery {
+                plan,
+                correlated,
+                outer_keys,
+            } => {
+                let rel = self.eval_subquery(plan, *correlated, outer_keys, t)?;
+                match rel.len() {
+                    0 => Value::Null,
+                    1 => rel.rows()[0]
+                        .get(0)
+                        .cloned()
+                        .ok_or_else(|| Error::execution("scalar subquery with no column"))?,
+                    n => {
+                        return Err(Error::execution(format!(
+                            "scalar subquery returned {n} rows"
+                        )))
+                    }
+                }
+            }
+            PhysExpr::Exists {
+                negated,
+                plan,
+                correlated,
+                outer_keys,
+            } => {
+                let rel = self.eval_subquery(plan, *correlated, outer_keys, t)?;
+                Value::Bool(rel.is_empty() == *negated)
+            }
+            PhysExpr::InSubquery {
+                negated,
+                expr,
+                plan,
+                correlated,
+                outer_keys,
+            } => {
+                let needle = self.eval_expr(expr, t)?;
+                let rel = self.eval_subquery(plan, *correlated, outer_keys, t)?;
+                let truth = in_membership(&needle, rel.rows().iter().map(|r| &r[0]));
+                if *negated {
+                    truth.not().to_value()
+                } else {
+                    truth.to_value()
+                }
+            }
+            PhysExpr::QuantifiedCmp {
+                op,
+                all,
+                expr,
+                plan,
+                correlated,
+                outer_keys,
+            } => {
+                // SQL semantics: `x θ ALL(S)` is the conjunction of
+                // `x θ y` over S (TRUE over ∅), `x θ ANY(S)` the
+                // disjunction (FALSE over ∅), both in 3-valued logic.
+                let x = self.eval_expr(expr, t)?;
+                let rel = self.eval_subquery(plan, *correlated, outer_keys, t)?;
+                let mut acc = if *all { Truth::True } else { Truth::False };
+                for row in rel.rows() {
+                    let cmp = value_truth(&eval_binop(*op, &x, &row[0])?);
+                    acc = if *all { acc.and(cmp) } else { acc.or(cmp) };
+                    // Short-circuit on the absorbing element.
+                    if (*all && acc == Truth::False) || (!*all && acc == Truth::True) {
+                        break;
+                    }
+                }
+                acc.to_value()
+            }
+        })
+    }
+
+    /// Evaluate a nested plan for the current tuple, honoring the memo
+    /// options. The current tuple is pushed onto the binding stack so
+    /// `Outer { depth: 1 }` references inside the subplan see it.
+    fn eval_subquery(
+        &mut self,
+        plan: &Arc<PhysNode>,
+        correlated: bool,
+        outer_keys: &[usize],
+        t: &Tuple,
+    ) -> Result<Arc<Relation>> {
+        let ptr = Arc::as_ptr(plan) as usize;
+        if !correlated && self.options.memo_uncorrelated {
+            if let Some(r) = self.uncorr.get(&ptr) {
+                return Ok(r.clone());
+            }
+            let r = self.run_nested(plan, t)?;
+            self.uncorr.insert(ptr, r.clone());
+            return Ok(r);
+        }
+        if correlated && self.options.memo_correlated && !outer_keys.is_empty() {
+            let key = (ptr, t.key(outer_keys));
+            if let Some(r) = self.corr.get(&key) {
+                return Ok(r.clone());
+            }
+            let r = self.run_nested(plan, t)?;
+            self.corr.insert(key, r.clone());
+            return Ok(r);
+        }
+        self.run_nested(plan, t)
+    }
+
+    fn run_nested(&mut self, plan: &Arc<PhysNode>, t: &Tuple) -> Result<Arc<Relation>> {
+        self.outer.push(t.clone());
+        let result = self.eval_plan(plan);
+        self.outer.pop();
+        result
+    }
+}
+
+/// The padded right-hand tuple for unmatched outer-join rows: NULLs with
+/// the `g: f(∅)` defaults applied.
+fn padded_right(arity: usize, defaults: &[(usize, Value)]) -> Tuple {
+    let mut vals = vec![Value::Null; arity];
+    for (i, v) in defaults {
+        vals[*i] = v.clone();
+    }
+    Tuple::new(vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bypass_algebra::{AggFunc, BinOp};
+    use bypass_types::{DataType, Field, Schema};
+
+    fn int_rel(name: &str, cols: &[&str], rows: &[&[i64]]) -> Arc<PhysNode> {
+        let schema = Schema::new(
+            cols.iter()
+                .map(|c| Field::qualified(name, *c, DataType::Int))
+                .collect(),
+        );
+        let rel = Relation::new(
+            schema.clone(),
+            rows.iter()
+                .map(|r| r.iter().map(|&v| Value::Int(v)).collect())
+                .collect(),
+        );
+        PhysNode::new(
+            PhysKind::Scan {
+                data: Arc::new(rel),
+            },
+            schema,
+        )
+    }
+
+    fn run(node: &Arc<PhysNode>) -> Relation {
+        evaluate(node).unwrap()
+    }
+
+    #[test]
+    fn filter_and_project() {
+        let scan = int_rel("r", &["a", "b"], &[&[1, 10], &[2, 20], &[3, 30]]);
+        let filter = PhysNode::new(
+            PhysKind::Filter {
+                input: scan,
+                predicate: PhysExpr::Binary {
+                    op: BinOp::Gt,
+                    left: Box::new(PhysExpr::Column(0)),
+                    right: Box::new(PhysExpr::Literal(Value::Int(1))),
+                },
+            },
+            Schema::new(vec![
+                Field::new("a", DataType::Int),
+                Field::new("b", DataType::Int),
+            ]),
+        );
+        let project = PhysNode::new(
+            PhysKind::Project {
+                input: filter,
+                exprs: vec![PhysExpr::Column(1)],
+            },
+            Schema::new(vec![Field::new("b", DataType::Int)]),
+        );
+        let out = run(&project);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.rows()[0][0], Value::Int(20));
+    }
+
+    #[test]
+    fn hash_join_matches_nl_join() {
+        let l = int_rel("l", &["a"], &[&[1], &[2], &[2], &[5]]);
+        let r = int_rel("r", &["b"], &[&[2], &[2], &[5], &[7]]);
+        let out_schema = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Int),
+        ]);
+        let hash = PhysNode::new(
+            PhysKind::HashJoin {
+                left: l.clone(),
+                right: r.clone(),
+                left_keys: vec![PhysExpr::Column(0)],
+                right_keys: vec![PhysExpr::Column(0)],
+                residual: None,
+            },
+            out_schema.clone(),
+        );
+        let nl = PhysNode::new(
+            PhysKind::NLJoin {
+                left: l,
+                right: r,
+                predicate: Some(PhysExpr::Binary {
+                    op: BinOp::Eq,
+                    left: Box::new(PhysExpr::Column(0)),
+                    right: Box::new(PhysExpr::Column(1)),
+                }),
+            },
+            out_schema,
+        );
+        let (h, n) = (run(&hash), run(&nl));
+        assert_eq!(h.len(), 5); // 2×2 matches + 1
+        assert!(h.bag_eq(&n));
+    }
+
+    #[test]
+    fn outer_join_defaults_fix_count_bug() {
+        let l = int_rel("l", &["a"], &[&[1], &[9]]);
+        let r = int_rel("r", &["k", "g"], &[&[1, 42]]);
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("k", DataType::Int),
+            Field::new("g", DataType::Int),
+        ]);
+        let oj = PhysNode::new(
+            PhysKind::HashOuterJoin {
+                left: l,
+                right: r,
+                left_keys: vec![PhysExpr::Column(0)],
+                right_keys: vec![PhysExpr::Column(0)],
+                residual: None,
+                defaults: vec![(1, Value::Int(0))],
+            },
+            schema,
+        );
+        let out = run(&oj);
+        assert_eq!(out.len(), 2);
+        // Matched row keeps its g; unmatched gets NULL key and default 0
+        // in column g (index 1 of the right side → overall index 2).
+        let unmatched = out
+            .rows()
+            .iter()
+            .find(|t| t[0] == Value::Int(9))
+            .unwrap();
+        assert!(unmatched[1].is_null());
+        assert_eq!(unmatched[2], Value::Int(0));
+    }
+
+    #[test]
+    fn scalar_aggregate_on_empty_input() {
+        let empty = int_rel("e", &["x"], &[]);
+        let schema = Schema::new(vec![
+            Field::new("c", DataType::Int),
+            Field::new("s", DataType::Int),
+        ]);
+        let agg = PhysNode::new(
+            PhysKind::HashAggregate {
+                input: empty,
+                keys: vec![],
+                aggs: vec![
+                    AggSpec {
+                        func: AggFunc::Count,
+                        distinct: false,
+                        arg: None,
+                    },
+                    AggSpec {
+                        func: AggFunc::Sum,
+                        distinct: false,
+                        arg: Some(PhysExpr::Column(0)),
+                    },
+                ],
+            },
+            schema,
+        );
+        let out = run(&agg);
+        assert_eq!(out.len(), 1, "scalar agg always yields one row");
+        assert_eq!(out.rows()[0][0], Value::Int(0));
+        assert!(out.rows()[0][1].is_null());
+    }
+
+    #[test]
+    fn grouped_aggregate() {
+        let scan = int_rel("r", &["k", "v"], &[&[1, 10], &[2, 20], &[1, 30]]);
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("s", DataType::Int),
+        ]);
+        let agg = PhysNode::new(
+            PhysKind::HashAggregate {
+                input: scan,
+                keys: vec![PhysExpr::Column(0)],
+                aggs: vec![AggSpec {
+                    func: AggFunc::Sum,
+                    distinct: false,
+                    arg: Some(PhysExpr::Column(1)),
+                }],
+            },
+            schema,
+        );
+        let out = run(&agg);
+        assert_eq!(out.len(), 2);
+        // First-appearance order: key 1 first.
+        assert_eq!(out.rows()[0].values(), &[Value::Int(1), Value::Int(40)]);
+        assert_eq!(out.rows()[1].values(), &[Value::Int(2), Value::Int(20)]);
+    }
+
+    #[test]
+    fn binary_group_eq_handles_empty_groups() {
+        let l = int_rel("l", &["a"], &[&[1], &[3]]);
+        let r = int_rel("r", &["b"], &[&[1], &[1]]);
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("g", DataType::Int),
+        ]);
+        let bg = PhysNode::new(
+            PhysKind::BinaryGroupEq {
+                left: l,
+                right: r,
+                left_key: PhysExpr::Column(0),
+                right_key: PhysExpr::Column(0),
+                agg: AggSpec {
+                    func: AggFunc::Count,
+                    distinct: false,
+                    arg: None,
+                },
+            },
+            schema,
+        );
+        let out = run(&bg);
+        assert_eq!(out.rows()[0].values(), &[Value::Int(1), Value::Int(2)]);
+        assert_eq!(
+            out.rows()[1].values(),
+            &[Value::Int(3), Value::Int(0)],
+            "empty group gets f(∅) = 0 — no count bug"
+        );
+    }
+
+    #[test]
+    fn binary_group_theta_less_than() {
+        let l = int_rel("l", &["a"], &[&[1], &[2], &[3]]);
+        let r = int_rel("r", &["b"], &[&[1], &[2], &[3]]);
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("n", DataType::Int),
+        ]);
+        let bg = PhysNode::new(
+            PhysKind::BinaryGroupTheta {
+                left: l,
+                right: r,
+                left_key: PhysExpr::Column(0),
+                right_key: PhysExpr::Column(0),
+                cmp: BinOp::Gt, // count right values with a > b
+                agg: AggSpec {
+                    func: AggFunc::Count,
+                    distinct: false,
+                    arg: None,
+                },
+            },
+            schema,
+        );
+        let out = run(&bg);
+        let counts: Vec<i64> = out
+            .rows()
+            .iter()
+            .map(|t| match t[1] {
+                Value::Int(i) => i,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(counts, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn bypass_filter_partitions_and_is_evaluated_once() {
+        let scan = int_rel("r", &["a"], &[&[1], &[2], &[3], &[4]]);
+        let schema = scan.schema.clone();
+        let bypass = PhysNode::new(
+            PhysKind::BypassFilter {
+                input: scan,
+                predicate: PhysExpr::Binary {
+                    op: BinOp::Gt,
+                    left: Box::new(PhysExpr::Column(0)),
+                    right: Box::new(PhysExpr::Literal(Value::Int(2))),
+                },
+            },
+            schema.clone(),
+        );
+        let pos = PhysNode::new(
+            PhysKind::Stream {
+                source: bypass.clone(),
+                positive: true,
+            },
+            schema.clone(),
+        );
+        let neg = PhysNode::new(
+            PhysKind::Stream {
+                source: bypass,
+                positive: false,
+            },
+            schema.clone(),
+        );
+        let union = PhysNode::new(PhysKind::UnionAll { left: pos, right: neg }, schema);
+        let out = run(&union);
+        assert_eq!(out.len(), 4, "partition: no tuple lost or duplicated");
+    }
+
+    #[test]
+    fn bypass_join_with_fused_neg_filter() {
+        let l = int_rel("l", &["a"], &[&[1], &[2]]);
+        let r = int_rel("r", &["b", "c"], &[&[1, 100], &[9, 2000]]);
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Int),
+            Field::new("c", DataType::Int),
+        ]);
+        let bj = PhysNode::new(
+            PhysKind::BypassNLJoin {
+                left: l,
+                right: r,
+                predicate: PhysExpr::Binary {
+                    op: BinOp::Eq,
+                    left: Box::new(PhysExpr::Column(0)),
+                    right: Box::new(PhysExpr::Column(1)),
+                },
+                neg_filter: Some(PhysExpr::Binary {
+                    op: BinOp::Gt,
+                    left: Box::new(PhysExpr::Column(2)),
+                    right: Box::new(PhysExpr::Literal(Value::Int(1500))),
+                }),
+            },
+            schema.clone(),
+        );
+        let pos = PhysNode::new(
+            PhysKind::Stream {
+                source: bj.clone(),
+                positive: true,
+            },
+            schema.clone(),
+        );
+        let neg = PhysNode::new(
+            PhysKind::Stream {
+                source: bj,
+                positive: false,
+            },
+            schema,
+        );
+        let p = run(&pos);
+        let n = run(&neg);
+        assert_eq!(p.len(), 1, "one equality match");
+        // Negative pairs: (1,9),(2,1),(2,9); only c>1500 survive: (1,9),(2,9).
+        assert_eq!(n.len(), 2);
+    }
+
+    #[test]
+    fn timeout_fires() {
+        // A 300×300×300 triple nested-loop with a tiny timeout.
+        let a = int_rel("a", &["x"], &(0..300).map(|i| vec![i]).collect::<Vec<_>>()
+            .iter().map(|v| v.as_slice()).collect::<Vec<_>>());
+        let b = a.clone();
+        let schema2 = Schema::new(vec![
+            Field::new("x", DataType::Int),
+            Field::new("y", DataType::Int),
+        ]);
+        let j1 = PhysNode::new(
+            PhysKind::NLJoin {
+                left: a.clone(),
+                right: b.clone(),
+                predicate: None,
+            },
+            schema2.clone(),
+        );
+        let schema3 = schema2.extended(Field::new("z", DataType::Int));
+        let j2 = PhysNode::new(
+            PhysKind::NLJoin {
+                left: j1,
+                right: a,
+                predicate: None,
+            },
+            schema3,
+        );
+        let err = evaluate_with(
+            &j2,
+            ExecOptions {
+                timeout: Some(Duration::from_millis(5)),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("timed out"), "{err}");
+    }
+}

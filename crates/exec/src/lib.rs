@@ -1,0 +1,28 @@
+//! Physical planning and execution for the bypass query engine.
+//!
+//! The executor is **operator-at-a-time**: each physical operator
+//! materializes its full output [`bypass_types::Relation`]. This is the
+//! simplest model that handles DAG-structured plans correctly — a bypass
+//! operator produces *two* materialized streams which are memoized so a
+//! shared node is evaluated exactly once per plan evaluation — and it
+//! preserves the asymptotic behaviour the paper measures (nested-loop
+//! canonical plans vs hash-based unnested plans).
+//!
+//! Nested query blocks embedded in selection predicates are evaluated by
+//! the expression interpreter: for every outer tuple, the subquery's
+//! physical plan runs with the outer tuple pushed onto a binding stack
+//! (the paper's "nested-loop evaluation"). Two optional caches emulate
+//! smarter nested evaluation: a materialization cache for uncorrelated
+//! (type A) subqueries and a memo keyed by correlation values.
+
+mod agg;
+mod eval;
+mod expr;
+mod node;
+mod plan;
+
+pub use agg::{create_accumulator, Accumulator, AggSpec};
+pub use eval::{evaluate, evaluate_with, ExecContext, ExecOptions, NodeMetrics};
+pub use expr::{value_truth, PhysExpr};
+pub use node::{PhysKind, PhysNode};
+pub use plan::{physical_plan, physical_plan_with, PlanOptions, Resolver};

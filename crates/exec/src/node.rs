@@ -1,0 +1,396 @@
+use std::sync::Arc;
+
+use bypass_algebra::BinOp;
+use bypass_types::{Relation, Schema, Value};
+
+use crate::agg::AggSpec;
+use crate::expr::PhysExpr;
+
+/// A physical plan node: an operator kind plus its (pre-computed) output
+/// schema. Children are `Arc`-shared; bypass operators are shared by two
+/// [`PhysKind::Stream`] consumers, exactly mirroring the logical DAG.
+#[derive(Debug)]
+pub struct PhysNode {
+    pub kind: PhysKind,
+    pub schema: Schema,
+}
+
+impl PhysNode {
+    pub fn new(kind: PhysKind, schema: Schema) -> Arc<PhysNode> {
+        Arc::new(PhysNode { kind, schema })
+    }
+}
+
+/// Physical operator kinds.
+#[derive(Debug)]
+pub enum PhysKind {
+    /// Base-table scan over shared storage (zero-copy).
+    Scan { data: Arc<Relation> },
+    /// σ_p — keeps tuples whose predicate is TRUE (3-valued logic).
+    Filter {
+        input: Arc<PhysNode>,
+        predicate: PhysExpr,
+    },
+    /// Π — evaluates one expression per output column.
+    Project {
+        input: Arc<PhysNode>,
+        exprs: Vec<PhysExpr>,
+    },
+    /// Nested-loop join; `predicate == None` is a cross product.
+    NLJoin {
+        left: Arc<PhysNode>,
+        right: Arc<PhysNode>,
+        predicate: Option<PhysExpr>,
+    },
+    /// Hash equi-join with optional residual predicate.
+    HashJoin {
+        left: Arc<PhysNode>,
+        right: Arc<PhysNode>,
+        left_keys: Vec<PhysExpr>,
+        right_keys: Vec<PhysExpr>,
+        residual: Option<PhysExpr>,
+    },
+    /// Left outerjoin (hash, equi keys) with per-column default values
+    /// for unmatched left tuples: right side is NULL-padded except for
+    /// the `(right_column_index, value)` overrides — the `g: f(∅)`
+    /// defaults of the paper's ⟕ operator.
+    HashOuterJoin {
+        left: Arc<PhysNode>,
+        right: Arc<PhysNode>,
+        left_keys: Vec<PhysExpr>,
+        right_keys: Vec<PhysExpr>,
+        residual: Option<PhysExpr>,
+        defaults: Vec<(usize, Value)>,
+    },
+    /// Left outerjoin fallback for non-equi predicates.
+    NLOuterJoin {
+        left: Arc<PhysNode>,
+        right: Arc<PhysNode>,
+        predicate: PhysExpr,
+        defaults: Vec<(usize, Value)>,
+    },
+    /// Unary grouping Γ (hash) / scalar aggregation when `keys` is empty.
+    HashAggregate {
+        input: Arc<PhysNode>,
+        keys: Vec<PhysExpr>,
+        aggs: Vec<AggSpec>,
+    },
+    /// Binary grouping Γᵇ with an equality θ: per-right-key aggregates
+    /// are computed once, then every left tuple probes the table —
+    /// O(|L| + |R|).
+    BinaryGroupEq {
+        left: Arc<PhysNode>,
+        right: Arc<PhysNode>,
+        left_key: PhysExpr,
+        right_key: PhysExpr,
+        agg: AggSpec,
+    },
+    /// Binary grouping with an arbitrary comparison θ (nested loop,
+    /// O(|L|·|R|)); kept for completeness of the Fig. 1 operator set.
+    BinaryGroupTheta {
+        left: Arc<PhysNode>,
+        right: Arc<PhysNode>,
+        left_key: PhysExpr,
+        right_key: PhysExpr,
+        cmp: BinOp,
+        agg: AggSpec,
+    },
+    /// χ — extends each tuple by one computed value.
+    Map {
+        input: Arc<PhysNode>,
+        expr: PhysExpr,
+    },
+    /// ν — extends each tuple by its (deterministic) input position.
+    Numbering { input: Arc<PhysNode> },
+    /// Duplicate elimination.
+    Distinct { input: Arc<PhysNode> },
+    /// ORDER BY; `true` = descending.
+    Sort {
+        input: Arc<PhysNode>,
+        keys: Vec<(PhysExpr, bool)>,
+    },
+    /// LIMIT — first n rows.
+    Limit { input: Arc<PhysNode>, n: usize },
+    /// Derived-table alias — identity on rows (the schema on the node
+    /// carries the re-qualified columns).
+    Alias { input: Arc<PhysNode> },
+    /// Disjoint union ∪̇ (bag concatenation).
+    UnionAll {
+        left: Arc<PhysNode>,
+        right: Arc<PhysNode>,
+    },
+    /// σ± — evaluated once, produces (positive, negative) outputs that
+    /// the memoizing evaluator hands to the two Stream consumers.
+    BypassFilter {
+        input: Arc<PhysNode>,
+        predicate: PhysExpr,
+    },
+    /// ⋈± — nested-loop bypass join. `neg_filter` is an optional fused
+    /// selection applied to negative-stream pairs *before* they are
+    /// materialized (Eqv. 5 plans filter the huge negative stream by the
+    /// cheap predicate p; fusing avoids materializing |L|·|R| tuples).
+    BypassNLJoin {
+        left: Arc<PhysNode>,
+        right: Arc<PhysNode>,
+        predicate: PhysExpr,
+        neg_filter: Option<PhysExpr>,
+    },
+    /// Consumes one stream of a bypass operator.
+    Stream {
+        source: Arc<PhysNode>,
+        positive: bool,
+    },
+}
+
+impl PhysNode {
+    /// Number of operators in the DAG (shared nodes counted once) —
+    /// used by tests asserting plan compactness.
+    pub fn node_count(&self) -> usize {
+        use std::collections::HashSet;
+        fn walk(n: &PhysNode, seen: &mut HashSet<*const PhysNode>) -> usize {
+            let mut count = 1;
+            for c in n.children() {
+                let ptr = Arc::as_ptr(c);
+                if seen.insert(ptr) {
+                    count += walk(c, seen);
+                }
+            }
+            count
+        }
+        walk(self, &mut HashSet::new())
+    }
+
+    pub fn children(&self) -> Vec<&Arc<PhysNode>> {
+        match &self.kind {
+            PhysKind::Scan { .. } => vec![],
+            PhysKind::Filter { input, .. }
+            | PhysKind::Project { input, .. }
+            | PhysKind::HashAggregate { input, .. }
+            | PhysKind::Map { input, .. }
+            | PhysKind::Numbering { input }
+            | PhysKind::Distinct { input }
+            | PhysKind::Sort { input, .. }
+            | PhysKind::Limit { input, .. }
+            | PhysKind::Alias { input }
+            | PhysKind::BypassFilter { input, .. } => vec![input],
+            PhysKind::NLJoin { left, right, .. }
+            | PhysKind::HashJoin { left, right, .. }
+            | PhysKind::HashOuterJoin { left, right, .. }
+            | PhysKind::NLOuterJoin { left, right, .. }
+            | PhysKind::BinaryGroupEq { left, right, .. }
+            | PhysKind::BinaryGroupTheta { left, right, .. }
+            | PhysKind::UnionAll { left, right }
+            | PhysKind::BypassNLJoin { left, right, .. } => vec![left, right],
+            PhysKind::Stream { source, .. } => vec![source],
+        }
+    }
+
+    /// The expressions evaluated by this operator.
+    pub fn exprs(&self) -> Vec<&PhysExpr> {
+        match &self.kind {
+            PhysKind::Scan { .. }
+            | PhysKind::Numbering { .. }
+            | PhysKind::Distinct { .. }
+            | PhysKind::Limit { .. }
+            | PhysKind::Alias { .. }
+            | PhysKind::UnionAll { .. }
+            | PhysKind::Stream { .. } => vec![],
+            PhysKind::Filter { predicate, .. } | PhysKind::BypassFilter { predicate, .. } => {
+                vec![predicate]
+            }
+            PhysKind::Project { exprs, .. } => exprs.iter().collect(),
+            PhysKind::NLJoin { predicate, .. } => predicate.iter().collect(),
+            PhysKind::HashJoin {
+                left_keys,
+                right_keys,
+                residual,
+                ..
+            }
+            | PhysKind::HashOuterJoin {
+                left_keys,
+                right_keys,
+                residual,
+                ..
+            } => left_keys
+                .iter()
+                .chain(right_keys)
+                .chain(residual.iter())
+                .collect(),
+            PhysKind::NLOuterJoin { predicate, .. } => vec![predicate],
+            PhysKind::HashAggregate { keys, aggs, .. } => keys
+                .iter()
+                .chain(aggs.iter().filter_map(|a| a.arg.as_ref()))
+                .collect(),
+            PhysKind::BinaryGroupEq {
+                left_key,
+                right_key,
+                agg,
+                ..
+            }
+            | PhysKind::BinaryGroupTheta {
+                left_key,
+                right_key,
+                agg,
+                ..
+            } => {
+                let mut v = vec![left_key, right_key];
+                v.extend(agg.arg.as_ref());
+                v
+            }
+            PhysKind::Map { expr, .. } => vec![expr],
+            PhysKind::Sort { keys, .. } => keys.iter().map(|(e, _)| e).collect(),
+            PhysKind::BypassNLJoin {
+                predicate,
+                neg_filter,
+                ..
+            } => std::iter::once(predicate).chain(neg_filter.iter()).collect(),
+        }
+    }
+
+    /// Nested plans held inside this operator's expressions.
+    pub fn expr_subplans(&self) -> Vec<&Arc<PhysNode>> {
+        self.exprs()
+            .into_iter()
+            .flat_map(|e| e.subquery_plans())
+            .collect()
+    }
+
+    /// Short operator name (used in physical EXPLAIN output).
+    pub fn name(&self) -> &'static str {
+        match &self.kind {
+            PhysKind::Scan { .. } => "Scan",
+            PhysKind::Filter { .. } => "Filter",
+            PhysKind::Project { .. } => "Project",
+            PhysKind::NLJoin { predicate: None, .. } => "CrossJoin",
+            PhysKind::NLJoin { .. } => "NLJoin",
+            PhysKind::HashJoin { .. } => "HashJoin",
+            PhysKind::HashOuterJoin { .. } => "HashOuterJoin",
+            PhysKind::NLOuterJoin { .. } => "NLOuterJoin",
+            PhysKind::HashAggregate { .. } => "HashAggregate",
+            PhysKind::BinaryGroupEq { .. } => "BinaryGroup(eq)",
+            PhysKind::BinaryGroupTheta { .. } => "BinaryGroup(θ)",
+            PhysKind::Map { .. } => "Map",
+            PhysKind::Numbering { .. } => "Numbering",
+            PhysKind::Distinct { .. } => "Distinct",
+            PhysKind::Sort { .. } => "Sort",
+            PhysKind::Limit { .. } => "Limit",
+            PhysKind::Alias { .. } => "Alias",
+            PhysKind::UnionAll { .. } => "UnionAll",
+            PhysKind::BypassFilter { .. } => "BypassFilter",
+            PhysKind::BypassNLJoin { .. } => "BypassNLJoin",
+            PhysKind::Stream { positive, .. } => {
+                if *positive {
+                    "Stream(+)"
+                } else {
+                    "Stream(-)"
+                }
+            }
+        }
+    }
+
+    /// EXPLAIN ANALYZE rendering: operator tree annotated with the
+    /// collected runtime counters (calls, total rows, inclusive time).
+    pub fn explain_with_metrics(
+        self: &std::sync::Arc<Self>,
+        metrics: &std::collections::HashMap<usize, crate::eval::NodeMetrics>,
+    ) -> String {
+        use std::collections::HashMap;
+        fn walk(
+            n: &Arc<PhysNode>,
+            depth: usize,
+            out: &mut String,
+            seen: &mut HashMap<*const PhysNode, usize>,
+            next: &mut usize,
+            metrics: &HashMap<usize, crate::eval::NodeMetrics>,
+        ) {
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+            out.push_str(n.name());
+            let is_bypass = matches!(
+                n.kind,
+                PhysKind::BypassFilter { .. } | PhysKind::BypassNLJoin { .. }
+            );
+            let ptr = Arc::as_ptr(n);
+            if is_bypass {
+                if let Some(id) = seen.get(&ptr) {
+                    out.push_str(&format!(" (shared #{id})\n"));
+                    return;
+                }
+                let id = *next;
+                *next += 1;
+                seen.insert(ptr, id);
+                out.push_str(&format!(" (#{id})"));
+            }
+            match metrics.get(&(ptr as usize)) {
+                Some(m) => out.push_str(&format!(
+                    "  [calls={} rows={} time={:.3}ms]",
+                    m.calls,
+                    m.rows,
+                    m.nanos as f64 / 1e6
+                )),
+                None => out.push_str("  [not executed]"),
+            }
+            out.push('\n');
+            for sq in n.expr_subplans() {
+                for _ in 0..depth + 1 {
+                    out.push_str("  ");
+                }
+                out.push_str("subquery:\n");
+                walk(sq, depth + 2, out, seen, next, metrics);
+            }
+            for c in n.children() {
+                walk(c, depth + 1, out, seen, next, metrics);
+            }
+        }
+        let mut out = String::new();
+        walk(self, 0, &mut out, &mut HashMap::new(), &mut 1, metrics);
+        out
+    }
+
+    /// Physical EXPLAIN: indented operator names with DAG sharing marks.
+    pub fn explain(&self) -> String {
+        use std::collections::HashMap;
+        fn walk(
+            n: &PhysNode,
+            depth: usize,
+            out: &mut String,
+            seen: &mut HashMap<*const PhysNode, usize>,
+            next: &mut usize,
+        ) {
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+            out.push_str(n.name());
+            let is_bypass = matches!(
+                n.kind,
+                PhysKind::BypassFilter { .. } | PhysKind::BypassNLJoin { .. }
+            );
+            if is_bypass {
+                let ptr = n as *const PhysNode;
+                if let Some(id) = seen.get(&ptr) {
+                    out.push_str(&format!(" (shared #{id})\n"));
+                    return;
+                }
+                let id = *next;
+                *next += 1;
+                seen.insert(ptr, id);
+                out.push_str(&format!(" (#{id})"));
+            }
+            out.push('\n');
+            for sq in n.expr_subplans() {
+                for _ in 0..depth + 1 {
+                    out.push_str("  ");
+                }
+                out.push_str("subquery:\n");
+                walk(sq, depth + 2, out, seen, next);
+            }
+            for c in n.children() {
+                walk(c, depth + 1, out, seen, next);
+            }
+        }
+        let mut out = String::new();
+        walk(self, 0, &mut out, &mut HashMap::new(), &mut 1);
+        out
+    }
+}

@@ -1,0 +1,673 @@
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bypass_algebra::{AggCall, BinOp, ColumnRef, LogicalPlan, Scalar, Stream};
+use bypass_catalog::Catalog;
+use bypass_types::{Error, Result, Schema, Value};
+
+use crate::agg::AggSpec;
+use crate::expr::PhysExpr;
+use crate::node::{PhysKind, PhysNode};
+
+/// Physical planning options — the defaults are what the engine always
+/// uses; the ablation benchmarks flip individual optimizations off to
+/// measure their contribution.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanOptions {
+    /// Fuse `σ_p(Stream⁻(⋈±))` into the bypass join's negative emission
+    /// (avoids materializing the raw |L|·|R| stream).
+    pub fuse_neg_filters: bool,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        PlanOptions {
+            fuse_neg_filters: true,
+        }
+    }
+}
+
+/// Compile a logical plan into a physical one: resolve all column names
+/// to positions, bind scans to catalog storage, pick join strategies
+/// (hash for equi predicates, nested-loop otherwise) and preserve the
+/// bypass DAG structure.
+pub fn physical_plan(logical: &Arc<LogicalPlan>, catalog: &Catalog) -> Result<Arc<PhysNode>> {
+    physical_plan_with(logical, catalog, PlanOptions::default())
+}
+
+/// [`physical_plan`] with explicit [`PlanOptions`].
+pub fn physical_plan_with(
+    logical: &Arc<LogicalPlan>,
+    catalog: &Catalog,
+    options: PlanOptions,
+) -> Result<Arc<PhysNode>> {
+    let mut resolver = Resolver {
+        catalog,
+        scopes: Vec::new(),
+    };
+    let mut fusions = HashMap::new();
+    if options.fuse_neg_filters {
+        collect_neg_filter_fusions(logical, &mut fusions);
+    }
+    let mut memo = HashMap::new();
+    resolver.plan_node(logical, &fusions, &mut memo)
+}
+
+/// Fusable patterns: `Filter(Stream⁻(BypassJoin))`. The filter predicate
+/// is applied while the bypass join *emits* negative pairs, so the raw
+/// |L|·|R| negative stream is never materialized (essential for Eqv. 5
+/// plans). Key: bypass-join pointer → (filter-node pointer, predicate).
+type Fusions = HashMap<*const LogicalPlan, (*const LogicalPlan, Scalar)>;
+
+fn collect_neg_filter_fusions(plan: &Arc<LogicalPlan>, out: &mut Fusions) {
+    let mut candidates: Fusions = HashMap::new();
+    let mut filter_count: HashMap<*const LogicalPlan, usize> = HashMap::new();
+    let mut neg_consumers: HashMap<*const LogicalPlan, usize> = HashMap::new();
+    walk_fusions(plan, &mut candidates, &mut filter_count, &mut neg_consumers);
+    // Only fuse when the negative stream has exactly one consumer and
+    // that consumer is exactly one Filter — otherwise another reader
+    // would observe a pre-filtered stream.
+    for (ptr, entry) in candidates {
+        if filter_count.get(&ptr) == Some(&1) && neg_consumers.get(&ptr) == Some(&1) {
+            out.insert(ptr, entry);
+        }
+    }
+}
+
+fn walk_fusions(
+    plan: &Arc<LogicalPlan>,
+    candidates: &mut Fusions,
+    filter_count: &mut HashMap<*const LogicalPlan, usize>,
+    neg_consumers: &mut HashMap<*const LogicalPlan, usize>,
+) {
+    if let LogicalPlan::Filter { input, predicate } = plan.as_ref() {
+        if let LogicalPlan::Stream {
+            source,
+            stream: Stream::Negative,
+        } = input.as_ref()
+        {
+            if matches!(source.as_ref(), LogicalPlan::BypassJoin { .. })
+                && !predicate.contains_subquery()
+            {
+                let ptr = Arc::as_ptr(source);
+                candidates.insert(ptr, (Arc::as_ptr(plan), predicate.clone()));
+                *filter_count.entry(ptr).or_insert(0) += 1;
+            }
+        }
+    }
+    if let LogicalPlan::Stream {
+        source,
+        stream: Stream::Negative,
+    } = plan.as_ref()
+    {
+        if matches!(source.as_ref(), LogicalPlan::BypassJoin { .. }) {
+            *neg_consumers.entry(Arc::as_ptr(source)).or_insert(0) += 1;
+        }
+    }
+    for c in plan.children() {
+        walk_fusions(c, candidates, filter_count, neg_consumers);
+    }
+    // Do not descend into subquery plans: each subquery is compiled with
+    // its own fusion map in `resolve_subquery`.
+}
+
+/// The name resolver / physical planner. `scopes` is the stack of outer
+/// block schemas (outermost first); a column that does not resolve in
+/// the local schema binds against `scopes` from the innermost end,
+/// producing [`PhysExpr::Outer`] correlation references.
+pub struct Resolver<'a> {
+    catalog: &'a Catalog,
+    scopes: Vec<Schema>,
+}
+
+impl<'a> Resolver<'a> {
+    /// A fresh resolver with no outer scopes — useful for resolving
+    /// standalone (constant or single-relation) expressions.
+    pub fn new(catalog: &'a Catalog) -> Resolver<'a> {
+        Resolver {
+            catalog,
+            scopes: Vec::new(),
+        }
+    }
+}
+
+type Memo = HashMap<*const LogicalPlan, Arc<PhysNode>>;
+
+impl<'a> Resolver<'a> {
+    fn plan_node(
+        &mut self,
+        plan: &Arc<LogicalPlan>,
+        fusions: &Fusions,
+        memo: &mut Memo,
+    ) -> Result<Arc<PhysNode>> {
+        if let Some(done) = memo.get(&Arc::as_ptr(plan)) {
+            return Ok(done.clone());
+        }
+        let schema = plan.schema();
+        let node = match plan.as_ref() {
+            LogicalPlan::Scan { table, .. } => {
+                let t = self.catalog.get(table)?;
+                PhysNode::new(
+                    PhysKind::Scan {
+                        data: t.data().clone(),
+                    },
+                    schema,
+                )
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                // A filter that was fused into a bypass join's negative
+                // stream compiles to just its input.
+                if let LogicalPlan::Stream {
+                    source,
+                    stream: Stream::Negative,
+                } = input.as_ref()
+                {
+                    if let Some((filter_ptr, _)) = fusions.get(&Arc::as_ptr(source)) {
+                        if *filter_ptr == Arc::as_ptr(plan) {
+                            return self.plan_node(input, fusions, memo);
+                        }
+                    }
+                }
+                let child = self.plan_node(input, fusions, memo)?;
+                let pred = self.resolve(predicate, &input.schema())?;
+                PhysNode::new(
+                    PhysKind::Filter {
+                        input: child,
+                        predicate: pred,
+                    },
+                    schema,
+                )
+            }
+            LogicalPlan::Project { input, exprs } => {
+                let child = self.plan_node(input, fusions, memo)?;
+                let in_schema = input.schema();
+                let exprs = exprs
+                    .iter()
+                    .map(|(e, _)| self.resolve(e, &in_schema))
+                    .collect::<Result<Vec<_>>>()?;
+                PhysNode::new(
+                    PhysKind::Project {
+                        input: child,
+                        exprs,
+                    },
+                    schema,
+                )
+            }
+            LogicalPlan::CrossJoin { left, right } => {
+                let l = self.plan_node(left, fusions, memo)?;
+                let r = self.plan_node(right, fusions, memo)?;
+                PhysNode::new(
+                    PhysKind::NLJoin {
+                        left: l,
+                        right: r,
+                        predicate: None,
+                    },
+                    schema,
+                )
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                predicate,
+            } => {
+                let l = self.plan_node(left, fusions, memo)?;
+                let r = self.plan_node(right, fusions, memo)?;
+                let (lk, rk, residual) =
+                    self.split_equi_keys(predicate, &left.schema(), &right.schema())?;
+                if lk.is_empty() {
+                    let pred = self.resolve(predicate, &plan.input_schema())?;
+                    PhysNode::new(
+                        PhysKind::NLJoin {
+                            left: l,
+                            right: r,
+                            predicate: Some(pred),
+                        },
+                        schema,
+                    )
+                } else {
+                    PhysNode::new(
+                        PhysKind::HashJoin {
+                            left: l,
+                            right: r,
+                            left_keys: lk,
+                            right_keys: rk,
+                            residual,
+                        },
+                        schema,
+                    )
+                }
+            }
+            LogicalPlan::OuterJoin {
+                left,
+                right,
+                predicate,
+                defaults,
+            } => {
+                let l = self.plan_node(left, fusions, memo)?;
+                let r = self.plan_node(right, fusions, memo)?;
+                let right_schema = right.schema();
+                let defaults = defaults
+                    .iter()
+                    .map(|(name, v)| {
+                        right_schema
+                            .resolve(None, name)
+                            .map(|i| (i, v.clone()))
+                            .map_err(|e| {
+                                Error::plan(format!("outerjoin default column: {e}"))
+                            })
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                let (lk, rk, residual) =
+                    self.split_equi_keys(predicate, &left.schema(), &right_schema)?;
+                if lk.is_empty() {
+                    let pred = self.resolve(predicate, &plan.input_schema())?;
+                    PhysNode::new(
+                        PhysKind::NLOuterJoin {
+                            left: l,
+                            right: r,
+                            predicate: pred,
+                            defaults,
+                        },
+                        schema,
+                    )
+                } else {
+                    PhysNode::new(
+                        PhysKind::HashOuterJoin {
+                            left: l,
+                            right: r,
+                            left_keys: lk,
+                            right_keys: rk,
+                            residual,
+                            defaults,
+                        },
+                        schema,
+                    )
+                }
+            }
+            LogicalPlan::Aggregate { input, keys, aggs } => {
+                let child = self.plan_node(input, fusions, memo)?;
+                let in_schema = input.schema();
+                let keys = keys
+                    .iter()
+                    .map(|k| self.resolve(k, &in_schema))
+                    .collect::<Result<Vec<_>>>()?;
+                let aggs = aggs
+                    .iter()
+                    .map(|(call, _)| self.resolve_agg(call, &in_schema))
+                    .collect::<Result<Vec<_>>>()?;
+                PhysNode::new(
+                    PhysKind::HashAggregate {
+                        input: child,
+                        keys,
+                        aggs,
+                    },
+                    schema,
+                )
+            }
+            LogicalPlan::BinaryGroup {
+                left,
+                right,
+                left_key,
+                right_key,
+                cmp,
+                agg,
+                ..
+            } => {
+                let l = self.plan_node(left, fusions, memo)?;
+                let r = self.plan_node(right, fusions, memo)?;
+                let lk = self.resolve(left_key, &left.schema())?;
+                let rk = self.resolve(right_key, &right.schema())?;
+                let agg = self.resolve_agg(agg, &right.schema())?;
+                let kind = if *cmp == BinOp::Eq {
+                    PhysKind::BinaryGroupEq {
+                        left: l,
+                        right: r,
+                        left_key: lk,
+                        right_key: rk,
+                        agg,
+                    }
+                } else {
+                    if !cmp.is_comparison() {
+                        return Err(Error::plan(format!(
+                            "binary grouping θ must be a comparison, got {}",
+                            cmp.symbol()
+                        )));
+                    }
+                    PhysKind::BinaryGroupTheta {
+                        left: l,
+                        right: r,
+                        left_key: lk,
+                        right_key: rk,
+                        cmp: *cmp,
+                        agg,
+                    }
+                };
+                PhysNode::new(kind, schema)
+            }
+            LogicalPlan::Map { input, expr, .. } => {
+                let child = self.plan_node(input, fusions, memo)?;
+                let e = self.resolve(expr, &input.schema())?;
+                PhysNode::new(PhysKind::Map { input: child, expr: e }, schema)
+            }
+            LogicalPlan::Numbering { input, .. } => {
+                let child = self.plan_node(input, fusions, memo)?;
+                PhysNode::new(PhysKind::Numbering { input: child }, schema)
+            }
+            LogicalPlan::Distinct { input } => {
+                let child = self.plan_node(input, fusions, memo)?;
+                PhysNode::new(PhysKind::Distinct { input: child }, schema)
+            }
+            LogicalPlan::Limit { input, n } => {
+                let child = self.plan_node(input, fusions, memo)?;
+                PhysNode::new(PhysKind::Limit { input: child, n: *n }, schema)
+            }
+            LogicalPlan::Alias { input, .. } => {
+                let child = self.plan_node(input, fusions, memo)?;
+                PhysNode::new(PhysKind::Alias { input: child }, schema)
+            }
+            LogicalPlan::Sort { input, keys } => {
+                let child = self.plan_node(input, fusions, memo)?;
+                let in_schema = input.schema();
+                let keys = keys
+                    .iter()
+                    .map(|(e, desc)| Ok((self.resolve(e, &in_schema)?, *desc)))
+                    .collect::<Result<Vec<_>>>()?;
+                PhysNode::new(PhysKind::Sort { input: child, keys }, schema)
+            }
+            LogicalPlan::Union { left, right } => {
+                let l = self.plan_node(left, fusions, memo)?;
+                let r = self.plan_node(right, fusions, memo)?;
+                if l.schema.arity() != r.schema.arity() {
+                    return Err(Error::plan(format!(
+                        "union arity mismatch: {} vs {}",
+                        l.schema.arity(),
+                        r.schema.arity()
+                    )));
+                }
+                PhysNode::new(PhysKind::UnionAll { left: l, right: r }, schema)
+            }
+            LogicalPlan::BypassFilter { input, predicate } => {
+                let child = self.plan_node(input, fusions, memo)?;
+                let pred = self.resolve(predicate, &input.schema())?;
+                PhysNode::new(
+                    PhysKind::BypassFilter {
+                        input: child,
+                        predicate: pred,
+                    },
+                    schema,
+                )
+            }
+            LogicalPlan::BypassJoin {
+                left,
+                right,
+                predicate,
+            } => {
+                let l = self.plan_node(left, fusions, memo)?;
+                let r = self.plan_node(right, fusions, memo)?;
+                let combined = plan.input_schema();
+                let pred = self.resolve(predicate, &combined)?;
+                let neg_filter = fusions
+                    .get(&Arc::as_ptr(plan))
+                    .map(|(_, f)| self.resolve(f, &combined))
+                    .transpose()?;
+                PhysNode::new(
+                    PhysKind::BypassNLJoin {
+                        left: l,
+                        right: r,
+                        predicate: pred,
+                        neg_filter,
+                    },
+                    schema,
+                )
+            }
+            LogicalPlan::Stream { source, stream } => {
+                let src = self.plan_node(source, fusions, memo)?;
+                PhysNode::new(
+                    PhysKind::Stream {
+                        source: src,
+                        positive: *stream == Stream::Positive,
+                    },
+                    schema,
+                )
+            }
+        };
+        memo.insert(Arc::as_ptr(plan), node.clone());
+        Ok(node)
+    }
+
+    /// Split a join predicate into hash keys and a residual: conjuncts of
+    /// the form `l = r` where `l` resolves purely against the left schema
+    /// and `r` purely against the right (or vice versa) become key pairs.
+    fn split_equi_keys(
+        &mut self,
+        predicate: &Scalar,
+        left: &Schema,
+        right: &Schema,
+    ) -> Result<(Vec<PhysExpr>, Vec<PhysExpr>, Option<PhysExpr>)> {
+        let mut lk = Vec::new();
+        let mut rk = Vec::new();
+        let mut residual = Vec::new();
+        for c in predicate.conjuncts() {
+            if let Scalar::Binary {
+                op: BinOp::Eq,
+                left: a,
+                right: b,
+            } = c
+            {
+                if !a.contains_subquery() && !b.contains_subquery() {
+                    if let (Some(al), Some(br)) =
+                        (self.resolve_local(a, left)?, self.resolve_local(b, right)?)
+                    {
+                        lk.push(al);
+                        rk.push(br);
+                        continue;
+                    }
+                    if let (Some(ar), Some(bl)) =
+                        (self.resolve_local(a, right)?, self.resolve_local(b, left)?)
+                    {
+                        lk.push(bl);
+                        rk.push(ar);
+                        continue;
+                    }
+                }
+            }
+            residual.push(c.clone());
+        }
+        let residual = match Scalar::conjunction(residual) {
+            None => None,
+            Some(r) => Some(self.resolve(&r, &left.concat(right))?),
+        };
+        Ok((lk, rk, residual))
+    }
+
+    /// Resolve an expression strictly against one schema (no outer
+    /// scopes, no subqueries). `Ok(None)` if it references anything else.
+    fn resolve_local(&mut self, e: &Scalar, schema: &Schema) -> Result<Option<PhysExpr>> {
+        if e.contains_subquery() {
+            return Ok(None);
+        }
+        for c in e.column_refs() {
+            match schema.resolve_opt(c.qualifier.as_deref(), &c.name) {
+                Ok(Some(_)) => {}
+                Ok(None) => return Ok(None),
+                Err(e) => return Err(e),
+            }
+        }
+        // All refs are local: a plain resolve cannot produce Outer refs.
+        Ok(Some(self.resolve_inner(e, schema, false)?))
+    }
+
+    /// Resolve an expression against the local schema with correlation
+    /// into the enclosing scopes.
+    pub fn resolve(&mut self, e: &Scalar, local: &Schema) -> Result<PhysExpr> {
+        self.resolve_inner(e, local, true)
+    }
+
+    fn resolve_inner(
+        &mut self,
+        e: &Scalar,
+        local: &Schema,
+        allow_outer: bool,
+    ) -> Result<PhysExpr> {
+        Ok(match e {
+            Scalar::Column(c) => self.resolve_column(c, local, allow_outer)?,
+            Scalar::Literal(v) => PhysExpr::Literal(v.clone()),
+            Scalar::Binary { op, left, right } => PhysExpr::Binary {
+                op: *op,
+                left: Box::new(self.resolve_inner(left, local, allow_outer)?),
+                right: Box::new(self.resolve_inner(right, local, allow_outer)?),
+            },
+            Scalar::Not(x) => PhysExpr::Not(Box::new(self.resolve_inner(x, local, allow_outer)?)),
+            Scalar::Neg(x) => PhysExpr::Neg(Box::new(self.resolve_inner(x, local, allow_outer)?)),
+            Scalar::IsNull { negated, expr } => PhysExpr::IsNull {
+                negated: *negated,
+                expr: Box::new(self.resolve_inner(expr, local, allow_outer)?),
+            },
+            Scalar::Like {
+                negated,
+                expr,
+                pattern,
+            } => PhysExpr::Like {
+                negated: *negated,
+                expr: Box::new(self.resolve_inner(expr, local, allow_outer)?),
+                pattern: Box::new(self.resolve_inner(pattern, local, allow_outer)?),
+            },
+            Scalar::InList {
+                negated,
+                expr,
+                list,
+            } => PhysExpr::InList {
+                negated: *negated,
+                expr: Box::new(self.resolve_inner(expr, local, allow_outer)?),
+                list: list
+                    .iter()
+                    .map(|x| self.resolve_inner(x, local, allow_outer))
+                    .collect::<Result<_>>()?,
+            },
+            Scalar::Subquery(plan) => {
+                let (phys, correlated, outer_keys) = self.resolve_subquery(plan, local)?;
+                PhysExpr::Subquery {
+                    plan: phys,
+                    correlated,
+                    outer_keys,
+                }
+            }
+            Scalar::Exists { negated, plan } => {
+                let (phys, correlated, outer_keys) = self.resolve_subquery(plan, local)?;
+                PhysExpr::Exists {
+                    negated: *negated,
+                    plan: phys,
+                    correlated,
+                    outer_keys,
+                }
+            }
+            Scalar::InSubquery {
+                negated,
+                expr,
+                plan,
+            } => {
+                let (phys, correlated, outer_keys) = self.resolve_subquery(plan, local)?;
+                PhysExpr::InSubquery {
+                    negated: *negated,
+                    expr: Box::new(self.resolve_inner(expr, local, allow_outer)?),
+                    plan: phys,
+                    correlated,
+                    outer_keys,
+                }
+            }
+            Scalar::QuantifiedCmp {
+                op,
+                all,
+                expr,
+                plan,
+            } => {
+                let (phys, correlated, outer_keys) = self.resolve_subquery(plan, local)?;
+                PhysExpr::QuantifiedCmp {
+                    op: *op,
+                    all: *all,
+                    expr: Box::new(self.resolve_inner(expr, local, allow_outer)?),
+                    plan: phys,
+                    correlated,
+                    outer_keys,
+                }
+            }
+        })
+    }
+
+    fn resolve_column(
+        &self,
+        c: &ColumnRef,
+        local: &Schema,
+        allow_outer: bool,
+    ) -> Result<PhysExpr> {
+        if let Some(i) = local.resolve_opt(c.qualifier.as_deref(), &c.name)? {
+            return Ok(PhysExpr::Column(i));
+        }
+        if allow_outer {
+            // Innermost enclosing scope first (direct correlation).
+            for (k, scope) in self.scopes.iter().rev().enumerate() {
+                if let Some(i) = scope.resolve_opt(c.qualifier.as_deref(), &c.name)? {
+                    return Ok(PhysExpr::Outer {
+                        depth: k + 1,
+                        index: i,
+                    });
+                }
+            }
+        }
+        Err(Error::plan(format!(
+            "unknown column `{c}`; local scope: {local}{}",
+            if self.scopes.is_empty() {
+                String::new()
+            } else {
+                format!(" ({} outer scope(s) searched)", self.scopes.len())
+            }
+        )))
+    }
+
+    /// Compile a nested plan. Returns the physical plan, whether it is
+    /// correlated, and the local-scope key columns usable for
+    /// correlation-memoization (empty when any free reference binds
+    /// deeper than the direct outer block).
+    fn resolve_subquery(
+        &mut self,
+        plan: &Arc<LogicalPlan>,
+        local: &Schema,
+    ) -> Result<(Arc<PhysNode>, bool, Vec<usize>)> {
+        let free = plan.free_refs();
+        let correlated = !free.is_empty();
+        let mut outer_keys = Vec::with_capacity(free.len());
+        let mut all_direct = true;
+        for r in &free {
+            match local.resolve_opt(r.qualifier.as_deref(), &r.name)? {
+                Some(i) => outer_keys.push(i),
+                None => all_direct = false,
+            }
+        }
+        if !all_direct {
+            outer_keys.clear();
+        }
+        self.scopes.push(local.clone());
+        let mut fusions = HashMap::new();
+        collect_neg_filter_fusions(plan, &mut fusions);
+        let mut memo = HashMap::new();
+        let result = self.plan_node(plan, &fusions, &mut memo);
+        self.scopes.pop();
+        Ok((result?, correlated, outer_keys))
+    }
+
+    fn resolve_agg(&mut self, call: &AggCall, schema: &Schema) -> Result<AggSpec> {
+        Ok(AggSpec {
+            func: call.func,
+            distinct: call.distinct,
+            arg: call
+                .arg
+                .as_deref()
+                .map(|a| self.resolve(a, schema))
+                .transpose()?,
+        })
+    }
+}
+
+// Allow `Value` to be used in defaults without re-import noise.
+#[allow(unused)]
+fn _value_type_anchor(_: Value) {}

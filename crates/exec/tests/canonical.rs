@@ -1,0 +1,274 @@
+//! End-to-end tests of the *canonical* pipeline: SQL → canonical algebra
+//! → physical plan → nested-loop evaluation. These pin down the reference
+//! semantics that every unnested plan must reproduce.
+
+use std::sync::Arc;
+
+use bypass_catalog::{Catalog, TableBuilder};
+use bypass_exec::{evaluate_with, physical_plan, ExecOptions};
+use bypass_sql::{parse_statement, Statement};
+use bypass_translate::translate_query;
+use bypass_types::{DataType, Relation, Value};
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    // R(a1..a4), S(b1..b4), T(c1..c4) — the paper's RST schema, small
+    // hand-picked instances exercising matches, non-matches and the
+    // disjunction short-cut.
+    let r = TableBuilder::new()
+        .column("a1", DataType::Int)
+        .column("a2", DataType::Int)
+        .column("a3", DataType::Int)
+        .column("a4", DataType::Int)
+        .rows(vec![
+            vec![2i64.into(), 10i64.into(), 1i64.into(), 100i64.into()],
+            vec![0i64.into(), 11i64.into(), 2i64.into(), 2000i64.into()],
+            vec![1i64.into(), 12i64.into(), 3i64.into(), 1501i64.into()],
+            vec![3i64.into(), 10i64.into(), 4i64.into(), 999i64.into()],
+            vec![0i64.into(), 99i64.into(), 5i64.into(), 1i64.into()],
+        ])
+        .unwrap()
+        .build();
+    let s = TableBuilder::new()
+        .column("b1", DataType::Int)
+        .column("b2", DataType::Int)
+        .column("b3", DataType::Int)
+        .column("b4", DataType::Int)
+        .rows(vec![
+            vec![1i64.into(), 10i64.into(), 7i64.into(), 1600i64.into()],
+            vec![2i64.into(), 10i64.into(), 7i64.into(), 10i64.into()],
+            vec![3i64.into(), 12i64.into(), 8i64.into(), 20i64.into()],
+            vec![4i64.into(), 50i64.into(), 9i64.into(), 1700i64.into()],
+        ])
+        .unwrap()
+        .build();
+    let t = TableBuilder::new()
+        .column("c1", DataType::Int)
+        .column("c2", DataType::Int)
+        .column("c3", DataType::Int)
+        .column("c4", DataType::Int)
+        .rows(vec![
+            vec![1i64.into(), 7i64.into(), 0i64.into(), 0i64.into()],
+            vec![2i64.into(), 7i64.into(), 0i64.into(), 0i64.into()],
+            vec![3i64.into(), 8i64.into(), 0i64.into(), 0i64.into()],
+        ])
+        .unwrap()
+        .build();
+    c.register("r", r).unwrap();
+    c.register("s", s).unwrap();
+    c.register("t", t).unwrap();
+    c
+}
+
+fn run_sql(c: &Catalog, sql: &str) -> Relation {
+    let Statement::Query(q) = parse_statement(sql).unwrap() else {
+        panic!("not a query")
+    };
+    let logical = translate_query(c, &q).unwrap();
+    let plan = physical_plan(&Arc::clone(&logical), c).unwrap();
+    evaluate_with(&plan, ExecOptions::default()).unwrap()
+}
+
+fn a1s(rel: &Relation) -> Vec<i64> {
+    let idx = rel.schema().resolve(None, "a1").unwrap();
+    let mut v: Vec<i64> = rel
+        .rows()
+        .iter()
+        .map(|t| match t[idx] {
+            Value::Int(i) => i,
+            _ => panic!("a1 not int"),
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn plain_select() {
+    let c = catalog();
+    let out = run_sql(&c, "SELECT a1, a4 FROM r WHERE a4 > 1500");
+    assert_eq!(out.len(), 2);
+}
+
+#[test]
+fn q1_disjunctive_linking_canonical() {
+    let c = catalog();
+    // Q1 (paper Section 3.1): subquery counts distinct S rows with
+    // b2 = a2.
+    // Per R row: a2=10 → 2 rows; a2=11 → 0; a2=12 → 1; a2=99 → 0.
+    //   (2,10,..,100):   count=2=a1 ✓
+    //   (0,11,..,2000):  count=0=a1 ✓ (also a4>1500)
+    //   (1,12,..,1501):  count=1=a1 ✓ (also a4>1500)
+    //   (3,10,..,999):   count=2≠3, a4≤1500 ✗
+    //   (0,99,..,1):     count=0=a1 ✓
+    let out = run_sql(
+        &c,
+        "SELECT DISTINCT * FROM r \
+         WHERE a1 = (SELECT COUNT(DISTINCT *) FROM s WHERE a2 = b2) OR a4 > 1500",
+    );
+    assert_eq!(a1s(&out), vec![0, 0, 1, 2]);
+}
+
+#[test]
+fn q2_disjunctive_correlation_canonical() {
+    let c = catalog();
+    // Q2 (paper Section 3.2): count S rows with a2 = b2 OR b4 > 1500.
+    // b4>1500 rows: b1∈{1,4} (2 rows, b2∈{10,50}).
+    // Per R row: a2=10 → rows {1,2,4} = 3; a2=11 → {1,4} = 2;
+    //            a2=12 → {1,3,4} = 3; a2=99 → {1,4} = 2.
+    //   (2,10): 3≠2 ✗   (0,11): 2≠0 ✗   (1,12): 3≠1 ✗
+    //   (3,10): 3=3 ✓   (0,99): 2≠0 ✗
+    let out = run_sql(
+        &c,
+        "SELECT DISTINCT * FROM r \
+         WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2 OR b4 > 1500)",
+    );
+    assert_eq!(a1s(&out), vec![3]);
+}
+
+#[test]
+fn empty_subquery_result_is_null_for_min() {
+    let c = catalog();
+    // MIN over an empty match set is NULL → comparison UNKNOWN → row
+    // dropped, unless the other disjunct saves it.
+    let out = run_sql(
+        &c,
+        "SELECT * FROM r \
+         WHERE a1 = (SELECT MIN(b1) FROM s WHERE a2 = b2) OR a4 > 1500",
+    );
+    // min(b1 | b2=10) = 1; min(b2=12) = 3; min(b2=11)=min(b2=99)=NULL.
+    //   (2,10,100): 1≠2 ✗  (0,11,2000): NULL but a4>1500 ✓
+    //   (1,12,1501): 3≠1 but a4>1500 ✓  (3,10,999): 1≠3 ✗
+    //   (0,99,1): NULL, a4≤1500 ✗
+    assert_eq!(a1s(&out), vec![0, 1]);
+}
+
+#[test]
+fn count_subquery_on_empty_group_is_zero() {
+    let c = catalog();
+    // The count bug: COUNT over no matches must be 0, not NULL.
+    let out = run_sql(
+        &c,
+        "SELECT * FROM r WHERE 0 = (SELECT COUNT(*) FROM s WHERE a2 = b2)",
+    );
+    // a2=11 and a2=99 have no matches → count 0 → kept.
+    assert_eq!(a1s(&out), vec![0, 0]);
+}
+
+#[test]
+fn tree_query_q3_canonical() {
+    let c = catalog();
+    // Two subqueries at the same level (paper Q3 shape).
+    let out = run_sql(
+        &c,
+        "SELECT DISTINCT * FROM r \
+         WHERE a1 = (SELECT COUNT(DISTINCT *) FROM s WHERE a2 = b2) \
+            OR a3 = (SELECT COUNT(DISTINCT *) FROM t WHERE a2 = c2)",
+    );
+    // First disjunct passes for a1∈{2 (a2=10), 0 (a2=11), 1 (a2=12), 0 (a2=99)} as in Q1
+    // minus the a4 disjunct: rows 1,2,3,5 → check each:
+    //   (2,10,1): c1 ✓ (count s =2) → kept.
+    //   (0,11,2): ✓ count 0.
+    //   (1,12,3): ✓ count 1.
+    //   (3,10,4): count s = 2 ≠ 3; count t with c2=10 → 0 ≠ 4 ✗.
+    //   (0,99,5): ✓ count 0.
+    assert_eq!(a1s(&out), vec![0, 0, 1, 2]);
+}
+
+#[test]
+fn linear_query_q4_canonical() {
+    let c = catalog();
+    // Nested-in-nested (paper Q4 shape): inner-most counts T rows with
+    // b3 = c2 (correlates to S).
+    let out = run_sql(
+        &c,
+        "SELECT DISTINCT * FROM r \
+         WHERE a1 = (SELECT COUNT(DISTINCT *) FROM s \
+                     WHERE a2 = b2 \
+                        OR b3 = (SELECT COUNT(DISTINCT *) FROM t WHERE b3 = c2))",
+    );
+    // Inner: count t rows with c2 = b3. b3=7 → 2; b3=8 → 1; b3=9 → 0.
+    // S rows qualifying the disjunction per R row (a2):
+    //   b=(1,10,7,..): a2=10 or 7=2? no→only a2=10.
+    //   b=(2,10,7,..): same.
+    //   b=(3,12,8,..): a2=12 or 8=1? no.
+    //   b=(4,50,9,..): a2=50 or 9=0? no.
+    // So count = |{b2=a2}|: a2=10→2, a2=11→0, a2=12→1, a2=99→0.
+    // Same qualifying set as Q1 without the a4 disjunct.
+    assert_eq!(a1s(&out), vec![0, 0, 1, 2]);
+}
+
+#[test]
+fn exists_and_not_exists() {
+    let c = catalog();
+    let out = run_sql(
+        &c,
+        "SELECT * FROM r WHERE EXISTS (SELECT * FROM s WHERE a2 = b2) OR a4 > 1500",
+    );
+    // a2∈{10,12} exist; plus a4>1500 rows.
+    assert_eq!(a1s(&out), vec![0, 1, 2, 3]);
+
+    let out = run_sql(
+        &c,
+        "SELECT * FROM r WHERE NOT EXISTS (SELECT * FROM s WHERE a2 = b2)",
+    );
+    assert_eq!(a1s(&out), vec![0, 0]);
+}
+
+#[test]
+fn in_subquery() {
+    let c = catalog();
+    let out = run_sql(&c, "SELECT * FROM r WHERE a1 IN (SELECT b1 FROM s)");
+    // b1 ∈ {1,2,3,4}; a1 values 2,1,3 qualify.
+    assert_eq!(a1s(&out), vec![1, 2, 3]);
+
+    let out = run_sql(&c, "SELECT * FROM r WHERE a1 NOT IN (SELECT b1 FROM s)");
+    assert_eq!(a1s(&out), vec![0, 0]);
+}
+
+#[test]
+fn order_by_desc() {
+    let c = catalog();
+    let out = run_sql(&c, "SELECT a1, a4 FROM r ORDER BY a4 DESC");
+    let first = &out.rows()[0];
+    assert_eq!(first[1], Value::Int(2000));
+}
+
+#[test]
+fn tpch_like_self_join_scopes() {
+    let c = catalog();
+    // The same table appears in outer and inner block — name resolution
+    // must keep the scopes apart (shadowing: inner s wins for b-columns).
+    let out = run_sql(
+        &c,
+        "SELECT * FROM s WHERE b4 = (SELECT MAX(b4) FROM s x WHERE x.b2 = s.b2)",
+    );
+    // Groups by b2: b2=10 max(b4)=1600 (row b1=1); b2=12 → 20 (row 3);
+    // b2=50 → 1700 (row 4).
+    assert_eq!(out.len(), 3);
+}
+
+#[test]
+fn memoization_options_do_not_change_results() {
+    let c = catalog();
+    let sql = "SELECT DISTINCT * FROM r \
+               WHERE a1 = (SELECT COUNT(DISTINCT *) FROM s WHERE a2 = b2) OR a4 > 1500";
+    let Statement::Query(q) = parse_statement(sql).unwrap() else {
+        panic!()
+    };
+    let logical = translate_query(&c, &q).unwrap();
+    let plan = physical_plan(&logical, &c).unwrap();
+    let base = evaluate_with(&plan, ExecOptions::default()).unwrap();
+    for (mu, mc) in [(false, false), (true, false), (false, true), (true, true)] {
+        let out = evaluate_with(
+            &plan,
+            ExecOptions {
+                memo_uncorrelated: mu,
+                memo_correlated: mc,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(out.bag_eq(&base), "options ({mu},{mc}) changed the result");
+    }
+}

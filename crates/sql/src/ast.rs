@@ -1,0 +1,643 @@
+//! Abstract syntax tree for the supported SQL subset, plus a
+//! pretty-printer (`Display`) that renders the AST back to SQL — used by
+//! tests to verify parse results and by error messages.
+
+use std::fmt;
+
+use bypass_types::DataType;
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    CreateTable {
+        name: String,
+        columns: Vec<(String, DataType)>,
+    },
+    Insert {
+        table: String,
+        rows: Vec<Vec<Expr>>,
+    },
+    Query(SelectStmt),
+}
+
+/// A `SELECT` query block. Nested query blocks appear inside [`Expr`]s
+/// (scalar subqueries, `EXISTS`, `IN`), mirroring the paper's definition
+/// of nested queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub where_clause: Option<Expr>,
+    pub order_by: Vec<OrderItem>,
+    /// `LIMIT n`.
+    pub limit: Option<u64>,
+}
+
+/// One entry of the select list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `alias.*`
+    QualifiedWildcard(String),
+    /// An expression with an optional output alias.
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// A FROM-clause entry: a base table `name [AS] alias` or a derived
+/// table `(SELECT …) AS alias` (the paper's outlook item 2: nested
+/// queries in the FROM clause).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    Table {
+        name: String,
+        alias: Option<String>,
+    },
+    Derived {
+        subquery: Box<SelectStmt>,
+        alias: String,
+    },
+}
+
+impl TableRef {
+    pub fn table(name: impl Into<String>, alias: Option<String>) -> TableRef {
+        TableRef::Table {
+            name: name.into(),
+            alias,
+        }
+    }
+
+    /// The name other clauses refer to this FROM item by.
+    pub fn effective_alias(&self) -> &str {
+        match self {
+            TableRef::Table { name, alias } => alias.as_deref().unwrap_or(name),
+            TableRef::Derived { alias, .. } => alias,
+        }
+    }
+}
+
+/// One ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    pub expr: Expr,
+    pub desc: bool,
+}
+
+/// Binary operators, in increasing precedence groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    Or,
+    And,
+    Eq,
+    Neq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl BinaryOp {
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq
+                | BinaryOp::Neq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    Not,
+    Neg,
+}
+
+/// Quantifier of a quantified comparison (`x > ALL (SELECT …)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Quantifier {
+    All,
+    /// `ANY` and `SOME` are synonyms.
+    Any,
+}
+
+impl fmt::Display for Quantifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Quantifier::All => "ALL",
+            Quantifier::Any => "ANY",
+        })
+    }
+}
+
+/// The aggregate functions of the paper (Section 3.3 lists exactly these
+/// as the "SQL aggregation functions used most often").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggregateFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl fmt::Display for AggregateFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggregateFunc::Count => "COUNT",
+            AggregateFunc::Sum => "SUM",
+            AggregateFunc::Avg => "AVG",
+            AggregateFunc::Min => "MIN",
+            AggregateFunc::Max => "MAX",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Literal values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    Null,
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+}
+
+/// A scalar or boolean expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `a1` or `r.a1`.
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
+    Literal(Literal),
+    Binary {
+        op: BinaryOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    Unary {
+        op: UnaryOp,
+        expr: Box<Expr>,
+    },
+    Like {
+        negated: bool,
+        expr: Box<Expr>,
+        pattern: Box<Expr>,
+    },
+    Between {
+        negated: bool,
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+    },
+    InList {
+        negated: bool,
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+    },
+    /// `e IS [NOT] NULL`.
+    IsNull {
+        negated: bool,
+        expr: Box<Expr>,
+    },
+    /// `e [NOT] IN (SELECT ...)` — a quantified table subquery (type N/J).
+    InSubquery {
+        negated: bool,
+        expr: Box<Expr>,
+        subquery: Box<SelectStmt>,
+    },
+    /// `[NOT] EXISTS (SELECT ...)`.
+    Exists {
+        negated: bool,
+        subquery: Box<SelectStmt>,
+    },
+    /// `e θ ALL (SELECT ...)` / `e θ ANY (SELECT ...)` — the paper's
+    /// outlook item (3).
+    QuantifiedCmp {
+        op: BinaryOp,
+        quantifier: Quantifier,
+        expr: Box<Expr>,
+        subquery: Box<SelectStmt>,
+    },
+    /// `(SELECT agg(..) ...)` used as a value — a scalar subquery
+    /// (type A/JA in Kim's classification).
+    ScalarSubquery(Box<SelectStmt>),
+    /// `COUNT(*)`, `COUNT(DISTINCT *)`, `SUM(x)`, `MIN(DISTINCT x)`, ...
+    /// `arg == None` means `*`.
+    Aggregate {
+        func: AggregateFunc,
+        distinct: bool,
+        arg: Option<Box<Expr>>,
+    },
+}
+
+impl Expr {
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column {
+            qualifier: None,
+            name: name.into(),
+        }
+    }
+
+    pub fn qcol(qualifier: impl Into<String>, name: impl Into<String>) -> Expr {
+        Expr::Column {
+            qualifier: Some(qualifier.into()),
+            name: name.into(),
+        }
+    }
+
+    pub fn int(v: i64) -> Expr {
+        Expr::Literal(Literal::Int(v))
+    }
+
+    pub fn binary(op: BinaryOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// Pre-order traversal over this expression and all children,
+    /// *including* expressions inside nested subqueries' WHERE clauses
+    /// when `enter_subqueries` is set.
+    pub fn walk<'a>(&'a self, enter_subqueries: bool, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Column { .. } | Expr::Literal(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.walk(enter_subqueries, f);
+                right.walk(enter_subqueries, f);
+            }
+            Expr::Unary { expr, .. } => expr.walk(enter_subqueries, f),
+            Expr::Like { expr, pattern, .. } => {
+                expr.walk(enter_subqueries, f);
+                pattern.walk(enter_subqueries, f);
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                expr.walk(enter_subqueries, f);
+                low.walk(enter_subqueries, f);
+                high.walk(enter_subqueries, f);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.walk(enter_subqueries, f);
+                for e in list {
+                    e.walk(enter_subqueries, f);
+                }
+            }
+            Expr::IsNull { expr, .. } => expr.walk(enter_subqueries, f),
+            Expr::InSubquery { expr, subquery, .. } => {
+                expr.walk(enter_subqueries, f);
+                if enter_subqueries {
+                    walk_select(subquery, f);
+                }
+            }
+            Expr::Exists { subquery, .. } => {
+                if enter_subqueries {
+                    walk_select(subquery, f);
+                }
+            }
+            Expr::QuantifiedCmp { expr, subquery, .. } => {
+                expr.walk(enter_subqueries, f);
+                if enter_subqueries {
+                    walk_select(subquery, f);
+                }
+            }
+            Expr::ScalarSubquery(subquery) => {
+                if enter_subqueries {
+                    walk_select(subquery, f);
+                }
+            }
+            Expr::Aggregate { arg, .. } => {
+                if let Some(a) = arg {
+                    a.walk(enter_subqueries, f);
+                }
+            }
+        }
+    }
+
+    /// Does this expression (not descending into subqueries) contain an
+    /// aggregate function call?
+    pub fn contains_aggregate(&self) -> bool {
+        let mut found = false;
+        self.walk(false, &mut |e| {
+            if matches!(e, Expr::Aggregate { .. }) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Does this expression contain any subquery (scalar, IN or EXISTS)?
+    pub fn contains_subquery(&self) -> bool {
+        let mut found = false;
+        self.walk(false, &mut |e| {
+            if matches!(
+                e,
+                Expr::ScalarSubquery(_)
+                    | Expr::InSubquery { .. }
+                    | Expr::Exists { .. }
+                    | Expr::QuantifiedCmp { .. }
+            ) {
+                found = true;
+            }
+        });
+        found
+    }
+}
+
+fn walk_select<'a>(s: &'a SelectStmt, f: &mut impl FnMut(&'a Expr)) {
+    for t in &s.from {
+        if let TableRef::Derived { subquery, .. } = t {
+            walk_select(subquery, f);
+        }
+    }
+    for item in &s.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            expr.walk(true, f);
+        }
+    }
+    if let Some(w) = &s.where_clause {
+        w.walk(true, f);
+    }
+    for o in &s.order_by {
+        o.expr.walk(true, f);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Display: render the AST back to SQL text.
+// ---------------------------------------------------------------------
+
+impl fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        if self.distinct {
+            f.write_str("DISTINCT ")?;
+        }
+        for (i, it) in self.items.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            match it {
+                SelectItem::Wildcard => f.write_str("*")?,
+                SelectItem::QualifiedWildcard(q) => write!(f, "{q}.*")?,
+                SelectItem::Expr { expr, alias } => {
+                    write!(f, "{expr}")?;
+                    if let Some(a) = alias {
+                        write!(f, " AS {a}")?;
+                    }
+                }
+            }
+        }
+        f.write_str(" FROM ")?;
+        for (i, t) in self.from.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            match t {
+                TableRef::Table { name, alias } => {
+                    write!(f, "{name}")?;
+                    if let Some(a) = alias {
+                        write!(f, " AS {a}")?;
+                    }
+                }
+                TableRef::Derived { subquery, alias } => {
+                    write!(f, "({subquery}) AS {alias}")?;
+                }
+            }
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.order_by.is_empty() {
+            f.write_str(" ORDER BY ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{}", o.expr)?;
+                if o.desc {
+                    f.write_str(" DESC")?;
+                }
+            }
+        }
+        if let Some(n) = self.limit {
+            write!(f, " LIMIT {n}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column { qualifier, name } => match qualifier {
+                Some(q) => write!(f, "{q}.{name}"),
+                None => write!(f, "{name}"),
+            },
+            Expr::Literal(l) => write!(f, "{l}"),
+            Expr::Binary { op, left, right } => {
+                let sym = match op {
+                    BinaryOp::Or => "OR",
+                    BinaryOp::And => "AND",
+                    BinaryOp::Eq => "=",
+                    BinaryOp::Neq => "<>",
+                    BinaryOp::Lt => "<",
+                    BinaryOp::LtEq => "<=",
+                    BinaryOp::Gt => ">",
+                    BinaryOp::GtEq => ">=",
+                    BinaryOp::Add => "+",
+                    BinaryOp::Sub => "-",
+                    BinaryOp::Mul => "*",
+                    BinaryOp::Div => "/",
+                };
+                write!(f, "({left} {sym} {right})")
+            }
+            Expr::Unary { op, expr } => match op {
+                UnaryOp::Not => write!(f, "(NOT {expr})"),
+                UnaryOp::Neg => write!(f, "(-{expr})"),
+            },
+            Expr::Like {
+                negated,
+                expr,
+                pattern,
+            } => write!(
+                f,
+                "({expr} {}LIKE {pattern})",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::Between {
+                negated,
+                expr,
+                low,
+                high,
+            } => write!(
+                f,
+                "({expr} {}BETWEEN {low} AND {high})",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::IsNull { negated, expr } => {
+                write!(f, "({expr} IS {}NULL)", if *negated { "NOT " } else { "" })
+            }
+            Expr::InList {
+                negated,
+                expr,
+                list,
+            } => {
+                write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                f.write_str("))")
+            }
+            Expr::InSubquery {
+                negated,
+                expr,
+                subquery,
+            } => write!(
+                f,
+                "({expr} {}IN ({subquery}))",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::Exists { negated, subquery } => write!(
+                f,
+                "({}EXISTS ({subquery}))",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::QuantifiedCmp {
+                op,
+                quantifier,
+                expr,
+                subquery,
+            } => {
+                let sym = match op {
+                    BinaryOp::Eq => "=",
+                    BinaryOp::Neq => "<>",
+                    BinaryOp::Lt => "<",
+                    BinaryOp::LtEq => "<=",
+                    BinaryOp::Gt => ">",
+                    BinaryOp::GtEq => ">=",
+                    _ => "?",
+                };
+                write!(f, "({expr} {sym} {quantifier} ({subquery}))")
+            }
+            Expr::ScalarSubquery(q) => write!(f, "({q})"),
+            Expr::Aggregate {
+                func,
+                distinct,
+                arg,
+            } => {
+                write!(f, "{func}(")?;
+                if *distinct {
+                    f.write_str("DISTINCT ")?;
+                }
+                match arg {
+                    Some(a) => write!(f, "{a}")?,
+                    None => f.write_str("*")?,
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Null => f.write_str("NULL"),
+            Literal::Int(i) => write!(f, "{i}"),
+            Literal::Float(x) => write!(f, "{x}"),
+            Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Bool(b) => f.write_str(if *b { "TRUE" } else { "FALSE" }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_and_display() {
+        let e = Expr::binary(
+            BinaryOp::Or,
+            Expr::binary(BinaryOp::Eq, Expr::qcol("r", "a1"), Expr::int(1)),
+            Expr::binary(BinaryOp::Gt, Expr::col("a4"), Expr::int(1500)),
+        );
+        assert_eq!(e.to_string(), "((r.a1 = 1) OR (a4 > 1500))");
+    }
+
+    #[test]
+    fn walk_visits_all_nodes() {
+        let e = Expr::binary(
+            BinaryOp::And,
+            Expr::col("a"),
+            Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(Expr::col("b")),
+            },
+        );
+        let mut n = 0;
+        e.walk(false, &mut |_| n += 1);
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn contains_aggregate_and_subquery() {
+        let agg = Expr::Aggregate {
+            func: AggregateFunc::Count,
+            distinct: false,
+            arg: None,
+        };
+        assert!(agg.contains_aggregate());
+        assert!(!agg.contains_subquery());
+
+        let sq = Expr::ScalarSubquery(Box::new(SelectStmt {
+            distinct: false,
+            items: vec![SelectItem::Expr {
+                expr: agg,
+                alias: None,
+            }],
+            from: vec![TableRef::table("s", None)],
+            where_clause: None,
+            order_by: vec![],
+            limit: None,
+        }));
+        assert!(sq.contains_subquery());
+        // The aggregate is *inside* the subquery, invisible without
+        // descending.
+        assert!(!sq.contains_aggregate());
+    }
+
+    #[test]
+    fn literal_display_escapes_quotes() {
+        assert_eq!(Literal::Str("it's".into()).to_string(), "'it''s'");
+        assert_eq!(Literal::Bool(true).to_string(), "TRUE");
+    }
+
+    #[test]
+    fn effective_alias() {
+        let t = TableRef::table("part", None);
+        assert_eq!(t.effective_alias(), "part");
+        let t = TableRef::table("part", Some("p".into()));
+        assert_eq!(t.effective_alias(), "p");
+    }
+}

@@ -1,0 +1,314 @@
+use bypass_types::{Error, Result};
+
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Hand-written SQL lexer.
+///
+/// Produces the full token stream eagerly; SQL statements are short, so
+/// streaming buys nothing. Comments (`-- ...` to end of line) and all
+/// Unicode whitespace are skipped. Identifiers are `[A-Za-z_][A-Za-z0-9_]*`
+/// (the paper's schemas use `s_acctbal`-style names).
+pub struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    pub fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Tokenize the whole input (appends an `Eof` token).
+    pub fn tokenize(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let offset = self.pos;
+            let Some(&b) = self.bytes.get(self.pos) else {
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    offset,
+                });
+                return Ok(out);
+            };
+            let kind = match b {
+                b'(' => self.single(TokenKind::LParen),
+                b')' => self.single(TokenKind::RParen),
+                b',' => self.single(TokenKind::Comma),
+                b'.' => self.single(TokenKind::Dot),
+                b';' => self.single(TokenKind::Semi),
+                b'+' => self.single(TokenKind::Plus),
+                b'-' => self.single(TokenKind::Minus),
+                b'*' => self.single(TokenKind::Star),
+                b'/' => self.single(TokenKind::Slash),
+                b'=' => self.single(TokenKind::Eq),
+                b'<' => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'=') => self.single(TokenKind::LtEq),
+                        Some(b'>') => self.single(TokenKind::Neq),
+                        _ => TokenKind::Lt,
+                    }
+                }
+                b'>' => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'=') => self.single(TokenKind::GtEq),
+                        _ => TokenKind::Gt,
+                    }
+                }
+                b'!' => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'=') => self.single(TokenKind::Neq),
+                        _ => {
+                            return Err(Error::parse(format!(
+                                "unexpected `!` at offset {offset} (did you mean `!=`?)"
+                            )))
+                        }
+                    }
+                }
+                b'\'' => self.string_literal(offset)?,
+                b'0'..=b'9' => self.number(offset)?,
+                b if b.is_ascii_alphabetic() || b == b'_' => self.identifier(),
+                other => {
+                    return Err(Error::parse(format!(
+                        "unexpected character `{}` at offset {offset}",
+                        other as char
+                    )))
+                }
+            };
+            out.push(Token { kind, offset });
+        }
+    }
+
+    fn single(&mut self, kind: TokenKind) -> TokenKind {
+        self.pos += 1;
+        kind
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            while self
+                .bytes
+                .get(self.pos)
+                .is_some_and(|b| b.is_ascii_whitespace())
+            {
+                self.pos += 1;
+            }
+            // Line comment.
+            if self.bytes.get(self.pos) == Some(&b'-') && self.bytes.get(self.pos + 1) == Some(&b'-')
+            {
+                while self.bytes.get(self.pos).is_some_and(|&b| b != b'\n') {
+                    self.pos += 1;
+                }
+                continue;
+            }
+            break;
+        }
+    }
+
+    fn string_literal(&mut self, start: usize) -> Result<TokenKind> {
+        self.pos += 1; // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => {
+                    return Err(Error::parse(format!(
+                        "unterminated string literal starting at offset {start}"
+                    )))
+                }
+                Some(b'\'') => {
+                    // '' is an escaped quote.
+                    if self.bytes.get(self.pos + 1) == Some(&b'\'') {
+                        s.push('\'');
+                        self.pos += 2;
+                    } else {
+                        self.pos += 1;
+                        return Ok(TokenKind::Str(s));
+                    }
+                }
+                Some(_) => {
+                    // Advance by whole UTF-8 chars.
+                    let rest = &self.src[self.pos..];
+                    let c = rest.chars().next().unwrap();
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self, start: usize) -> Result<TokenKind> {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit())
+        {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        // Fractional part — but not if the dot starts a qualified name
+        // (digits never precede `.` in our grammar, so any digit.digit is
+        // a float).
+        if self.bytes.get(self.pos) == Some(&b'.')
+            && self
+                .bytes
+                .get(self.pos + 1)
+                .is_some_and(|b| b.is_ascii_digit())
+        {
+            is_float = true;
+            self.pos += 1;
+            while self
+                .bytes
+                .get(self.pos)
+                .is_some_and(|b| b.is_ascii_digit())
+            {
+                self.pos += 1;
+            }
+        }
+        // Exponent.
+        if matches!(self.bytes.get(self.pos), Some(b'e' | b'E')) {
+            let mut look = self.pos + 1;
+            if matches!(self.bytes.get(look), Some(b'+' | b'-')) {
+                look += 1;
+            }
+            if self.bytes.get(look).is_some_and(|b| b.is_ascii_digit()) {
+                is_float = true;
+                self.pos = look;
+                while self
+                    .bytes
+                    .get(self.pos)
+                    .is_some_and(|b| b.is_ascii_digit())
+                {
+                    self.pos += 1;
+                }
+            }
+        }
+        let text = &self.src[start..self.pos];
+        if is_float {
+            text.parse::<f64>()
+                .map(TokenKind::Float)
+                .map_err(|e| Error::parse(format!("invalid float literal `{text}`: {e}")))
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::Int)
+                .map_err(|e| Error::parse(format!("invalid integer literal `{text}`: {e}")))
+        }
+    }
+
+    fn identifier(&mut self) -> TokenKind {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            self.pos += 1;
+        }
+        let text = &self.src[start..self.pos];
+        match Keyword::from_str(text) {
+            Some(kw) => TokenKind::Keyword(kw),
+            None => TokenKind::Ident(text.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::Keyword as K;
+    use TokenKind::*;
+
+    fn lex(s: &str) -> Vec<TokenKind> {
+        Lexer::new(s)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn keywords_idents_and_punctuation() {
+        assert_eq!(
+            lex("SELECT a1 FROM r"),
+            vec![
+                Keyword(K::Select),
+                Ident("a1".into()),
+                Keyword(K::From),
+                Ident("r".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            lex("= <> != < <= > >= + - * /"),
+            vec![Eq, Neq, Neq, Lt, LtEq, Gt, GtEq, Plus, Minus, Star, Slash, Eof]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(lex("42"), vec![Int(42), Eof]);
+        assert_eq!(lex("1.5"), vec![Float(1.5), Eof]);
+        assert_eq!(lex("1e3"), vec![Float(1000.0), Eof]);
+        assert_eq!(lex("2.5e-1"), vec![Float(0.25), Eof]);
+    }
+
+    #[test]
+    fn qualified_name_is_not_a_float() {
+        assert_eq!(
+            lex("r.a1"),
+            vec![Ident("r".into()), Dot, Ident("a1".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(lex("'EUROPE'"), vec![Str("EUROPE".into()), Eof]);
+        assert_eq!(lex("'it''s'"), vec![Str("it's".into()), Eof]);
+        assert_eq!(lex("'%BRASS'"), vec![Str("%BRASS".into()), Eof]);
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(Lexer::new("'oops").tokenize().is_err());
+    }
+
+    #[test]
+    fn comments_and_whitespace_skipped() {
+        assert_eq!(
+            lex("SELECT -- comment\n 1"),
+            vec![Keyword(K::Select), Int(1), Eof]
+        );
+        assert_eq!(lex("  \t\n "), vec![Eof]);
+        assert_eq!(lex("-- only comment"), vec![Eof]);
+    }
+
+    #[test]
+    fn bare_bang_is_an_error() {
+        assert!(Lexer::new("a ! b").tokenize().is_err());
+    }
+
+    #[test]
+    fn offsets_are_recorded() {
+        let toks = Lexer::new("a  b").tokenize().unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 3);
+    }
+
+    #[test]
+    fn unexpected_character() {
+        let err = Lexer::new("a § b").tokenize().unwrap_err();
+        assert!(err.to_string().contains("unexpected character"), "{err}");
+    }
+}

@@ -1,0 +1,29 @@
+//! SQL frontend: a hand-written lexer and recursive-descent parser for the
+//! SQL subset the paper's workloads need.
+//!
+//! Supported statements:
+//!
+//! * `CREATE TABLE name (col TYPE, ...)`
+//! * `INSERT INTO name VALUES (...), (...)`
+//! * `SELECT [DISTINCT] items FROM t [AS] a, ... [WHERE pred]
+//!    [ORDER BY e [ASC|DESC], ...]`
+//!
+//! Expressions cover arithmetic, comparisons `{=, <>, !=, <, <=, >, >=}`,
+//! `AND/OR/NOT`, `LIKE`, `BETWEEN`, `IN (list | subquery)`, `EXISTS`,
+//! scalar subqueries as operands, and the aggregate functions
+//! `COUNT/SUM/AVG/MIN/MAX` with optional `DISTINCT` — everything Queries
+//! Q1–Q4 and TPC-H Query 2d of the paper exercise, plus the technical
+//! report's quantified table subqueries.
+
+mod ast;
+mod lexer;
+mod parser;
+mod token;
+
+pub use ast::{
+    AggregateFunc, BinaryOp, Expr, Literal, OrderItem, Quantifier, SelectItem, SelectStmt, Statement,
+    TableRef, UnaryOp,
+};
+pub use lexer::Lexer;
+pub use parser::{parse_expression, parse_statement, Parser};
+pub use token::{Keyword, Token, TokenKind};

@@ -1,0 +1,843 @@
+use bypass_types::{DataType, Error, Result};
+
+use crate::ast::*;
+use crate::lexer::Lexer;
+use crate::token::{Keyword as K, Token, TokenKind as T};
+
+/// Parse a single SQL statement (a trailing `;` is allowed).
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let mut p = Parser::new(sql)?;
+    let stmt = p.statement()?;
+    p.eat(&T::Semi);
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse a standalone expression (test / REPL helper).
+pub fn parse_expression(sql: &str) -> Result<Expr> {
+    let mut p = Parser::new(sql)?;
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+/// Recursive-descent parser with precedence climbing for expressions.
+///
+/// Binding powers (loosest to tightest): `OR` < `AND` < `NOT` <
+/// comparisons / `LIKE` / `BETWEEN` / `IN` < `+ -` < `* /` < unary minus.
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    pub fn new(sql: &str) -> Result<Parser> {
+        Ok(Parser {
+            tokens: Lexer::new(sql).tokenize()?,
+            pos: 0,
+        })
+    }
+
+    // -- token helpers ------------------------------------------------
+
+    fn peek(&self) -> &T {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &T {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn advance(&mut self) -> T {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consume the token if it matches.
+    fn eat(&mut self, kind: &T) -> bool {
+        if self.peek() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: K) -> bool {
+        self.eat(&T::Keyword(kw))
+    }
+
+    fn expect(&mut self, kind: &T) -> Result<()> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {kind}")))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: K) -> Result<()> {
+        self.expect(&T::Keyword(kw))
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if matches!(self.peek(), T::Eof) {
+            Ok(())
+        } else {
+            Err(self.error("expected end of input"))
+        }
+    }
+
+    fn error(&self, msg: impl Into<String>) -> Error {
+        let tok = &self.tokens[self.pos];
+        Error::parse(format!(
+            "{} but found {} at offset {}",
+            msg.into(),
+            tok.kind,
+            tok.offset
+        ))
+    }
+
+    fn identifier(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            T::Ident(s) => {
+                self.advance();
+                Ok(s)
+            }
+            _ => Err(self.error("expected identifier")),
+        }
+    }
+
+    // -- statements ---------------------------------------------------
+
+    pub fn statement(&mut self) -> Result<Statement> {
+        match self.peek() {
+            T::Keyword(K::Select) => Ok(Statement::Query(self.select()?)),
+            T::Keyword(K::Create) => self.create_table(),
+            T::Keyword(K::Insert) => self.insert(),
+            _ => Err(self.error("expected SELECT, CREATE or INSERT")),
+        }
+    }
+
+    fn create_table(&mut self) -> Result<Statement> {
+        self.expect_kw(K::Create)?;
+        self.expect_kw(K::Table)?;
+        let name = self.identifier()?;
+        self.expect(&T::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.identifier()?;
+            let dtype = self.data_type()?;
+            columns.push((col, dtype));
+            if !self.eat(&T::Comma) {
+                break;
+            }
+        }
+        self.expect(&T::RParen)?;
+        Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn data_type(&mut self) -> Result<DataType> {
+        let t = match self.peek() {
+            T::Keyword(K::Int) | T::Keyword(K::Integer) => DataType::Int,
+            T::Keyword(K::Float) | T::Keyword(K::Double) => DataType::Float,
+            T::Keyword(K::Text) => DataType::Text,
+            T::Keyword(K::Varchar) => DataType::Text,
+            T::Keyword(K::Bool) | T::Keyword(K::Boolean) => DataType::Bool,
+            _ => return Err(self.error("expected a data type")),
+        };
+        self.advance();
+        // Optional length argument: VARCHAR(25).
+        if self.eat(&T::LParen) {
+            match self.advance() {
+                T::Int(_) => {}
+                _ => return Err(self.error("expected length in type")),
+            }
+            self.expect(&T::RParen)?;
+        }
+        Ok(t)
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        self.expect_kw(K::Insert)?;
+        self.expect_kw(K::Into)?;
+        let table = self.identifier()?;
+        self.expect_kw(K::Values)?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&T::LParen)?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.expr()?);
+                if !self.eat(&T::Comma) {
+                    break;
+                }
+            }
+            self.expect(&T::RParen)?;
+            rows.push(row);
+            if !self.eat(&T::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, rows })
+    }
+
+    // -- SELECT -------------------------------------------------------
+
+    pub fn select(&mut self) -> Result<SelectStmt> {
+        self.expect_kw(K::Select)?;
+        let distinct = self.eat_kw(K::Distinct);
+        let mut items = Vec::new();
+        loop {
+            items.push(self.select_item()?);
+            if !self.eat(&T::Comma) {
+                break;
+            }
+        }
+        self.expect_kw(K::From)?;
+        let mut from = Vec::new();
+        loop {
+            if self.eat(&T::LParen) {
+                // Derived table: (SELECT ...) [AS] alias — the alias is
+                // mandatory (standard SQL).
+                let sq = self.select()?;
+                self.expect(&T::RParen)?;
+                self.eat_kw(K::As);
+                let alias = self.identifier().map_err(|_| {
+                    self.error("a derived table requires an alias")
+                })?;
+                from.push(TableRef::Derived {
+                    subquery: Box::new(sq),
+                    alias,
+                });
+            } else {
+                let name = self.identifier()?;
+                let alias = if self.eat_kw(K::As) {
+                    Some(self.identifier()?)
+                } else if let T::Ident(_) = self.peek() {
+                    // Bare alias: `FROM part p`.
+                    Some(self.identifier()?)
+                } else {
+                    None
+                };
+                from.push(TableRef::Table { name, alias });
+            }
+            if !self.eat(&T::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw(K::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_kw(K::Order) {
+            self.expect_kw(K::By)?;
+            loop {
+                let expr = self.expr()?;
+                let desc = if self.eat_kw(K::Desc) {
+                    true
+                } else {
+                    self.eat_kw(K::Asc);
+                    false
+                };
+                order_by.push(OrderItem { expr, desc });
+                if !self.eat(&T::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw(K::Limit) {
+            match self.advance() {
+                T::Int(n) if n >= 0 => Some(n as u64),
+                _ => return Err(self.error("expected a non-negative LIMIT count")),
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            distinct,
+            items,
+            from,
+            where_clause,
+            order_by,
+            limit,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        if self.eat(&T::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `alias.*`
+        if let (T::Ident(q), T::Dot) = (self.peek().clone(), self.peek2().clone()) {
+            if self.tokens[(self.pos + 2).min(self.tokens.len() - 1)].kind == T::Star {
+                self.advance();
+                self.advance();
+                self.advance();
+                return Ok(SelectItem::QualifiedWildcard(q));
+            }
+        }
+        let expr = self.expr()?;
+        let alias = if self.eat_kw(K::As) {
+            Some(self.identifier()?)
+        } else if let T::Ident(_) = self.peek() {
+            Some(self.identifier()?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    // -- expressions ---------------------------------------------------
+
+    pub fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw(K::Or) {
+            let right = self.and_expr()?;
+            left = Expr::binary(BinaryOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw(K::And) {
+            let right = self.not_expr()?;
+            left = Expr::binary(BinaryOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw(K::Not) {
+            let inner = self.not_expr()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            });
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+        // Postfix predicates: [NOT] LIKE / BETWEEN / IN.
+        let negated = if self.peek() == &T::Keyword(K::Not)
+            && matches!(
+                self.peek2(),
+                T::Keyword(K::Like) | T::Keyword(K::Between) | T::Keyword(K::In)
+            ) {
+            self.advance();
+            true
+        } else {
+            false
+        };
+        if self.eat_kw(K::Like) {
+            let pattern = self.additive()?;
+            return Ok(Expr::Like {
+                negated,
+                expr: Box::new(left),
+                pattern: Box::new(pattern),
+            });
+        }
+        if self.eat_kw(K::Between) {
+            let low = self.additive()?;
+            self.expect_kw(K::And)?;
+            let high = self.additive()?;
+            return Ok(Expr::Between {
+                negated,
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+            });
+        }
+        if self.eat_kw(K::Is) {
+            let negated = self.eat_kw(K::Not);
+            self.expect_kw(K::Null)?;
+            return Ok(Expr::IsNull {
+                negated,
+                expr: Box::new(left),
+            });
+        }
+        if self.eat_kw(K::In) {
+            self.expect(&T::LParen)?;
+            if self.peek() == &T::Keyword(K::Select) {
+                let sq = self.select()?;
+                self.expect(&T::RParen)?;
+                return Ok(Expr::InSubquery {
+                    negated,
+                    expr: Box::new(left),
+                    subquery: Box::new(sq),
+                });
+            }
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if !self.eat(&T::Comma) {
+                    break;
+                }
+            }
+            self.expect(&T::RParen)?;
+            return Ok(Expr::InList {
+                negated,
+                expr: Box::new(left),
+                list,
+            });
+        }
+        if negated {
+            return Err(self.error("expected LIKE, BETWEEN or IN after NOT"));
+        }
+        let op = match self.peek() {
+            T::Eq => BinaryOp::Eq,
+            T::Neq => BinaryOp::Neq,
+            T::Lt => BinaryOp::Lt,
+            T::LtEq => BinaryOp::LtEq,
+            T::Gt => BinaryOp::Gt,
+            T::GtEq => BinaryOp::GtEq,
+            _ => return Ok(left),
+        };
+        self.advance();
+        // Quantified comparison: θ ALL (SELECT ...) / θ ANY|SOME (...).
+        let quantifier = match self.peek() {
+            T::Keyword(K::All) => Some(Quantifier::All),
+            T::Keyword(K::Any) | T::Keyword(K::Some) => Some(Quantifier::Any),
+            _ => None,
+        };
+        if let Some(quantifier) = quantifier {
+            self.advance();
+            self.expect(&T::LParen)?;
+            let sq = self.select()?;
+            self.expect(&T::RParen)?;
+            return Ok(Expr::QuantifiedCmp {
+                op,
+                quantifier,
+                expr: Box::new(left),
+                subquery: Box::new(sq),
+            });
+        }
+        let right = self.additive()?;
+        Ok(Expr::binary(op, left, right))
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                T::Plus => BinaryOp::Add,
+                T::Minus => BinaryOp::Sub,
+                _ => return Ok(left),
+            };
+            self.advance();
+            let right = self.multiplicative()?;
+            left = Expr::binary(op, left, right);
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                T::Star => BinaryOp::Mul,
+                T::Slash => BinaryOp::Div,
+                _ => return Ok(left),
+            };
+            self.advance();
+            let right = self.unary()?;
+            left = Expr::binary(op, left, right);
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat(&T::Minus) {
+            let inner = self.unary()?;
+            // Constant-fold negative literals for readable plans.
+            return Ok(match inner {
+                Expr::Literal(Literal::Int(i)) => Expr::Literal(Literal::Int(-i)),
+                Expr::Literal(Literal::Float(x)) => Expr::Literal(Literal::Float(-x)),
+                e => Expr::Unary {
+                    op: UnaryOp::Neg,
+                    expr: Box::new(e),
+                },
+            });
+        }
+        if self.eat(&T::Plus) {
+            return self.unary();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            T::Int(i) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Int(i)))
+            }
+            T::Float(x) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Float(x)))
+            }
+            T::Str(s) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Str(s)))
+            }
+            T::Keyword(K::Null) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Null))
+            }
+            T::Keyword(K::True) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Bool(true)))
+            }
+            T::Keyword(K::False) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Bool(false)))
+            }
+            T::Keyword(K::Exists) => {
+                self.advance();
+                self.expect(&T::LParen)?;
+                let sq = self.select()?;
+                self.expect(&T::RParen)?;
+                Ok(Expr::Exists {
+                    negated: false,
+                    subquery: Box::new(sq),
+                })
+            }
+            T::Keyword(k @ (K::Count | K::Sum | K::Avg | K::Min | K::Max)) => {
+                self.advance();
+                let func = match k {
+                    K::Count => AggregateFunc::Count,
+                    K::Sum => AggregateFunc::Sum,
+                    K::Avg => AggregateFunc::Avg,
+                    K::Min => AggregateFunc::Min,
+                    _ => AggregateFunc::Max,
+                };
+                self.expect(&T::LParen)?;
+                let distinct = self.eat_kw(K::Distinct);
+                let arg = if self.eat(&T::Star) {
+                    None
+                } else {
+                    Some(Box::new(self.expr()?))
+                };
+                self.expect(&T::RParen)?;
+                Ok(Expr::Aggregate {
+                    func,
+                    distinct,
+                    arg,
+                })
+            }
+            T::LParen => {
+                self.advance();
+                if self.peek() == &T::Keyword(K::Select) {
+                    let sq = self.select()?;
+                    self.expect(&T::RParen)?;
+                    return Ok(Expr::ScalarSubquery(Box::new(sq)));
+                }
+                let e = self.expr()?;
+                self.expect(&T::RParen)?;
+                Ok(e)
+            }
+            T::Ident(first) => {
+                self.advance();
+                if self.eat(&T::Dot) {
+                    let name = self.identifier()?;
+                    Ok(Expr::Column {
+                        qualifier: Some(first),
+                        name,
+                    })
+                } else {
+                    Ok(Expr::Column {
+                        qualifier: None,
+                        name: first,
+                    })
+                }
+            }
+            _ => Err(self.error("expected an expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expr(s: &str) -> Expr {
+        parse_expression(s).unwrap()
+    }
+
+    #[test]
+    fn precedence_or_and() {
+        // a = 1 OR b = 2 AND c = 3  →  a=1 OR (b=2 AND c=3)
+        let e = expr("a = 1 OR b = 2 AND c = 3");
+        assert_eq!(e.to_string(), "((a = 1) OR ((b = 2) AND (c = 3)))");
+    }
+
+    #[test]
+    fn precedence_arith_vs_cmp() {
+        let e = expr("a + 1 * 2 < b - 3");
+        assert_eq!(e.to_string(), "((a + (1 * 2)) < (b - 3))");
+    }
+
+    #[test]
+    fn not_binds_tighter_than_and() {
+        let e = expr("NOT a = 1 AND b = 2");
+        assert_eq!(e.to_string(), "((NOT (a = 1)) AND (b = 2))");
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        assert_eq!(expr("-5"), Expr::int(-5));
+        assert_eq!(expr("- 2.5"), Expr::Literal(Literal::Float(-2.5)));
+        assert_eq!(expr("+7"), Expr::int(7));
+        // Non-literal keeps the unary node.
+        assert_eq!(expr("-a").to_string(), "(-a)");
+    }
+
+    #[test]
+    fn like_between_in() {
+        assert_eq!(
+            expr("p_type LIKE '%BRASS'").to_string(),
+            "(p_type LIKE '%BRASS')"
+        );
+        assert_eq!(
+            expr("x NOT LIKE 'a%'").to_string(),
+            "(x NOT LIKE 'a%')"
+        );
+        assert_eq!(
+            expr("x BETWEEN 1 AND 10").to_string(),
+            "(x BETWEEN 1 AND 10)"
+        );
+        assert_eq!(
+            expr("x NOT BETWEEN 1 AND 10 AND y = 2").to_string(),
+            "((x NOT BETWEEN 1 AND 10) AND (y = 2))"
+        );
+        assert_eq!(expr("x IN (1, 2, 3)").to_string(), "(x IN (1, 2, 3))");
+        assert_eq!(expr("x NOT IN (1)").to_string(), "(x NOT IN (1))");
+    }
+
+    #[test]
+    fn subqueries() {
+        let e = expr("a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2)");
+        match &e {
+            Expr::Binary { op, right, .. } => {
+                assert_eq!(*op, BinaryOp::Eq);
+                assert!(matches!(**right, Expr::ScalarSubquery(_)));
+            }
+            _ => panic!("expected binary"),
+        }
+
+        let e = expr("EXISTS (SELECT * FROM s WHERE b1 = 1)");
+        assert!(matches!(e, Expr::Exists { negated: false, .. }));
+
+        let e = expr("NOT EXISTS (SELECT * FROM s)");
+        // NOT wraps the EXISTS node.
+        assert!(matches!(e, Expr::Unary { op: UnaryOp::Not, .. }));
+
+        let e = expr("x IN (SELECT b1 FROM s)");
+        assert!(matches!(e, Expr::InSubquery { negated: false, .. }));
+        let e = expr("x NOT IN (SELECT b1 FROM s)");
+        assert!(matches!(e, Expr::InSubquery { negated: true, .. }));
+    }
+
+    #[test]
+    fn aggregates() {
+        assert_eq!(expr("COUNT(*)").to_string(), "COUNT(*)");
+        assert_eq!(expr("COUNT(DISTINCT *)").to_string(), "COUNT(DISTINCT *)");
+        assert_eq!(expr("SUM(x + 1)").to_string(), "SUM((x + 1))");
+        assert_eq!(expr("MIN(DISTINCT x)").to_string(), "MIN(DISTINCT x)");
+    }
+
+    #[test]
+    fn select_basics() {
+        let q = match parse_statement("SELECT DISTINCT * FROM r WHERE a4 > 1500;").unwrap() {
+            Statement::Query(q) => q,
+            _ => panic!(),
+        };
+        assert!(q.distinct);
+        assert_eq!(q.items, vec![SelectItem::Wildcard]);
+        assert_eq!(q.from[0].effective_alias(), "r");
+        assert!(q.where_clause.is_some());
+    }
+
+    #[test]
+    fn select_with_aliases_and_order_by() {
+        let q = match parse_statement(
+            "SELECT s.s_name AS name, n.n_name FROM supplier s, nation AS n \
+             WHERE s.s_n_key = n.n_n_key ORDER BY s.s_acctbal DESC, n.n_name",
+        )
+        .unwrap()
+        {
+            Statement::Query(q) => q,
+            _ => panic!(),
+        };
+        assert_eq!(q.from[0].effective_alias(), "s");
+        assert_eq!(q.from[1].effective_alias(), "n");
+        assert_eq!(q.order_by.len(), 2);
+        assert!(q.order_by[0].desc);
+        assert!(!q.order_by[1].desc);
+        match &q.items[0] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("name")),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn qualified_wildcard() {
+        let q = match parse_statement("SELECT r.* FROM r, s").unwrap() {
+            Statement::Query(q) => q,
+            _ => panic!(),
+        };
+        assert_eq!(q.items, vec![SelectItem::QualifiedWildcard("r".into())]);
+    }
+
+    #[test]
+    fn paper_query_q1_parses() {
+        let sql = "SELECT DISTINCT * FROM R \
+                   WHERE A1 = (SELECT COUNT(DISTINCT *) FROM S WHERE A2 = B2) \
+                   OR A4 > 1500";
+        let q = match parse_statement(sql).unwrap() {
+            Statement::Query(q) => q,
+            _ => panic!(),
+        };
+        let w = q.where_clause.unwrap();
+        // Top level must be an OR whose left side contains the subquery.
+        match &w {
+            Expr::Binary {
+                op: BinaryOp::Or,
+                left,
+                ..
+            } => assert!(left.contains_subquery()),
+            other => panic!("expected OR at top, got {other}"),
+        }
+    }
+
+    #[test]
+    fn paper_query_2d_parses() {
+        let sql = "SELECT s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone, s_comment \
+            FROM part, supplier, partsupp, nation, region \
+            WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey AND p_size = 15 \
+            AND p_type LIKE '%BRASS' AND s_n_key = n_n_key AND n_r_key = r_r_key \
+            AND r_name = 'EUROPE' \
+            AND (ps_supplycost = (SELECT MIN(ps_supplycost) FROM partsupp, supplier, nation, region \
+                 WHERE s_suppkey = ps_suppkey AND p_partkey = ps_partkey AND s_n_key = n_n_key \
+                 AND n_r_key = r_r_key AND r_name = 'EUROPE') \
+                 OR ps_availqty > 2000) \
+            ORDER BY s_acctbal DESC, n_name, s_name, p_partkey";
+        let stmt = parse_statement(sql).unwrap();
+        let Statement::Query(q) = stmt else { panic!() };
+        assert_eq!(q.from.len(), 5);
+        assert_eq!(q.order_by.len(), 4);
+        assert!(q.where_clause.unwrap().contains_subquery());
+    }
+
+    #[test]
+    fn create_and_insert() {
+        let s = parse_statement("CREATE TABLE r (a1 INT, a2 FLOAT, a3 VARCHAR(25), a4 BOOL)")
+            .unwrap();
+        match s {
+            Statement::CreateTable { name, columns } => {
+                assert_eq!(name, "r");
+                assert_eq!(columns.len(), 4);
+                assert_eq!(columns[2].1, DataType::Text);
+            }
+            _ => panic!(),
+        }
+        let s = parse_statement("INSERT INTO r VALUES (1, 2.5, 'x', TRUE), (2, NULL, 'y', FALSE)")
+            .unwrap();
+        match s {
+            Statement::Insert { table, rows } => {
+                assert_eq!(table, "r");
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[0].len(), 4);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn is_null_and_limit_parse() {
+        assert_eq!(
+            expr("a IS NULL OR b IS NOT NULL").to_string(),
+            "((a IS NULL) OR (b IS NOT NULL))"
+        );
+        let q = match parse_statement("SELECT a1 FROM r ORDER BY a1 LIMIT 5").unwrap() {
+            Statement::Query(q) => q,
+            _ => panic!(),
+        };
+        assert_eq!(q.limit, Some(5));
+        // LIMIT requires a non-negative integer.
+        assert!(parse_statement("SELECT a1 FROM r LIMIT -1").is_err());
+        assert!(parse_statement("SELECT a1 FROM r LIMIT x").is_err());
+    }
+
+    #[test]
+    fn quantified_comparisons_parse() {
+        let e = expr("a > ALL (SELECT b FROM s)");
+        assert!(matches!(
+            e,
+            Expr::QuantifiedCmp {
+                quantifier: Quantifier::All,
+                ..
+            }
+        ));
+        let e = expr("a <= SOME (SELECT b FROM s)");
+        assert!(matches!(
+            e,
+            Expr::QuantifiedCmp {
+                quantifier: Quantifier::Any,
+                ..
+            }
+        ));
+        assert_eq!(
+            expr("a = ANY (SELECT b FROM s)").to_string(),
+            "(a = ANY (SELECT b FROM s))"
+        );
+    }
+
+    #[test]
+    fn error_messages_carry_position() {
+        let err = parse_statement("SELECT FROM r").unwrap_err();
+        assert!(err.to_string().contains("offset"), "{err}");
+        let err = parse_statement("SELECT * FROM").unwrap_err();
+        assert!(err.to_string().contains("identifier"), "{err}");
+        let err = parse_expression("1 +").unwrap_err();
+        assert!(err.to_string().contains("expression"), "{err}");
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_statement("SELECT * FROM r garbage garbage").is_err());
+        assert!(parse_expression("1 + 2 2").is_err());
+    }
+
+    #[test]
+    fn nested_nesting_parses_linear_query_q4() {
+        let sql = "SELECT DISTINCT * FROM R WHERE A1 = \
+                   (SELECT COUNT(DISTINCT *) FROM S WHERE A2 = B2 OR B3 = \
+                    (SELECT COUNT(DISTINCT *) FROM T WHERE B4 = C2))";
+        let stmt = parse_statement(sql).unwrap();
+        let Statement::Query(q) = stmt else { panic!() };
+        // Outer WHERE contains subquery; its subquery's WHERE contains one too.
+        let w = q.where_clause.unwrap();
+        let mut depth2 = false;
+        w.walk(true, &mut |e| {
+            if let Expr::ScalarSubquery(inner) = e {
+                if inner
+                    .where_clause
+                    .as_ref()
+                    .is_some_and(|w| w.contains_subquery())
+                {
+                    depth2 = true;
+                }
+            }
+        });
+        assert!(depth2, "linear nesting should be visible");
+    }
+}

@@ -1,0 +1,190 @@
+use std::fmt;
+
+/// SQL keywords recognized by the lexer (identifier folding is
+/// case-insensitive, so `select` and `SELECT` both map to
+/// [`Keyword::Select`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    Select,
+    Distinct,
+    From,
+    Where,
+    Order,
+    By,
+    Asc,
+    Desc,
+    And,
+    Or,
+    Not,
+    Like,
+    Between,
+    In,
+    Exists,
+    Is,
+    Limit,
+    All,
+    Any,
+    Some,
+    Null,
+    True,
+    False,
+    As,
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    Create,
+    Table,
+    Insert,
+    Into,
+    Values,
+    Int,
+    Integer,
+    Float,
+    Double,
+    Text,
+    Varchar,
+    Bool,
+    Boolean,
+}
+
+impl Keyword {
+    /// Parse an identifier into a keyword, if it is one.
+    #[allow(clippy::should_implement_trait)] // fallible lookup, not FromStr
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        let kw = match s.to_ascii_uppercase().as_str() {
+            "SELECT" => Select,
+            "DISTINCT" => Distinct,
+            "FROM" => From,
+            "WHERE" => Where,
+            "ORDER" => Order,
+            "BY" => By,
+            "ASC" => Asc,
+            "DESC" => Desc,
+            "AND" => And,
+            "OR" => Or,
+            "NOT" => Not,
+            "LIKE" => Like,
+            "BETWEEN" => Between,
+            "IN" => In,
+            "EXISTS" => Exists,
+            "IS" => Is,
+            "LIMIT" => Limit,
+            "ALL" => All,
+            "ANY" => Any,
+            "SOME" => Some,
+            "NULL" => Null,
+            "TRUE" => True,
+            "FALSE" => False,
+            "AS" => As,
+            "COUNT" => Count,
+            "SUM" => Sum,
+            "AVG" => Avg,
+            "MIN" => Min,
+            "MAX" => Max,
+            "CREATE" => Create,
+            "TABLE" => Table,
+            "INSERT" => Insert,
+            "INTO" => Into,
+            "VALUES" => Values,
+            "INT" => Int,
+            "INTEGER" => Integer,
+            "FLOAT" => Float,
+            "DOUBLE" => Double,
+            "TEXT" => Text,
+            "VARCHAR" => Varchar,
+            "BOOL" => Bool,
+            "BOOLEAN" => Boolean,
+            _ => return Option::None,
+        };
+        Option::Some(kw)
+    }
+}
+
+/// Token kinds produced by the [`crate::Lexer`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    Keyword(Keyword),
+    /// Unquoted identifier (already a non-keyword).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating point literal.
+    Float(f64),
+    /// Single-quoted string literal ('' unescapes to ').
+    Str(String),
+    // Operators and punctuation.
+    Eq,      // =
+    Neq,     // <> or !=
+    Lt,      // <
+    LtEq,    // <=
+    Gt,      // >
+    GtEq,    // >=
+    Plus,    // +
+    Minus,   // -
+    Star,    // *
+    Slash,   // /
+    LParen,  // (
+    RParen,  // )
+    Comma,   // ,
+    Dot,     // .
+    Semi,    // ;
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "{k:?}"),
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(i) => write!(f, "integer `{i}`"),
+            TokenKind::Float(x) => write!(f, "float `{x}`"),
+            TokenKind::Str(s) => write!(f, "string '{s}'"),
+            TokenKind::Eq => f.write_str("`=`"),
+            TokenKind::Neq => f.write_str("`<>`"),
+            TokenKind::Lt => f.write_str("`<`"),
+            TokenKind::LtEq => f.write_str("`<=`"),
+            TokenKind::Gt => f.write_str("`>`"),
+            TokenKind::GtEq => f.write_str("`>=`"),
+            TokenKind::Plus => f.write_str("`+`"),
+            TokenKind::Minus => f.write_str("`-`"),
+            TokenKind::Star => f.write_str("`*`"),
+            TokenKind::Slash => f.write_str("`/`"),
+            TokenKind::LParen => f.write_str("`(`"),
+            TokenKind::RParen => f.write_str("`)`"),
+            TokenKind::Comma => f.write_str("`,`"),
+            TokenKind::Dot => f.write_str("`.`"),
+            TokenKind::Semi => f.write_str("`;`"),
+            TokenKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A token plus its byte offset in the source (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub offset: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup_is_case_insensitive() {
+        assert_eq!(Keyword::from_str("select"), Some(Keyword::Select));
+        assert_eq!(Keyword::from_str("SeLeCt"), Some(Keyword::Select));
+        assert_eq!(Keyword::from_str("nokeyword"), None);
+    }
+
+    #[test]
+    fn display_is_descriptive() {
+        assert_eq!(TokenKind::Ident("x".into()).to_string(), "identifier `x`");
+        assert_eq!(TokenKind::Eof.to_string(), "end of input");
+        assert_eq!(TokenKind::LtEq.to_string(), "`<=`");
+    }
+}

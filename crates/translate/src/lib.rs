@@ -1,0 +1,19 @@
+//! Canonical translation of SQL query blocks into the bypass algebra.
+//!
+//! The translation is deliberately *canonical* (Section 3 of the paper):
+//! every nested query block becomes an algebraic expression **embedded in
+//! the selection predicate** of its outer block
+//! ([`bypass_algebra::Scalar::Subquery`] and friends). No decorrelation
+//! happens here — evaluating the canonical plan directly yields the
+//! nested-loop strategy the paper starts from; the unnesting rewrites of
+//! `bypass-unnest` transform it afterwards.
+//!
+//! Correlation is represented *by name*: a column reference inside a
+//! nested block that does not resolve against the block's own FROM scope
+//! simply stays unresolved in the logical plan and is bound against the
+//! directly enclosing block at physical-planning time (the paper's
+//! "direct correlation" limitation).
+
+mod translator;
+
+pub use translator::{translate_query, Translator};

@@ -1,0 +1,92 @@
+use std::fmt;
+
+/// Convenience alias used across every `bypass` crate.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// The error type shared by all layers of the engine.
+///
+/// Variants mirror the pipeline stage that produced the error so that a
+/// failing end-to-end query can be attributed to the parser, the planner,
+/// the optimizer or the executor without string matching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Lexing or parsing failed. Carries a human-readable message that
+    /// includes the offending position.
+    Parse(String),
+    /// Name resolution / canonical translation failed (unknown column,
+    /// ambiguous reference, unsupported shape, ...).
+    Plan(String),
+    /// An unnesting rewrite was asked to fire on a plan it does not match.
+    Rewrite(String),
+    /// Catalog-level failure (unknown or duplicate table).
+    Catalog(String),
+    /// Type error during expression evaluation.
+    Type(String),
+    /// Runtime failure in the executor.
+    Execution(String),
+    /// A feature the engine intentionally does not implement.
+    Unsupported(String),
+}
+
+impl Error {
+    /// Shorthand constructors keep call sites terse.
+    pub fn parse(msg: impl Into<String>) -> Self {
+        Error::Parse(msg.into())
+    }
+    pub fn plan(msg: impl Into<String>) -> Self {
+        Error::Plan(msg.into())
+    }
+    pub fn rewrite(msg: impl Into<String>) -> Self {
+        Error::Rewrite(msg.into())
+    }
+    pub fn catalog(msg: impl Into<String>) -> Self {
+        Error::Catalog(msg.into())
+    }
+    pub fn type_err(msg: impl Into<String>) -> Self {
+        Error::Type(msg.into())
+    }
+    pub fn execution(msg: impl Into<String>) -> Self {
+        Error::Execution(msg.into())
+    }
+    pub fn unsupported(msg: impl Into<String>) -> Self {
+        Error::Unsupported(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Plan(m) => write!(f, "plan error: {m}"),
+            Error::Rewrite(m) => write!(f, "rewrite error: {m}"),
+            Error::Catalog(m) => write!(f, "catalog error: {m}"),
+            Error::Type(m) => write!(f, "type error: {m}"),
+            Error::Execution(m) => write!(f, "execution error: {m}"),
+            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_stage() {
+        assert_eq!(Error::parse("x").to_string(), "parse error: x");
+        assert_eq!(Error::plan("x").to_string(), "plan error: x");
+        assert_eq!(Error::rewrite("x").to_string(), "rewrite error: x");
+        assert_eq!(Error::catalog("x").to_string(), "catalog error: x");
+        assert_eq!(Error::type_err("x").to_string(), "type error: x");
+        assert_eq!(Error::execution("x").to_string(), "execution error: x");
+        assert_eq!(Error::unsupported("x").to_string(), "unsupported: x");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::parse("a"), Error::Parse("a".into()));
+        assert_ne!(Error::parse("a"), Error::plan("a"));
+    }
+}

@@ -1,0 +1,35 @@
+//! Core data model for the `bypass` query engine.
+//!
+//! This crate defines the substrate every other crate builds on:
+//!
+//! * [`DataType`] — the (deliberately small) SQL type system,
+//! * [`Value`] — a dynamically typed SQL value with three-valued-logic
+//!   comparisons and NULL-propagating arithmetic,
+//! * [`Truth`] — SQL's three-valued logic (`TRUE` / `FALSE` / `UNKNOWN`),
+//! * [`Tuple`] — a row of values,
+//! * [`Schema`] / [`Field`] — named, optionally qualified columns,
+//! * [`Relation`] — a materialized table (schema + rows) with the set/bag
+//!   helpers the algebra of the paper needs (distinct, disjoint union, sort),
+//! * [`TableStats`] — cheap statistics used by the rank/cost model.
+//!
+//! The engine is *bag-based* (SQL semantics). Operations that the paper
+//! defines on sets (Section 2.3) are provided as explicit helpers so that
+//! the duplicate-handling arguments of Section 3.7 can be tested directly.
+
+mod datatype;
+mod error;
+mod relation;
+mod schema;
+mod sort;
+mod stats;
+mod tuple;
+mod value;
+
+pub use datatype::DataType;
+pub use error::{Error, Result};
+pub use relation::Relation;
+pub use schema::{Field, Schema};
+pub use sort::{compare_tuples, SortKey, SortOrder};
+pub use stats::{ColumnStats, TableStats};
+pub use tuple::Tuple;
+pub use value::{Truth, Value};

@@ -1,0 +1,255 @@
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::{compare_tuples, Schema, SortKey, Tuple, Value};
+
+/// A fully materialized relation: a schema plus a bag of rows.
+///
+/// The operator-at-a-time executor passes `Relation`s between physical
+/// operators. Bag semantics are the default; the explicit set operations
+/// (`distinct`, `disjoint_union`) implement the paper's Section 3.7
+/// duplicate-handling requirements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    schema: Schema,
+    rows: Vec<Tuple>,
+}
+
+impl Relation {
+    pub fn new(schema: Schema, rows: Vec<Tuple>) -> Relation {
+        debug_assert!(
+            rows.iter().all(|r| r.arity() == schema.arity()),
+            "row arity must match schema arity"
+        );
+        Relation { schema, rows }
+    }
+
+    pub fn empty(schema: Schema) -> Relation {
+        Relation {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    pub fn into_rows(self) -> Vec<Tuple> {
+        self.rows
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn push(&mut self, row: Tuple) {
+        debug_assert_eq!(row.arity(), self.schema.arity());
+        self.rows.push(row);
+    }
+
+    /// Duplicate elimination preserving first occurrence order.
+    pub fn distinct(mut self) -> Relation {
+        let mut seen = HashSet::with_capacity(self.rows.len());
+        self.rows.retain(|r| seen.insert(r.clone()));
+        Relation {
+            schema: self.schema,
+            rows: self.rows,
+        }
+    }
+
+    /// The paper's disjoint union `∪̇`: concatenates the two bags. The
+    /// *caller* (the bypass rewrite) guarantees disjointness; a debug
+    /// assertion validates matching schema arity.
+    pub fn disjoint_union(mut self, other: Relation) -> Relation {
+        debug_assert_eq!(self.schema.arity(), other.schema.arity());
+        self.rows.extend(other.rows);
+        Relation {
+            schema: self.schema,
+            rows: self.rows,
+        }
+    }
+
+    /// Stable sort by the given keys.
+    pub fn sorted(mut self, keys: &[SortKey]) -> Relation {
+        self.rows.sort_by(|a, b| compare_tuples(a, b, keys));
+        Relation {
+            schema: self.schema,
+            rows: self.rows,
+        }
+    }
+
+    /// Multiset equality: same rows with the same multiplicities,
+    /// irrespective of order. This is the correctness notion all the
+    /// equivalence tests use (the unnested DAG may emit rows in a
+    /// different physical order than the canonical plan).
+    pub fn bag_eq(&self, other: &Relation) -> bool {
+        if self.rows.len() != other.rows.len() {
+            return false;
+        }
+        let mut counts: std::collections::HashMap<&Tuple, i64> =
+            std::collections::HashMap::with_capacity(self.rows.len());
+        for r in &self.rows {
+            *counts.entry(r).or_insert(0) += 1;
+        }
+        for r in &other.rows {
+            match counts.get_mut(r) {
+                Some(c) => *c -= 1,
+                None => return false,
+            }
+        }
+        counts.values().all(|&c| c == 0)
+    }
+
+    /// Render as an aligned ASCII table (for examples and debugging).
+    pub fn to_table_string(&self) -> String {
+        let headers: Vec<String> = self
+            .schema
+            .fields()
+            .iter()
+            .map(|f| f.qualified_name())
+            .collect();
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                r.values()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        let s = v.to_string();
+                        widths[i] = widths[i].max(s.len());
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut out = String::new();
+        let sep = |out: &mut String| {
+            out.push('+');
+            for w in &widths {
+                out.push_str(&"-".repeat(w + 2));
+                out.push('+');
+            }
+            out.push('\n');
+        };
+        sep(&mut out);
+        out.push('|');
+        for (h, w) in headers.iter().zip(&widths) {
+            out.push_str(&format!(" {h:<w$} |"));
+        }
+        out.push('\n');
+        sep(&mut out);
+        for row in &rendered {
+            out.push('|');
+            for (c, w) in row.iter().zip(&widths) {
+                out.push_str(&format!(" {c:<w$} |"));
+            }
+            out.push('\n');
+        }
+        sep(&mut out);
+        out.push_str(&format!(
+            "{} row{}\n",
+            self.rows.len(),
+            if self.rows.len() == 1 { "" } else { "s" }
+        ));
+        out
+    }
+
+    /// Convenience: single-column, single-row relation holding one value
+    /// (the result shape of a scalar subquery).
+    pub fn scalar(&self) -> Option<&Value> {
+        if self.rows.len() == 1 && self.schema.arity() == 1 {
+            Some(&self.rows[0][0])
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_table_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DataType, Field};
+
+    fn rel(rows: &[&[i64]]) -> Relation {
+        let schema = Schema::new(
+            (0..rows.first().map_or(1, |r| r.len()))
+                .map(|i| Field::new(format!("c{i}"), DataType::Int))
+                .collect(),
+        );
+        Relation::new(
+            schema,
+            rows.iter()
+                .map(|r| r.iter().map(|&v| Value::Int(v)).collect())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn distinct_keeps_first_occurrence() {
+        let r = rel(&[&[1], &[2], &[1], &[3], &[2]]).distinct();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.rows()[0][0], Value::Int(1));
+        assert_eq!(r.rows()[1][0], Value::Int(2));
+        assert_eq!(r.rows()[2][0], Value::Int(3));
+    }
+
+    #[test]
+    fn disjoint_union_concatenates() {
+        let r = rel(&[&[1], &[2]]).disjoint_union(rel(&[&[3]]));
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn bag_eq_ignores_order_not_multiplicity() {
+        let a = rel(&[&[1], &[2], &[2]]);
+        let b = rel(&[&[2], &[1], &[2]]);
+        let c = rel(&[&[1], &[2]]);
+        let d = rel(&[&[1], &[1], &[2]]);
+        assert!(a.bag_eq(&b));
+        assert!(!a.bag_eq(&c));
+        assert!(!a.bag_eq(&d));
+    }
+
+    #[test]
+    fn sorted_is_stable() {
+        let r = rel(&[&[2, 1], &[1, 1], &[2, 2], &[1, 2]]);
+        let s = r.sorted(&[SortKey::asc(0)]);
+        // Rows with equal keys keep input order: (1,1) before (1,2).
+        assert_eq!(s.rows()[0][1], Value::Int(1));
+        assert_eq!(s.rows()[1][1], Value::Int(2));
+    }
+
+    #[test]
+    fn scalar_extraction() {
+        let one = rel(&[&[42]]);
+        assert_eq!(one.scalar(), Some(&Value::Int(42)));
+        assert_eq!(rel(&[&[1], &[2]]).scalar(), None);
+        let two_cols = rel(&[&[1, 2]]);
+        assert_eq!(two_cols.scalar(), None);
+    }
+
+    #[test]
+    fn table_rendering() {
+        let s = rel(&[&[1], &[23]]).to_table_string();
+        assert!(s.contains("| c0 |"), "{s}");
+        assert!(s.contains("| 23 |"), "{s}");
+        assert!(s.contains("2 rows"), "{s}");
+    }
+}

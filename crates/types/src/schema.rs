@@ -1,0 +1,352 @@
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{DataType, Error, Result};
+
+/// A named, optionally qualified column.
+///
+/// Qualifiers carry the table alias a column originated from (`s.suppkey`),
+/// which name resolution needs to disambiguate self-joins — the TPC-H
+/// Query 2d of the paper joins `supplier`/`partsupp`/`nation`/`region`
+/// twice, once in each query block.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Field {
+    qualifier: Option<Arc<str>>,
+    name: Arc<str>,
+    data_type: DataType,
+}
+
+impl Field {
+    pub fn new(name: impl AsRef<str>, data_type: DataType) -> Field {
+        Field {
+            qualifier: None,
+            name: Arc::from(name.as_ref()),
+            data_type,
+        }
+    }
+
+    pub fn qualified(
+        qualifier: impl AsRef<str>,
+        name: impl AsRef<str>,
+        data_type: DataType,
+    ) -> Field {
+        Field {
+            qualifier: Some(Arc::from(qualifier.as_ref())),
+            name: Arc::from(name.as_ref()),
+            data_type,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn qualifier(&self) -> Option<&str> {
+        self.qualifier.as_deref()
+    }
+
+    pub fn data_type(&self) -> DataType {
+        self.data_type
+    }
+
+    /// Same field under a new qualifier (the rename operator ρ and FROM
+    /// aliases re-qualify whole schemas).
+    pub fn with_qualifier(&self, qualifier: impl AsRef<str>) -> Field {
+        Field {
+            qualifier: Some(Arc::from(qualifier.as_ref())),
+            name: self.name.clone(),
+            data_type: self.data_type,
+        }
+    }
+
+    /// Same field without a qualifier.
+    pub fn unqualified(&self) -> Field {
+        Field {
+            qualifier: None,
+            name: self.name.clone(),
+            data_type: self.data_type,
+        }
+    }
+
+    pub fn with_name(&self, name: impl AsRef<str>) -> Field {
+        Field {
+            qualifier: self.qualifier.clone(),
+            name: Arc::from(name.as_ref()),
+            data_type: self.data_type,
+        }
+    }
+
+    /// `qualifier.name` or bare `name`.
+    pub fn qualified_name(&self) -> String {
+        match &self.qualifier {
+            Some(q) => format!("{q}.{}", self.name),
+            None => self.name.to_string(),
+        }
+    }
+
+    /// Does this field answer to the reference `(qualifier?, name)`?
+    /// An unqualified reference matches any qualifier; a qualified one
+    /// must match exactly. Names are compared case-insensitively, which
+    /// mirrors SQL identifier folding in the parser.
+    pub fn matches(&self, qualifier: Option<&str>, name: &str) -> bool {
+        if !self.name.eq_ignore_ascii_case(name) {
+            return false;
+        }
+        match qualifier {
+            None => true,
+            Some(q) => self
+                .qualifier
+                .as_deref()
+                .is_some_and(|fq| fq.eq_ignore_ascii_case(q)),
+        }
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.qualified_name(), self.data_type)
+    }
+}
+
+/// An ordered list of fields describing a tuple layout.
+///
+/// Cheap to clone (`Arc`-backed fields in a `Vec`; schemas are small).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    pub fn new(fields: Vec<Field>) -> Schema {
+        Schema { fields }
+    }
+
+    pub fn empty() -> Schema {
+        Schema { fields: Vec::new() }
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Concatenated schema `A(e1) ∪ A(e2)` for join/cross-product outputs.
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut fields = Vec::with_capacity(self.fields.len() + other.fields.len());
+        fields.extend_from_slice(&self.fields);
+        fields.extend_from_slice(&other.fields);
+        Schema { fields }
+    }
+
+    /// Schema of a projection.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema {
+            fields: indices.iter().map(|&i| self.fields[i].clone()).collect(),
+        }
+    }
+
+    /// Append one field (χ and ν extend the schema on the right).
+    pub fn extended(&self, field: Field) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.push(field);
+        Schema { fields }
+    }
+
+    /// Resolve a column reference to its index.
+    ///
+    /// Errors on unknown names and on ambiguous unqualified references
+    /// (two fields named `n_name` from different qualifiers).
+    pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<usize> {
+        let mut found: Option<usize> = None;
+        for (i, f) in self.fields.iter().enumerate() {
+            if f.matches(qualifier, name) {
+                if let Some(prev) = found {
+                    // Identical fully-qualified duplicates are genuinely
+                    // ambiguous; report both candidates.
+                    return Err(Error::plan(format!(
+                        "ambiguous column reference `{}`: matches both `{}` and `{}`",
+                        display_ref(qualifier, name),
+                        self.fields[prev].qualified_name(),
+                        f.qualified_name()
+                    )));
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| {
+            Error::plan(format!(
+                "unknown column `{}`; available: [{}]",
+                display_ref(qualifier, name),
+                self.fields
+                    .iter()
+                    .map(|f| f.qualified_name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })
+    }
+
+    /// Like [`Schema::resolve`], but an unknown column is `Ok(None)`
+    /// instead of an error — ambiguity is still an error. Name
+    /// resolution against a scope *chain* uses this: unknown here may
+    /// resolve in an outer scope (correlation).
+    pub fn resolve_opt(&self, qualifier: Option<&str>, name: &str) -> Result<Option<usize>> {
+        let mut found: Option<usize> = None;
+        for (i, f) in self.fields.iter().enumerate() {
+            if f.matches(qualifier, name) {
+                if let Some(prev) = found {
+                    return Err(Error::plan(format!(
+                        "ambiguous column reference `{}`: matches both `{}` and `{}`",
+                        display_ref(qualifier, name),
+                        self.fields[prev].qualified_name(),
+                        f.qualified_name()
+                    )));
+                }
+                found = Some(i);
+            }
+        }
+        Ok(found)
+    }
+
+    /// Index of the first field matching the reference, or `None`.
+    pub fn find(&self, qualifier: Option<&str>, name: &str) -> Option<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.matches(qualifier, name))
+    }
+
+    /// All field indices whose qualifier matches `qualifier` — used for
+    /// `alias.*` expansion and the final `Π_{A(R)}` projections of the
+    /// unnesting equivalences.
+    pub fn indices_with_qualifier(&self, qualifier: &str) -> Vec<usize> {
+        self.fields
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| {
+                f.qualifier
+                    .as_deref()
+                    .is_some_and(|q| q.eq_ignore_ascii_case(qualifier))
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Re-qualify every field (FROM-clause aliasing / ρ over a whole relation).
+    pub fn with_qualifier(&self, qualifier: &str) -> Schema {
+        Schema {
+            fields: self
+                .fields
+                .iter()
+                .map(|f| f.with_qualifier(qualifier))
+                .collect(),
+        }
+    }
+}
+
+fn display_ref(qualifier: Option<&str>, name: &str) -> String {
+    match qualifier {
+        Some(q) => format!("{q}.{name}"),
+        None => name.to_string(),
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("[")?;
+        for (i, fld) in self.fields.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{fld}")?;
+        }
+        f.write_str("]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DataType::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::qualified("r", "a1", Int),
+            Field::qualified("r", "a2", Int),
+            Field::qualified("s", "b1", Text),
+        ])
+    }
+
+    #[test]
+    fn resolve_unqualified_unique() {
+        assert_eq!(schema().resolve(None, "a1").unwrap(), 0);
+        assert_eq!(schema().resolve(None, "b1").unwrap(), 2);
+    }
+
+    #[test]
+    fn resolve_qualified() {
+        assert_eq!(schema().resolve(Some("r"), "a2").unwrap(), 1);
+        assert!(schema().resolve(Some("s"), "a2").is_err());
+    }
+
+    #[test]
+    fn resolve_is_case_insensitive() {
+        assert_eq!(schema().resolve(Some("R"), "A1").unwrap(), 0);
+    }
+
+    #[test]
+    fn resolve_ambiguous() {
+        let s = Schema::new(vec![
+            Field::qualified("r", "x", Int),
+            Field::qualified("s", "x", Int),
+        ]);
+        let err = s.resolve(None, "x").unwrap_err();
+        assert!(err.to_string().contains("ambiguous"), "{err}");
+        // Qualified references stay unambiguous.
+        assert_eq!(s.resolve(Some("s"), "x").unwrap(), 1);
+    }
+
+    #[test]
+    fn resolve_unknown_lists_candidates() {
+        let err = schema().resolve(None, "zz").unwrap_err();
+        assert!(err.to_string().contains("unknown column"), "{err}");
+        assert!(err.to_string().contains("r.a1"), "{err}");
+    }
+
+    #[test]
+    fn concat_and_project() {
+        let s = schema();
+        let t = Schema::new(vec![Field::new("c", Bool)]);
+        let u = s.concat(&t);
+        assert_eq!(u.arity(), 4);
+        let p = u.project(&[3, 0]);
+        assert_eq!(p.field(0).name(), "c");
+        assert_eq!(p.field(1).name(), "a1");
+    }
+
+    #[test]
+    fn indices_with_qualifier() {
+        assert_eq!(schema().indices_with_qualifier("r"), vec![0, 1]);
+        assert_eq!(schema().indices_with_qualifier("s"), vec![2]);
+        assert!(schema().indices_with_qualifier("t").is_empty());
+    }
+
+    #[test]
+    fn requalify() {
+        let s = schema().with_qualifier("z");
+        assert!(s.fields().iter().all(|f| f.qualifier() == Some("z")));
+        assert_eq!(s.resolve(Some("z"), "a1").unwrap(), 0);
+    }
+
+    #[test]
+    fn display() {
+        let s = Schema::new(vec![Field::qualified("r", "a", Int)]);
+        assert_eq!(s.to_string(), "[r.a: INT]");
+    }
+}

@@ -1,0 +1,96 @@
+use std::cmp::Ordering;
+
+use crate::Tuple;
+
+/// Sort direction for one key of an ORDER BY.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    Asc,
+    Desc,
+}
+
+/// One ORDER BY key: a column index plus direction.
+///
+/// NULLs sort first in ascending order (the structural [`crate::Value`]
+/// order already places `Null` lowest), hence last under `Desc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortKey {
+    pub column: usize,
+    pub order: SortOrder,
+}
+
+impl SortKey {
+    pub fn asc(column: usize) -> SortKey {
+        SortKey {
+            column,
+            order: SortOrder::Asc,
+        }
+    }
+
+    pub fn desc(column: usize) -> SortKey {
+        SortKey {
+            column,
+            order: SortOrder::Desc,
+        }
+    }
+}
+
+/// Lexicographic comparison of two tuples under a compound sort key.
+pub fn compare_tuples(a: &Tuple, b: &Tuple, keys: &[SortKey]) -> Ordering {
+    for k in keys {
+        let ord = a[k.column].cmp(&b[k.column]);
+        let ord = match k.order {
+            SortOrder::Asc => ord,
+            SortOrder::Desc => ord.reverse(),
+        };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    fn t(vs: &[i64]) -> Tuple {
+        vs.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn single_key_asc_desc() {
+        let (a, b) = (t(&[1, 9]), t(&[2, 0]));
+        assert_eq!(compare_tuples(&a, &b, &[SortKey::asc(0)]), Ordering::Less);
+        assert_eq!(
+            compare_tuples(&a, &b, &[SortKey::desc(0)]),
+            Ordering::Greater
+        );
+    }
+
+    #[test]
+    fn compound_key_breaks_ties() {
+        let (a, b) = (t(&[1, 9]), t(&[1, 0]));
+        assert_eq!(compare_tuples(&a, &b, &[SortKey::asc(0)]), Ordering::Equal);
+        assert_eq!(
+            compare_tuples(&a, &b, &[SortKey::asc(0), SortKey::asc(1)]),
+            Ordering::Greater
+        );
+        assert_eq!(
+            compare_tuples(&a, &b, &[SortKey::asc(0), SortKey::desc(1)]),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn nulls_sort_first_ascending() {
+        let a = Tuple::new(vec![Value::Null]);
+        let b = Tuple::new(vec![Value::Int(-100)]);
+        assert_eq!(compare_tuples(&a, &b, &[SortKey::asc(0)]), Ordering::Less);
+        assert_eq!(
+            compare_tuples(&a, &b, &[SortKey::desc(0)]),
+            Ordering::Greater
+        );
+    }
+}

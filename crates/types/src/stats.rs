@@ -1,0 +1,172 @@
+use std::collections::HashSet;
+
+use crate::{Relation, Value};
+
+/// Per-column statistics used by the rank/cost model of the optimizer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Number of distinct non-NULL values.
+    pub distinct: usize,
+    /// Number of NULLs.
+    pub nulls: usize,
+    /// Minimum non-NULL value (structural order), if any.
+    pub min: Option<Value>,
+    /// Maximum non-NULL value, if any.
+    pub max: Option<Value>,
+}
+
+/// Table-level statistics: row count plus per-column stats.
+///
+/// The paper's rank-based bypass ordering (Section 3.1, Remark) needs
+/// selectivity and cost estimates for the disjuncts; these statistics are
+/// the inputs to those estimates. They are collected once when a table is
+/// registered in the catalog — a single O(n·k) scan.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TableStats {
+    pub row_count: usize,
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Collect statistics from a materialized relation.
+    pub fn from_relation(rel: &Relation) -> TableStats {
+        let arity = rel.schema().arity();
+        let mut distinct: Vec<HashSet<&Value>> = vec![HashSet::new(); arity];
+        let mut nulls = vec![0usize; arity];
+        let mut min: Vec<Option<&Value>> = vec![None; arity];
+        let mut max: Vec<Option<&Value>> = vec![None; arity];
+        for row in rel.rows() {
+            for (i, v) in row.values().iter().enumerate() {
+                if v.is_null() {
+                    nulls[i] += 1;
+                    continue;
+                }
+                distinct[i].insert(v);
+                min[i] = Some(match min[i] {
+                    Some(m) if m <= v => m,
+                    _ => v,
+                });
+                max[i] = Some(match max[i] {
+                    Some(m) if m >= v => m,
+                    _ => v,
+                });
+            }
+        }
+        TableStats {
+            row_count: rel.len(),
+            columns: (0..arity)
+                .map(|i| ColumnStats {
+                    distinct: distinct[i].len(),
+                    nulls: nulls[i],
+                    min: min[i].cloned(),
+                    max: max[i].cloned(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Estimated selectivity of an equality predicate `col = const`:
+    /// `1 / distinct(col)` (uniformity assumption), clamped to `[0, 1]`.
+    pub fn eq_selectivity(&self, column: usize) -> f64 {
+        match self.columns.get(column) {
+            Some(c) if c.distinct > 0 => 1.0 / c.distinct as f64,
+            _ => 0.1,
+        }
+    }
+
+    /// Estimated selectivity of `col > const` (resp. `<`, `>=`, `<=`)
+    /// by linear interpolation over the [min, max] range for numeric
+    /// columns. Falls back to 1/3 (the classic System R default).
+    pub fn range_selectivity(&self, column: usize, bound: &Value, greater: bool) -> f64 {
+        let Some(c) = self.columns.get(column) else {
+            return 1.0 / 3.0;
+        };
+        let (Some(min), Some(max)) = (&c.min, &c.max) else {
+            return 1.0 / 3.0;
+        };
+        let as_f = |v: &Value| -> Option<f64> {
+            match v {
+                Value::Int(i) => Some(*i as f64),
+                Value::Float(f) => Some(*f),
+                _ => None,
+            }
+        };
+        match (as_f(min), as_f(max), as_f(bound)) {
+            (Some(lo), Some(hi), Some(b)) if hi > lo => {
+                let frac = ((b - lo) / (hi - lo)).clamp(0.0, 1.0);
+                if greater {
+                    1.0 - frac
+                } else {
+                    frac
+                }
+            }
+            _ => 1.0 / 3.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DataType, Field, Schema, Tuple};
+
+    fn rel() -> Relation {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Int),
+        ]);
+        let rows = vec![
+            Tuple::new(vec![Value::Int(1), Value::Int(10)]),
+            Tuple::new(vec![Value::Int(2), Value::Int(10)]),
+            Tuple::new(vec![Value::Int(2), Value::Null]),
+            Tuple::new(vec![Value::Int(3), Value::Int(30)]),
+        ];
+        Relation::new(schema, rows)
+    }
+
+    #[test]
+    fn collects_counts_and_bounds() {
+        let s = TableStats::from_relation(&rel());
+        assert_eq!(s.row_count, 4);
+        assert_eq!(s.columns[0].distinct, 3);
+        assert_eq!(s.columns[0].nulls, 0);
+        assert_eq!(s.columns[1].distinct, 2);
+        assert_eq!(s.columns[1].nulls, 1);
+        assert_eq!(s.columns[0].min, Some(Value::Int(1)));
+        assert_eq!(s.columns[0].max, Some(Value::Int(3)));
+    }
+
+    #[test]
+    fn eq_selectivity_uses_distinct_count() {
+        let s = TableStats::from_relation(&rel());
+        assert!((s.eq_selectivity(0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.eq_selectivity(1) - 0.5).abs() < 1e-12);
+        // Out-of-range column falls back to default.
+        assert!((s.eq_selectivity(9) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_selectivity_interpolates() {
+        let s = TableStats::from_relation(&rel());
+        // col 0 spans [1,3]; bound 2 → greater keeps half.
+        let sel = s.range_selectivity(0, &Value::Int(2), true);
+        assert!((sel - 0.5).abs() < 1e-12);
+        let sel = s.range_selectivity(0, &Value::Int(2), false);
+        assert!((sel - 0.5).abs() < 1e-12);
+        // Bound outside range clamps.
+        assert_eq!(s.range_selectivity(0, &Value::Int(100), true), 0.0);
+        assert_eq!(s.range_selectivity(0, &Value::Int(-5), true), 1.0);
+        // Non-numeric bound falls back.
+        let sel = s.range_selectivity(0, &Value::text("x"), true);
+        assert!((sel - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_relation_stats() {
+        let schema = Schema::new(vec![Field::new("a", DataType::Int)]);
+        let s = TableStats::from_relation(&Relation::empty(schema));
+        assert_eq!(s.row_count, 0);
+        assert_eq!(s.columns[0].distinct, 0);
+        assert_eq!(s.columns[0].min, None);
+    }
+}

@@ -1,0 +1,147 @@
+use std::fmt;
+use std::ops::Index;
+
+use crate::Value;
+
+/// A row of values.
+///
+/// Tuples are positional; names live in the accompanying [`crate::Schema`].
+/// Concatenation (`◦` in the paper's notation) is the building block of
+/// joins and the map operator χ.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    pub fn empty() -> Self {
+        Tuple { values: Vec::new() }
+    }
+
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.values.get(i)
+    }
+
+    /// Tuple concatenation `self ◦ other`.
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.values.len() + other.values.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Tuple { values }
+    }
+
+    /// Append a single value (the χ / ν operators extend tuples by one).
+    pub fn extended(&self, v: Value) -> Tuple {
+        let mut values = Vec::with_capacity(self.values.len() + 1);
+        values.extend_from_slice(&self.values);
+        values.push(v);
+        Tuple { values }
+    }
+
+    /// Keep only the columns at `indices`, in that order (projection Π).
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        Tuple {
+            values: indices.iter().map(|&i| self.values[i].clone()).collect(),
+        }
+    }
+
+    /// Extract a (cloneable) key for hashing/grouping from `indices`.
+    pub fn key(&self, indices: &[usize]) -> Vec<Value> {
+        indices.iter().map(|&i| self.values[i].clone()).collect()
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Tuple {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vs: &[i64]) -> Tuple {
+        vs.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let a = t(&[1, 2]);
+        let b = t(&[3]);
+        assert_eq!(a.concat(&b), t(&[1, 2, 3]));
+        assert_eq!(b.concat(&a), t(&[3, 1, 2]));
+        assert_eq!(a.concat(&Tuple::empty()), a);
+    }
+
+    #[test]
+    fn project_reorders_and_duplicates() {
+        let a = t(&[10, 20, 30]);
+        assert_eq!(a.project(&[2, 0]), t(&[30, 10]));
+        assert_eq!(a.project(&[1, 1]), t(&[20, 20]));
+        assert_eq!(a.project(&[]), Tuple::empty());
+    }
+
+    #[test]
+    fn extended_appends() {
+        let a = t(&[1]);
+        assert_eq!(a.extended(Value::Int(9)), t(&[1, 9]));
+        assert_eq!(a.arity(), 1, "extended does not mutate");
+    }
+
+    #[test]
+    fn key_extracts_values() {
+        let a = t(&[7, 8, 9]);
+        assert_eq!(a.key(&[1, 2]), vec![Value::Int(8), Value::Int(9)]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(t(&[1, 2]).to_string(), "(1, 2)");
+        assert_eq!(Tuple::empty().to_string(), "()");
+    }
+}

@@ -1,0 +1,543 @@
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::{DataType, Error, Result};
+
+/// SQL three-valued logic.
+///
+/// Predicates over values containing `NULL` evaluate to [`Truth::Unknown`];
+/// a `WHERE` clause keeps a tuple only when its predicate is
+/// [`Truth::True`]. Bypass operators (Fig. 1 of the paper) route `False`
+/// *and* `Unknown` tuples into the negative stream, which is exactly the
+/// complement semantics `σ⁻` requires under two-valued interpretation of
+/// the final result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Truth {
+    True,
+    False,
+    Unknown,
+}
+
+impl Truth {
+    /// Kleene conjunction.
+    pub fn and(self, other: Truth) -> Truth {
+        use Truth::*;
+        match (self, other) {
+            (False, _) | (_, False) => False,
+            (True, True) => True,
+            _ => Unknown,
+        }
+    }
+
+    /// Kleene disjunction.
+    pub fn or(self, other: Truth) -> Truth {
+        use Truth::*;
+        match (self, other) {
+            (True, _) | (_, True) => True,
+            (False, False) => False,
+            _ => Unknown,
+        }
+    }
+
+    /// Kleene negation.
+    #[allow(clippy::should_implement_trait)] // 3VL negation, not ops::Not
+    pub fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+
+    /// `TRUE` → keep the tuple; `FALSE`/`UNKNOWN` → drop it.
+    pub fn is_true(self) -> bool {
+        self == Truth::True
+    }
+
+    pub fn from_bool(b: bool) -> Truth {
+        if b {
+            Truth::True
+        } else {
+            Truth::False
+        }
+    }
+
+    /// Convert to a nullable boolean [`Value`].
+    pub fn to_value(self) -> Value {
+        match self {
+            Truth::True => Value::Bool(true),
+            Truth::False => Value::Bool(false),
+            Truth::Unknown => Value::Null,
+        }
+    }
+}
+
+/// A dynamically typed SQL value.
+///
+/// # Equality, ordering and hashing
+///
+/// `Value` implements **structural** `Eq`/`Ord`/`Hash` so it can serve as a
+/// grouping or join key: `Null == Null`, floats compare by IEEE total order
+/// (NaN normalized, `-0.0 == 0.0` by normalizing to `0.0` bits when
+/// hashing), and `Int(1) == Float(1.0)` is **false** structurally. SQL
+/// comparison semantics — where `NULL = NULL` is `UNKNOWN` and `1 = 1.0`
+/// is `TRUE` — live in [`Value::sql_eq`] / [`Value::sql_cmp`] instead.
+/// Numeric join/group keys must therefore be coerced to a common type
+/// before hashing, which the planner guarantees.
+#[derive(Debug, Clone)]
+pub enum Value {
+    Null,
+    Int(i64),
+    Float(f64),
+    Text(Arc<str>),
+    Bool(bool),
+}
+
+impl Value {
+    /// Convenience constructor for strings.
+    pub fn text(s: impl AsRef<str>) -> Value {
+        Value::Text(Arc::from(s.as_ref()))
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The runtime type of the value.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Null => DataType::Unknown,
+            Value::Int(_) => DataType::Int,
+            Value::Float(_) => DataType::Float,
+            Value::Text(_) => DataType::Text,
+            Value::Bool(_) => DataType::Bool,
+        }
+    }
+
+    /// Numeric view used by arithmetic and numeric comparisons.
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// SQL equality under three-valued logic.
+    pub fn sql_eq(&self, other: &Value) -> Truth {
+        match self.sql_cmp(other) {
+            None => Truth::Unknown,
+            Some(ord) => Truth::from_bool(ord == Ordering::Equal),
+        }
+    }
+
+    /// SQL comparison under three-valued logic. Returns `None` when either
+    /// side is `NULL` (→ `UNKNOWN`) or the types are incomparable.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Text(a), Text(b)) => Some(a.as_ref().cmp(b.as_ref())),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            // Numeric cross-type comparison via f64.
+            (a, b) => {
+                let (x, y) = (a.as_f64()?, b.as_f64()?);
+                x.partial_cmp(&y)
+            }
+        }
+    }
+
+    /// `self + other` with NULL propagation and numeric widening.
+    pub fn add(&self, other: &Value) -> Result<Value> {
+        self.numeric_binop(other, "+", |a, b| a.checked_add(b), |a, b| a + b)
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &Value) -> Result<Value> {
+        self.numeric_binop(other, "-", |a, b| a.checked_sub(b), |a, b| a - b)
+    }
+
+    /// `self * other`.
+    pub fn mul(&self, other: &Value) -> Result<Value> {
+        self.numeric_binop(other, "*", |a, b| a.checked_mul(b), |a, b| a * b)
+    }
+
+    /// `self / other`. Integer division by zero is an execution error;
+    /// float division follows IEEE.
+    pub fn div(&self, other: &Value) -> Result<Value> {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => Ok(Null),
+            (Int(_), Int(0)) => Err(Error::execution("integer division by zero")),
+            (Int(a), Int(b)) => Ok(Int(a / b)),
+            (a, b) => {
+                let (x, y) = (
+                    a.as_f64().ok_or_else(|| type_mismatch("/", a, b))?,
+                    b.as_f64().ok_or_else(|| type_mismatch("/", a, b))?,
+                );
+                Ok(Float(x / y))
+            }
+        }
+    }
+
+    /// Unary minus.
+    pub fn neg(&self) -> Result<Value> {
+        match self {
+            Value::Null => Ok(Value::Null),
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            v => Err(Error::type_err(format!("cannot negate {}", v.data_type()))),
+        }
+    }
+
+    fn numeric_binop(
+        &self,
+        other: &Value,
+        op: &str,
+        int_op: impl Fn(i64, i64) -> Option<i64>,
+        float_op: impl Fn(f64, f64) -> f64,
+    ) -> Result<Value> {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => Ok(Null),
+            (Int(a), Int(b)) => int_op(*a, *b)
+                .map(Int)
+                .ok_or_else(|| Error::execution(format!("integer overflow in {a} {op} {b}"))),
+            (a, b) => {
+                let x = a.as_f64().ok_or_else(|| type_mismatch(op, a, b))?;
+                let y = b.as_f64().ok_or_else(|| type_mismatch(op, a, b))?;
+                Ok(Float(float_op(x, y)))
+            }
+        }
+    }
+
+    /// SQL `LIKE` with `%` (any sequence) and `_` (any single char).
+    /// `NULL LIKE p` and `v LIKE NULL` are `UNKNOWN`.
+    pub fn sql_like(&self, pattern: &Value) -> Result<Truth> {
+        match (self, pattern) {
+            (Value::Null, _) | (_, Value::Null) => Ok(Truth::Unknown),
+            (Value::Text(s), Value::Text(p)) => Ok(Truth::from_bool(like_match(s, p))),
+            (a, b) => Err(Error::type_err(format!(
+                "LIKE requires TEXT operands, got {} LIKE {}",
+                a.data_type(),
+                b.data_type()
+            ))),
+        }
+    }
+
+    /// Normalized float bits: all NaNs collapse, `-0.0` becomes `0.0`.
+    fn float_key(f: f64) -> u64 {
+        if f.is_nan() {
+            f64::NAN.to_bits()
+        } else if f == 0.0 {
+            0f64.to_bits()
+        } else {
+            f.to_bits()
+        }
+    }
+}
+
+/// Glob-style matcher for SQL LIKE. Iterative two-pointer algorithm with
+/// `%` backtracking — O(|s|·|p|) worst case, linear in practice.
+fn like_match(s: &str, p: &str) -> bool {
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = p.chars().collect();
+    let (mut si, mut pi) = (0usize, 0usize);
+    let (mut star, mut star_s) = (None::<usize>, 0usize);
+    while si < s.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == s[si]) {
+            si += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some(pi);
+            star_s = si;
+            pi += 1;
+        } else if let Some(sp) = star {
+            // Backtrack: let the last `%` absorb one more character.
+            pi = sp + 1;
+            star_s += 1;
+            si = star_s;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+fn type_mismatch(op: &str, a: &Value, b: &Value) -> Error {
+    Error::type_err(format!(
+        "cannot apply `{op}` to {} and {}",
+        a.data_type(),
+        b.data_type()
+    ))
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => true,
+            (Int(a), Int(b)) => a == b,
+            (Float(a), Float(b)) => Value::float_key(*a) == Value::float_key(*b),
+            (Text(a), Text(b)) => a == b,
+            (Bool(a), Bool(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        use Value::*;
+        std::mem::discriminant(self).hash(state);
+        match self {
+            Null => {}
+            Int(i) => i.hash(state),
+            Float(f) => Value::float_key(*f).hash(state),
+            Text(s) => s.hash(state),
+            Bool(b) => b.hash(state),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Structural total order used for deterministic sorting of heterogeneous
+/// values: `Null` first, then `Bool < Int/Float (numeric) < Text`.
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Null => 0,
+                Bool(_) => 1,
+                Int(_) | Float(_) => 2,
+                Text(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Text(a), Text(b)) => a.as_ref().cmp(b.as_ref()),
+            (a, b) if rank(a) == 2 && rank(b) == 2 => {
+                let (x, y) = (a.as_f64().unwrap(), b.as_f64().unwrap());
+                x.partial_cmp(&y).unwrap_or_else(|| {
+                    // NaN sorts above everything else, deterministically.
+                    match (x.is_nan(), y.is_nan()) {
+                        (true, true) => Ordering::Equal,
+                        (true, false) => Ordering::Greater,
+                        (false, true) => Ordering::Less,
+                        _ => unreachable!(),
+                    }
+                })
+            }
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Text(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{}", if *b { "true" } else { "false" }),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::text(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(Arc::from(v.as_str()))
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Truth::*;
+
+    #[test]
+    fn kleene_truth_tables() {
+        // AND
+        assert_eq!(True.and(True), True);
+        assert_eq!(True.and(False), False);
+        assert_eq!(True.and(Unknown), Unknown);
+        assert_eq!(False.and(Unknown), False);
+        assert_eq!(Unknown.and(Unknown), Unknown);
+        // OR
+        assert_eq!(False.or(False), False);
+        assert_eq!(False.or(True), True);
+        assert_eq!(Unknown.or(True), True);
+        assert_eq!(Unknown.or(False), Unknown);
+        assert_eq!(Unknown.or(Unknown), Unknown);
+        // NOT
+        assert_eq!(True.not(), False);
+        assert_eq!(False.not(), True);
+        assert_eq!(Unknown.not(), Unknown);
+    }
+
+    #[test]
+    fn sql_eq_with_null_is_unknown() {
+        assert_eq!(Value::Null.sql_eq(&Value::Null), Unknown);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null), Unknown);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(1)), True);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(2)), False);
+    }
+
+    #[test]
+    fn sql_cmp_coerces_numerics() {
+        assert_eq!(
+            Value::Int(1).sql_cmp(&Value::Float(1.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Float(0.5).sql_cmp(&Value::Int(1)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn structural_eq_distinguishes_types_but_groups_nulls() {
+        assert_eq!(Value::Null, Value::Null);
+        assert_ne!(Value::Int(1), Value::Float(1.0));
+        assert_eq!(Value::Float(0.0), Value::Float(-0.0));
+        assert_eq!(Value::Float(f64::NAN), Value::Float(f64::NAN));
+    }
+
+    #[test]
+    fn hash_consistent_with_eq_for_floats() {
+        use std::collections::hash_map::DefaultHasher;
+        fn h(v: &Value) -> u64 {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        }
+        assert_eq!(h(&Value::Float(0.0)), h(&Value::Float(-0.0)));
+        assert_eq!(h(&Value::Float(f64::NAN)), h(&Value::Float(f64::NAN)));
+    }
+
+    #[test]
+    fn arithmetic_null_propagation_and_overflow() {
+        assert_eq!(Value::Null.add(&Value::Int(1)).unwrap(), Value::Null);
+        assert_eq!(Value::Int(2).add(&Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(
+            Value::Int(2).mul(&Value::Float(1.5)).unwrap(),
+            Value::Float(3.0)
+        );
+        assert!(Value::Int(i64::MAX).add(&Value::Int(1)).is_err());
+        assert!(Value::Int(1).div(&Value::Int(0)).is_err());
+        assert_eq!(
+            Value::Int(7).div(&Value::Int(2)).unwrap(),
+            Value::Int(3),
+            "integer division truncates"
+        );
+    }
+
+    #[test]
+    fn arithmetic_type_errors() {
+        assert!(Value::text("a").add(&Value::Int(1)).is_err());
+        assert!(Value::Bool(true).neg().is_err());
+    }
+
+    #[test]
+    fn like_semantics() {
+        let t = |s: &str, p: &str| {
+            Value::text(s)
+                .sql_like(&Value::text(p))
+                .unwrap()
+                .is_true()
+        };
+        assert!(t("PROMO BRASS", "%BRASS"));
+        assert!(t("BRASS", "%BRASS"));
+        assert!(!t("BRASSY", "%BRASS"));
+        assert!(t("abc", "a_c"));
+        assert!(!t("abc", "a_d"));
+        assert!(t("", "%"));
+        assert!(!t("", "_"));
+        assert!(t("anything", "%%"));
+        assert!(t("a%b", "a%b")); // `%` in pattern is a wildcard, matches literally too
+        assert_eq!(
+            Value::Null.sql_like(&Value::text("%")).unwrap(),
+            Truth::Unknown
+        );
+        assert!(Value::Int(1).sql_like(&Value::text("%")).is_err());
+    }
+
+    #[test]
+    fn structural_order_is_total_and_null_first() {
+        let mut vs = [
+            Value::text("b"),
+            Value::Int(3),
+            Value::Null,
+            Value::Float(2.5),
+            Value::Bool(true),
+            Value::text("a"),
+        ];
+        vs.sort();
+        assert_eq!(vs[0], Value::Null);
+        assert_eq!(vs[1], Value::Bool(true));
+        assert_eq!(vs[2], Value::Float(2.5));
+        assert_eq!(vs[3], Value::Int(3));
+        assert_eq!(vs[4], Value::text("a"));
+        assert_eq!(vs[5], Value::text("b"));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Float(1.5).to_string(), "1.5");
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::text("hi").to_string(), "hi");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+    }
+
+    #[test]
+    fn truth_to_value_roundtrip() {
+        assert_eq!(True.to_value(), Value::Bool(true));
+        assert_eq!(False.to_value(), Value::Bool(false));
+        assert_eq!(Unknown.to_value(), Value::Null);
+    }
+}

@@ -1,0 +1,422 @@
+//! The rewrite driver: applies the unnesting equivalences top-down over
+//! a canonical plan, handling simple, linear and tree nested queries.
+//!
+//! For every selection whose predicate contains a nested block, the
+//! driver:
+//!
+//! 1. desugars quantified subqueries (EXISTS / positive IN) into count
+//!    comparisons,
+//! 2. splits the predicate into conjuncts and keeps the subquery-free
+//!    ones as an ordinary selection below,
+//! 3. rewrites the first subquery-bearing conjunct:
+//!    * a plain conjunct (no disjunction) is unnested in place —
+//!      Eqv. 1 / 4 / 5 via [`crate::attach`],
+//!    * a disjunction becomes a **bypass chain** (the generalization of
+//!      Eqv. 2/3 to n disjuncts): disjuncts are ordered by rank, each
+//!      non-final disjunct turns into a bypass selection whose positive
+//!      stream exits into the final disjoint union, and subquery
+//!      disjuncts are unnested right before their bypass selection,
+//! 4. recurses — including into the selections the rewrites themselves
+//!    emit (`σ_p` on a negative stream may still contain a nested block:
+//!    that is exactly how linear queries such as Q4 unfold, Fig. 6).
+//!
+//! Any unsupported shape falls back to canonical nested-loop evaluation
+//! for that predicate only.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bypass_algebra::{LogicalPlan, PlanBuilder, Scalar};
+use bypass_types::{Result, Schema};
+
+use crate::attach::attach_aggregate;
+use crate::names::NameGen;
+use crate::quantified::desugar_quantified;
+use crate::rank::{order_disjuncts, DisjunctOrder};
+
+/// Options steering the rewrite driver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RewriteOptions {
+    /// How the disjuncts of a disjunctive predicate are ordered in the
+    /// bypass chain (Eqv. 2 vs Eqv. 3, Section 3.1 Remark).
+    pub order: DisjunctOrder,
+    /// Restrict the unnesting repertoire to the pre-bypass techniques
+    /// (Γ + outerjoin only) — used by the OR→UNION baseline.
+    pub classic_only: bool,
+}
+
+pub(crate) struct Ctx {
+    pub names: NameGen,
+    pub options: RewriteOptions,
+}
+
+/// Unnest a canonical plan using the bypass equivalences.
+pub fn unnest(plan: &Arc<LogicalPlan>, options: RewriteOptions) -> Result<Arc<LogicalPlan>> {
+    let mut ctx = Ctx {
+        names: NameGen::new(),
+        options,
+    };
+    let mut memo = HashMap::new();
+    drive(plan, &mut ctx, &mut memo)
+}
+
+type Memo = HashMap<*const LogicalPlan, Arc<LogicalPlan>>;
+
+pub(crate) fn drive(
+    plan: &Arc<LogicalPlan>,
+    ctx: &mut Ctx,
+    memo: &mut Memo,
+) -> Result<Arc<LogicalPlan>> {
+    if let Some(done) = memo.get(&Arc::as_ptr(plan)) {
+        return Ok(done.clone());
+    }
+    let result = drive_inner(plan, ctx, memo)?;
+    memo.insert(Arc::as_ptr(plan), result.clone());
+    Ok(result)
+}
+
+fn drive_inner(
+    plan: &Arc<LogicalPlan>,
+    ctx: &mut Ctx,
+    memo: &mut Memo,
+) -> Result<Arc<LogicalPlan>> {
+    if let LogicalPlan::Filter { input, predicate } = plan.as_ref() {
+        let pred = desugar_quantified(predicate, true);
+        if pred.contains_subquery() {
+            if let Some(rewritten) = try_rewrite_filter(input, &pred, ctx)? {
+                // The rewrite may leave selections with nested blocks in
+                // bypass streams (linear/tree queries): recurse on the
+                // rewritten plan.
+                return drive(&rewritten, ctx, memo);
+            }
+        }
+    }
+    // Nesting in the SELECT clause (technical-report extension): scalar
+    // subqueries in projection expressions are attached to the input and
+    // replaced by the computed column.
+    if let LogicalPlan::Project { input, exprs } = plan.as_ref() {
+        if exprs
+            .iter()
+            .any(|(e, _)| !crate::analysis::scalar_subqueries(e).is_empty())
+        {
+            if let Some(rewritten) = try_rewrite_project(plan, input, exprs, ctx)? {
+                return drive(&rewritten, ctx, memo);
+            }
+        }
+    }
+    // Default: rewrite children (and nested plans inside predicates),
+    // preserving DAG sharing through the memo.
+    let old_children = plan.children();
+    let mut new_children = Vec::with_capacity(old_children.len());
+    for c in &old_children {
+        new_children.push(drive(c, ctx, memo)?);
+    }
+    let changed_children = new_children
+        .iter()
+        .zip(&old_children)
+        .any(|(a, b)| !Arc::ptr_eq(a, b));
+    let rebuilt = if changed_children {
+        Arc::new(plan.with_children(new_children))
+    } else {
+        plan.clone()
+    };
+    // Unnest inside nested plans the outer rewrite left in place
+    // (canonical fallback for the outer block does not preclude
+    // unnesting within the inner block).
+    drive_expr_plans(&rebuilt, ctx, memo)
+}
+
+/// Rewrite the subquery plans held inside a node's expressions.
+fn drive_expr_plans(
+    plan: &Arc<LogicalPlan>,
+    ctx: &mut Ctx,
+    memo: &mut Memo,
+) -> Result<Arc<LogicalPlan>> {
+    let rewrite_scalar = |e: &Scalar, ctx: &mut Ctx, memo: &mut Memo| -> Result<Scalar> {
+        map_expr_plans(e, &mut |p| drive(p, ctx, memo))
+    };
+    Ok(match plan.as_ref() {
+        LogicalPlan::Filter { input, predicate } if predicate.contains_subquery() => {
+            Arc::new(LogicalPlan::Filter {
+                input: input.clone(),
+                predicate: rewrite_scalar(predicate, ctx, memo)?,
+            })
+        }
+        LogicalPlan::Project { input, exprs }
+            if exprs.iter().any(|(e, _)| e.contains_subquery()) =>
+        {
+            let exprs = exprs
+                .iter()
+                .map(|(e, a)| Ok((rewrite_scalar(e, ctx, memo)?, a.clone())))
+                .collect::<Result<Vec<_>>>()?;
+            Arc::new(LogicalPlan::Project {
+                input: input.clone(),
+                exprs,
+            })
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            predicate,
+        } if predicate.contains_subquery() => Arc::new(LogicalPlan::Join {
+            left: left.clone(),
+            right: right.clone(),
+            predicate: rewrite_scalar(predicate, ctx, memo)?,
+        }),
+        LogicalPlan::Map { input, expr, name } if expr.contains_subquery() => {
+            Arc::new(LogicalPlan::Map {
+                input: input.clone(),
+                expr: rewrite_scalar(expr, ctx, memo)?,
+                name: name.clone(),
+            })
+        }
+        _ => plan.clone(),
+    })
+}
+
+/// Apply `f` to every nested plan in the expression.
+fn map_expr_plans(
+    e: &Scalar,
+    f: &mut impl FnMut(&Arc<LogicalPlan>) -> Result<Arc<LogicalPlan>>,
+) -> Result<Scalar> {
+    Ok(match e {
+        Scalar::Column(_) | Scalar::Literal(_) => e.clone(),
+        Scalar::Binary { op, left, right } => Scalar::Binary {
+            op: *op,
+            left: Box::new(map_expr_plans(left, f)?),
+            right: Box::new(map_expr_plans(right, f)?),
+        },
+        Scalar::Not(x) => Scalar::Not(Box::new(map_expr_plans(x, f)?)),
+        Scalar::Neg(x) => Scalar::Neg(Box::new(map_expr_plans(x, f)?)),
+        Scalar::IsNull { negated, expr } => Scalar::IsNull {
+            negated: *negated,
+            expr: Box::new(map_expr_plans(expr, f)?),
+        },
+        Scalar::Like {
+            negated,
+            expr,
+            pattern,
+        } => Scalar::Like {
+            negated: *negated,
+            expr: Box::new(map_expr_plans(expr, f)?),
+            pattern: Box::new(map_expr_plans(pattern, f)?),
+        },
+        Scalar::InList {
+            negated,
+            expr,
+            list,
+        } => Scalar::InList {
+            negated: *negated,
+            expr: Box::new(map_expr_plans(expr, f)?),
+            list: list
+                .iter()
+                .map(|x| map_expr_plans(x, f))
+                .collect::<Result<_>>()?,
+        },
+        Scalar::Subquery(p) => Scalar::Subquery(f(p)?),
+        Scalar::Exists { negated, plan } => Scalar::Exists {
+            negated: *negated,
+            plan: f(plan)?,
+        },
+        Scalar::InSubquery {
+            negated,
+            expr,
+            plan,
+        } => Scalar::InSubquery {
+            negated: *negated,
+            expr: Box::new(map_expr_plans(expr, f)?),
+            plan: f(plan)?,
+        },
+        Scalar::QuantifiedCmp {
+            op,
+            all,
+            expr,
+            plan,
+        } => Scalar::QuantifiedCmp {
+            op: *op,
+            all: *all,
+            expr: Box::new(map_expr_plans(expr, f)?),
+            plan: f(plan)?,
+        },
+    })
+}
+
+/// Attempt to unnest one selection. Returns `None` when the shape is
+/// unsupported (canonical fallback).
+fn try_rewrite_filter(
+    input: &Arc<LogicalPlan>,
+    pred: &Scalar,
+    ctx: &mut Ctx,
+) -> Result<Option<Arc<LogicalPlan>>> {
+    let out_schema = input.schema();
+    let conjuncts: Vec<Scalar> = pred.conjuncts().into_iter().cloned().collect();
+    // Three kinds of conjuncts: rewritable (containing scalar
+    // subqueries), inert (only non-attachable subqueries, e.g. NOT IN —
+    // evaluated canonically above) and plain (applied below).
+    let mut rewritable: Vec<Scalar> = Vec::new();
+    let mut inert: Vec<Scalar> = Vec::new();
+    let mut plain: Vec<Scalar> = Vec::new();
+    for c in conjuncts {
+        if !crate::analysis::scalar_subqueries(&c).is_empty() {
+            rewritable.push(c);
+        } else if c.contains_subquery() {
+            inert.push(c);
+        } else {
+            plain.push(c);
+        }
+    }
+    if rewritable.is_empty() {
+        return Ok(None);
+    }
+    let mut base = PlanBuilder::from_plan(input.clone());
+    if let Some(p) = Scalar::conjunction(plain) {
+        base = base.filter(p);
+    }
+    let target = rewritable.remove(0);
+    let Some(result) = rewrite_conjunct(base, &target, &out_schema, ctx)? else {
+        return Ok(None);
+    };
+    // Remaining subquery conjuncts re-apply above (the driver revisits
+    // the rewritable ones on the recursive pass — conjunctive tree
+    // queries).
+    let rest: Vec<Scalar> = rewritable.into_iter().chain(inert).collect();
+    let result = match Scalar::conjunction(rest) {
+        Some(rest) => result.filter(rest),
+        None => result,
+    };
+    Ok(Some(result.build()))
+}
+
+/// Unnest scalar subqueries inside projection expressions (nesting in
+/// the SELECT clause). Each subquery is attached to the projection input
+/// as a computed column; the projection keeps its original output names.
+fn try_rewrite_project(
+    original: &Arc<LogicalPlan>,
+    input: &Arc<LogicalPlan>,
+    exprs: &[(Scalar, Option<String>)],
+    ctx: &mut Ctx,
+) -> Result<Option<Arc<LogicalPlan>>> {
+    let out_schema = original.schema();
+    let mut b = PlanBuilder::from_plan(input.clone());
+    let mut new_exprs: Vec<(Scalar, Option<String>)> = Vec::with_capacity(exprs.len());
+    let mut changed = false;
+    for (i, (e, alias)) in exprs.iter().enumerate() {
+        // A projected value is not a WHERE-clause predicate: FALSE and
+        // UNKNOWN are *visible* in the output, so the count rewrites for
+        // IN/ANY/ALL (which conflate them) must not fire — polarity
+        // `false` keeps them nested and only rewrites EXISTS (exact).
+        let e = desugar_quantified(e, false);
+        if crate::analysis::scalar_subqueries(&e).is_empty() {
+            new_exprs.push((e, alias.clone()));
+            continue;
+        }
+        let Some((b2, rewritten)) = attach_subqueries(b.clone(), &e, ctx)? else {
+            return Ok(None);
+        };
+        b = b2;
+        changed = true;
+        // Pin the original output column name.
+        new_exprs.push((rewritten, Some(out_schema.field(i).name().to_string())));
+    }
+    if !changed {
+        return Ok(None);
+    }
+    Ok(Some(b.project(new_exprs).build()))
+}
+
+/// Rewrite one subquery-bearing conjunct over `base`. The produced plan
+/// always has schema `out_schema`.
+fn rewrite_conjunct(
+    base: PlanBuilder,
+    conjunct: &Scalar,
+    out_schema: &Schema,
+    ctx: &mut Ctx,
+) -> Result<Option<PlanBuilder>> {
+    let disjuncts: Vec<Scalar> = conjunct.disjuncts().into_iter().cloned().collect();
+    if disjuncts.len() < 2 {
+        // Conjunctive linking: unnest in place (Eqv. 1 core, or Eqv. 4/5
+        // when the correlation inside is disjunctive). No scalar
+        // subquery to attach means no progress is possible — bail out
+        // rather than rebuilding the same selection forever.
+        if crate::analysis::scalar_subqueries(conjunct).is_empty() {
+            return Ok(None);
+        }
+        let Some((b, rewritten)) = attach_subqueries(base, conjunct, ctx)? else {
+            return Ok(None);
+        };
+        return Ok(Some(project_to(b.filter(rewritten), out_schema)));
+    }
+
+    // Bypass chain (Eqv. 2/3 generalized to n disjuncts).
+    let ordered = order_disjuncts(disjuncts, ctx.options.order);
+    let mut current = base;
+    let mut outputs: Vec<PlanBuilder> = Vec::new();
+    let n = ordered.len();
+    for (i, d) in ordered.into_iter().enumerate() {
+        let last = i == n - 1;
+        // Unnest this disjunct's subqueries against the running stream.
+        let Some((plan, rewritten)) = attach_subqueries(current.clone(), &d, ctx)? else {
+            return Ok(None);
+        };
+        if last {
+            outputs.push(project_to(plan.filter(rewritten), out_schema));
+        } else {
+            let (pos, neg) = plan.bypass_filter(rewritten);
+            outputs.push(project_to(pos, out_schema));
+            current = project_to(neg, out_schema);
+        }
+    }
+    let union = outputs
+        .into_iter()
+        .reduce(|acc, b| acc.union(b))
+        .expect("at least one disjunct");
+    Ok(Some(union))
+}
+
+/// Replace every scalar subquery in `expr` by an attached aggregate
+/// column over `builder`. Quantified subqueries that survived
+/// desugaring (e.g. NOT IN) stay nested — the expression remains
+/// correct, it is simply evaluated canonically.
+pub(crate) fn attach_subqueries(
+    builder: PlanBuilder,
+    expr: &Scalar,
+    ctx: &mut Ctx,
+) -> Result<Option<(PlanBuilder, Scalar)>> {
+    let mut subs = crate::analysis::scalar_subqueries(expr);
+    // The same nested block may occur several times in one expression
+    // (e.g. `¬d ∨ d IS NULL` duplicates d): attach it once, substitution
+    // replaces every occurrence.
+    {
+        let mut seen = std::collections::HashSet::new();
+        subs.retain(|p| seen.insert(Arc::as_ptr(p)));
+    }
+    let mut b = builder;
+    let mut e = expr.clone();
+    for sub in subs {
+        let Some((b2, g)) =
+            attach_aggregate(b, &sub, &mut ctx.names, ctx.options.classic_only)?
+        else {
+            return Ok(None);
+        };
+        b = b2;
+        e = crate::analysis::substitute_subquery(&e, &sub, &Scalar::col(g));
+    }
+    Ok(Some((b, e)))
+}
+
+/// Project a (possibly attachment-extended) stream back to the original
+/// block schema `A(R)` — the final `Π_{A(R)}` of every equivalence.
+pub(crate) fn project_to(b: PlanBuilder, schema: &Schema) -> PlanBuilder {
+    let exprs = schema
+        .fields()
+        .iter()
+        .map(|f| {
+            let col = match f.qualifier() {
+                Some(q) => Scalar::qcol(q, f.name()),
+                None => Scalar::col(f.name()),
+            };
+            (col, None)
+        })
+        .collect();
+    b.project(exprs)
+}

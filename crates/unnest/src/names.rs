@@ -1,0 +1,38 @@
+/// Generator for fresh column names introduced by rewrites (aggregate
+/// results `__g0`, group keys `__k0`, numbering columns `__t0`, partial
+/// aggregates `__p0`, ...). The `__` prefix keeps them apart from user
+/// columns; a shared counter keeps them unique within one rewrite run
+/// even when a plan is rewritten several times.
+#[derive(Debug, Default)]
+pub struct NameGen {
+    next: usize,
+}
+
+impl NameGen {
+    pub fn new() -> NameGen {
+        NameGen::default()
+    }
+
+    pub fn fresh(&mut self, prefix: &str) -> String {
+        let n = self.next;
+        self.next += 1;
+        format!("__{prefix}{n}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_prefixed() {
+        let mut g = NameGen::new();
+        let a = g.fresh("g");
+        let b = g.fresh("g");
+        let c = g.fresh("k");
+        assert_ne!(a, b);
+        assert!(a.starts_with("__g"));
+        assert!(c.starts_with("__k"));
+        assert_ne!(b, c);
+    }
+}

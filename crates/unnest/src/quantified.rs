@@ -1,0 +1,293 @@
+//! Desugaring of quantified table subqueries (the technical-report
+//! extension): `EXISTS`, `NOT EXISTS` and positive-polarity `IN` become
+//! COUNT comparisons, turning type-N/J blocks into the type-A/JA shape
+//! the scalar unnesting equivalences handle.
+//!
+//! Soundness notes (three-valued logic):
+//!
+//! * `EXISTS e ≡ 1 ≤ (SELECT COUNT(*) FROM e)` — *exact*: EXISTS never
+//!   evaluates to UNKNOWN, and neither does the count comparison.
+//! * `NOT EXISTS e ≡ 0 = (SELECT COUNT(*) FROM e)` — exact for the same
+//!   reason, at any polarity.
+//! * `x IN (SELECT y …) ≡ 1 ≤ COUNT(σ_{y=x}(…))` — the rewrite maps
+//!   UNKNOWN to FALSE, which is indistinguishable **in positive
+//!   contexts** (a WHERE clause keeps only TRUE). Under an odd number of
+//!   negations the two differ on NULLs, so the rewrite only fires at
+//!   positive polarity; `NOT IN` is therefore left nested (sound,
+//!   canonical evaluation).
+
+use std::sync::Arc;
+
+use bypass_algebra::{AggCall, LogicalPlan, Scalar};
+
+/// Rewrite quantified subqueries in `pred` into count comparisons.
+/// `positive` is the polarity of the context (`true` at a WHERE-clause
+/// root).
+pub fn desugar_quantified(pred: &Scalar, positive: bool) -> Scalar {
+    match pred {
+        Scalar::Binary { op, left, right }
+            if matches!(op, bypass_algebra::BinOp::And | bypass_algebra::BinOp::Or) =>
+        {
+            Scalar::Binary {
+                op: *op,
+                left: Box::new(desugar_quantified(left, positive)),
+                right: Box::new(desugar_quantified(right, positive)),
+            }
+        }
+        Scalar::Not(inner) => Scalar::Not(Box::new(desugar_quantified(inner, !positive))),
+        Scalar::Exists { negated, plan } => {
+            let cnt = Scalar::Subquery(count_plan(plan));
+            if *negated {
+                // NOT EXISTS ≡ count = 0.
+                Scalar::lit(0i64).eq(cnt)
+            } else {
+                // EXISTS ≡ count ≥ 1.
+                Scalar::binary(bypass_algebra::BinOp::LtEq, Scalar::lit(1i64), cnt)
+            }
+        }
+        Scalar::InSubquery {
+            negated: false,
+            expr,
+            plan,
+        } if positive && !expr.contains_subquery() => {
+            let Some(filtered) =
+                splice_filter(plan, expr, |col| col.eq((**expr).clone()))
+            else {
+                return pred.clone();
+            };
+            let cnt = Scalar::Subquery(count_plan(&filtered));
+            Scalar::binary(bypass_algebra::BinOp::LtEq, Scalar::lit(1i64), cnt)
+        }
+        // x θ ANY (plan) ≡ at least one y with x θ y TRUE — the same
+        // UNKNOWN→FALSE argument as for IN (positive polarity only).
+        Scalar::QuantifiedCmp {
+            op,
+            all: false,
+            expr,
+            plan,
+        } if positive && !expr.contains_subquery() => {
+            let Some(filtered) = splice_filter(plan, expr, |col| {
+                Scalar::binary(*op, (**expr).clone(), col)
+            }) else {
+                return pred.clone();
+            };
+            let cnt = Scalar::Subquery(count_plan(&filtered));
+            Scalar::binary(bypass_algebra::BinOp::LtEq, Scalar::lit(1i64), cnt)
+        }
+        // x θ ALL (plan) ≡ no y for which x θ y is FALSE or UNKNOWN
+        // (TRUE over the empty set). Counting the "not TRUE" witnesses
+        // maps UNKNOWN to FALSE — positive polarity only.
+        Scalar::QuantifiedCmp {
+            op,
+            all: true,
+            expr,
+            plan,
+        } if positive && !expr.contains_subquery() => {
+            let Some(filtered) = splice_filter(plan, expr, |col| {
+                let cmp = Scalar::binary(*op, (**expr).clone(), col);
+                Scalar::Not(Box::new(cmp.clone())).or(Scalar::IsNull {
+                    negated: false,
+                    expr: Box::new(cmp),
+                })
+            }) else {
+                return pred.clone();
+            };
+            let cnt = Scalar::Subquery(count_plan(&filtered));
+            Scalar::lit(0i64).eq(cnt)
+        }
+        other => other.clone(),
+    }
+}
+
+/// Build `σ_{mk(col)}(plan)` where `col` is the plan's single output
+/// column. Prefers splicing *below* a plain single-column projection:
+/// `COUNT(*)` ignores the projection, and the merged filter keeps all
+/// correlation in one filter chain — the shape the unnesting rewrites
+/// match.
+///
+/// Returns `None` when the plan is not single-column — or when moving
+/// the outer operand into the subquery scope would **capture** one of
+/// its column names (e.g. `salary >= ANY (SELECT salary FROM emp …)`
+/// with an unqualified outer `salary`): the rewrite would silently
+/// re-bind the reference, so those queries stay nested (canonical
+/// evaluation resolves the operand in the outer block, which is
+/// correct).
+fn splice_filter(
+    plan: &Arc<LogicalPlan>,
+    outer_operand: &Scalar,
+    mk: impl FnOnce(Scalar) -> Scalar,
+) -> Option<Arc<LogicalPlan>> {
+    let out = plan.schema();
+    if out.arity() != 1 {
+        return None;
+    }
+    let captured = |scope: &bypass_types::Schema| {
+        outer_operand
+            .column_refs()
+            .iter()
+            .any(|c| c.resolves_in(scope))
+    };
+    Some(match plan.as_ref() {
+        LogicalPlan::Project { input, exprs }
+            if exprs.len() == 1 && matches!(exprs[0].0, Scalar::Column(_)) =>
+        {
+            if captured(&input.schema()) {
+                return None;
+            }
+            Arc::new(LogicalPlan::Filter {
+                input: input.clone(),
+                predicate: mk(exprs[0].0.clone()),
+            })
+        }
+        _ => {
+            if captured(&out) {
+                return None;
+            }
+            let f = out.field(0);
+            let col = match f.qualifier() {
+                Some(q) => Scalar::qcol(q, f.name()),
+                None => Scalar::col(f.name()),
+            };
+            Arc::new(LogicalPlan::Filter {
+                input: plan.clone(),
+                predicate: mk(col),
+            })
+        }
+    })
+}
+
+/// `Γ_{;__cnt:count(*)}(plan)` for *existence threshold* tests
+/// (`count ≥ 1` / `count = 0`).
+///
+/// Operators that cannot change whether the count crosses those
+/// thresholds are stripped first: plain-column projections and sorts
+/// preserve the count exactly, DISTINCT preserves emptiness. Stripping
+/// matters because the attach rewrites pattern-match an
+/// `Aggregate(Filter*(source))` chain — a `SELECT *` projection left in
+/// place would silently force canonical nested-loop evaluation (and did,
+/// in an earlier version of this module: the EXISTS benchmark ran as
+/// slowly as S1).
+fn count_plan(plan: &Arc<LogicalPlan>) -> Arc<LogicalPlan> {
+    let mut cur = plan.clone();
+    loop {
+        cur = match cur.as_ref() {
+            LogicalPlan::Project { input, exprs }
+                if exprs.iter().all(|(e, _)| matches!(e, Scalar::Column(_))) =>
+            {
+                input.clone()
+            }
+            LogicalPlan::Sort { input, .. } => input.clone(),
+            LogicalPlan::Distinct { input } => input.clone(),
+            _ => break,
+        };
+    }
+    Arc::new(LogicalPlan::Aggregate {
+        input: cur,
+        keys: vec![],
+        aggs: vec![(AggCall::count_star(), "__cnt".to_string())],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bypass_algebra::PlanBuilder;
+
+    fn table_sub() -> Arc<LogicalPlan> {
+        PlanBuilder::test_scan("s", &["b1", "b2"])
+            .filter(Scalar::col("a2").eq(Scalar::qcol("s", "b2")))
+            .build()
+    }
+
+    #[test]
+    fn exists_becomes_count_ge_1() {
+        let e = Scalar::Exists {
+            negated: false,
+            plan: table_sub(),
+        };
+        let out = desugar_quantified(&e, true);
+        assert_eq!(out.to_string(), "(1 <= ⟨subquery⟩)");
+    }
+
+    #[test]
+    fn not_exists_becomes_count_eq_0() {
+        let e = Scalar::Exists {
+            negated: true,
+            plan: table_sub(),
+        };
+        let out = desugar_quantified(&e, true);
+        assert_eq!(out.to_string(), "(0 = ⟨subquery⟩)");
+        // NOT(EXISTS) via explicit negation too — and at negative
+        // polarity the EXISTS rewrite still fires (it is exact).
+        let e = Scalar::Not(Box::new(Scalar::Exists {
+            negated: false,
+            plan: table_sub(),
+        }));
+        let out = desugar_quantified(&e, true);
+        assert_eq!(out.to_string(), "¬((1 <= ⟨subquery⟩))");
+    }
+
+    #[test]
+    fn in_rewrites_only_at_positive_polarity() {
+        let projected = PlanBuilder::test_scan("s", &["b1"])
+            .project_columns(&[("s", "b1")])
+            .build();
+        let e = Scalar::InSubquery {
+            negated: false,
+            expr: Box::new(Scalar::col("a1")),
+            plan: projected.clone(),
+        };
+        let out = desugar_quantified(&e, true);
+        assert!(out.to_string().contains("<= ⟨subquery⟩"), "{out}");
+
+        // Under NOT, polarity flips and IN stays nested.
+        let not_in = Scalar::Not(Box::new(e.clone()));
+        let out = desugar_quantified(&not_in, true);
+        assert!(out.to_string().contains("IN ⟨subquery⟩"), "{out}");
+
+        // Explicit NOT IN stays nested as well.
+        let e = Scalar::InSubquery {
+            negated: true,
+            expr: Box::new(Scalar::col("a1")),
+            plan: projected,
+        };
+        let out = desugar_quantified(&e, true);
+        assert_eq!(out, e);
+    }
+
+    #[test]
+    fn desugar_recurses_through_and_or() {
+        let e = Scalar::Exists {
+            negated: false,
+            plan: table_sub(),
+        }
+        .or(Scalar::col("a4").gt(Scalar::lit(1500i64)));
+        let out = desugar_quantified(&e, true);
+        assert!(out.to_string().contains("1 <= ⟨subquery⟩"), "{out}");
+        assert!(out.to_string().contains("a4 > 1500"), "{out}");
+    }
+
+    #[test]
+    fn in_filter_correlates_on_output_column() {
+        let projected = PlanBuilder::test_scan("s", &["b1"])
+            .project_columns(&[("s", "b1")])
+            .build();
+        let e = Scalar::InSubquery {
+            negated: false,
+            expr: Box::new(Scalar::col("a1")),
+            plan: projected,
+        };
+        let out = desugar_quantified(&e, true);
+        // The generated count-plan contains a filter s.b1 = a1 whose a1
+        // stays free (correlation into the outer block).
+        let Scalar::Binary { right, .. } = &out else {
+            panic!()
+        };
+        let Scalar::Subquery(plan) = right.as_ref() else {
+            panic!()
+        };
+        let free = plan.free_refs();
+        assert_eq!(free.len(), 1);
+        assert_eq!(free[0].name, "a1");
+    }
+}

@@ -1,0 +1,174 @@
+//! The **OR→UNION** rewrite — the strongest pre-bypass technique for
+//! disjunctive linking, used in the evaluation as the stand-in for
+//! commercial system *S2*.
+//!
+//! `σ_{d₁ ∨ … ∨ dₙ}(R)` becomes the disjoint union of n branches,
+//! branch i filtering `¬d₁ ∧ … ∧ ¬d_{i−1} ∧ d_i` — disjointness by
+//! construction, so no duplicate elimination is needed (which would be
+//! wrong under bag semantics). Each branch is conjunctive, so classic
+//! Eqv. 1 unnesting (Γ + outerjoin) applies per branch, including to
+//! the *negated* linking predicates of later branches.
+//!
+//! The crucial difference from bypass plans: **the branches share
+//! nothing**. R is re-scanned and every earlier disjunct re-evaluated in
+//! every branch, and disjunctive *correlation* (Q2) cannot be unnested
+//! at all — exactly the behaviour the paper's measurements attribute to
+//! S2 (competitive on disjunctive linking, nested-loop-bound on
+//! disjunctive correlation).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bypass_algebra::{LogicalPlan, PlanBuilder, Scalar};
+use bypass_types::{Result, Schema};
+
+use crate::driver::{attach_subqueries, project_to, Ctx, RewriteOptions};
+use crate::names::NameGen;
+use crate::quantified::desugar_quantified;
+
+/// Apply the OR→UNION strategy to a canonical plan.
+pub fn union_rewrite(plan: &Arc<LogicalPlan>) -> Result<Arc<LogicalPlan>> {
+    let mut ctx = Ctx {
+        names: NameGen::new(),
+        options: RewriteOptions {
+            classic_only: true,
+            ..Default::default()
+        },
+    };
+    let mut memo = HashMap::new();
+    drive_union(plan, &mut ctx, &mut memo)
+}
+
+type Memo = HashMap<*const LogicalPlan, Arc<LogicalPlan>>;
+
+fn drive_union(
+    plan: &Arc<LogicalPlan>,
+    ctx: &mut Ctx,
+    memo: &mut Memo,
+) -> Result<Arc<LogicalPlan>> {
+    if let Some(done) = memo.get(&Arc::as_ptr(plan)) {
+        return Ok(done.clone());
+    }
+    let result = drive_union_inner(plan, ctx, memo)?;
+    memo.insert(Arc::as_ptr(plan), result.clone());
+    Ok(result)
+}
+
+fn drive_union_inner(
+    plan: &Arc<LogicalPlan>,
+    ctx: &mut Ctx,
+    memo: &mut Memo,
+) -> Result<Arc<LogicalPlan>> {
+    if let LogicalPlan::Filter { input, predicate } = plan.as_ref() {
+        let pred = desugar_quantified(predicate, true);
+        if pred.contains_subquery() {
+            if let Some(rewritten) = try_union_filter(input, &pred, ctx)? {
+                return drive_union(&rewritten, ctx, memo);
+            }
+        }
+    }
+    let old_children = plan.children();
+    let mut new_children = Vec::with_capacity(old_children.len());
+    for c in &old_children {
+        new_children.push(drive_union(c, ctx, memo)?);
+    }
+    let changed = new_children
+        .iter()
+        .zip(&old_children)
+        .any(|(a, b)| !Arc::ptr_eq(a, b));
+    Ok(if changed {
+        Arc::new(plan.with_children(new_children))
+    } else {
+        plan.clone()
+    })
+}
+
+fn try_union_filter(
+    input: &Arc<LogicalPlan>,
+    pred: &Scalar,
+    ctx: &mut Ctx,
+) -> Result<Option<Arc<LogicalPlan>>> {
+    let out_schema: Schema = input.schema();
+    let conjuncts: Vec<Scalar> = pred.conjuncts().into_iter().cloned().collect();
+    let mut rewritable: Vec<Scalar> = Vec::new();
+    let mut inert: Vec<Scalar> = Vec::new();
+    let mut plain: Vec<Scalar> = Vec::new();
+    for c in conjuncts {
+        if !crate::analysis::scalar_subqueries(&c).is_empty() {
+            rewritable.push(c);
+        } else if c.contains_subquery() {
+            inert.push(c);
+        } else {
+            plain.push(c);
+        }
+    }
+    if rewritable.is_empty() {
+        return Ok(None);
+    }
+    let base = {
+        let mut b = PlanBuilder::from_plan(input.clone());
+        if let Some(p) = Scalar::conjunction(plain) {
+            b = b.filter(p);
+        }
+        b.build()
+    };
+
+    let target = rewritable.remove(0);
+    let target = &target;
+    let disjuncts: Vec<Scalar> = target.disjuncts().into_iter().cloned().collect();
+
+    let result = if disjuncts.len() < 2 {
+        // Conjunctive linking: classic unnesting in place. Without a
+        // scalar subquery to attach there is no progress to make.
+        if crate::analysis::scalar_subqueries(target).is_empty() {
+            return Ok(None);
+        }
+        let Some((b, rewritten)) =
+            attach_subqueries(PlanBuilder::from_plan(base), target, ctx)?
+        else {
+            return Ok(None);
+        };
+        project_to(b.filter(rewritten), &out_schema)
+    } else {
+        // One branch per disjunct: dᵢ ∧ ¬ₜd₁ ∧ … ∧ ¬ₜd_{i−1}, where ¬ₜd
+        // means "d is not TRUE" (¬d ∨ d IS NULL). Plain ¬d would lose
+        // tuples whose earlier disjunct evaluated to UNKNOWN — the
+        // three-valued-logic pitfall the bypass operators avoid by
+        // construction (σ⁻ carries FALSE *and* UNKNOWN).
+        let mut branches: Vec<PlanBuilder> = Vec::with_capacity(disjuncts.len());
+        for i in 0..disjuncts.len() {
+            let mut b = PlanBuilder::from_plan(base.clone());
+            let mut residual: Vec<Scalar> = Vec::with_capacity(i + 1);
+            for d in disjuncts.iter().take(i).cloned() {
+                residual.push(not_true(d));
+            }
+            residual.push(disjuncts[i].clone());
+            for conj in residual {
+                let Some((b2, rewritten)) = attach_subqueries(b, &conj, ctx)? else {
+                    return Ok(None);
+                };
+                b = b2.filter(rewritten);
+            }
+            branches.push(project_to(b, &out_schema));
+        }
+        branches
+            .into_iter()
+            .reduce(|acc, b| acc.union(b))
+            .expect("at least one branch")
+    };
+
+    let rest: Vec<Scalar> = rewritable.into_iter().chain(inert).collect();
+    let result = match Scalar::conjunction(rest) {
+        Some(rest) => result.filter(rest),
+        None => result,
+    };
+    Ok(Some(result.build()))
+}
+
+/// `d` is not TRUE: `¬d ∨ (d IS NULL)`.
+fn not_true(d: Scalar) -> Scalar {
+    Scalar::Not(Box::new(d.clone())).or(Scalar::IsNull {
+        negated: false,
+        expr: Box::new(d),
+    })
+}

@@ -1,0 +1,151 @@
+//! Section 3.4 ("Completeness of Equivalences") as an executable test:
+//! for the full cross product of linking operators, aggregate functions
+//! and correlation shapes, the canonical translation must match one of
+//! the rewrites — i.e. the unnested plan contains **no** nested block —
+//! and must return the canonical result.
+
+
+use bypass_catalog::{Catalog, TableBuilder};
+use bypass_exec::{evaluate_with, physical_plan, ExecOptions};
+use bypass_sql::{parse_statement, Statement};
+use bypass_translate::translate_query;
+use bypass_types::{DataType, Value};
+use bypass_unnest::{unnest, RewriteOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn catalog(seed: u64, n: usize) -> Catalog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Catalog::new();
+    for (name, prefix) in [("r", 'a'), ("s", 'b')] {
+        let mut b = TableBuilder::new();
+        for i in 1..=4 {
+            b = b.column(format!("{prefix}{i}"), DataType::Int);
+        }
+        let rows: Vec<Vec<Value>> = (0..n)
+            .map(|_| (0..4).map(|_| Value::Int(rng.gen_range(0..9))).collect())
+            .collect();
+        b = b.rows(rows).unwrap();
+        c.register(name, b.build()).unwrap();
+    }
+    c
+}
+
+/// Unnest must fully remove the nested block and agree with canonical.
+fn assert_complete(sql: &str) {
+    let c = catalog(3, 40);
+    let Statement::Query(q) = parse_statement(sql).unwrap() else {
+        panic!("not a query: {sql}")
+    };
+    let canonical = translate_query(&c, &q).unwrap();
+    assert!(canonical.contains_subquery(), "not nested: {sql}");
+    let rewritten = unnest(&canonical, RewriteOptions::default()).unwrap();
+    assert!(
+        !rewritten.contains_subquery(),
+        "Section 3.4 violated — no equivalence matched:\n{sql}\n{}",
+        rewritten.explain()
+    );
+    let expected = evaluate_with(
+        &physical_plan(&canonical, &c).unwrap(),
+        ExecOptions::default(),
+    )
+    .unwrap();
+    let got = evaluate_with(
+        &physical_plan(&rewritten, &c).unwrap(),
+        ExecOptions::default(),
+    )
+    .unwrap();
+    assert!(
+        got.bag_eq(&expected),
+        "wrong result for {sql}: {} vs {} rows",
+        got.len(),
+        expected.len()
+    );
+}
+
+const THETAS: [&str; 6] = ["=", "<>", "<", "<=", ">", ">="];
+
+/// Aggregates and whether footnote 1 applies (DISTINCT COUNT/SUM/AVG
+/// force Eqv. 5); every single one must still unnest.
+const AGGS: [&str; 9] = [
+    "COUNT(*)",
+    "COUNT(DISTINCT *)",
+    "COUNT(b1)",
+    "COUNT(DISTINCT b1)",
+    "SUM(b1)",
+    "SUM(DISTINCT b1)",
+    "AVG(b1)",
+    "MIN(b1)",
+    "MAX(DISTINCT b1)",
+];
+
+#[test]
+fn disjunctive_linking_matrix_all_thetas_and_aggs() {
+    // θ varies with a representative aggregate; aggregates vary with a
+    // representative θ — the full 6×9 product is covered pairwise.
+    for theta in THETAS {
+        assert_complete(&format!(
+            "SELECT * FROM r WHERE a1 {theta} (SELECT COUNT(*) FROM s WHERE a2 = b2) OR a4 > 6"
+        ));
+    }
+    for agg in AGGS {
+        assert_complete(&format!(
+            "SELECT * FROM r WHERE a1 >= (SELECT {agg} FROM s WHERE a2 = b2) OR a4 > 6"
+        ));
+    }
+}
+
+#[test]
+fn disjunctive_correlation_matrix() {
+    // Correlation θ2 × aggregate decomposability: Eqv. 4 where the
+    // conditions hold, Eqv. 5 everywhere else — never canonical.
+    for theta2 in THETAS {
+        assert_complete(&format!(
+            "SELECT * FROM r WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 {theta2} b2 OR b4 > 6)"
+        ));
+    }
+    for agg in AGGS {
+        assert_complete(&format!(
+            "SELECT * FROM r WHERE a1 <= (SELECT {agg} FROM s WHERE a2 = b2 OR b4 > 6)"
+        ));
+    }
+}
+
+#[test]
+fn both_disjunctive_matrix() {
+    // Outlook case: disjunctive linking AND correlation, for a sample of
+    // θ × θ2 pairs.
+    for theta in ["=", "<", ">="] {
+        for theta2 in ["=", "<>", ">"] {
+            assert_complete(&format!(
+                "SELECT * FROM r \
+                 WHERE a1 {theta} (SELECT COUNT(*) FROM s WHERE a2 {theta2} b2 OR b4 > 6) \
+                    OR a4 > 7"
+            ));
+        }
+    }
+}
+
+#[test]
+fn conjunctive_baseline_matrix() {
+    // Eqv. 1 territory: every θ and aggregate without disjunction.
+    for theta in THETAS {
+        assert_complete(&format!(
+            "SELECT * FROM r WHERE a1 {theta} (SELECT MAX(b1) FROM s WHERE a2 = b2)"
+        ));
+    }
+    for agg in AGGS {
+        assert_complete(&format!(
+            "SELECT * FROM r WHERE a1 > (SELECT {agg} FROM s WHERE a2 = b2)"
+        ));
+    }
+}
+
+#[test]
+fn type_a_uncorrelated_matrix() {
+    for agg in ["COUNT(*)", "MIN(b2)", "AVG(b4)"] {
+        assert_complete(&format!(
+            "SELECT * FROM r WHERE a1 >= (SELECT {agg} FROM s) OR a4 > 7"
+        ));
+    }
+}

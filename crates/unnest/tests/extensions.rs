@@ -1,0 +1,228 @@
+//! Equivalence tests for the outlook/technical-report extensions:
+//! quantified comparisons (`θ ALL` / `θ ANY/SOME`) and nesting in the
+//! SELECT clause — always checked against canonical evaluation on
+//! randomized instances.
+
+use std::sync::Arc;
+
+use bypass_catalog::{Catalog, TableBuilder};
+use bypass_exec::{evaluate_with, physical_plan, ExecOptions};
+use bypass_sql::{parse_statement, Statement};
+use bypass_translate::translate_query;
+use bypass_types::{DataType, Relation, Value};
+use bypass_unnest::{unnest, RewriteOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_catalog(seed: u64, n: usize) -> Catalog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Catalog::new();
+    for (name, prefix) in [("r", 'a'), ("s", 'b')] {
+        let mut b = TableBuilder::new();
+        for i in 1..=4 {
+            b = b.column(format!("{prefix}{i}"), DataType::Int);
+        }
+        let rows: Vec<Vec<Value>> = (0..n)
+            .map(|_| {
+                (0..4)
+                    .map(|_| {
+                        if rng.gen_ratio(1, 12) {
+                            Value::Null
+                        } else {
+                            Value::Int(rng.gen_range(0..10))
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        b = b.rows(rows).unwrap();
+        c.register(name, b.build()).unwrap();
+    }
+    c
+}
+
+fn logical(c: &Catalog, sql: &str) -> Arc<bypass_algebra::LogicalPlan> {
+    let Statement::Query(q) = parse_statement(sql).unwrap() else {
+        panic!("not a query: {sql}")
+    };
+    translate_query(c, &q).unwrap()
+}
+
+fn run(c: &Catalog, plan: &Arc<bypass_algebra::LogicalPlan>) -> Relation {
+    evaluate_with(&physical_plan(plan, c).unwrap(), ExecOptions::default()).unwrap()
+}
+
+fn check(sql: &str) {
+    for (seed, n) in [(1u64, 30), (5, 60)] {
+        let c = random_catalog(seed, n);
+        let canonical = logical(&c, sql);
+        let expected = run(&c, &canonical);
+        let rewritten = unnest(&canonical, RewriteOptions::default()).unwrap();
+        let got = run(&c, &rewritten);
+        assert!(
+            got.bag_eq(&expected),
+            "unnested differs (seed {seed}, n {n})\nsql: {sql}\n{} vs {} rows\nplan:\n{}",
+            got.len(),
+            expected.len(),
+            rewritten.explain()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// θ ALL / θ ANY (outlook item 3)
+// ---------------------------------------------------------------------
+
+#[test]
+fn any_in_disjunction_all_thetas() {
+    for theta in ["=", "<>", "<", "<=", ">", ">="] {
+        check(&format!(
+            "SELECT * FROM r \
+             WHERE a1 {theta} ANY (SELECT b1 FROM s WHERE a2 = b2) OR a4 > 8"
+        ));
+    }
+}
+
+#[test]
+fn all_in_disjunction_all_thetas() {
+    for theta in ["=", "<>", "<", "<=", ">", ">="] {
+        check(&format!(
+            "SELECT * FROM r \
+             WHERE a1 {theta} ALL (SELECT b1 FROM s WHERE a2 = b2) OR a4 > 8"
+        ));
+    }
+}
+
+#[test]
+fn some_is_synonym_for_any() {
+    check("SELECT * FROM r WHERE a1 > SOME (SELECT b1 FROM s WHERE a2 = b2) OR a4 > 8");
+}
+
+#[test]
+fn all_over_empty_set_is_true() {
+    // ALL over ∅ must keep every row — including via the rewrite.
+    let mut c = Catalog::new();
+    let r = TableBuilder::new()
+        .column("a1", DataType::Int)
+        .row(vec![Value::Int(1)])
+        .unwrap()
+        .build();
+    let s = TableBuilder::new().column("b1", DataType::Int).build();
+    c.register("r", r).unwrap();
+    c.register("s", s).unwrap();
+    let sql = "SELECT * FROM r WHERE a1 > ALL (SELECT b1 FROM s)";
+    let canonical = logical(&c, sql);
+    assert_eq!(run(&c, &canonical).len(), 1);
+    let rewritten = unnest(&canonical, RewriteOptions::default()).unwrap();
+    assert_eq!(run(&c, &rewritten).len(), 1);
+    // And ANY over ∅ is FALSE.
+    let sql = "SELECT * FROM r WHERE a1 > ANY (SELECT b1 FROM s)";
+    let canonical = logical(&c, sql);
+    assert_eq!(run(&c, &canonical).len(), 0);
+    let rewritten = unnest(&canonical, RewriteOptions::default()).unwrap();
+    assert_eq!(run(&c, &rewritten).len(), 0);
+}
+
+#[test]
+fn quantified_under_not_stays_canonical_but_correct() {
+    // Negative polarity: the count rewrites must not fire (NULL
+    // semantics); the plan still evaluates correctly.
+    check("SELECT * FROM r WHERE NOT (a1 > ANY (SELECT b1 FROM s WHERE a2 = b2)) OR a4 > 8");
+    check("SELECT * FROM r WHERE NOT (a1 <= ALL (SELECT b1 FROM s WHERE b4 > 5))");
+}
+
+#[test]
+fn quantified_rewrite_produces_unnested_plan() {
+    let c = random_catalog(1, 10);
+    let canonical = logical(
+        &c,
+        "SELECT * FROM r WHERE a1 > ALL (SELECT b1 FROM s WHERE a2 = b2) OR a4 > 8",
+    );
+    let rewritten = unnest(&canonical, RewriteOptions::default()).unwrap();
+    assert!(
+        !rewritten.contains_subquery(),
+        "ALL should unnest:\n{}",
+        rewritten.explain()
+    );
+    assert!(rewritten.explain().contains("σ±"), "{}", rewritten.explain());
+}
+
+// ---------------------------------------------------------------------
+// Nesting in the SELECT clause (TR extension item)
+// ---------------------------------------------------------------------
+
+#[test]
+fn scalar_subquery_in_select_list() {
+    check(
+        "SELECT a1, (SELECT COUNT(*) FROM s WHERE a2 = b2) AS cnt FROM r",
+    );
+    check(
+        "SELECT a1, (SELECT MIN(b1) FROM s WHERE a2 = b2) FROM r",
+    );
+}
+
+#[test]
+fn select_list_subquery_with_arithmetic() {
+    check("SELECT a1 + (SELECT COUNT(*) FROM s WHERE a2 = b2) FROM r WHERE a4 > 3");
+}
+
+#[test]
+fn select_list_subquery_plan_is_unnested() {
+    let c = random_catalog(1, 10);
+    let canonical = logical(
+        &c,
+        "SELECT a1, (SELECT COUNT(*) FROM s WHERE a2 = b2) AS cnt FROM r",
+    );
+    let rewritten = unnest(&canonical, RewriteOptions::default()).unwrap();
+    assert!(
+        !rewritten.contains_subquery(),
+        "select-clause nesting should unnest:\n{}",
+        rewritten.explain()
+    );
+    // Output schema names preserved.
+    let schema = rewritten.schema();
+    assert_eq!(schema.field(0).name(), "a1");
+    assert_eq!(schema.field(1).name(), "cnt");
+}
+
+#[test]
+fn select_list_disjunctive_correlation_unnests_via_eqv4() {
+    let c = random_catalog(1, 20);
+    let sql = "SELECT a1, (SELECT COUNT(*) FROM s WHERE a2 = b2 OR b4 > 6) FROM r";
+    check(sql);
+    let canonical = logical(&c, sql);
+    let rewritten = unnest(&canonical, RewriteOptions::default()).unwrap();
+    assert!(!rewritten.contains_subquery(), "{}", rewritten.explain());
+    assert!(rewritten.explain().contains("χ["), "{}", rewritten.explain());
+}
+
+#[test]
+fn select_list_duplicate_rows_preserved() {
+    // Duplicates in R must yield duplicate output rows (cardinality
+    // preservation of the attach primitive).
+    let mut c = Catalog::new();
+    let r = TableBuilder::new()
+        .column("a1", DataType::Int)
+        .column("a2", DataType::Int)
+        .rows(vec![
+            vec![Value::Int(1), Value::Int(5)],
+            vec![Value::Int(1), Value::Int(5)],
+        ])
+        .unwrap()
+        .build();
+    let s = TableBuilder::new()
+        .column("b1", DataType::Int)
+        .column("b2", DataType::Int)
+        .rows(vec![vec![Value::Int(9), Value::Int(5)]])
+        .unwrap()
+        .build();
+    c.register("r", r).unwrap();
+    c.register("s", s).unwrap();
+    let sql = "SELECT a1, (SELECT COUNT(*) FROM s WHERE a2 = b2) FROM r";
+    let canonical = logical(&c, sql);
+    let rewritten = unnest(&canonical, RewriteOptions::default()).unwrap();
+    let out = run(&c, &rewritten);
+    assert_eq!(out.len(), 2);
+    assert_eq!(out.rows()[0], out.rows()[1]);
+    assert_eq!(out.rows()[0][1], Value::Int(1));
+}

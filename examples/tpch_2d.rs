@@ -1,0 +1,60 @@
+//! TPC-H Query 2d (the paper's introductory query): minimum-supply-cost
+//! *or* well-stocked European suppliers. Runs the query under every
+//! strategy of the evaluation study and reports wall-clock times.
+//!
+//! ```text
+//! cargo run --release --example tpch_2d [scale-factor]
+//! ```
+
+use std::time::{Duration, Instant};
+
+use bypass::datagen::tpch;
+use bypass::{Database, Strategy};
+
+fn main() -> bypass::Result<()> {
+    let sf: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.005);
+
+    let mut db = Database::new();
+    let instance = tpch::generate_2d(sf, 42);
+    println!(
+        "TPC-H SF {sf}: {} total rows ({} part, {} partsupp, {} supplier)",
+        instance.total_rows(),
+        instance.part.len(),
+        instance.partsupp.len(),
+        instance.supplier.len()
+    );
+    tpch::register(db.catalog_mut(), &instance)?;
+
+    let mut reference: Option<bypass::Relation> = None;
+    for strategy in Strategy::all() {
+        let start = Instant::now();
+        match db.sql_with(tpch::QUERY_2D, strategy, Some(Duration::from_secs(120))) {
+            Ok(rel) => {
+                println!(
+                    "{strategy:>18}: {:>9.3}s  ({} rows)",
+                    start.elapsed().as_secs_f64(),
+                    rel.len()
+                );
+                if let Some(prev) = &reference {
+                    assert!(rel.bag_eq(prev), "{strategy} disagrees");
+                } else {
+                    reference = Some(rel);
+                }
+            }
+            Err(e) => println!("{strategy:>18}:       n/a  ({e})"),
+        }
+    }
+
+    if let Some(rel) = reference {
+        println!("\nTop rows (ORDER BY s_acctbal DESC):");
+        let preview = bypass::Relation::new(
+            rel.schema().clone(),
+            rel.rows().iter().take(5).cloned().collect(),
+        );
+        print!("{preview}");
+    }
+    Ok(())
+}

@@ -1,0 +1,160 @@
+//! Plan-shape reproduction of the paper's Figures 2, 3, 5 and 6: the
+//! unnested plans must exhibit exactly the operator structure the paper
+//! sketches. These are the E4–E7 experiments of DESIGN.md.
+
+use bypass::datagen::rst;
+use bypass::{Database, Strategy};
+
+fn db() -> Database {
+    let mut db = Database::new();
+    rst::register(db.catalog_mut(), &rst::generate(0.001, 0.001, 42)).unwrap();
+    db
+}
+
+const Q1: &str = "SELECT DISTINCT * FROM r \
+     WHERE a1 = (SELECT COUNT(DISTINCT *) FROM s WHERE a2 = b2) OR a4 > 1500";
+const Q2: &str = "SELECT DISTINCT * FROM r \
+     WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2 OR b4 > 1500)";
+const Q3: &str = "SELECT DISTINCT * FROM r \
+     WHERE a1 = (SELECT COUNT(DISTINCT *) FROM s WHERE a2 = b2) \
+        OR a3 = (SELECT COUNT(DISTINCT *) FROM t WHERE a4 = c2)";
+const Q4: &str = "SELECT DISTINCT * FROM r \
+     WHERE a1 = (SELECT COUNT(DISTINCT *) FROM s \
+                 WHERE a2 = b2 \
+                    OR b3 = (SELECT COUNT(DISTINCT *) FROM t WHERE b4 = c2))";
+
+fn unnested_plan(sql: &str) -> String {
+    let db = db();
+    let canonical = db.logical_plan(sql).unwrap();
+    Strategy::Unnested.prepare(&canonical).unwrap().explain()
+}
+
+fn canonical_plan(sql: &str) -> String {
+    let db = db();
+    let canonical = db.logical_plan(sql).unwrap();
+    Strategy::Canonical.prepare(&canonical).unwrap().explain()
+}
+
+#[test]
+fn fig2a_canonical_q1_has_nested_block_in_predicate() {
+    let text = canonical_plan(Q1);
+    assert!(
+        text.contains("σ[((a4 > 1500) OR (a1 = ⟨subquery⟩))]")
+            || text.contains("σ[((a1 = ⟨subquery⟩) OR (a4 > 1500))]"),
+        "{text}"
+    );
+    assert!(text.contains("subquery:"), "{text}");
+    assert!(text.contains("Γ[; count(distinct *): count(distinct *)]"), "{text}");
+}
+
+#[test]
+fn fig2c_unnested_q1_structure() {
+    let text = unnested_plan(Q1);
+    // The disjoint union of the two streams.
+    assert!(text.contains("∪̇"), "{text}");
+    // Positive stream: bypass selection on the cheap predicate.
+    assert!(text.contains("σ±+[(a4 > 1500)] (#1)"), "{text}");
+    // Negative stream: shared bypass node, Γ on the correlation key,
+    // outerjoin with the count default 0, then the linking check.
+    assert!(text.contains("σ±- (shared #1)"), "{text}");
+    assert!(text.contains("Γ[b2; __g0: count(distinct *)]"), "{text}");
+    assert!(text.contains("defaults[__g0←0]"), "{text}");
+    assert!(text.contains("σ[(a1 = __g0)]"), "{text}");
+    // Fully unnested: no nested block survives.
+    assert!(!text.contains("subquery:"), "{text}");
+    // The scans appear exactly once each (DAG, not a tree copy).
+    assert_eq!(text.matches("Scan r").count(), 1, "{text}");
+    assert_eq!(text.matches("Scan s").count(), 1, "{text}");
+}
+
+#[test]
+fn fig3b_unnested_q2_structure() {
+    let text = unnested_plan(Q2);
+    // σ± splits S on the correlation-independent predicate p.
+    assert!(text.contains("σ±+[(b4 > 1500)] (#1)") || text.contains("σ±-[(b4 > 1500)] (#1)"), "{text}");
+    assert!(text.contains("(shared #1)"), "{text}");
+    // Grouped partial count over one stream, scalar partial over the
+    // other, combined by χ (here: g = g1 + g2).
+    assert!(text.contains("Γ[b2; __p"), "{text}");
+    assert!(text.contains("χ[__g"), "{text}");
+    assert!(text.contains("+"), "{text}");
+    // Count-bug defaults on the outerjoin.
+    assert!(text.contains("defaults[__p"), "{text}");
+    assert!(text.contains("←0]"), "{text}");
+    assert!(!text.contains("subquery:"), "{text}");
+    // S is scanned once; both partials read the same bypass node.
+    assert_eq!(text.matches("Scan s").count(), 1, "{text}");
+}
+
+#[test]
+fn fig5_unnested_q3_tree_structure() {
+    let text = unnested_plan(Q3);
+    // First linking predicate becomes a bypass selection over the
+    // attached aggregate (Eqv. 3 shape)...
+    assert!(text.contains("σ±+[(a1 = __g"), "{text}");
+    // ...the second is unnested conjunctively in the negative stream
+    // (Eqv. 1): a plain selection on the second aggregate.
+    assert!(text.contains("σ[(a3 = __g"), "{text}");
+    // Two Γ/⟕ pairs, one per nested block.
+    assert_eq!(text.matches("⟕[").count(), 2, "{text}");
+    assert_eq!(text.matches("Γ[").count(), 2, "{text}");
+    assert!(!text.contains("subquery:"), "{text}");
+}
+
+#[test]
+fn fig6_unnested_q4_linear_structure() {
+    let text = unnested_plan(Q4);
+    // Eqv. 5 at the top: numbering, bypass join on the correlation
+    // predicate, binary grouping on the numbering column.
+    assert!(text.contains("ν[__t"), "{text}");
+    assert!(text.contains("⋈±+[(a2 = b2)]"), "{text}");
+    assert!(text.contains("Γᵇ[__g"), "{text}");
+    // The inner-inner block is unnested with Eqv. 1 inside σ_p on the
+    // negative join stream: Γ over T and an outerjoin with default 0.
+    assert!(text.contains("Γ[c2; __g"), "{text}");
+    assert!(text.contains("←0]"), "{text}");
+    assert!(!text.contains("subquery:"), "{text}");
+}
+
+#[test]
+fn physical_q1_uses_hash_operators_and_shared_bypass() {
+    let db = db();
+    let text = db.explain(Q1, Strategy::Unnested).unwrap();
+    assert!(text.contains("HashOuterJoin"), "{text}");
+    assert!(text.contains("HashAggregate"), "{text}");
+    assert!(text.contains("BypassFilter (#1)"), "{text}");
+    assert!(text.contains("BypassFilter (shared #1)"), "{text}");
+}
+
+#[test]
+fn physical_q4_fuses_neg_filter_into_bypass_join() {
+    let db = db();
+    let text = db.explain(Q4, Strategy::Unnested).unwrap();
+    // The Eqv. 5 plan contains the bypass NL join; the σ_p on the
+    // negative stream is fused (no Filter directly above Stream(-)).
+    assert!(text.contains("BypassNLJoin"), "{text}");
+    let physical = text.split("-- physical plan").nth(1).unwrap();
+    for window in physical
+        .lines()
+        .collect::<Vec<_>>()
+        .windows(2)
+    {
+        let (parent, child) = (window[0].trim(), window[1].trim());
+        assert!(
+            !(child.starts_with("Stream(-)") && parent.starts_with("Filter")),
+            "negative stream filter should be fused:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn all_strategies_agree_on_all_figure_queries() {
+    let db = db();
+    for sql in [Q1, Q2, Q3, Q4] {
+        let reference = db.sql_with(sql, Strategy::Canonical, None).unwrap();
+        for strategy in Strategy::all() {
+            let got = db.sql_with(sql, strategy, None).unwrap();
+            assert!(got.bag_eq(&reference), "{strategy} differs on {sql}");
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! System-level property tests: on arbitrary generated instances of the
+//! RST schema (with NULLs and duplicate rows), every evaluation strategy
+//! returns the same bag of rows for a matrix of nested queries covering
+//! each rewrite — the end-to-end counterpart of the per-crate tests.
+
+use bypass::{Database, DataType, TableBuilder, Value};
+use bypass::Strategy as EvalStrategy;
+use proptest::prelude::*;
+
+/// Rows for one 4-column table: values in 0..8 with ~10% NULLs, small
+/// domains so correlations and duplicates actually occur.
+fn arb_rows(max: usize) -> impl Strategy<Value = Vec<[Option<i64>; 4]>> {
+    proptest::collection::vec(
+        [
+            proptest::option::weighted(0.9, 0..8i64),
+            proptest::option::weighted(0.9, 0..8i64),
+            proptest::option::weighted(0.9, 0..8i64),
+            proptest::option::weighted(0.9, 0..8i64),
+        ],
+        0..max,
+    )
+}
+
+fn build_db(
+    r: &[[Option<i64>; 4]],
+    s: &[[Option<i64>; 4]],
+    t: &[[Option<i64>; 4]],
+) -> Database {
+    let mut db = Database::new();
+    for (name, prefix, rows) in [("r", 'a', r), ("s", 'b', s), ("t", 'c', t)] {
+        let mut b = TableBuilder::new();
+        for i in 1..=4 {
+            b = b.column(format!("{prefix}{i}"), DataType::Int);
+        }
+        for row in rows {
+            b = b
+                .row(row
+                    .iter()
+                    .map(|v| v.map(Value::Int).unwrap_or(Value::Null))
+                    .collect())
+                .unwrap();
+        }
+        db.register_table(name, b.build()).unwrap();
+    }
+    db
+}
+
+/// The query matrix: one query per rewrite family.
+const QUERIES: &[&str] = &[
+    // Eqv. 2/3 — disjunctive linking.
+    "SELECT * FROM r WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2) OR a4 > 4",
+    // Eqv. 1 — conjunctive linking.
+    "SELECT * FROM r WHERE a1 >= (SELECT MIN(b1) FROM s WHERE a2 = b2)",
+    // Eqv. 4 — disjunctive correlation, decomposable aggregate.
+    "SELECT * FROM r WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2 OR b4 > 4)",
+    // Eqv. 5 — non-decomposable aggregate.
+    "SELECT * FROM r WHERE a1 = (SELECT COUNT(DISTINCT *) FROM s WHERE a2 = b2 OR b4 > 4)",
+    // Tree query.
+    "SELECT DISTINCT * FROM r \
+     WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2) \
+        OR a3 = (SELECT COUNT(*) FROM t WHERE a4 = c2)",
+    // Quantified.
+    "SELECT * FROM r WHERE EXISTS (SELECT * FROM s WHERE a2 = b2) OR a4 > 6",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_strategies_agree_on_random_instances(
+        r in arb_rows(25),
+        s in arb_rows(25),
+        t in arb_rows(15),
+    ) {
+        let db = build_db(&r, &s, &t);
+        for sql in QUERIES {
+            let reference = db.sql_with(sql, EvalStrategy::Canonical, None).unwrap();
+            for strategy in EvalStrategy::all() {
+                let got = db.sql_with(sql, strategy, None).unwrap();
+                prop_assert!(
+                    got.bag_eq(&reference),
+                    "strategy {} differs on {} ({} vs {} rows; r={:?} s={:?} t={:?})",
+                    strategy, sql, got.len(), reference.len(), r, s, t
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unnested_plans_preserve_duplicates_exactly(
+        r in arb_rows(15),
+        s in arb_rows(15),
+    ) {
+        // Non-DISTINCT query: duplicates in R must survive with their
+        // exact multiplicity (Section 3.7).
+        let db = build_db(&r, &s, &[]);
+        let sql = "SELECT * FROM r WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2) OR a4 > 4";
+        let canonical = db.sql_with(sql, EvalStrategy::Canonical, None).unwrap();
+        let unnested = db.sql_with(sql, EvalStrategy::Unnested, None).unwrap();
+        prop_assert!(canonical.bag_eq(&unnested));
+    }
+
+    #[test]
+    fn distinct_projection_agrees(
+        r in arb_rows(15),
+        s in arb_rows(15),
+    ) {
+        let db = build_db(&r, &s, &[]);
+        let sql = "SELECT DISTINCT a2 FROM r \
+                   WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2) OR a4 > 4";
+        let canonical = db.sql_with(sql, EvalStrategy::Canonical, None).unwrap();
+        let unnested = db.sql_with(sql, EvalStrategy::Unnested, None).unwrap();
+        prop_assert!(canonical.bag_eq(&unnested));
+    }
+}
