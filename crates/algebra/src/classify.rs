@@ -62,9 +62,7 @@ fn plan_contains_aggregate(plan: &LogicalPlan) -> bool {
     if matches!(plan, LogicalPlan::Aggregate { keys, .. } if keys.is_empty()) {
         return true;
     }
-    plan.children()
-        .iter()
-        .any(|c| plan_contains_aggregate(c))
+    plan.children().iter().any(|c| plan_contains_aggregate(c))
 }
 
 /// The nesting structure of a whole query plan.
@@ -108,7 +106,11 @@ fn analyze(plan: &LogicalPlan) -> (usize, usize, usize) {
         max_depth = max_depth.max(d);
         total += t;
     }
-    (max_width, if direct.is_empty() { 0 } else { max_depth + 1 }, total)
+    (
+        max_width,
+        if direct.is_empty() { 0 } else { max_depth + 1 },
+        total,
+    )
 }
 
 /// Subquery plans appearing directly in this block (in any node's

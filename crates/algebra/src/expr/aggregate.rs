@@ -132,7 +132,13 @@ mod tests {
     #[test]
     fn decomposability_matches_paper_footnote() {
         // Plain versions: all decomposable.
-        for f in [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max] {
+        for f in [
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::Min,
+            AggFunc::Max,
+        ] {
             assert!(AggCall::new(f, false, Some(Scalar::col("x"))).is_decomposable());
         }
         // DISTINCT count/sum/avg: not decomposable.

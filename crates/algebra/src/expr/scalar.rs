@@ -277,8 +277,10 @@ impl Scalar {
     pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Scalar)) {
         f(self);
         match self {
-            Scalar::Column(_) | Scalar::Literal(_) | Scalar::Subquery(_) | Scalar::Exists { .. } => {
-            }
+            Scalar::Column(_)
+            | Scalar::Literal(_)
+            | Scalar::Subquery(_)
+            | Scalar::Exists { .. } => {}
             Scalar::Binary { left, right, .. } => {
                 left.walk(f);
                 right.walk(f);
@@ -513,8 +515,7 @@ mod tests {
         assert_eq!(Scalar::conjunction(vec![]), None);
         let one = Scalar::conjunction(vec![Scalar::col("a")]).unwrap();
         assert_eq!(one, Scalar::col("a"));
-        let two =
-            Scalar::conjunction(vec![Scalar::col("a"), Scalar::col("b")]).unwrap();
+        let two = Scalar::conjunction(vec![Scalar::col("a"), Scalar::col("b")]).unwrap();
         assert_eq!(two.conjuncts().len(), 2);
     }
 
@@ -533,9 +534,7 @@ mod tests {
         let s = schema();
         assert_eq!(Scalar::qcol("r", "a1").data_type(&s), DataType::Int);
         assert_eq!(
-            Scalar::qcol("r", "a1")
-                .eq(Scalar::lit(1i64))
-                .data_type(&s),
+            Scalar::qcol("r", "a1").eq(Scalar::lit(1i64)).data_type(&s),
             DataType::Bool
         );
         assert_eq!(
@@ -544,8 +543,7 @@ mod tests {
             DataType::Float
         );
         assert_eq!(
-            Scalar::binary(BinOp::Div, Scalar::qcol("r", "a1"), Scalar::lit(2i64))
-                .data_type(&s),
+            Scalar::binary(BinOp::Div, Scalar::qcol("r", "a1"), Scalar::lit(2i64)).data_type(&s),
             DataType::Float
         );
         // Unresolvable → Unknown (outer reference).

@@ -65,10 +65,7 @@ impl Printer<'_> {
         if let Some(&id) = self.seen.get(&ptr) {
             // Already printed: emit a reference only.
             let sym = bypass_symbol(source);
-            self.line(
-                depth,
-                &format!("{sym}{} (shared #{id})", stream.sign()),
-            );
+            self.line(depth, &format!("{sym}{} (shared #{id})", stream.sign()));
             return;
         }
         let id = self.next_id;
@@ -80,10 +77,7 @@ impl Printer<'_> {
             .first()
             .map(|e| e.to_string())
             .unwrap_or_default();
-        self.line(
-            depth,
-            &format!("{sym}{}[{pred}] (#{id})", stream.sign()),
-        );
+        self.line(depth, &format!("{sym}{}[{pred}] (#{id})", stream.sign()));
         self.subqueries(source, depth + 1);
         for c in source.children() {
             self.node(c, depth + 1);
@@ -132,12 +126,11 @@ fn label(plan: &LogicalPlan) -> String {
         LogicalPlan::CrossJoin { .. } => "×".to_string(),
         LogicalPlan::Join { predicate, .. } => format!("⋈[{predicate}]"),
         LogicalPlan::OuterJoin {
-            predicate, defaults, ..
+            predicate,
+            defaults,
+            ..
         } => {
-            let d: Vec<String> = defaults
-                .iter()
-                .map(|(n, v)| format!("{n}←{v}"))
-                .collect();
+            let d: Vec<String> = defaults.iter().map(|(n, v)| format!("{n}←{v}")).collect();
             format!("⟕[{predicate}] defaults[{}]", d.join(", "))
         }
         LogicalPlan::Aggregate { keys, aggs, .. } => {
@@ -190,10 +183,7 @@ mod tests {
             .project_columns(&[("r", "a1")])
             .build();
         let text = plan.explain();
-        assert_eq!(
-            text,
-            "Π[r.a1]\n  σ[(r.a4 > 1500)]\n    Scan r\n"
-        );
+        assert_eq!(text, "Π[r.a1]\n  σ[(r.a4 > 1500)]\n    Scan r\n");
     }
 
     #[test]

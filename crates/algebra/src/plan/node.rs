@@ -114,10 +114,7 @@ pub enum LogicalPlan {
         keys: Vec<(Scalar, bool)>,
     },
     /// LIMIT: keep the first `n` rows of the input order.
-    Limit {
-        input: Arc<LogicalPlan>,
-        n: usize,
-    },
+    Limit { input: Arc<LogicalPlan>, n: usize },
     /// Derived-table aliasing: identity on rows, re-qualifies every
     /// output column with `alias` (a FROM-clause `(SELECT …) AS x`).
     Alias {
@@ -188,7 +185,11 @@ impl LogicalPlan {
                 Schema::new(fields)
             }
             LogicalPlan::BinaryGroup {
-                left, right, agg, name, ..
+                left,
+                right,
+                agg,
+                name,
+                ..
             } => left
                 .schema()
                 .extended(Field::new(name, agg.data_type(&right.schema()))),
@@ -274,7 +275,9 @@ impl LogicalPlan {
                 predicate: predicate.clone(),
             },
             LogicalPlan::OuterJoin {
-                predicate, defaults, ..
+                predicate,
+                defaults,
+                ..
             } => LogicalPlan::OuterJoin {
                 left: next(),
                 right: next(),
@@ -493,11 +496,7 @@ mod tests {
     fn map_and_numbering_extend_schema() {
         let m = LogicalPlan::Map {
             input: scan_r(),
-            expr: Scalar::binary(
-                BinOp::Add,
-                Scalar::qcol("r", "a1"),
-                Scalar::qcol("r", "a2"),
-            ),
+            expr: Scalar::binary(BinOp::Add, Scalar::qcol("r", "a1"), Scalar::qcol("r", "a2")),
             name: "g".into(),
         };
         assert_eq!(m.schema().arity(), 5);

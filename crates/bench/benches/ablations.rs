@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bypass_bench::timing::{criterion_group, criterion_main, Criterion};
 
 use bypass_bench::{rst_database, Q1, Q2};
 use bypass_core::{Database, Strategy};
@@ -24,11 +24,7 @@ fn prepared(db: &Database, sql: &str) -> Arc<bypass_core::LogicalPlan> {
     Strategy::Unnested.prepare(&canonical).unwrap()
 }
 
-fn run_logical(
-    db: &Database,
-    plan: &Arc<bypass_core::LogicalPlan>,
-    options: PlanOptions,
-) -> usize {
+fn run_logical(db: &Database, plan: &Arc<bypass_core::LogicalPlan>, options: PlanOptions) -> usize {
     let phys = physical_plan_with(plan, db.catalog(), options).unwrap();
     evaluate_with(&phys, ExecOptions::default()).unwrap().len()
 }

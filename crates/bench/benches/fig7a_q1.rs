@@ -2,7 +2,7 @@
 //! schema, every strategy. Uses small instances so `cargo bench`
 //! terminates quickly; the full sweep lives in the `fig7` binary.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bypass_bench::timing::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use bypass_bench::{rst_database, Q1};
 use bypass_core::Strategy;

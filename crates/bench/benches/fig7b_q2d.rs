@@ -1,10 +1,10 @@
 //! Criterion bench for Fig. 7(b): TPC-H Query 2d (disjunctive linking
 //! against a realistic multi-join workload).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bypass_bench::timing::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use bypass_bench::QUERY_2D;
 use bypass_bench::tpch_database;
+use bypass_bench::QUERY_2D;
 use bypass_core::Strategy;
 
 fn bench_q2d(c: &mut Criterion) {

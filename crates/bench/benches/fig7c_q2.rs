@@ -3,7 +3,7 @@
 //! `S3` all evaluate the nested block per outer tuple; `unnested` runs
 //! the Eqv. 4 plan.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bypass_bench::timing::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use bypass_bench::{rst_database, Q2};
 use bypass_core::Strategy;

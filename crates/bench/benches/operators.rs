@@ -3,7 +3,7 @@
 //! the bypass selection) plus the memoization ablations of the nested-
 //! loop strategies.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bypass_bench::timing::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use bypass_bench::rst_database;
 use bypass_core::Strategy;
@@ -36,7 +36,10 @@ fn bench_operators(c: &mut Criterion) {
     });
     // Bypass selection (whole unnested Q1 plan at this scale).
     group.bench_function("bypass_chain_q1_1k", |b| {
-        b.iter(|| db.sql_with(bypass_bench::Q1, Strategy::Unnested, None).unwrap())
+        b.iter(|| {
+            db.sql_with(bypass_bench::Q1, Strategy::Unnested, None)
+                .unwrap()
+        })
     });
 
     // Memoization ablation: an uncorrelated (type A) subquery evaluated

@@ -2,7 +2,7 @@
 //! bypass chain (Eqv. 2 — plain disjunct first — vs Eqv. 3 — unnested
 //! linking predicate first) across plain-disjunct selectivities.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bypass_bench::timing::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use bypass_bench::{q1_with_threshold, rst_database};
 use bypass_core::Strategy;

@@ -2,7 +2,7 @@
 //! Section 4 references: tree query Q3 and linear query Q4, where "the
 //! performance gains observed for simple queries exponentiate".
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bypass_bench::timing::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use bypass_bench::{rst_database, Q3, Q4};
 use bypass_core::Strategy;
@@ -14,7 +14,11 @@ fn bench_tree_linear(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     let db = rst_database(0.02, 0.02, 42);
     for (name, sql) in [("q3_tree", Q3), ("q4_linear", Q4)] {
-        for strategy in [Strategy::Canonical, Strategy::Unnested, Strategy::S2UnionRewrite] {
+        for strategy in [
+            Strategy::Canonical,
+            Strategy::Unnested,
+            Strategy::S2UnionRewrite,
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(name, strategy.to_string()),
                 &db,

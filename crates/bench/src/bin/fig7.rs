@@ -63,7 +63,11 @@ fn main() {
     let want = |name: &str| all || experiments.iter().any(|e| e == name);
 
     if want("q1") {
-        rst_experiment(&cfg, "Fig. 7(a) — Q1 (disjunctive linking, RST); seconds", Q1);
+        rst_experiment(
+            &cfg,
+            "Fig. 7(a) — Q1 (disjunctive linking, RST); seconds",
+            Q1,
+        );
     }
     if want("q2d") {
         q2d_experiment(&cfg);
@@ -143,10 +147,7 @@ fn rst_experiment(cfg: &Config, title: &str, sql: &str) {
 }
 
 fn rst_experiment_with_grid(cfg: &Config, title: &str, sql: &str, cells: Vec<(f64, f64)>) {
-    let header: Vec<String> = cells
-        .iter()
-        .map(|(a, b)| format!("{a}/{b}"))
-        .collect();
+    let header: Vec<String> = cells.iter().map(|(a, b)| format!("{a}/{b}")).collect();
     let mut table = Table::new(format!("{title} (columns: SF1/SF2)"), header);
     let dbs: Vec<_> = cells
         .iter()
@@ -160,9 +161,7 @@ fn rst_experiment_with_grid(cfg: &Config, title: &str, sql: &str, cells: Vec<(f6
         // both scale factors).
         let mut timed_out: Vec<(f64, f64)> = Vec::new();
         for (db, &(sf1, sf2)) in dbs.iter().zip(&cells) {
-            let dominated = timed_out
-                .iter()
-                .any(|&(a, b)| sf1 >= a && sf2 >= b);
+            let dominated = timed_out.iter().any(|&(a, b)| sf1 >= a && sf2 >= b);
             if dominated {
                 row.push("n/a".to_string());
                 continue;
@@ -209,10 +208,7 @@ fn rank_experiment(cfg: &Config) {
     let thresholds = [300i64, 1500, 2700];
     let (sf1, sf2) = if cfg.quick { (0.1, 0.1) } else { (1.0, 1.0) };
     let db = rst_database(sf1, sf2, 42);
-    let header: Vec<String> = thresholds
-        .iter()
-        .map(|t| format!("a4>{t}"))
-        .collect();
+    let header: Vec<String> = thresholds.iter().map(|t| format!("a4>{t}")).collect();
     let mut table = Table::new(
         format!("Rank ablation — Eqv. 2 (plain first) vs Eqv. 3 (subquery first), Q1, SF {sf1}/{sf2}; seconds"),
         header,

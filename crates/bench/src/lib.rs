@@ -12,6 +12,7 @@
 pub mod queries;
 pub mod report;
 pub mod runner;
+pub mod timing;
 
 pub use queries::*;
 pub use report::Table;

@@ -42,12 +42,7 @@ pub fn tpch_database(sf: f64, seed: u64) -> Database {
 /// Run `sql` once under `strategy` and measure wall-clock time. The
 /// query runs cold (plans are rebuilt), mirroring the paper's cold-
 /// buffer single-shot methodology.
-pub fn measure(
-    db: &Database,
-    sql: &str,
-    strategy: Strategy,
-    timeout: Duration,
-) -> Measurement {
+pub fn measure(db: &Database, sql: &str, strategy: Strategy, timeout: Duration) -> Measurement {
     let start = Instant::now();
     match db.sql_with(sql, strategy, Some(timeout)) {
         Ok(rel) => Measurement {

@@ -36,8 +36,7 @@ impl Catalog {
     /// Register or overwrite.
     pub fn register_or_replace(&mut self, name: impl AsRef<str>, data: Relation) {
         let name = name.as_ref();
-        self.tables
-            .insert(Self::key(name), Table::new(name, data));
+        self.tables.insert(Self::key(name), Table::new(name, data));
     }
 
     /// Remove a table. Errors if it does not exist.

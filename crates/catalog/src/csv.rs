@@ -9,12 +9,8 @@ use bypass_types::{DataType, Error, Field, Relation, Result, Schema, Tuple, Valu
 
 /// Load a CSV file (first row = column names) into a relation.
 pub fn load_csv_file(path: impl AsRef<Path>) -> Result<Relation> {
-    let text = std::fs::read_to_string(&path).map_err(|e| {
-        Error::catalog(format!(
-            "cannot read `{}`: {e}",
-            path.as_ref().display()
-        ))
-    })?;
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| Error::catalog(format!("cannot read `{}`: {e}", path.as_ref().display())))?;
     load_csv_str(&text)
 }
 
@@ -76,8 +72,7 @@ fn infer_column<'a>(fields: impl Iterator<Item = &'a str>) -> DataType {
             DataType::Int if f.parse::<i64>().is_ok() => DataType::Int,
             DataType::Int | DataType::Float if f.parse::<f64>().is_ok() => DataType::Float,
             DataType::Bool | DataType::Int | DataType::Float
-                if matches!(f, "true" | "false" | "TRUE" | "FALSE")
-                    && t != DataType::Float =>
+                if matches!(f, "true" | "false" | "TRUE" | "FALSE") && t != DataType::Float =>
             {
                 DataType::Bool
             }

@@ -5,13 +5,13 @@
 //! registration / load time and feed the optimizer's rank model.
 
 mod builder;
-mod csv;
 mod catalog;
+mod csv;
 mod table;
 
 pub use builder::TableBuilder;
-pub use csv::{load_csv_file, load_csv_str};
 pub use catalog::Catalog;
+pub use csv::{load_csv_file, load_csv_str};
 pub use table::Table;
 
 pub use bypass_types::Relation;

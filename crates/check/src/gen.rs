@@ -1,0 +1,419 @@
+//! Value generators with integrated shrinking — the `proptest` subset
+//! the repo's test suites actually use.
+//!
+//! A [`Gen<T>`] couples two closures: *generate* a `T` from an [`Rng`]
+//! and *shrink* a failing `T` into a list of strictly simpler
+//! candidates. Primitive generators (integers, `Option`, `Vec`, fixed
+//! arrays, tuples, strings) shrink structurally; [`Gen::map`] and
+//! [`choice`] trade shrinking away for expressiveness (their outputs
+//! are final).
+
+use std::rc::Rc;
+
+use crate::rng::Rng;
+
+/// Shrink function: candidate smaller inputs for a failing value.
+type Shrinker<T> = Rc<dyn Fn(&T) -> Vec<T>>;
+
+/// A random generator for `T` with structural shrinking.
+pub struct Gen<T> {
+    generate: Rc<dyn Fn(&mut Rng) -> T>,
+    shrink: Shrinker<T>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Gen {
+            generate: self.generate.clone(),
+            shrink: self.shrink.clone(),
+        }
+    }
+}
+
+impl<T: 'static> Gen<T> {
+    /// A generator from a raw sampling function (no shrinking).
+    pub fn new(f: impl Fn(&mut Rng) -> T + 'static) -> Gen<T> {
+        Gen {
+            generate: Rc::new(f),
+            shrink: Rc::new(|_| Vec::new()),
+        }
+    }
+
+    /// A generator with an explicit shrinker. Shrink candidates must be
+    /// *strictly simpler* than their input or shrinking may loop until
+    /// the step budget runs out.
+    pub fn with_shrink(
+        f: impl Fn(&mut Rng) -> T + 'static,
+        s: impl Fn(&T) -> Vec<T> + 'static,
+    ) -> Gen<T> {
+        Gen {
+            generate: Rc::new(f),
+            shrink: Rc::new(s),
+        }
+    }
+
+    /// Sample one value.
+    pub fn sample(&self, rng: &mut Rng) -> T {
+        (self.generate)(rng)
+    }
+
+    /// Shrink candidates for a failing value (simplest first).
+    pub fn shrink(&self, value: &T) -> Vec<T> {
+        (self.shrink)(value)
+    }
+
+    /// Transform generated values. The mapped generator does not shrink
+    /// (there is no inverse to map candidates back through).
+    pub fn map<U: 'static>(self, f: impl Fn(T) -> U + 'static) -> Gen<U> {
+        let g = self.generate;
+        Gen::new(move |rng| f(g(rng)))
+    }
+}
+
+/// Always the same value.
+pub fn just<T: Clone + 'static>(value: T) -> Gen<T> {
+    Gen::new(move |_| value.clone())
+}
+
+/// Uniform `i64` in `[lo, hi)`, shrinking toward `lo`.
+pub fn int_range(lo: i64, hi: i64) -> Gen<i64> {
+    assert!(lo < hi);
+    Gen::with_shrink(
+        move |rng| rng.gen_range(lo..hi),
+        move |&v| shrink_toward(v, lo),
+    )
+}
+
+/// Any `i64`, shrinking toward 0.
+pub fn i64_any() -> Gen<i64> {
+    Gen::with_shrink(|rng| rng.next_u64() as i64, |&v| shrink_toward(v, 0))
+}
+
+/// Uniform `usize` in `[lo, hi)`, shrinking toward `lo`.
+pub fn usize_range(lo: usize, hi: usize) -> Gen<usize> {
+    assert!(lo < hi);
+    Gen::with_shrink(
+        move |rng| rng.gen_range(lo..hi),
+        move |&v| {
+            shrink_toward(v as i64, lo as i64)
+                .into_iter()
+                .map(|x| x as usize)
+                .collect()
+        },
+    )
+}
+
+/// Uniform `f64` in `[lo, hi)`, shrinking toward `lo`.
+pub fn f64_range(lo: f64, hi: f64) -> Gen<f64> {
+    assert!(lo < hi);
+    Gen::with_shrink(
+        move |rng| rng.gen_range(lo..hi),
+        move |&v| {
+            if v == lo {
+                Vec::new()
+            } else {
+                let mid = lo + (v - lo) / 2.0;
+                if mid == v || mid == lo {
+                    vec![lo]
+                } else {
+                    vec![lo, mid]
+                }
+            }
+        },
+    )
+}
+
+/// `true` / `false`, shrinking toward `false`.
+pub fn bool_any() -> Gen<bool> {
+    Gen::with_shrink(
+        |rng| rng.gen_bool(0.5),
+        |&v| if v { vec![false] } else { Vec::new() },
+    )
+}
+
+/// Integer shrink schedule: target first, then successive midpoints,
+/// then the immediate neighbour — the classic halving ladder.
+fn shrink_toward(v: i64, target: i64) -> Vec<i64> {
+    if v == target {
+        return Vec::new();
+    }
+    let mut out = vec![target];
+    let mut delta = v - target;
+    loop {
+        delta /= 2;
+        let candidate = target + delta;
+        if candidate == v || candidate == target {
+            break;
+        }
+        out.push(candidate);
+    }
+    out.push(if v > target { v - 1 } else { v + 1 });
+    out.dedup();
+    out
+}
+
+/// `Some(inner)` with probability `some_prob`, else `None`
+/// (`proptest::option::weighted`). Shrinks `Some(x)` to `None` and to
+/// `Some(x')` for shrunk `x'`.
+pub fn option_weighted<T: Clone + 'static>(some_prob: f64, inner: Gen<T>) -> Gen<Option<T>> {
+    let inner2 = inner.clone();
+    Gen::with_shrink(
+        move |rng| {
+            if rng.gen_bool(some_prob) {
+                Some(inner.sample(rng))
+            } else {
+                None
+            }
+        },
+        move |v| match v {
+            None => Vec::new(),
+            Some(x) => {
+                let mut out = vec![None];
+                out.extend(inner2.shrink(x).into_iter().map(Some));
+                out
+            }
+        },
+    )
+}
+
+/// A `Vec` whose length is uniform in `[min_len, max_len]`. Shrinks by
+/// dropping chunks (halving), dropping single elements, and shrinking
+/// individual elements — never below `min_len`.
+pub fn vec_of<T: Clone + 'static>(inner: Gen<T>, min_len: usize, max_len: usize) -> Gen<Vec<T>> {
+    assert!(min_len <= max_len);
+    let inner2 = inner.clone();
+    Gen::with_shrink(
+        move |rng| {
+            let n = rng.gen_range(min_len..=max_len);
+            (0..n).map(|_| inner.sample(rng)).collect()
+        },
+        move |v: &Vec<T>| {
+            let mut out: Vec<Vec<T>> = Vec::new();
+            // 1. Halve the tail.
+            if v.len() > min_len {
+                let half = (v.len() / 2).max(min_len);
+                if half < v.len() {
+                    out.push(v[..half].to_vec());
+                }
+                // 2. Drop one element at a time (first few positions).
+                for i in 0..v.len().min(8) {
+                    let mut shorter = v.clone();
+                    shorter.remove(i);
+                    out.push(shorter);
+                }
+            }
+            // 3. Shrink one element (bounded number of positions).
+            for i in 0..v.len().min(8) {
+                for cand in inner2.shrink(&v[i]) {
+                    let mut smaller = v.clone();
+                    smaller[i] = cand;
+                    out.push(smaller);
+                }
+            }
+            out
+        },
+    )
+}
+
+/// A fixed-size array, shrinking one component at a time.
+pub fn array_of<T: Clone + 'static, const N: usize>(inner: Gen<T>) -> Gen<[T; N]> {
+    let inner2 = inner.clone();
+    Gen::with_shrink(
+        move |rng| std::array::from_fn(|_| inner.sample(rng)),
+        move |arr: &[T; N]| {
+            let mut out = Vec::new();
+            for i in 0..N {
+                for cand in inner2.shrink(&arr[i]) {
+                    let mut next = arr.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
+        },
+    )
+}
+
+/// A uniformly chosen element of a fixed set (`prop_oneof` over
+/// constants). Shrinks toward earlier elements of the set.
+pub fn one_of<T: Clone + PartialEq + 'static>(items: Vec<T>) -> Gen<T> {
+    assert!(!items.is_empty());
+    let items2 = items.clone();
+    Gen::with_shrink(
+        move |rng| rng.choose(&items).clone(),
+        move |v| {
+            match items2.iter().position(|x| x == v) {
+                Some(0) | None => Vec::new(),
+                // Earlier set members are "simpler".
+                Some(i) => vec![items2[0].clone(), items2[i - 1].clone()],
+            }
+        },
+    )
+}
+
+/// Delegate to one of several sub-generators, uniformly
+/// (`prop_oneof` over strategies). No shrinking across alternatives.
+pub fn choice<T: 'static>(gens: Vec<Gen<T>>) -> Gen<T> {
+    assert!(!gens.is_empty());
+    Gen::new(move |rng| {
+        let i = rng.gen_range(0..gens.len());
+        gens[i].sample(rng)
+    })
+}
+
+/// A string of characters drawn from `alphabet`, length uniform in
+/// `[min_len, max_len]`. Shrinks like a `Vec<char>` (drop chars, move
+/// chars toward the start of the alphabet).
+pub fn string_of(alphabet: &str, min_len: usize, max_len: usize) -> Gen<String> {
+    let chars: Vec<char> = alphabet.chars().collect();
+    assert!(!chars.is_empty() && min_len <= max_len);
+    vec_of(one_of(chars), min_len, max_len).map(|cs| cs.into_iter().collect())
+}
+
+/// Arbitrary short text: printable ASCII with a sprinkling of
+/// whitespace, quotes and multi-byte characters — the fuzzing
+/// workhorse (stand-in for proptest's `".{0,n}"`).
+pub fn string_any(min_len: usize, max_len: usize) -> Gen<String> {
+    string_of(
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 \t\n\
+         !\"#$%&'()*+,-./:;<=>?@[\\]^_`{|}~é∑‰🦀",
+        min_len,
+        max_len,
+    )
+}
+
+/// Pair generator with componentwise shrinking.
+pub fn tuple2<A: Clone + 'static, B: Clone + 'static>(a: Gen<A>, b: Gen<B>) -> Gen<(A, B)> {
+    let (a2, b2) = (a.clone(), b.clone());
+    Gen::with_shrink(
+        move |rng| (a.sample(rng), b.sample(rng)),
+        move |(x, y)| {
+            let mut out: Vec<(A, B)> = Vec::new();
+            out.extend(a2.shrink(x).into_iter().map(|x2| (x2, y.clone())));
+            out.extend(b2.shrink(y).into_iter().map(|y2| (x.clone(), y2)));
+            out
+        },
+    )
+}
+
+/// Triple generator with componentwise shrinking.
+pub fn tuple3<A: Clone + 'static, B: Clone + 'static, C: Clone + 'static>(
+    a: Gen<A>,
+    b: Gen<B>,
+    c: Gen<C>,
+) -> Gen<(A, B, C)> {
+    tuple2(tuple2(a, b), c).map(|((x, y), z)| (x, y, z))
+}
+
+/// Quadruple generator with componentwise shrinking.
+pub fn tuple4<A: Clone + 'static, B: Clone + 'static, C: Clone + 'static, D: Clone + 'static>(
+    a: Gen<A>,
+    b: Gen<B>,
+    c: Gen<C>,
+    d: Gen<D>,
+) -> Gen<(A, B, C, D)> {
+    tuple2(tuple2(a, b), tuple2(c, d)).map(|((x, y), (z, w))| (x, y, z, w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Rng {
+        Rng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn int_range_bounds_and_shrink() {
+        let g = int_range(3, 10);
+        let mut r = rng();
+        for _ in 0..200 {
+            assert!((3..10).contains(&g.sample(&mut r)));
+        }
+        let shrinks = g.shrink(&9);
+        assert_eq!(shrinks[0], 3, "first candidate is the minimum");
+        assert!(shrinks.contains(&8));
+        assert!(g.shrink(&3).is_empty());
+    }
+
+    #[test]
+    fn shrink_toward_zero_handles_negatives() {
+        assert_eq!(shrink_toward(0, 0), Vec::<i64>::new());
+        let s = shrink_toward(-8, 0);
+        assert_eq!(s[0], 0);
+        assert!(s.contains(&-7));
+        assert!(s.iter().all(|&x| x.abs() < 8));
+    }
+
+    #[test]
+    fn vec_shrinks_get_structurally_smaller() {
+        let g = vec_of(int_range(0, 10), 0, 10);
+        let v = vec![5, 7, 9];
+        for cand in g.shrink(&v) {
+            let smaller_len = cand.len() < v.len();
+            let smaller_elem = cand.len() == v.len()
+                && cand.iter().zip(&v).any(|(a, b)| a < b)
+                && cand.iter().zip(&v).all(|(a, b)| a <= b);
+            assert!(smaller_len || smaller_elem, "{cand:?} vs {v:?}");
+        }
+    }
+
+    #[test]
+    fn vec_respects_min_len() {
+        let g = vec_of(int_range(0, 3), 2, 4);
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = g.sample(&mut r);
+            assert!((2..=4).contains(&v.len()));
+        }
+        for cand in g.shrink(&vec![1, 2]) {
+            assert!(cand.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn option_weighted_rate_and_shrink() {
+        let g = option_weighted(0.9, int_range(0, 5));
+        let mut r = rng();
+        let some = (0..1000).filter(|_| g.sample(&mut r).is_some()).count();
+        assert!((850..950).contains(&some), "{some}");
+        let shrinks = g.shrink(&Some(4));
+        assert_eq!(shrinks[0], None);
+        assert!(shrinks.contains(&Some(0)));
+    }
+
+    #[test]
+    fn one_of_and_choice_cover_alternatives() {
+        let g = one_of(vec!['a', 'b', 'c']);
+        let mut r = rng();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(g.sample(&mut r));
+        }
+        assert_eq!(seen.len(), 3);
+        assert!(g.shrink(&'a').is_empty());
+        assert_eq!(g.shrink(&'c'), vec!['a', 'b']);
+
+        let c = choice(vec![just(0i64), just(1i64)]);
+        let both: std::collections::HashSet<i64> = (0..50).map(|_| c.sample(&mut r)).collect();
+        assert_eq!(both.len(), 2);
+    }
+
+    #[test]
+    fn tuples_shrink_componentwise() {
+        let g = tuple2(int_range(0, 10), int_range(0, 10));
+        let shrinks = g.shrink(&(4, 7));
+        assert!(shrinks.iter().any(|&(a, b)| a < 4 && b == 7));
+        assert!(shrinks.iter().any(|&(a, b)| a == 4 && b < 7));
+    }
+
+    #[test]
+    fn strings_stay_in_alphabet() {
+        let g = string_of("xyz", 0, 8);
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = g.sample(&mut r);
+            assert!(s.len() <= 8 && s.chars().all(|c| "xyz".contains(c)));
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Plan mutations for testing the oracle itself: a differential harness
+//! is only trustworthy if it *catches* a broken rewrite. The canonical
+//! planted bug swaps the positive and negative streams of every bypass
+//! operator — a realistic off-by-one in the bypass chain (the exact
+//! class of mistake Eqv. 2/3 ordering bugs produce) that type-checks,
+//! produces a well-formed DAG, and returns wrong rows.
+
+use std::sync::Arc;
+
+use bypass_algebra::{transform_up, LogicalPlan, Stream};
+use bypass_core::{Database, Strategy};
+use bypass_exec::{evaluate_with, physical_plan};
+use bypass_types::{Relation, Result};
+
+use crate::oracle::QueryExecutor;
+
+/// Swap every `Stream(+)` ↔ `Stream(−)` consumer in the plan. On plans
+/// without bypass operators this is the identity.
+pub fn flip_bypass_streams(plan: &Arc<LogicalPlan>) -> Arc<LogicalPlan> {
+    transform_up(plan, &mut |p| match p.as_ref() {
+        LogicalPlan::Stream { source, stream } => Arc::new(LogicalPlan::Stream {
+            source: source.clone(),
+            stream: match stream {
+                Stream::Positive => Stream::Negative,
+                Stream::Negative => Stream::Positive,
+            },
+        }),
+        _ => p,
+    })
+}
+
+/// An executor with a planted bug: [`Strategy::Unnested`] plans run
+/// with flipped bypass streams; every other strategy runs unmodified.
+pub struct BrokenUnnestExecutor;
+
+impl QueryExecutor for BrokenUnnestExecutor {
+    fn execute(&self, db: &Database, sql: &str, strategy: Strategy) -> Result<Relation> {
+        if strategy != Strategy::Unnested {
+            return db.sql_with(sql, strategy, None);
+        }
+        let canonical = db.logical_plan(sql)?;
+        let prepared = strategy.prepare(&canonical)?;
+        let broken = flip_bypass_streams(&prepared);
+        let physical = physical_plan(&broken, db.catalog())?;
+        evaluate_with(&physical, strategy.exec_options())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.execute_sql("CREATE TABLE r (a1 INT, a2 INT, a3 INT, a4 INT)")
+            .unwrap();
+        db.execute_sql("INSERT INTO r VALUES (1, 3, 0, 9), (0, 4, 1, 2), (2, 3, 2, 5)")
+            .unwrap();
+        db.execute_sql("CREATE TABLE s (b1 INT, b2 INT, b3 INT, b4 INT)")
+            .unwrap();
+        db.execute_sql("INSERT INTO s VALUES (5, 3, 1, 1), (6, 4, 1, 7)")
+            .unwrap();
+        db
+    }
+
+    const Q: &str = "SELECT * FROM r WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2) OR a4 > 6";
+
+    #[test]
+    fn flip_changes_bypass_plans_and_results() {
+        let db = db();
+        let canonical = db.logical_plan(Q).unwrap();
+        let prepared = Strategy::Unnested.prepare(&canonical).unwrap();
+        let flipped = flip_bypass_streams(&prepared);
+        assert_ne!(prepared.explain(), flipped.explain());
+        // Double flip is the identity.
+        let back = flip_bypass_streams(&flipped);
+        assert_eq!(prepared.explain(), back.explain());
+    }
+
+    #[test]
+    fn flip_is_identity_without_bypass() {
+        let db = db();
+        let canonical = db.logical_plan("SELECT * FROM r WHERE a4 > 3").unwrap();
+        let prepared = Strategy::Canonical.prepare(&canonical).unwrap();
+        assert_eq!(prepared.explain(), flip_bypass_streams(&prepared).explain());
+    }
+
+    #[test]
+    fn broken_executor_returns_wrong_rows() {
+        let db = db();
+        let good = db.sql_with(Q, Strategy::Unnested, None).unwrap();
+        let reference = db.sql_with(Q, Strategy::Canonical, None).unwrap();
+        assert!(good.bag_eq(&reference));
+        let bad = BrokenUnnestExecutor
+            .execute(&db, Q, Strategy::Unnested)
+            .unwrap();
+        assert!(
+            !bad.bag_eq(&reference),
+            "planted bug must visibly corrupt Q's result"
+        );
+    }
+}

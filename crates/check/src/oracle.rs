@@ -1,0 +1,845 @@
+//! The differential strategy-matrix oracle.
+//!
+//! Grammar-based random query generation over the paper's RST schema,
+//! covering every rewrite family (disjunctive/conjunctive linking,
+//! type-A and type-JA nesting, disjunctive correlation, DISTINCT
+//! aggregates, `EXISTS`/`IN`/`ANY`/`ALL`, tree queries, select-list
+//! subqueries) on NULL-heavy random instances with duplicate rows.
+//! Every query runs under the full [`Strategy`] matrix and the results
+//! must be bag-equal to canonical nested-loop evaluation; a mismatch is
+//! minimized (query first, then data) and reported with its seed.
+
+use std::fmt;
+
+use bypass_core::{DataType, Database, Relation, Strategy, TableBuilder, Value};
+use bypass_types::Result;
+
+use crate::prop::DEFAULT_SEED;
+use crate::rng::Rng;
+
+// ---------------------------------------------------------------------
+// Query grammar
+// ---------------------------------------------------------------------
+
+const THETAS: [&str; 6] = ["=", "<>", "<", "<=", ">", ">="];
+const AGGS: [&str; 8] = [
+    "COUNT(*)",
+    "COUNT(DISTINCT *)",
+    "COUNT({c})",
+    "SUM({c})",
+    "SUM(DISTINCT {c})",
+    "MIN({c})",
+    "MAX({c})",
+    "AVG({c})",
+];
+
+/// An inner-block predicate atom: either a correlation with the outer
+/// block or a local condition.
+#[derive(Debug, Clone, PartialEq)]
+enum InnerPred {
+    /// `<outer> θ <inner>` — correlation.
+    Corr(String, &'static str, String),
+    /// Local predicate over inner columns only.
+    Local(String),
+}
+
+impl InnerPred {
+    fn render(&self) -> String {
+        match self {
+            InnerPred::Corr(o, theta, i) => format!("{o} {theta} {i}"),
+            InnerPred::Local(p) => p.clone(),
+        }
+    }
+}
+
+/// A scalar subquery block: `(SELECT <agg or col> FROM <table> WHERE …)`.
+#[derive(Debug, Clone, PartialEq)]
+struct SubBlock {
+    /// `s` or `t`.
+    table: &'static str,
+    /// Aggregate template (`{c}` substituted) or plain column for
+    /// quantified forms.
+    select: String,
+    /// Predicate atoms.
+    preds: Vec<InnerPred>,
+    /// `true`: atoms joined by OR (disjunctive correlation);
+    /// `false`: AND.
+    disjunctive: bool,
+}
+
+impl SubBlock {
+    fn render(&self) -> String {
+        if self.preds.is_empty() {
+            return format!("(SELECT {} FROM {})", self.select, self.table);
+        }
+        let conn = if self.disjunctive { " OR " } else { " AND " };
+        let preds: Vec<String> = self.preds.iter().map(InnerPred::render).collect();
+        format!(
+            "(SELECT {} FROM {} WHERE {})",
+            self.select,
+            self.table,
+            preds.join(conn)
+        )
+    }
+
+    /// Simpler blocks: fewer predicate atoms, conjunctive connective.
+    fn shrink(&self) -> Vec<SubBlock> {
+        let mut out = Vec::new();
+        if self.preds.len() > 1 {
+            for i in 0..self.preds.len() {
+                let mut fewer = self.clone();
+                fewer.preds.remove(i);
+                out.push(fewer);
+            }
+        }
+        if self.disjunctive && self.preds.len() > 1 {
+            let mut conj = self.clone();
+            conj.disjunctive = false;
+            out.push(conj);
+        }
+        out
+    }
+}
+
+/// One WHERE-clause disjunct.
+#[derive(Debug, Clone, PartialEq)]
+enum Disjunct {
+    /// Subquery-free predicate over the outer block.
+    Plain(String),
+    /// `<lhs> θ <subquery>` (or flipped: `<subquery> θ <lhs>`).
+    Linking {
+        lhs: String,
+        theta: &'static str,
+        sub: SubBlock,
+        flipped: bool,
+    },
+    /// `[NOT] EXISTS (…)`.
+    Exists { negated: bool, sub: SubBlock },
+    /// `<col> [NOT] IN (SELECT …)`.
+    InList {
+        col: String,
+        negated: bool,
+        sub: SubBlock,
+    },
+    /// `<col> θ ANY/ALL (SELECT …)`.
+    Quantified {
+        col: String,
+        theta: &'static str,
+        quantifier: &'static str,
+        sub: SubBlock,
+    },
+}
+
+impl Disjunct {
+    fn render(&self) -> String {
+        match self {
+            Disjunct::Plain(p) => p.clone(),
+            Disjunct::Linking {
+                lhs,
+                theta,
+                sub,
+                flipped,
+            } => {
+                if *flipped {
+                    format!("{} {theta} {lhs}", sub.render())
+                } else {
+                    format!("{lhs} {theta} {}", sub.render())
+                }
+            }
+            Disjunct::Exists { negated, sub } => {
+                let not = if *negated { "NOT " } else { "" };
+                format!("{not}EXISTS {}", sub.render())
+            }
+            Disjunct::InList { col, negated, sub } => {
+                let not = if *negated { "NOT " } else { "" };
+                format!("{col} {not}IN {}", sub.render())
+            }
+            Disjunct::Quantified {
+                col,
+                theta,
+                quantifier,
+                sub,
+            } => format!("{col} {theta} {quantifier} {}", sub.render()),
+        }
+    }
+
+    fn sub_mut(&mut self) -> Option<&mut SubBlock> {
+        match self {
+            Disjunct::Plain(_) => None,
+            Disjunct::Linking { sub, .. }
+            | Disjunct::Exists { sub, .. }
+            | Disjunct::InList { sub, .. }
+            | Disjunct::Quantified { sub, .. } => Some(sub),
+        }
+    }
+
+    fn sub(&self) -> Option<&SubBlock> {
+        match self {
+            Disjunct::Plain(_) => None,
+            Disjunct::Linking { sub, .. }
+            | Disjunct::Exists { sub, .. }
+            | Disjunct::InList { sub, .. }
+            | Disjunct::Quantified { sub, .. } => Some(sub),
+        }
+    }
+}
+
+/// A generated query: projection + a disjunction of [`Disjunct`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    distinct: bool,
+    /// Projection: `*`, a column, or a select-list subquery.
+    projection: String,
+    /// Select-list subquery (rendered into `projection` as `{sub}`).
+    select_sub: Option<SubBlock>,
+    disjuncts: Vec<Disjunct>,
+}
+
+impl QuerySpec {
+    /// Render to SQL.
+    pub fn sql(&self) -> String {
+        let distinct = if self.distinct { "DISTINCT " } else { "" };
+        let projection = match &self.select_sub {
+            Some(sub) => self.projection.replace("{sub}", &sub.render()),
+            None => self.projection.clone(),
+        };
+        if self.disjuncts.is_empty() {
+            return format!("SELECT {distinct}{projection} FROM r");
+        }
+        let parts: Vec<String> = self.disjuncts.iter().map(Disjunct::render).collect();
+        format!(
+            "SELECT {distinct}{projection} FROM r WHERE {}",
+            parts.join(" OR ")
+        )
+    }
+
+    /// Structurally simpler queries (for failure minimization): fewer
+    /// disjuncts, simpler subquery blocks, no DISTINCT.
+    fn shrink(&self) -> Vec<QuerySpec> {
+        let mut out = Vec::new();
+        if self.disjuncts.len() > 1 {
+            for i in 0..self.disjuncts.len() {
+                let mut fewer = self.clone();
+                fewer.disjuncts.remove(i);
+                out.push(fewer);
+            }
+        }
+        for i in 0..self.disjuncts.len() {
+            if let Some(sub) = self.disjuncts[i].sub() {
+                for smaller in sub.shrink() {
+                    let mut next = self.clone();
+                    *next.disjuncts[i].sub_mut().unwrap() = smaller;
+                    out.push(next);
+                }
+            }
+        }
+        if let Some(sub) = &self.select_sub {
+            for smaller in sub.shrink() {
+                let mut next = self.clone();
+                next.select_sub = Some(smaller);
+                out.push(next);
+            }
+        }
+        if self.distinct {
+            let mut plain = self.clone();
+            plain.distinct = false;
+            out.push(plain);
+        }
+        out
+    }
+}
+
+fn outer_col(rng: &mut Rng) -> String {
+    format!("a{}", rng.gen_range(1..=4i64))
+}
+
+fn inner_col(rng: &mut Rng, prefix: char) -> String {
+    format!("{prefix}{}", rng.gen_range(1..=4i64))
+}
+
+fn agg(rng: &mut Rng, prefix: char) -> String {
+    let template = *rng.choose(&AGGS);
+    template.replace("{c}", &inner_col(rng, prefix))
+}
+
+fn plain_pred(rng: &mut Rng, prefix: char, domain: i64) -> String {
+    let col = inner_col(rng, prefix);
+    match rng.gen_range(0..6u32) {
+        0 => format!("{col} IS NULL"),
+        1 => format!("{col} IS NOT NULL"),
+        _ => format!(
+            "{col} {} {}",
+            *rng.choose(&THETAS),
+            rng.gen_range(0..domain)
+        ),
+    }
+}
+
+fn sub_block(rng: &mut Rng, cfg: &OracleConfig, quantified: bool) -> SubBlock {
+    let table: &'static str = if rng.gen_bool(0.7) { "s" } else { "t" };
+    let prefix = if table == "s" { 'b' } else { 'c' };
+    let select = if quantified {
+        if rng.gen_bool(0.3) {
+            "*".to_string()
+        } else {
+            inner_col(rng, prefix)
+        }
+    } else {
+        agg(rng, prefix)
+    };
+    let mut preds = Vec::new();
+    // Correlation atom(s): present in ~85% of blocks (type-JA); absent
+    // blocks are type-A (uncorrelated).
+    if rng.gen_bool(0.85) {
+        let theta = if rng.gen_bool(0.7) {
+            "="
+        } else {
+            *rng.choose(&THETAS)
+        };
+        preds.push(InnerPred::Corr(
+            outer_col(rng),
+            theta,
+            inner_col(rng, prefix),
+        ));
+        if rng.gen_bool(0.25) {
+            preds.push(InnerPred::Corr(outer_col(rng), "=", inner_col(rng, prefix)));
+        }
+    }
+    if preds.is_empty() || rng.gen_bool(0.6) {
+        preds.push(InnerPred::Local(plain_pred(rng, prefix, cfg.domain)));
+    }
+    // Disjunctive correlation only matters with >1 atom.
+    let disjunctive = preds.len() > 1 && rng.gen_bool(0.5);
+    SubBlock {
+        table,
+        select,
+        preds,
+        disjunctive,
+    }
+}
+
+fn linking(rng: &mut Rng, cfg: &OracleConfig) -> Disjunct {
+    Disjunct::Linking {
+        lhs: outer_col(rng),
+        #[allow(clippy::explicit_auto_deref)] // `*` pins T = &str
+                        theta: *rng.choose(&THETAS),
+        sub: sub_block(rng, cfg, false),
+        flipped: rng.gen_bool(0.15),
+    }
+}
+
+/// Generate one random query spec covering the rewrite families.
+pub fn arb_query(rng: &mut Rng, cfg: &OracleConfig) -> QuerySpec {
+    let (distinct, projection, mut select_sub) = match rng.gen_range(0..10u32) {
+        0 => (true, "*".to_string(), None),
+        1 => (rng.gen_bool(0.5), outer_col(rng), None),
+        // Select-list subquery (TR extension).
+        2 => (
+            false,
+            format!("{}, {{sub}}", outer_col(rng)),
+            Some(sub_block(rng, cfg, false)),
+        ),
+        _ => (false, "*".to_string(), None),
+    };
+    let mut disjuncts = Vec::new();
+    match rng.gen_range(0..10u32) {
+        // Conjunctive linking (Eqv. 1) — single subquery disjunct.
+        0 => disjuncts.push(linking(rng, cfg)),
+        // Quantified forms.
+        1 | 2 => {
+            let quantified = match rng.gen_range(0..4u32) {
+                0 => Disjunct::Exists {
+                    negated: rng.gen_bool(0.3),
+                    sub: sub_block(rng, cfg, true),
+                },
+                1 => {
+                    let mut sub = sub_block(rng, cfg, true);
+                    if sub.select == "*" {
+                        let prefix = if sub.table == "s" { 'b' } else { 'c' };
+                        sub.select = inner_col(rng, prefix);
+                    }
+                    Disjunct::InList {
+                        col: outer_col(rng),
+                        negated: rng.gen_bool(0.3),
+                        sub,
+                    }
+                }
+                _ => {
+                    let mut sub = sub_block(rng, cfg, true);
+                    if sub.select == "*" {
+                        let prefix = if sub.table == "s" { 'b' } else { 'c' };
+                        sub.select = inner_col(rng, prefix);
+                    }
+                    Disjunct::Quantified {
+                        col: outer_col(rng),
+                        #[allow(clippy::explicit_auto_deref)] // `*` pins T = &str
+                        theta: *rng.choose(&THETAS),
+                        quantifier: if rng.gen_bool(0.5) { "ANY" } else { "ALL" },
+                        sub,
+                    }
+                }
+            };
+            disjuncts.push(quantified);
+            disjuncts.push(Disjunct::Plain(plain_pred(rng, 'a', cfg.domain)));
+        }
+        // Tree query: two subquery disjuncts.
+        3 => {
+            disjuncts.push(linking(rng, cfg));
+            disjuncts.push(linking(rng, cfg));
+            if rng.gen_bool(0.3) {
+                disjuncts.push(Disjunct::Plain(plain_pred(rng, 'a', cfg.domain)));
+            }
+        }
+        // Disjunctive linking (Eqv. 2/3) — the paper's centrepiece.
+        _ => {
+            disjuncts.push(linking(rng, cfg));
+            disjuncts.push(Disjunct::Plain(plain_pred(rng, 'a', cfg.domain)));
+            if rng.gen_bool(0.25) {
+                disjuncts.push(Disjunct::Plain(plain_pred(rng, 'a', cfg.domain)));
+            }
+        }
+    }
+    // Select-list subqueries pair with a simple filter (or none).
+    if select_sub.is_some() {
+        disjuncts.clear();
+        if rng.gen_bool(0.5) {
+            disjuncts.push(Disjunct::Plain(plain_pred(rng, 'a', cfg.domain)));
+        }
+    } else {
+        select_sub = None;
+    }
+    QuerySpec {
+        distinct,
+        projection,
+        select_sub,
+        disjuncts,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Random instances
+// ---------------------------------------------------------------------
+
+/// Random rows for one RST table: small domain (correlations and
+/// duplicates actually occur), NULL-heavy, plus duplicated rows to
+/// exercise bag semantics.
+fn random_rows(rng: &mut Rng, cfg: &OracleConfig) -> Vec<Vec<Value>> {
+    let n = rng.gen_range(0..=cfg.max_rows);
+    let mut rows: Vec<Vec<Value>> = (0..n)
+        .map(|_| {
+            (0..4)
+                .map(|_| {
+                    if rng.gen_ratio(cfg.null_ratio.0, cfg.null_ratio.1) {
+                        Value::Null
+                    } else {
+                        Value::Int(rng.gen_range(0..cfg.domain))
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    for _ in 0..n / 4 {
+        let i = rng.gen_range(0..rows.len());
+        rows.push(rows[i].clone());
+    }
+    rows
+}
+
+fn build_database(tables: &[(&str, char, &[Vec<Value>])]) -> Database {
+    let mut db = Database::new();
+    for (name, prefix, rows) in tables {
+        let mut b = TableBuilder::new();
+        for i in 1..=4 {
+            b = b.column(format!("{prefix}{i}"), DataType::Int);
+        }
+        b = b.rows(rows.to_vec()).expect("arity is fixed");
+        db.register_table(*name, b.build()).expect("fresh catalog");
+    }
+    db
+}
+
+/// A random RST instance (tables `r`, `s`, `t`).
+pub fn random_instance(rng: &mut Rng, cfg: &OracleConfig) -> Database {
+    let r = random_rows(rng, cfg);
+    let s = random_rows(rng, cfg);
+    let t = random_rows(rng, cfg);
+    build_database(&[("r", 'a', &r), ("s", 'b', &s), ("t", 'c', &t)])
+}
+
+// ---------------------------------------------------------------------
+// Differential execution
+// ---------------------------------------------------------------------
+
+/// How the oracle runs a query under a strategy. The default goes
+/// through [`Database::sql_with`]; tests plant bugs by substituting an
+/// executor that mutates the rewritten plan (see
+/// [`crate::mutate::BrokenUnnestExecutor`]).
+pub trait QueryExecutor {
+    fn execute(&self, db: &Database, sql: &str, strategy: Strategy) -> Result<Relation>;
+}
+
+/// The production pipeline, unmodified.
+pub struct DefaultExecutor;
+
+impl QueryExecutor for DefaultExecutor {
+    fn execute(&self, db: &Database, sql: &str, strategy: Strategy) -> Result<Relation> {
+        db.sql_with(sql, strategy, None)
+    }
+}
+
+/// Oracle configuration.
+#[derive(Debug, Clone)]
+pub struct OracleConfig {
+    /// Number of (instance, query) cases.
+    pub cases: u32,
+    /// Maximum rows per table before duplication.
+    pub max_rows: usize,
+    /// Value domain `[0, domain)`.
+    pub domain: i64,
+    /// NULL probability as a ratio (numerator, denominator).
+    pub null_ratio: (u32, u32),
+    /// Run seed (`BYPASS_CHECK_SEED` overrides).
+    pub seed: u64,
+    /// Strategies checked against [`Strategy::Canonical`].
+    pub strategies: Vec<Strategy>,
+    /// Minimize failing cases before reporting.
+    pub minimize: bool,
+}
+
+impl Default for OracleConfig {
+    fn default() -> OracleConfig {
+        OracleConfig {
+            cases: 200,
+            max_rows: 18,
+            domain: 8,
+            null_ratio: (1, 7),
+            seed: std::env::var("BYPASS_CHECK_SEED")
+                .ok()
+                .and_then(|s| {
+                    let s = s.trim();
+                    s.strip_prefix("0x")
+                        .map(|h| u64::from_str_radix(h, 16).ok())
+                        .unwrap_or_else(|| s.parse().ok())
+                })
+                .unwrap_or(DEFAULT_SEED),
+            strategies: Strategy::all().to_vec(),
+            minimize: true,
+        }
+    }
+}
+
+/// Statistics of a clean differential run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleReport {
+    /// Cases executed (one generated query + instance each).
+    pub cases: u32,
+    /// Total strategy executions compared against canonical.
+    pub strategy_runs: u64,
+    /// How many generated queries contained a nested block.
+    pub nested_queries: u32,
+}
+
+/// A detected divergence, minimized and reproducible.
+#[derive(Debug, Clone)]
+pub struct Mismatch {
+    /// Seed of the failing case (replayable via `BYPASS_CHECK_SEED`).
+    pub case_seed: u64,
+    /// Case index within the run.
+    pub case: u32,
+    /// The strategy that diverged from canonical.
+    pub strategy: Strategy,
+    /// The original failing query.
+    pub sql: String,
+    /// The minimized failing query.
+    pub minimized_sql: String,
+    /// Row counts (canonical, strategy) or the execution error.
+    pub detail: String,
+    /// Minimized instance, rendered per table.
+    pub instance: String,
+}
+
+impl fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "strategy `{}` diverges from canonical evaluation (case {})",
+            self.strategy, self.case
+        )?;
+        writeln!(f, "  reproduce: BYPASS_CHECK_SEED={:#x}", self.case_seed)?;
+        writeln!(f, "  query:     {}", self.sql)?;
+        writeln!(f, "  minimized: {}", self.minimized_sql)?;
+        writeln!(f, "  detail:    {}", self.detail)?;
+        write!(f, "  instance:\n{}", self.instance)
+    }
+}
+
+/// Does `strategy` disagree with canonical on this query + instance?
+/// Returns a human-readable divergence description, if any.
+fn divergence(
+    exec: &dyn QueryExecutor,
+    db: &Database,
+    sql: &str,
+    strategy: Strategy,
+) -> Option<String> {
+    let reference = match DefaultExecutor.execute(db, sql, Strategy::Canonical) {
+        Ok(r) => r,
+        // Queries the engine rejects are skipped, not failures — the
+        // generator intentionally wanders to the grammar's edges.
+        Err(_) => return None,
+    };
+    match exec.execute(db, sql, strategy) {
+        Ok(got) if got.bag_eq(&reference) => None,
+        Ok(got) => Some(format!(
+            "canonical returns {} rows, {} returns {}",
+            reference.len(),
+            strategy,
+            got.len()
+        )),
+        Err(e) => Some(format!("{strategy} fails where canonical succeeds: {e}")),
+    }
+}
+
+fn render_rows(rows: &[Vec<Value>]) -> String {
+    let cells: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let vals: Vec<String> = r.iter().map(|v| v.to_string()).collect();
+            format!("({})", vals.join(", "))
+        })
+        .collect();
+    cells.join(", ")
+}
+
+/// Run the differential oracle with the default executor.
+pub fn run_differential(cfg: &OracleConfig) -> std::result::Result<OracleReport, Box<Mismatch>> {
+    run_differential_with(cfg, &DefaultExecutor)
+}
+
+/// Run the differential oracle with a custom executor (bug planting).
+pub fn run_differential_with(
+    cfg: &OracleConfig,
+    exec: &dyn QueryExecutor,
+) -> std::result::Result<OracleReport, Box<Mismatch>> {
+    let mut report = OracleReport {
+        cases: 0,
+        strategy_runs: 0,
+        nested_queries: 0,
+    };
+    for case in 0..cfg.cases {
+        let case_seed = if case == 0 {
+            cfg.seed
+        } else {
+            let mut s = cfg.seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            crate::rng::split_mix64(&mut s)
+        };
+        let mut rng = Rng::seed_from_u64(case_seed);
+        let spec = arb_query(&mut rng, cfg);
+        let r = random_rows(&mut rng, cfg);
+        let s = random_rows(&mut rng, cfg);
+        let t = random_rows(&mut rng, cfg);
+        let db = build_database(&[("r", 'a', &r), ("s", 'b', &s), ("t", 'c', &t)]);
+        let sql = spec.sql();
+        if sql.contains("(SELECT") {
+            report.nested_queries += 1;
+        }
+        for &strategy in &cfg.strategies {
+            report.strategy_runs += 1;
+            if let Some(detail) = divergence(exec, &db, &sql, strategy) {
+                return Err(Box::new(minimize(
+                    cfg, exec, case, case_seed, strategy, spec, r, s, t, detail,
+                )));
+            }
+        }
+        report.cases += 1;
+    }
+    Ok(report)
+}
+
+/// Minimize a failing case: shrink the query spec greedily, then
+/// delta-debug the table rows, re-checking the divergence at each step.
+#[allow(clippy::too_many_arguments)]
+fn minimize(
+    cfg: &OracleConfig,
+    exec: &dyn QueryExecutor,
+    case: u32,
+    case_seed: u64,
+    strategy: Strategy,
+    spec: QuerySpec,
+    mut r: Vec<Vec<Value>>,
+    mut s: Vec<Vec<Value>>,
+    mut t: Vec<Vec<Value>>,
+    detail: String,
+) -> Mismatch {
+    let original_sql = spec.sql();
+    let mut current = spec;
+    let mut final_detail = detail;
+
+    let still_fails = |q: &QuerySpec, r: &[Vec<Value>], s: &[Vec<Value>], t: &[Vec<Value>]| {
+        let db = build_database(&[("r", 'a', r), ("s", 'b', s), ("t", 'c', t)]);
+        divergence(exec, &db, &q.sql(), strategy)
+    };
+
+    if cfg.minimize {
+        // 1. Query shrinking.
+        let mut budget = 64;
+        'query: while budget > 0 {
+            budget -= 1;
+            for candidate in current.shrink() {
+                if let Some(d) = still_fails(&candidate, &r, &s, &t) {
+                    current = candidate;
+                    final_detail = d;
+                    continue 'query;
+                }
+            }
+            break;
+        }
+        // 2. Data shrinking, table by table.
+        for _ in 0..3 {
+            for table_idx in 0..3 {
+                // Halving passes, then single-row removal.
+                loop {
+                    let n = [r.len(), s.len(), t.len()][table_idx];
+                    if n == 0 {
+                        break;
+                    }
+                    let source: &[Vec<Value>] = [&r[..], &s[..], &t[..]][table_idx];
+                    let half: Vec<Vec<Value>> = source[..n / 2].to_vec();
+                    let mut trial = (r.clone(), s.clone(), t.clone());
+                    match table_idx {
+                        0 => trial.0 = half,
+                        1 => trial.1 = half,
+                        _ => trial.2 = half,
+                    }
+                    if let Some(d) = still_fails(&current, &trial.0, &trial.1, &trial.2) {
+                        r = trial.0;
+                        s = trial.1;
+                        t = trial.2;
+                        final_detail = d;
+                    } else {
+                        break;
+                    }
+                }
+                // Single-row removal (bounded).
+                let mut i = 0;
+                while i < [r.len(), s.len(), t.len()][table_idx] && i < 32 {
+                    let mut trial = (r.clone(), s.clone(), t.clone());
+                    match table_idx {
+                        0 => {
+                            trial.0.remove(i);
+                        }
+                        1 => {
+                            trial.1.remove(i);
+                        }
+                        _ => {
+                            trial.2.remove(i);
+                        }
+                    }
+                    if let Some(d) = still_fails(&current, &trial.0, &trial.1, &trial.2) {
+                        r = trial.0;
+                        s = trial.1;
+                        t = trial.2;
+                        final_detail = d;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    Mismatch {
+        case_seed,
+        case,
+        strategy,
+        sql: original_sql,
+        minimized_sql: current.sql(),
+        detail: final_detail,
+        instance: format!(
+            "    r: {}\n    s: {}\n    t: {}",
+            render_rows(&r),
+            render_rows(&s),
+            render_rows(&t)
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_queries_parse_and_cover_shapes() {
+        let cfg = OracleConfig::default();
+        let mut rng = Rng::seed_from_u64(1);
+        let db = random_instance(&mut rng, &cfg);
+        let mut nested = 0;
+        let mut disjunctive = 0;
+        let mut quantified = 0;
+        let mut distinct_agg = 0;
+        for _ in 0..300 {
+            let spec = arb_query(&mut rng, &cfg);
+            let sql = spec.sql();
+            let plan = db.logical_plan(&sql);
+            assert!(plan.is_ok(), "generated SQL must parse+translate: {sql}");
+            if plan.unwrap().contains_subquery() {
+                nested += 1;
+            }
+            if sql.contains(" OR ") {
+                disjunctive += 1;
+            }
+            if sql.contains("EXISTS")
+                || sql.contains(" IN (")
+                || sql.contains(" ANY ")
+                || sql.contains(" ALL ")
+            {
+                quantified += 1;
+            }
+            if sql.contains("DISTINCT *")
+                || sql.contains("DISTINCT b")
+                || sql.contains("DISTINCT c")
+            {
+                distinct_agg += 1;
+            }
+        }
+        assert!(nested > 250, "most queries nest: {nested}");
+        assert!(
+            disjunctive > 200,
+            "disjunction is the centrepiece: {disjunctive}"
+        );
+        assert!(quantified > 20, "quantified forms occur: {quantified}");
+        assert!(
+            distinct_agg > 20,
+            "DISTINCT aggregates occur: {distinct_agg}"
+        );
+    }
+
+    #[test]
+    fn small_clean_run_passes() {
+        let cfg = OracleConfig {
+            cases: 25,
+            ..OracleConfig::default()
+        };
+        let report = run_differential(&cfg).unwrap_or_else(|m| panic!("{m}"));
+        assert_eq!(report.cases, 25);
+        assert_eq!(report.strategy_runs, 25 * Strategy::all().len() as u64);
+    }
+
+    #[test]
+    fn shrinking_query_specs_terminates() {
+        let cfg = OracleConfig::default();
+        let mut rng = Rng::seed_from_u64(77);
+        for _ in 0..50 {
+            let spec = arb_query(&mut rng, &cfg);
+            let mut frontier = vec![spec];
+            for _ in 0..6 {
+                frontier = frontier
+                    .into_iter()
+                    .flat_map(|q| q.shrink().into_iter().take(2))
+                    .collect();
+                if frontier.is_empty() {
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! The property-test runner: sample a generator for a budget of cases,
+//! run the property (any panicking closure — plain `assert!` works),
+//! and on failure shrink the input and report a reproduction seed.
+//!
+//! Reproduction workflow: a failure message contains
+//! `BYPASS_CHECK_SEED=<seed>`. Re-running the test with that
+//! environment variable set replays the failing input as case 0.
+//! `BYPASS_CHECK_CASES=<n>` overrides every suite's case budget.
+
+use std::fmt::Debug;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+use crate::gen::Gen;
+use crate::rng::{split_mix64, Rng};
+
+/// Default run seed: fixed, so CI is deterministic. Override with
+/// `BYPASS_CHECK_SEED` to replay a reported failure.
+pub const DEFAULT_SEED: u64 = 0x1CDE_2007_B1A5_5EED;
+
+/// Case and shrink budgets for one [`forall`] run.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases.
+    pub cases: u32,
+    /// Upper bound on accepted shrink steps.
+    pub max_shrink_steps: u32,
+    /// Run seed (case seeds derive from it; case 0 uses it verbatim).
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            cases: env_u64("BYPASS_CHECK_CASES")
+                .map(|n| n as u32)
+                .unwrap_or(64),
+            max_shrink_steps: 512,
+            seed: env_u64("BYPASS_CHECK_SEED").unwrap_or(DEFAULT_SEED),
+        }
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    Some(parsed.unwrap_or_else(|_| panic!("{name}: cannot parse `{raw}` as u64")))
+}
+
+impl Config {
+    /// A config with an explicit case budget (env still overrides).
+    pub fn with_cases(cases: u32) -> Config {
+        Config {
+            cases: env_u64("BYPASS_CHECK_CASES")
+                .map(|n| n as u32)
+                .unwrap_or(cases),
+            ..Config::default()
+        }
+    }
+
+    /// The seed of case `i`: case 0 replays the run seed itself, so a
+    /// reported seed reproduces directly via `BYPASS_CHECK_SEED`.
+    pub fn case_seed(&self, i: u32) -> u64 {
+        if i == 0 {
+            self.seed
+        } else {
+            let mut s = self.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            split_mix64(&mut s)
+        }
+    }
+
+    /// Run `prop` on `self.cases` samples of `gen`; panic with a
+    /// minimized input and reproduction seed on the first failure.
+    pub fn forall<T: Clone + Debug + 'static>(&self, gen: &Gen<T>, prop: impl Fn(&T)) {
+        for case in 0..self.cases {
+            let case_seed = self.case_seed(case);
+            let mut rng = Rng::seed_from_u64(case_seed);
+            let value = gen.sample(&mut rng);
+            if let Err(msg) = run_quietly(&prop, &value) {
+                let (minimized, steps) = self.shrink_failure(gen, &prop, value.clone());
+                let min_msg = run_quietly(&prop, &minimized)
+                    .err()
+                    .unwrap_or_else(|| msg.clone());
+                panic!(
+                    "property failed at case {case}/{cases}.\n\
+                     reproduce with: BYPASS_CHECK_SEED={case_seed:#x} (and BYPASS_CHECK_CASES=1)\n\
+                     original input: {value:?}\n\
+                     minimized input ({steps} shrink steps): {minimized:?}\n\
+                     failure: {min_msg}",
+                    cases = self.cases,
+                );
+            }
+        }
+    }
+
+    /// Greedy shrink: repeatedly accept the first failing candidate.
+    fn shrink_failure<T: Clone + Debug + 'static>(
+        &self,
+        gen: &Gen<T>,
+        prop: &impl Fn(&T),
+        mut current: T,
+    ) -> (T, u32) {
+        let mut steps = 0;
+        'outer: while steps < self.max_shrink_steps {
+            for candidate in gen.shrink(&current) {
+                if run_quietly(prop, &candidate).is_err() {
+                    current = candidate;
+                    steps += 1;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        (current, steps)
+    }
+}
+
+/// [`Config::forall`] with the default budget (64 cases or
+/// `BYPASS_CHECK_CASES`).
+pub fn forall<T: Clone + Debug + 'static>(gen: &Gen<T>, prop: impl Fn(&T)) {
+    Config::default().forall(gen, prop)
+}
+
+/// [`forall`] with an explicit case budget.
+pub fn forall_cases<T: Clone + Debug + 'static>(cases: u32, gen: &Gen<T>, prop: impl Fn(&T)) {
+    Config::with_cases(cases).forall(gen, prop)
+}
+
+// ---------------------------------------------------------------------
+// Panic capture
+// ---------------------------------------------------------------------
+
+thread_local! {
+    static QUIET: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+static HOOK: Once = Once::new();
+
+/// Run `prop(value)`, catching panics. While probing (especially during
+/// shrinking, where failures are *expected* dozens of times), the
+/// default panic printer is suppressed for this thread only.
+fn run_quietly<T>(prop: &impl Fn(&T), value: &T) -> Result<(), String> {
+    HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !QUIET.with(|q| q.get()) {
+                previous(info);
+            }
+        }));
+    });
+    QUIET.with(|q| q.set(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| prop(value)));
+    QUIET.with(|q| q.set(false));
+    result.map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "panic with non-string payload".to_string()
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{int_range, tuple2, vec_of};
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut hits = 0u32;
+        let counter = std::cell::Cell::new(0u32);
+        Config::with_cases(32).forall(&int_range(0, 100), |_| {
+            counter.set(counter.get() + 1);
+        });
+        hits += counter.get();
+        assert!(hits >= 32);
+    }
+
+    #[test]
+    fn failing_property_is_shrunk_to_minimum() {
+        // Fails for any v >= 10: minimal counterexample is exactly 10.
+        let failure = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            Config {
+                cases: 200,
+                ..Config::default()
+            }
+            .forall(&int_range(0, 1000), |&v| assert!(v < 10));
+        }))
+        .expect_err("property must fail");
+        let msg = failure
+            .downcast_ref::<String>()
+            .expect("string panic")
+            .clone();
+        assert!(msg.contains("minimized input"), "{msg}");
+        assert!(
+            msg.contains(": 10\n"),
+            "minimal counterexample is 10: {msg}"
+        );
+        assert!(msg.contains("BYPASS_CHECK_SEED="), "{msg}");
+    }
+
+    #[test]
+    fn vec_counterexamples_shrink_structurally() {
+        // Fails when the vec contains an element >= 5; the minimal
+        // counterexample is the singleton [5].
+        let failure = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            forall(&vec_of(int_range(0, 20), 0, 12), |v| {
+                assert!(v.iter().all(|&x| x < 5), "big element");
+            });
+        }))
+        .expect_err("property must fail");
+        let msg = failure.downcast_ref::<String>().unwrap().clone();
+        assert!(msg.contains("minimized input"), "{msg}");
+        assert!(msg.contains("[5]"), "expected minimal [5]: {msg}");
+    }
+
+    #[test]
+    fn reported_seed_reproduces_failure_as_case_zero() {
+        // Find some failing case seed by hand, then replay it.
+        let cfg = Config {
+            cases: 100,
+            ..Config::default()
+        };
+        let gen = tuple2(int_range(0, 50), int_range(0, 50));
+        let mut failing_seed = None;
+        for i in 0..cfg.cases {
+            let mut rng = Rng::seed_from_u64(cfg.case_seed(i));
+            let (a, b) = gen.sample(&mut rng);
+            if a + b > 60 {
+                failing_seed = Some(cfg.case_seed(i));
+                break;
+            }
+        }
+        let seed = failing_seed.expect("some case exceeds 60");
+        // Replaying with that seed as run seed: case 0 regenerates it.
+        let replay = Config {
+            cases: 1,
+            seed,
+            ..Config::default()
+        };
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            replay.forall(&gen, |&(a, b)| assert!(a + b <= 60));
+        }));
+        assert!(caught.is_err(), "replay must hit the same failure");
+    }
+
+    #[test]
+    fn shrinking_is_bounded() {
+        let cfg = Config {
+            cases: 1,
+            max_shrink_steps: 3,
+            ..Config::default()
+        };
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            cfg.forall(&int_range(0, 1_000_000), |_| panic!("always fails"));
+        }));
+        let msg = caught
+            .expect_err("fails")
+            .downcast_ref::<String>()
+            .unwrap()
+            .clone();
+        // Steps reported and within the bound.
+        assert!(
+            msg.contains("(0 shrink steps)")
+                || msg.contains("(1 shrink steps)")
+                || msg.contains("(2 shrink steps)")
+                || msg.contains("(3 shrink steps)"),
+            "{msg}"
+        );
+    }
+}

@@ -3,14 +3,10 @@ use std::time::Duration;
 
 use bypass_algebra::LogicalPlan;
 use bypass_catalog::Catalog;
-use bypass_exec::{
-    evaluate_with, physical_plan, ExecContext, ExecOptions, PhysExpr, PhysNode,
-};
+use bypass_exec::{evaluate_with, physical_plan, ExecContext, ExecOptions, PhysExpr, PhysNode};
 use bypass_sql::{parse_statement, Expr, Statement};
 use bypass_translate::{translate_query, Translator};
-use bypass_types::{
-    DataType, Error, Field, Relation, Result, Schema, Tuple, Value,
-};
+use bypass_types::{DataType, Error, Field, Relation, Result, Schema, Tuple, Value};
 
 use crate::Strategy;
 
@@ -145,12 +141,7 @@ impl Database {
                 Ok(Response::Rows(rel))
             }
             Statement::CreateTable { name, columns } => {
-                let schema = Schema::new(
-                    columns
-                        .iter()
-                        .map(|(n, t)| Field::new(n, *t))
-                        .collect(),
-                );
+                let schema = Schema::new(columns.iter().map(|(n, t)| Field::new(n, *t)).collect());
                 self.catalog.register(&name, Relation::empty(schema))?;
                 Ok(Response::Created)
             }
@@ -282,8 +273,7 @@ impl Database {
         strategy: Strategy,
     ) -> Result<Strategy> {
         if strategy == Strategy::CostBased {
-            let (chosen, _) =
-                Strategy::choose_by_cost(canonical, &CatalogStats(&self.catalog))?;
+            let (chosen, _) = Strategy::choose_by_cost(canonical, &CatalogStats(&self.catalog))?;
             Ok(chosen)
         } else {
             Ok(strategy)
@@ -369,10 +359,8 @@ mod tests {
         let mut db = Database::new();
         db.execute_sql("CREATE TABLE r (a1 INT, a2 INT, a3 INT, a4 INT)")
             .unwrap();
-        db.execute_sql(
-            "INSERT INTO r VALUES (2, 10, 1, 100), (0, 11, 2, 2000), (1, 12, 3, 1501)",
-        )
-        .unwrap();
+        db.execute_sql("INSERT INTO r VALUES (2, 10, 1, 100), (0, 11, 2, 2000), (1, 12, 3, 1501)")
+            .unwrap();
         db.execute_sql("CREATE TABLE s (b1 INT, b2 INT, b3 INT, b4 INT)")
             .unwrap();
         db.execute_sql("INSERT INTO s VALUES (1, 10, 7, 1600), (2, 10, 7, 10), (3, 12, 8, 20)")
@@ -504,7 +492,8 @@ mod tests {
         let first = q.execute().unwrap();
         // The prepared plan snapshots the data: inserting afterwards
         // does not change its result...
-        db.execute_sql("INSERT INTO r VALUES (9, 9, 9, 9000)").unwrap();
+        db.execute_sql("INSERT INTO r VALUES (9, 9, 9, 9000)")
+            .unwrap();
         let second = q.execute().unwrap();
         assert!(first.bag_eq(&second));
         // ...while a fresh query sees the new row.

@@ -122,9 +122,9 @@ impl Strategy {
     /// The executor options this strategy runs with.
     pub fn exec_options(self) -> ExecOptions {
         match self {
-            Strategy::Canonical
-            | Strategy::Unnested
-            | Strategy::UnnestedSubqueryFirst => ExecOptions::default(),
+            Strategy::Canonical | Strategy::Unnested | Strategy::UnnestedSubqueryFirst => {
+                ExecOptions::default()
+            }
             Strategy::S1Naive | Strategy::S3Materialized => ExecOptions {
                 memo_uncorrelated: false,
                 ..Default::default()

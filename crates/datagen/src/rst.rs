@@ -9,9 +9,8 @@
 //! `rows/3000` tuples per outer tuple.
 
 use bypass_catalog::Catalog;
+use bypass_check::Rng;
 use bypass_types::{DataType, Field, Relation, Result, Schema, Tuple, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Upper bound (exclusive) of the uniform value domain.
 pub const DOMAIN: i64 = 3000;
@@ -27,7 +26,7 @@ pub fn table(prefix: char, sf: f64, seed: u64) -> Relation {
             .map(|i| Field::new(format!("{prefix}{i}"), DataType::Int))
             .collect(),
     );
-    let mut rng = StdRng::seed_from_u64(seed ^ (prefix as u64) << 32);
+    let mut rng = Rng::seed_from_u64(seed ^ (prefix as u64) << 32);
     let rows = (0..n)
         .map(|_| {
             Tuple::new(
@@ -120,7 +119,10 @@ mod tests {
             }
         }
         let frac = above as f64 / r.len() as f64;
-        assert!((0.4..0.6).contains(&frac), "a4 > 1500 selectivity ≈ 0.5, got {frac}");
+        assert!(
+            (0.4..0.6).contains(&frac),
+            "a4 > 1500 selectivity ≈ 0.5, got {frac}"
+        );
     }
 
     #[test]

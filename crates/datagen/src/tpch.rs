@@ -20,9 +20,8 @@
 //! schema stays recognizably TPC-H.
 
 use bypass_catalog::Catalog;
+use bypass_check::Rng;
 use bypass_types::{DataType, Field, Relation, Result, Schema, Tuple, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 
@@ -103,7 +102,7 @@ pub fn generate_2d(sf: f64, seed: u64) -> TpchInstance {
 }
 
 fn generate_with(sf: f64, seed: u64, full: bool) -> TpchInstance {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let suppliers = ((10_000.0 * sf).round() as usize).max(4);
     let parts = ((200_000.0 * sf).round() as usize).max(1);
     let customers = ((150_000.0 * sf).round() as usize).max(2);
@@ -144,7 +143,7 @@ pub fn register(catalog: &mut Catalog, instance: &TpchInstance) -> Result<()> {
     Ok(())
 }
 
-fn customer(n: usize, rng: &mut StdRng) -> Relation {
+fn customer(n: usize, rng: &mut Rng) -> Relation {
     let schema = Schema::new(vec![
         Field::new("c_custkey", DataType::Int),
         Field::new("c_name", DataType::Text),
@@ -155,8 +154,13 @@ fn customer(n: usize, rng: &mut StdRng) -> Relation {
         Field::new("c_mktsegment", DataType::Text),
         Field::new("c_comment", DataType::Text),
     ]);
-    const SEGMENTS: [&str; 5] =
-        ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+    const SEGMENTS: [&str; 5] = [
+        "AUTOMOBILE",
+        "BUILDING",
+        "FURNITURE",
+        "MACHINERY",
+        "HOUSEHOLD",
+    ];
     let rows = (1..=n as i64)
         .map(|k| {
             Tuple::new(vec![
@@ -165,8 +169,8 @@ fn customer(n: usize, rng: &mut StdRng) -> Relation {
                 Value::text(format!("caddr-{k}")),
                 Value::Int(rng.gen_range(0..25)),
                 Value::text(format!("{}-555-{k:04}", 10 + k % 25)),
-                Value::Float((rng.gen_range(-99999..1000000) as f64) / 100.0),
-                Value::text(SEGMENTS[rng.gen_range(0..5)]),
+                Value::Float((rng.gen_range(-99999..1000000i64) as f64) / 100.0),
+                Value::text(SEGMENTS[rng.gen_range(0..5usize)]),
                 Value::text(format!("customer comment {k}")),
             ])
         })
@@ -176,7 +180,7 @@ fn customer(n: usize, rng: &mut StdRng) -> Relation {
 
 /// Order dates span 1992-01-01 .. 1998-08-02 as day numbers; status
 /// follows dbgen's F/O/P split.
-fn orders(n: usize, customers: usize, rng: &mut StdRng) -> Relation {
+fn orders(n: usize, customers: usize, rng: &mut Rng) -> Relation {
     let schema = Schema::new(vec![
         Field::new("o_orderkey", DataType::Int),
         Field::new("o_custkey", DataType::Int),
@@ -186,19 +190,24 @@ fn orders(n: usize, customers: usize, rng: &mut StdRng) -> Relation {
         Field::new("o_orderpriority", DataType::Text),
         Field::new("o_comment", DataType::Text),
     ]);
-    const PRIORITIES: [&str; 5] =
-        ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+    const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
     let rows = (1..=n as i64)
         .map(|k| {
             let date = rng.gen_range(0..2406i64); // days since 1992-01-01
-            let status = if date < 1100 { "F" } else if rng.gen_bool(0.5) { "O" } else { "P" };
+            let status = if date < 1100 {
+                "F"
+            } else if rng.gen_bool(0.5) {
+                "O"
+            } else {
+                "P"
+            };
             Tuple::new(vec![
                 Value::Int(k),
                 Value::Int(rng.gen_range(1..=customers as i64)),
                 Value::text(status),
-                Value::Float((rng.gen_range(100000..50000000) as f64) / 100.0),
+                Value::Float((rng.gen_range(100000..50000000i64) as f64) / 100.0),
                 Value::Int(date),
-                Value::text(PRIORITIES[rng.gen_range(0..5)]),
+                Value::text(PRIORITIES[rng.gen_range(0..5usize)]),
                 Value::text(format!("order comment {k}")),
             ])
         })
@@ -223,18 +232,26 @@ fn lineitem_schema() -> Schema {
 }
 
 /// 1–7 lineitems per order, referencing existing parts/suppliers.
-fn lineitem(orders: &Relation, parts: usize, suppliers: usize, rng: &mut StdRng) -> Relation {
+fn lineitem(orders: &Relation, parts: usize, suppliers: usize, rng: &mut Rng) -> Relation {
     let schema = lineitem_schema();
     let okey_idx = 0usize;
     let odate_idx = 4usize;
     let mut rows = Vec::new();
     for order in orders.rows() {
-        let Value::Int(okey) = order[okey_idx] else { continue };
-        let Value::Int(odate) = order[odate_idx] else { continue };
-        let lines = rng.gen_range(1..=7);
+        let Value::Int(okey) = order[okey_idx] else {
+            continue;
+        };
+        let Value::Int(odate) = order[odate_idx] else {
+            continue;
+        };
+        let lines = rng.gen_range(1..=7i64);
         for line in 1..=lines {
             let flag = if rng.gen_bool(0.25) {
-                if rng.gen_bool(0.5) { "R" } else { "A" }
+                if rng.gen_bool(0.5) {
+                    "R"
+                } else {
+                    "A"
+                }
             } else {
                 "N"
             };
@@ -244,11 +261,11 @@ fn lineitem(orders: &Relation, parts: usize, suppliers: usize, rng: &mut StdRng)
                 Value::Int(rng.gen_range(1..=suppliers as i64)),
                 Value::Int(line),
                 Value::Int(rng.gen_range(1..=50)),
-                Value::Float((rng.gen_range(90000..10500000) as f64) / 100.0),
-                Value::Float(rng.gen_range(0..11) as f64 / 100.0),
-                Value::Float(rng.gen_range(0..9) as f64 / 100.0),
+                Value::Float((rng.gen_range(90000..10500000i64) as f64) / 100.0),
+                Value::Float(rng.gen_range(0..11i64) as f64 / 100.0),
+                Value::Float(rng.gen_range(0..9i64) as f64 / 100.0),
                 Value::text(flag),
-                Value::Int(odate + rng.gen_range(1..=121)),
+                Value::Int(odate + rng.gen_range(1..=121i64)),
                 Value::text("lineitem"),
             ]));
         }
@@ -298,7 +315,7 @@ fn nation() -> Relation {
     Relation::new(schema, rows)
 }
 
-fn supplier(n: usize, rng: &mut StdRng) -> Relation {
+fn supplier(n: usize, rng: &mut Rng) -> Relation {
     let schema = Schema::new(vec![
         Field::new("s_suppkey", DataType::Int),
         Field::new("s_name", DataType::Text),
@@ -319,11 +336,11 @@ fn supplier(n: usize, rng: &mut StdRng) -> Relation {
                 Value::text(format!(
                     "{}-{:03}-{:03}-{:04}",
                     10 + nation,
-                    rng.gen_range(100..1000),
-                    rng.gen_range(100..1000),
-                    rng.gen_range(1000..10000)
+                    rng.gen_range(100..1000i64),
+                    rng.gen_range(100..1000i64),
+                    rng.gen_range(1000..10000i64)
                 )),
-                Value::Float((rng.gen_range(-99999..1000000) as f64) / 100.0),
+                Value::Float((rng.gen_range(-99999..1000000i64) as f64) / 100.0),
                 Value::text(format!("supplier comment {k}")),
             ])
         })
@@ -331,7 +348,7 @@ fn supplier(n: usize, rng: &mut StdRng) -> Relation {
     Relation::new(schema, rows)
 }
 
-fn part(n: usize, rng: &mut StdRng) -> Relation {
+fn part(n: usize, rng: &mut Rng) -> Relation {
     let schema = Schema::new(vec![
         Field::new("p_partkey", DataType::Int),
         Field::new("p_name", DataType::Text),
@@ -345,13 +362,13 @@ fn part(n: usize, rng: &mut StdRng) -> Relation {
     ]);
     let rows = (1..=n as i64)
         .map(|k| {
-            let mfgr = rng.gen_range(1..=5);
-            let brand = mfgr * 10 + rng.gen_range(1..=5);
+            let mfgr = rng.gen_range(1..=5i64);
+            let brand = mfgr * 10 + rng.gen_range(1..=5i64);
             let p_type = format!(
                 "{} {} {}",
-                TYPE_SYLLABLE_1[rng.gen_range(0..6)],
-                TYPE_SYLLABLE_2[rng.gen_range(0..5)],
-                TYPE_SYLLABLE_3[rng.gen_range(0..5)],
+                TYPE_SYLLABLE_1[rng.gen_range(0..6usize)],
+                TYPE_SYLLABLE_2[rng.gen_range(0..5usize)],
+                TYPE_SYLLABLE_3[rng.gen_range(0..5usize)],
             );
             Tuple::new(vec![
                 Value::Int(k),
@@ -369,7 +386,7 @@ fn part(n: usize, rng: &mut StdRng) -> Relation {
     Relation::new(schema, rows)
 }
 
-fn partsupp(parts: usize, suppliers: usize, rng: &mut StdRng) -> Relation {
+fn partsupp(parts: usize, suppliers: usize, rng: &mut Rng) -> Relation {
     let schema = Schema::new(vec![
         Field::new("ps_partkey", DataType::Int),
         Field::new("ps_suppkey", DataType::Int),
@@ -392,7 +409,7 @@ fn partsupp(parts: usize, suppliers: usize, rng: &mut StdRng) -> Relation {
                 Value::Int(pk),
                 Value::Int(sk),
                 Value::Int(rng.gen_range(1..=9999)),
-                Value::Float((rng.gen_range(100..100001) as f64) / 100.0),
+                Value::Float((rng.gen_range(100..100001i64) as f64) / 100.0),
                 Value::text("ps comment"),
             ]));
         }
@@ -469,8 +486,7 @@ mod tests {
         let inst = generate(0.001, 42);
         let rows = inst.partsupp.rows();
         for chunk in rows.chunks(4) {
-            let keys: std::collections::HashSet<_> =
-                chunk.iter().map(|t| t[1].clone()).collect();
+            let keys: std::collections::HashSet<_> = chunk.iter().map(|t| t[1].clone()).collect();
             assert_eq!(keys.len(), 4, "four distinct suppliers per part");
             for t in chunk {
                 let Value::Int(sk) = t[1] else { panic!() };

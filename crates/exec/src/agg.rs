@@ -23,37 +23,16 @@ pub struct AggSpec {
 /// outerjoin defaults must reproduce.
 #[derive(Debug)]
 pub enum Accumulator {
-    CountRows {
-        n: i64,
-    },
-    CountDistinctRows {
-        seen: HashSet<Tuple>,
-    },
-    CountValues {
-        n: i64,
-    },
-    CountDistinctValues {
-        seen: HashSet<Value>,
-    },
-    Sum {
-        acc: Option<Value>,
-    },
-    SumDistinct {
-        seen: HashSet<Value>,
-    },
-    Avg {
-        sum: f64,
-        n: i64,
-    },
-    AvgDistinct {
-        seen: HashSet<Value>,
-    },
-    Min {
-        acc: Option<Value>,
-    },
-    Max {
-        acc: Option<Value>,
-    },
+    CountRows { n: i64 },
+    CountDistinctRows { seen: HashSet<Tuple> },
+    CountValues { n: i64 },
+    CountDistinctValues { seen: HashSet<Value> },
+    Sum { acc: Option<Value> },
+    SumDistinct { seen: HashSet<Value> },
+    Avg { sum: f64, n: i64 },
+    AvgDistinct { seen: HashSet<Value> },
+    Min { acc: Option<Value> },
+    Max { acc: Option<Value> },
 }
 
 /// Build the accumulator matching an [`AggSpec`].
@@ -145,10 +124,7 @@ impl Accumulator {
                     if !v.is_null() {
                         let replace = match acc.as_ref() {
                             None => true,
-                            Some(a) => matches!(
-                                v.sql_cmp(a),
-                                Some(std::cmp::Ordering::Less)
-                            ),
+                            Some(a) => matches!(v.sql_cmp(a), Some(std::cmp::Ordering::Less)),
                         };
                         if replace {
                             *acc = Some(v.clone());
@@ -161,10 +137,7 @@ impl Accumulator {
                     if !v.is_null() {
                         let replace = match acc.as_ref() {
                             None => true,
-                            Some(a) => matches!(
-                                v.sql_cmp(a),
-                                Some(std::cmp::Ordering::Greater)
-                            ),
+                            Some(a) => matches!(v.sql_cmp(a), Some(std::cmp::Ordering::Greater)),
                         };
                         if replace {
                             *acc = Some(v.clone());
@@ -295,8 +268,14 @@ mod tests {
     #[test]
     fn avg_variants() {
         let vals = [Value::Int(1), Value::Int(1), Value::Int(4)];
-        assert_eq!(run(&spec(AggFunc::Avg, false, true), &vals), Value::Float(2.0));
-        assert_eq!(run(&spec(AggFunc::Avg, true, true), &vals), Value::Float(2.5));
+        assert_eq!(
+            run(&spec(AggFunc::Avg, false, true), &vals),
+            Value::Float(2.0)
+        );
+        assert_eq!(
+            run(&spec(AggFunc::Avg, true, true), &vals),
+            Value::Float(2.5)
+        );
         assert_eq!(run(&spec(AggFunc::Avg, false, true), &[]), Value::Null);
     }
 

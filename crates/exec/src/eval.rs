@@ -157,9 +157,7 @@ impl ExecContext {
         let result = self.eval_node_inner(node, local);
         let elapsed = start.elapsed().as_nanos();
         if let (Some(metrics), Ok(rel)) = (self.metrics.as_mut(), &result) {
-            let m = metrics
-                .entry(Arc::as_ptr(node) as usize)
-                .or_default();
+            let m = metrics.entry(Arc::as_ptr(node) as usize).or_default();
             m.calls += 1;
             m.rows += rel.len() as u64;
             m.nanos += elapsed;
@@ -337,9 +335,7 @@ impl ExecContext {
                     if k.is_null() {
                         continue; // θ over NULL never matches
                     }
-                    let acc = groups
-                        .entry(k)
-                        .or_insert_with(|| create_accumulator(agg));
+                    let acc = groups.entry(k).or_insert_with(|| create_accumulator(agg));
                     let v = match &agg.arg {
                         Some(a) => Some(self.eval_expr(a, rt)?),
                         None => None,
@@ -956,11 +952,7 @@ mod tests {
         assert_eq!(out.len(), 2);
         // Matched row keeps its g; unmatched gets NULL key and default 0
         // in column g (index 1 of the right side → overall index 2).
-        let unmatched = out
-            .rows()
-            .iter()
-            .find(|t| t[0] == Value::Int(9))
-            .unwrap();
+        let unmatched = out.rows().iter().find(|t| t[0] == Value::Int(9)).unwrap();
         assert!(unmatched[1].is_null());
         assert_eq!(unmatched[2], Value::Int(0));
     }
@@ -1118,7 +1110,13 @@ mod tests {
             },
             schema.clone(),
         );
-        let union = PhysNode::new(PhysKind::UnionAll { left: pos, right: neg }, schema);
+        let union = PhysNode::new(
+            PhysKind::UnionAll {
+                left: pos,
+                right: neg,
+            },
+            schema,
+        );
         let out = run(&union);
         assert_eq!(out.len(), 4, "partition: no tuple lost or duplicated");
     }
@@ -1173,8 +1171,16 @@ mod tests {
     #[test]
     fn timeout_fires() {
         // A 300×300×300 triple nested-loop with a tiny timeout.
-        let a = int_rel("a", &["x"], &(0..300).map(|i| vec![i]).collect::<Vec<_>>()
-            .iter().map(|v| v.as_slice()).collect::<Vec<_>>());
+        let a = int_rel(
+            "a",
+            &["x"],
+            &(0..300)
+                .map(|i| vec![i])
+                .collect::<Vec<_>>()
+                .iter()
+                .map(|v| v.as_slice())
+                .collect::<Vec<_>>(),
+        );
         let b = a.clone();
         let schema2 = Schema::new(vec![
             Field::new("x", DataType::Int),

@@ -15,7 +15,10 @@ pub enum PhysExpr {
     /// Correlation reference: column `index` of the tuple `depth` levels
     /// up the outer-binding stack (1 = directly enclosing block — the
     /// only depth the paper's "direct correlation" limitation produces).
-    Outer { depth: usize, index: usize },
+    Outer {
+        depth: usize,
+        index: usize,
+    },
     Literal(Value),
     Binary {
         op: BinOp,
@@ -347,10 +350,7 @@ mod tests {
             in_membership(&Value::Int(9), with_null.iter()),
             Truth::Unknown
         );
-        assert_eq!(
-            in_membership(&Value::Int(1), with_null.iter()),
-            Truth::True
-        );
+        assert_eq!(in_membership(&Value::Int(1), with_null.iter()), Truth::True);
         assert_eq!(in_membership(&Value::Null, vals.iter()), Truth::Unknown);
         assert_eq!(in_membership(&Value::Int(1), [].iter()), Truth::False);
     }

@@ -243,7 +243,9 @@ impl PhysNode {
                 predicate,
                 neg_filter,
                 ..
-            } => std::iter::once(predicate).chain(neg_filter.iter()).collect(),
+            } => std::iter::once(predicate)
+                .chain(neg_filter.iter())
+                .collect(),
         }
     }
 
@@ -261,7 +263,9 @@ impl PhysNode {
             PhysKind::Scan { .. } => "Scan",
             PhysKind::Filter { .. } => "Filter",
             PhysKind::Project { .. } => "Project",
-            PhysKind::NLJoin { predicate: None, .. } => "CrossJoin",
+            PhysKind::NLJoin {
+                predicate: None, ..
+            } => "CrossJoin",
             PhysKind::NLJoin { .. } => "NLJoin",
             PhysKind::HashJoin { .. } => "HashJoin",
             PhysKind::HashOuterJoin { .. } => "HashOuterJoin",

@@ -252,9 +252,7 @@ impl<'a> Resolver<'a> {
                         right_schema
                             .resolve(None, name)
                             .map(|i| (i, v.clone()))
-                            .map_err(|e| {
-                                Error::plan(format!("outerjoin default column: {e}"))
-                            })
+                            .map_err(|e| Error::plan(format!("outerjoin default column: {e}")))
                     })
                     .collect::<Result<Vec<_>>>()?;
                 let (lk, rk, residual) =
@@ -347,7 +345,13 @@ impl<'a> Resolver<'a> {
             LogicalPlan::Map { input, expr, .. } => {
                 let child = self.plan_node(input, fusions, memo)?;
                 let e = self.resolve(expr, &input.schema())?;
-                PhysNode::new(PhysKind::Map { input: child, expr: e }, schema)
+                PhysNode::new(
+                    PhysKind::Map {
+                        input: child,
+                        expr: e,
+                    },
+                    schema,
+                )
             }
             LogicalPlan::Numbering { input, .. } => {
                 let child = self.plan_node(input, fusions, memo)?;
@@ -359,7 +363,13 @@ impl<'a> Resolver<'a> {
             }
             LogicalPlan::Limit { input, n } => {
                 let child = self.plan_node(input, fusions, memo)?;
-                PhysNode::new(PhysKind::Limit { input: child, n: *n }, schema)
+                PhysNode::new(
+                    PhysKind::Limit {
+                        input: child,
+                        n: *n,
+                    },
+                    schema,
+                )
             }
             LogicalPlan::Alias { input, .. } => {
                 let child = self.plan_node(input, fusions, memo)?;
@@ -503,12 +513,7 @@ impl<'a> Resolver<'a> {
         self.resolve_inner(e, local, true)
     }
 
-    fn resolve_inner(
-        &mut self,
-        e: &Scalar,
-        local: &Schema,
-        allow_outer: bool,
-    ) -> Result<PhysExpr> {
+    fn resolve_inner(&mut self, e: &Scalar, local: &Schema, allow_outer: bool) -> Result<PhysExpr> {
         Ok(match e {
             Scalar::Column(c) => self.resolve_column(c, local, allow_outer)?,
             Scalar::Literal(v) => PhysExpr::Literal(v.clone()),
@@ -594,12 +599,7 @@ impl<'a> Resolver<'a> {
         })
     }
 
-    fn resolve_column(
-        &self,
-        c: &ColumnRef,
-        local: &Schema,
-        allow_outer: bool,
-    ) -> Result<PhysExpr> {
+    fn resolve_column(&self, c: &ColumnRef, local: &Schema, allow_outer: bool) -> Result<PhysExpr> {
         if let Some(i) = local.resolve_opt(c.qualifier.as_deref(), &c.name)? {
             return Ok(PhysExpr::Column(i));
         }

@@ -60,7 +60,10 @@ fn correlation_memo_reduces_subplan_calls() {
     .with_metrics();
     let out_plain = ctx.eval_plan(&plan).unwrap();
     let plain_calls = max_calls(&ctx.take_metrics());
-    assert!(plain_calls >= 10, "expected ≥10 subplan runs, got {plain_calls}");
+    assert!(
+        plain_calls >= 10,
+        "expected ≥10 subplan runs, got {plain_calls}"
+    );
 
     // With the memo: only as many evaluations as distinct a2 values (2).
     let mut ctx = ExecContext::new(ExecOptions {
@@ -85,7 +88,11 @@ fn uncorrelated_memo_runs_type_a_subquery_once() {
         .aggregate(
             vec![],
             vec![(
-                AggCall::new(bypass_algebra::AggFunc::Min, false, Some(Scalar::qcol("s", "b1"))),
+                AggCall::new(
+                    bypass_algebra::AggFunc::Min,
+                    false,
+                    Some(Scalar::qcol("s", "b1")),
+                ),
                 "m".into(),
             )],
         )
@@ -123,9 +130,7 @@ fn intermediate_size_guard_fires() {
             "b",
             c.get("r").unwrap().schema().clone(),
         ))
-        .filter(
-            Scalar::qcol("a", "a1").lt(Scalar::qcol("b", "a1")),
-        )
+        .filter(Scalar::qcol("a", "a1").lt(Scalar::qcol("b", "a1")))
         .build();
     let phys = physical_plan(&plan, &c).unwrap();
     let mut ctx = ExecContext::new(ExecOptions {
@@ -133,8 +138,5 @@ fn intermediate_size_guard_fires() {
         ..Default::default()
     });
     let err = ctx.eval_plan(&phys).unwrap_err();
-    assert!(
-        err.to_string().contains("exceeds 1000000 rows"),
-        "{err}"
-    );
+    assert!(err.to_string().contains("exceeds 1000000 rows"), "{err}");
 }

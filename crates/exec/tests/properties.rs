@@ -9,17 +9,22 @@
 //!   handles empty groups with `f(∅)`,
 //! * the outerjoin-with-defaults has exactly the left cardinality when
 //!   the right side has unique keys.
+//!
+//! Runs on the in-tree `bypass-check` harness; failures print a
+//! `BYPASS_CHECK_SEED=…` line that replays the minimized input.
 
 use std::sync::Arc;
 
 use bypass_algebra::{AggFunc, BinOp};
+use bypass_check::{forall_cases, int_range, option_weighted, tuple2, tuple3, tuple4, vec_of, Gen};
 use bypass_exec::{evaluate, AggSpec, PhysExpr, PhysKind, PhysNode};
 use bypass_types::{DataType, Field, Relation, Schema, Tuple, Value};
-use proptest::prelude::*;
+
+const CASES: u32 = 64;
 
 /// A small integer column with NULLs.
-fn arb_column(len: usize) -> impl Strategy<Value = Vec<Option<i64>>> {
-    proptest::collection::vec(proptest::option::weighted(0.85, 0..8i64), len..=len)
+fn arb_column(len: usize) -> Gen<Vec<Option<i64>>> {
+    vec_of(option_weighted(0.85, int_range(0, 7)), len, len)
 }
 
 fn rel2(name: &str, a: &[Option<i64>], b: &[Option<i64>]) -> Arc<PhysNode> {
@@ -67,186 +72,212 @@ fn stream(source: &Arc<PhysNode>, positive: bool) -> Arc<PhysNode> {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn bypass_filter_partitions_input() {
+    forall_cases(
+        CASES,
+        &tuple3(arb_column(20), arb_column(20), int_range(0, 7)),
+        |(xs, ys, threshold)| {
+            let scan = rel2("r", xs, ys);
+            let input = evaluate(&scan).unwrap();
+            let bypass = PhysNode::new(
+                PhysKind::BypassFilter {
+                    input: scan,
+                    predicate: cmp(BinOp::Gt, col(0), PhysExpr::Literal(Value::Int(*threshold))),
+                },
+                input.schema().clone(),
+            );
+            let pos = evaluate(&stream(&bypass, true)).unwrap();
+            let neg = evaluate(&stream(&bypass, false)).unwrap();
+            // Partition: pos ∪̇ neg == input as bags.
+            assert_eq!(pos.len() + neg.len(), input.len());
+            let union = pos.disjoint_union(neg);
+            assert!(union.bag_eq(&input));
+        },
+    );
+}
 
-    #[test]
-    fn bypass_filter_partitions_input(
-        xs in arb_column(20),
-        ys in arb_column(20),
-        threshold in 0..8i64,
-    ) {
-        let scan = rel2("r", &xs, &ys);
-        let input = evaluate(&scan).unwrap();
-        let bypass = PhysNode::new(
-            PhysKind::BypassFilter {
-                input: scan,
-                predicate: cmp(BinOp::Gt, col(0), PhysExpr::Literal(Value::Int(threshold))),
-            },
-            input.schema().clone(),
-        );
-        let pos = evaluate(&stream(&bypass, true)).unwrap();
-        let neg = evaluate(&stream(&bypass, false)).unwrap();
-        // Partition: pos ∪̇ neg == input as bags.
-        prop_assert_eq!(pos.len() + neg.len(), input.len());
-        let union = pos.disjoint_union(neg);
-        prop_assert!(union.bag_eq(&input));
-    }
+#[test]
+fn bypass_join_partitions_cross_product() {
+    forall_cases(
+        CASES,
+        &tuple4(arb_column(8), arb_column(8), arb_column(6), arb_column(6)),
+        |(xs, ys, zs, ws)| {
+            let l = rel2("l", xs, ys);
+            let r = rel2("r", zs, ws);
+            let joined_schema = l.schema.concat(&r.schema);
+            let bypass = PhysNode::new(
+                PhysKind::BypassNLJoin {
+                    left: l.clone(),
+                    right: r.clone(),
+                    predicate: cmp(BinOp::Eq, col(0), col(2)),
+                    neg_filter: None,
+                },
+                joined_schema.clone(),
+            );
+            let pos = evaluate(&stream(&bypass, true)).unwrap();
+            let neg = evaluate(&stream(&bypass, false)).unwrap();
+            let cross = PhysNode::new(
+                PhysKind::NLJoin {
+                    left: l,
+                    right: r,
+                    predicate: None,
+                },
+                joined_schema,
+            );
+            let cross = evaluate(&cross).unwrap();
+            assert_eq!(pos.len() + neg.len(), cross.len());
+            assert!(pos.disjoint_union(neg).bag_eq(&cross));
+        },
+    );
+}
 
-    #[test]
-    fn bypass_join_partitions_cross_product(
-        xs in arb_column(8),
-        ys in arb_column(8),
-        zs in arb_column(6),
-        ws in arb_column(6),
-    ) {
-        let l = rel2("l", &xs, &ys);
-        let r = rel2("r", &zs, &ws);
-        let joined_schema = l.schema.concat(&r.schema);
-        let bypass = PhysNode::new(
-            PhysKind::BypassNLJoin {
-                left: l.clone(),
-                right: r.clone(),
-                predicate: cmp(BinOp::Eq, col(0), col(2)),
-                neg_filter: None,
-            },
-            joined_schema.clone(),
-        );
-        let pos = evaluate(&stream(&bypass, true)).unwrap();
-        let neg = evaluate(&stream(&bypass, false)).unwrap();
-        let cross = PhysNode::new(
-            PhysKind::NLJoin { left: l, right: r, predicate: None },
-            joined_schema,
-        );
-        let cross = evaluate(&cross).unwrap();
-        prop_assert_eq!(pos.len() + neg.len(), cross.len());
-        prop_assert!(pos.disjoint_union(neg).bag_eq(&cross));
-    }
+#[test]
+fn hash_join_equals_nl_join() {
+    forall_cases(
+        CASES,
+        &tuple4(
+            arb_column(15),
+            arb_column(15),
+            arb_column(15),
+            arb_column(15),
+        ),
+        |(xs, ys, zs, ws)| {
+            let l = rel2("l", xs, ys);
+            let r = rel2("r", zs, ws);
+            let schema = l.schema.concat(&r.schema);
+            let hash = PhysNode::new(
+                PhysKind::HashJoin {
+                    left: l.clone(),
+                    right: r.clone(),
+                    left_keys: vec![col(0)],
+                    right_keys: vec![col(0)],
+                    residual: None,
+                },
+                schema.clone(),
+            );
+            let nl = PhysNode::new(
+                PhysKind::NLJoin {
+                    left: l,
+                    right: r,
+                    predicate: Some(cmp(BinOp::Eq, col(0), col(2))),
+                },
+                schema,
+            );
+            assert!(evaluate(&hash).unwrap().bag_eq(&evaluate(&nl).unwrap()));
+        },
+    );
+}
 
-    #[test]
-    fn hash_join_equals_nl_join(
-        xs in arb_column(15),
-        ys in arb_column(15),
-        zs in arb_column(15),
-        ws in arb_column(15),
-    ) {
-        let l = rel2("l", &xs, &ys);
-        let r = rel2("r", &zs, &ws);
-        let schema = l.schema.concat(&r.schema);
-        let hash = PhysNode::new(
-            PhysKind::HashJoin {
-                left: l.clone(),
-                right: r.clone(),
-                left_keys: vec![col(0)],
-                right_keys: vec![col(0)],
-                residual: None,
-            },
-            schema.clone(),
-        );
-        let nl = PhysNode::new(
-            PhysKind::NLJoin {
-                left: l,
-                right: r,
-                predicate: Some(cmp(BinOp::Eq, col(0), col(2))),
-            },
-            schema,
-        );
-        prop_assert!(evaluate(&hash).unwrap().bag_eq(&evaluate(&nl).unwrap()));
-    }
+#[test]
+fn binary_group_eq_equals_theta_variant() {
+    forall_cases(
+        CASES,
+        &tuple4(
+            arb_column(12),
+            arb_column(12),
+            arb_column(12),
+            arb_column(12),
+        ),
+        |(xs, ys, zs, ws)| {
+            let l = rel2("l", xs, ys);
+            let r = rel2("r", zs, ws);
+            let out_schema = l.schema.extended(Field::new("g", DataType::Int));
+            let agg = AggSpec {
+                func: AggFunc::Count,
+                distinct: false,
+                arg: None,
+            };
+            let eq = PhysNode::new(
+                PhysKind::BinaryGroupEq {
+                    left: l.clone(),
+                    right: r.clone(),
+                    left_key: col(0),
+                    right_key: col(0),
+                    agg: agg.clone(),
+                },
+                out_schema.clone(),
+            );
+            let theta = PhysNode::new(
+                PhysKind::BinaryGroupTheta {
+                    left: l.clone(),
+                    right: r,
+                    left_key: col(0),
+                    right_key: col(0),
+                    cmp: BinOp::Eq,
+                    agg,
+                },
+                out_schema,
+            );
+            let a = evaluate(&eq).unwrap();
+            let b = evaluate(&theta).unwrap();
+            assert!(a.bag_eq(&b));
+            // Cardinality: exactly one output row per left tuple.
+            let left_rows = evaluate(&l).unwrap().len();
+            assert_eq!(a.len(), left_rows);
+        },
+    );
+}
 
-    #[test]
-    fn binary_group_eq_equals_theta_variant(
-        xs in arb_column(12),
-        ys in arb_column(12),
-        zs in arb_column(12),
-        ws in arb_column(12),
-    ) {
-        let l = rel2("l", &xs, &ys);
-        let r = rel2("r", &zs, &ws);
-        let out_schema = l.schema.extended(Field::new("g", DataType::Int));
-        let agg = AggSpec {
-            func: AggFunc::Count,
-            distinct: false,
-            arg: None,
-        };
-        let eq = PhysNode::new(
-            PhysKind::BinaryGroupEq {
-                left: l.clone(),
-                right: r.clone(),
-                left_key: col(0),
-                right_key: col(0),
-                agg: agg.clone(),
-            },
-            out_schema.clone(),
-        );
-        let theta = PhysNode::new(
-            PhysKind::BinaryGroupTheta {
-                left: l.clone(),
-                right: r,
-                left_key: col(0),
-                right_key: col(0),
-                cmp: BinOp::Eq,
-                agg,
-            },
-            out_schema,
-        );
-        let a = evaluate(&eq).unwrap();
-        let b = evaluate(&theta).unwrap();
-        prop_assert!(a.bag_eq(&b));
-        // Cardinality: exactly one output row per left tuple.
-        let left_rows = evaluate(&l).unwrap().len();
-        prop_assert_eq!(a.len(), left_rows);
-    }
-
-    #[test]
-    fn outer_join_unique_keys_has_left_cardinality(
-        xs in arb_column(15),
-        ys in arb_column(15),
-    ) {
-        let l = rel2("l", &xs, &ys);
-        // Unique right keys 0..5 with a payload.
-        let keys: Vec<Option<i64>> = (0..5).map(Some).collect();
-        let payload: Vec<Option<i64>> = (0..5).map(|i| Some(i * 100)).collect();
-        let r = rel2("r", &keys, &payload);
-        let schema = l.schema.concat(&r.schema);
-        let oj = PhysNode::new(
-            PhysKind::HashOuterJoin {
-                left: l.clone(),
-                right: r,
-                left_keys: vec![col(0)],
-                right_keys: vec![col(0)],
-                residual: None,
-                defaults: vec![(1, Value::Int(0))],
-            },
-            schema,
-        );
-        let out = evaluate(&oj).unwrap();
-        prop_assert_eq!(out.len(), evaluate(&l).unwrap().len());
-        // Unmatched rows carry the default, matched rows the payload.
-        for row in out.rows() {
-            match (&row[0], &row[2]) {
-                (Value::Int(k), Value::Int(k2)) => {
-                    prop_assert_eq!(k, k2);
-                    prop_assert_eq!(&row[3], &Value::Int(k * 100));
+#[test]
+fn outer_join_unique_keys_has_left_cardinality() {
+    forall_cases(
+        CASES,
+        &tuple2(arb_column(15), arb_column(15)),
+        |(xs, ys)| {
+            let l = rel2("l", xs, ys);
+            // Unique right keys 0..5 with a payload.
+            let keys: Vec<Option<i64>> = (0..5).map(Some).collect();
+            let payload: Vec<Option<i64>> = (0..5).map(|i| Some(i * 100)).collect();
+            let r = rel2("r", &keys, &payload);
+            let schema = l.schema.concat(&r.schema);
+            let oj = PhysNode::new(
+                PhysKind::HashOuterJoin {
+                    left: l.clone(),
+                    right: r,
+                    left_keys: vec![col(0)],
+                    right_keys: vec![col(0)],
+                    residual: None,
+                    defaults: vec![(1, Value::Int(0))],
+                },
+                schema,
+            );
+            let out = evaluate(&oj).unwrap();
+            assert_eq!(out.len(), evaluate(&l).unwrap().len());
+            // Unmatched rows carry the default, matched rows the payload.
+            for row in out.rows() {
+                match (&row[0], &row[2]) {
+                    (Value::Int(k), Value::Int(k2)) => {
+                        assert_eq!(k, k2);
+                        assert_eq!(&row[3], &Value::Int(k * 100));
+                    }
+                    (_, Value::Null) => assert_eq!(&row[3], &Value::Int(0)),
+                    other => panic!("unexpected row shape {other:?}"),
                 }
-                (_, Value::Null) => prop_assert_eq!(&row[3], &Value::Int(0)),
-                other => prop_assert!(false, "unexpected row shape {:?}", other),
             }
-        }
-    }
+        },
+    );
+}
 
-    #[test]
-    fn distinct_is_idempotent_and_bounded(
-        xs in arb_column(20),
-        ys in arb_column(20),
-    ) {
-        let scan = rel2("r", &xs, &ys);
-        let schema = scan.schema.clone();
-        let d1 = PhysNode::new(PhysKind::Distinct { input: scan.clone() }, schema.clone());
-        let d2 = PhysNode::new(PhysKind::Distinct { input: d1.clone() }, schema);
-        let once = evaluate(&d1).unwrap();
-        let twice = evaluate(&d2).unwrap();
-        prop_assert!(once.bag_eq(&twice));
-        prop_assert!(once.len() <= evaluate(&scan).unwrap().len());
-    }
+#[test]
+fn distinct_is_idempotent_and_bounded() {
+    forall_cases(
+        CASES,
+        &tuple2(arb_column(20), arb_column(20)),
+        |(xs, ys)| {
+            let scan = rel2("r", xs, ys);
+            let schema = scan.schema.clone();
+            let d1 = PhysNode::new(
+                PhysKind::Distinct {
+                    input: scan.clone(),
+                },
+                schema.clone(),
+            );
+            let d2 = PhysNode::new(PhysKind::Distinct { input: d1.clone() }, schema);
+            let once = evaluate(&d1).unwrap();
+            let twice = evaluate(&d2).unwrap();
+            assert!(once.bag_eq(&twice));
+            assert!(once.len() <= evaluate(&scan).unwrap().len());
+        },
+    );
 }

@@ -1,7 +1,6 @@
 //! Unit tests for the physical planner (name resolution, join strategy
 //! selection, correlation depth, fusion) through its public surface.
 
-
 use bypass_algebra::{AggCall, BinOp, LogicalPlan, PlanBuilder, Scalar};
 use bypass_catalog::{Catalog, TableBuilder};
 use bypass_exec::{evaluate, physical_plan};

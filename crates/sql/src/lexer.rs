@@ -102,7 +102,8 @@ impl<'a> Lexer<'a> {
                 self.pos += 1;
             }
             // Line comment.
-            if self.bytes.get(self.pos) == Some(&b'-') && self.bytes.get(self.pos + 1) == Some(&b'-')
+            if self.bytes.get(self.pos) == Some(&b'-')
+                && self.bytes.get(self.pos + 1) == Some(&b'-')
             {
                 while self.bytes.get(self.pos).is_some_and(|&b| b != b'\n') {
                     self.pos += 1;
@@ -145,11 +146,7 @@ impl<'a> Lexer<'a> {
     }
 
     fn number(&mut self, start: usize) -> Result<TokenKind> {
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_digit())
-        {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
             self.pos += 1;
         }
         let mut is_float = false;
@@ -164,11 +161,7 @@ impl<'a> Lexer<'a> {
         {
             is_float = true;
             self.pos += 1;
-            while self
-                .bytes
-                .get(self.pos)
-                .is_some_and(|b| b.is_ascii_digit())
-            {
+            while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
                 self.pos += 1;
             }
         }
@@ -181,11 +174,7 @@ impl<'a> Lexer<'a> {
             if self.bytes.get(look).is_some_and(|b| b.is_ascii_digit()) {
                 is_float = true;
                 self.pos = look;
-                while self
-                    .bytes
-                    .get(self.pos)
-                    .is_some_and(|b| b.is_ascii_digit())
-                {
+                while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
                     self.pos += 1;
                 }
             }

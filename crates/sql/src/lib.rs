@@ -21,8 +21,8 @@ mod parser;
 mod token;
 
 pub use ast::{
-    AggregateFunc, BinaryOp, Expr, Literal, OrderItem, Quantifier, SelectItem, SelectStmt, Statement,
-    TableRef, UnaryOp,
+    AggregateFunc, BinaryOp, Expr, Literal, OrderItem, Quantifier, SelectItem, SelectStmt,
+    Statement, TableRef, UnaryOp,
 };
 pub use lexer::Lexer;
 pub use parser::{parse_expression, parse_statement, Parser};

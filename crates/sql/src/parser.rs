@@ -205,9 +205,9 @@ impl Parser {
                 let sq = self.select()?;
                 self.expect(&T::RParen)?;
                 self.eat_kw(K::As);
-                let alias = self.identifier().map_err(|_| {
-                    self.error("a derived table requires an alias")
-                })?;
+                let alias = self
+                    .identifier()
+                    .map_err(|_| self.error("a derived table requires an alias"))?;
                 from.push(TableRef::Derived {
                     subquery: Box::new(sq),
                     alias,
@@ -606,10 +606,7 @@ mod tests {
             expr("p_type LIKE '%BRASS'").to_string(),
             "(p_type LIKE '%BRASS')"
         );
-        assert_eq!(
-            expr("x NOT LIKE 'a%'").to_string(),
-            "(x NOT LIKE 'a%')"
-        );
+        assert_eq!(expr("x NOT LIKE 'a%'").to_string(), "(x NOT LIKE 'a%')");
         assert_eq!(
             expr("x BETWEEN 1 AND 10").to_string(),
             "(x BETWEEN 1 AND 10)"
@@ -638,7 +635,13 @@ mod tests {
 
         let e = expr("NOT EXISTS (SELECT * FROM s)");
         // NOT wraps the EXISTS node.
-        assert!(matches!(e, Expr::Unary { op: UnaryOp::Not, .. }));
+        assert!(matches!(
+            e,
+            Expr::Unary {
+                op: UnaryOp::Not,
+                ..
+            }
+        ));
 
         let e = expr("x IN (SELECT b1 FROM s)");
         assert!(matches!(e, Expr::InSubquery { negated: false, .. }));
@@ -739,8 +742,8 @@ mod tests {
 
     #[test]
     fn create_and_insert() {
-        let s = parse_statement("CREATE TABLE r (a1 INT, a2 FLOAT, a3 VARCHAR(25), a4 BOOL)")
-            .unwrap();
+        let s =
+            parse_statement("CREATE TABLE r (a1 INT, a2 FLOAT, a3 VARCHAR(25), a4 BOOL)").unwrap();
         match s {
             Statement::CreateTable { name, columns } => {
                 assert_eq!(name, "r");

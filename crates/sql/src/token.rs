@@ -116,21 +116,21 @@ pub enum TokenKind {
     /// Single-quoted string literal ('' unescapes to ').
     Str(String),
     // Operators and punctuation.
-    Eq,      // =
-    Neq,     // <> or !=
-    Lt,      // <
-    LtEq,    // <=
-    Gt,      // >
-    GtEq,    // >=
-    Plus,    // +
-    Minus,   // -
-    Star,    // *
-    Slash,   // /
-    LParen,  // (
-    RParen,  // )
-    Comma,   // ,
-    Dot,     // .
-    Semi,    // ;
+    Eq,     // =
+    Neq,    // <> or !=
+    Lt,     // <
+    LtEq,   // <=
+    Gt,     // >
+    GtEq,   // >=
+    Plus,   // +
+    Minus,  // -
+    Star,   // *
+    Slash,  // /
+    LParen, // (
+    RParen, // )
+    Comma,  // ,
+    Dot,    // .
+    Semi,   // ;
     /// End of input.
     Eof,
 }

@@ -1,63 +1,58 @@
 //! Robustness: the lexer and parser must never panic — any input, valid
 //! or garbage, yields `Ok` or a positioned `Err`.
+//!
+//! Runs on the in-tree `bypass-check` harness; failures print a
+//! `BYPASS_CHECK_SEED=…` line that replays the minimized input.
 
+use bypass_check::{forall_cases, one_of, string_any, vec_of};
 use bypass_sql::{parse_expression, parse_statement, Lexer};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+const CASES: u32 = 512;
 
-    #[test]
-    fn lexer_never_panics(input in ".{0,120}") {
-        let _ = Lexer::new(&input).tokenize();
-    }
+#[test]
+fn lexer_never_panics() {
+    forall_cases(CASES, &string_any(0, 120), |input| {
+        let _ = Lexer::new(input).tokenize();
+    });
+}
 
-    #[test]
-    fn parser_never_panics_on_arbitrary_text(input in ".{0,120}") {
-        let _ = parse_statement(&input);
-        let _ = parse_expression(&input);
-    }
+#[test]
+fn parser_never_panics_on_arbitrary_text() {
+    forall_cases(CASES, &string_any(0, 120), |input| {
+        let _ = parse_statement(input);
+        let _ = parse_expression(input);
+    });
+}
 
-    /// SQL-ish token soup: higher chance of reaching deep parser states.
-    #[test]
-    fn parser_never_panics_on_sqlish_soup(
-        tokens in proptest::collection::vec(
-            prop_oneof![
-                Just("SELECT"), Just("FROM"), Just("WHERE"), Just("DISTINCT"),
-                Just("AND"), Just("OR"), Just("NOT"), Just("IN"), Just("EXISTS"),
-                Just("ALL"), Just("ANY"), Just("IS"), Just("NULL"), Just("LIKE"),
-                Just("BETWEEN"), Just("ORDER"), Just("BY"), Just("LIMIT"),
-                Just("COUNT"), Just("MIN"), Just("("), Just(")"), Just(","),
-                Just("*"), Just("="), Just("<"), Just(">"), Just("'txt'"),
-                Just("42"), Just("1.5"), Just("r"), Just("a1"), Just("r.a1"),
-            ],
-            0..24,
-        )
-    ) {
+/// SQL-ish token soup: higher chance of reaching deep parser states.
+#[test]
+fn parser_never_panics_on_sqlish_soup() {
+    let token = one_of(vec![
+        "SELECT", "FROM", "WHERE", "DISTINCT", "AND", "OR", "NOT", "IN", "EXISTS", "ALL", "ANY",
+        "IS", "NULL", "LIKE", "BETWEEN", "ORDER", "BY", "LIMIT", "COUNT", "MIN", "(", ")", ",",
+        "*", "=", "<", ">", "'txt'", "42", "1.5", "r", "a1", "r.a1",
+    ]);
+    forall_cases(CASES, &vec_of(token, 0, 24), |tokens| {
         let sql = tokens.join(" ");
         let _ = parse_statement(&sql);
-    }
+    });
+}
 
-    /// Round-trip: whatever parses must display to something that parses
-    /// again to the same AST (display is a faithful serializer).
-    #[test]
-    fn display_roundtrip_for_valid_expressions(
-        tokens in proptest::collection::vec(
-            prop_oneof![
-                Just("a"), Just("r.b"), Just("1"), Just("2.5"), Just("'x'"),
-                Just("NULL"), Just("+"), Just("-"), Just("*"), Just("="),
-                Just("<"), Just("AND"), Just("OR"), Just("NOT"), Just("("),
-                Just(")"),
-            ],
-            1..14,
-        )
-    ) {
+/// Round-trip: whatever parses must display to something that parses
+/// again to the same AST (display is a faithful serializer).
+#[test]
+fn display_roundtrip_for_valid_expressions() {
+    let token = one_of(vec![
+        "a", "r.b", "1", "2.5", "'x'", "NULL", "+", "-", "*", "=", "<", "AND", "OR", "NOT", "(",
+        ")",
+    ]);
+    forall_cases(CASES, &vec_of(token, 1, 14), |tokens| {
         let text = tokens.join(" ");
         if let Ok(ast) = parse_expression(&text) {
             let printed = ast.to_string();
             let reparsed = parse_expression(&printed)
                 .unwrap_or_else(|e| panic!("display `{printed}` must reparse: {e}"));
-            prop_assert_eq!(ast, reparsed);
+            assert_eq!(ast, reparsed);
         }
-    }
+    });
 }

@@ -4,8 +4,7 @@ use std::sync::Arc;
 use bypass_algebra::{AggCall, AggFunc, BinOp, LogicalPlan, PlanBuilder, Scalar};
 use bypass_catalog::Catalog;
 use bypass_sql::{
-    AggregateFunc, BinaryOp, Expr, Literal, Quantifier, SelectItem, SelectStmt, TableRef,
-    UnaryOp,
+    AggregateFunc, BinaryOp, Expr, Literal, Quantifier, SelectItem, SelectStmt, TableRef, UnaryOp,
 };
 use bypass_types::{Error, Result, Value};
 
@@ -95,9 +94,7 @@ impl<'a> Translator<'a> {
                             *distinct,
                             arg.as_deref().map(|a| self.expr(a)).transpose()?,
                         );
-                        let name = alias
-                            .clone()
-                            .unwrap_or_else(|| format!("{call}"));
+                        let name = alias.clone().unwrap_or_else(|| format!("{call}"));
                         aggs.push((call, name));
                     }
                     other => {
@@ -116,10 +113,7 @@ impl<'a> Translator<'a> {
                 match item {
                     SelectItem::Wildcard => {
                         for f in schema.fields() {
-                            exprs.push((
-                                column_scalar(f.qualifier(), f.name()),
-                                None,
-                            ));
+                            exprs.push((column_scalar(f.qualifier(), f.name()), None));
                         }
                     }
                     SelectItem::QualifiedWildcard(q) => {
@@ -131,10 +125,7 @@ impl<'a> Translator<'a> {
                         }
                         for i in indices {
                             let f = schema.field(i);
-                            exprs.push((
-                                column_scalar(f.qualifier(), f.name()),
-                                None,
-                            ));
+                            exprs.push((column_scalar(f.qualifier(), f.name()), None));
                         }
                     }
                     SelectItem::Expr { expr, alias } => {
@@ -161,10 +152,7 @@ impl<'a> Translator<'a> {
             let mut hidden: Vec<(Scalar, String)> = Vec::new();
             for (i, item) in stmt.order_by.iter().enumerate() {
                 let key = self.expr(&item.expr)?;
-                let resolvable = key
-                    .column_refs()
-                    .iter()
-                    .all(|c| c.resolves_in(&visible));
+                let resolvable = key.column_refs().iter().all(|c| c.resolves_in(&visible));
                 if resolvable {
                     keys.push((key, item.desc));
                 } else if stmt.distinct {
@@ -210,11 +198,9 @@ impl<'a> Translator<'a> {
                 None => Scalar::col(name.clone()),
             },
             Expr::Literal(l) => Scalar::Literal(literal_value(l)),
-            Expr::Binary { op, left, right } => Scalar::binary(
-                binary_op(*op),
-                self.expr(left)?,
-                self.expr(right)?,
-            ),
+            Expr::Binary { op, left, right } => {
+                Scalar::binary(binary_op(*op), self.expr(left)?, self.expr(right)?)
+            }
             Expr::Unary { op, expr } => match op {
                 UnaryOp::Not => self.expr(expr)?.not(),
                 UnaryOp::Neg => Scalar::Neg(Box::new(self.expr(expr)?)),
@@ -451,8 +437,14 @@ mod tests {
         );
         // δ over Π over σ whose predicate contains the nested block.
         let text = p.explain();
-        assert!(text.contains("σ[((a1 = ⟨subquery⟩) OR (a4 > 1500))]"), "{text}");
-        assert!(text.contains("Γ[; count(distinct *): count(distinct *)]"), "{text}");
+        assert!(
+            text.contains("σ[((a1 = ⟨subquery⟩) OR (a4 > 1500))]"),
+            "{text}"
+        );
+        assert!(
+            text.contains("Γ[; count(distinct *): count(distinct *)]"),
+            "{text}"
+        );
         // The whole plan has no free refs (correlation binds to r).
         assert!(p.free_refs().is_empty());
         assert!(p.contains_subquery());
@@ -488,9 +480,7 @@ mod tests {
     #[test]
     fn duplicate_alias_rejected() {
         let catalog = rst_catalog();
-        let Statement::Query(q) =
-            parse_statement("SELECT * FROM r, r").unwrap()
-        else {
+        let Statement::Query(q) = parse_statement("SELECT * FROM r, r").unwrap() else {
             panic!()
         };
         let err = translate_query(&catalog, &q).unwrap_err();
@@ -508,9 +498,8 @@ mod tests {
 
     #[test]
     fn exists_and_in_subqueries() {
-        let p = plan_of(
-            "SELECT * FROM r WHERE EXISTS (SELECT * FROM s WHERE a2 = b2) OR a4 > 1500",
-        );
+        let p =
+            plan_of("SELECT * FROM r WHERE EXISTS (SELECT * FROM s WHERE a2 = b2) OR a4 > 1500");
         assert!(p.contains_subquery());
         let p = plan_of("SELECT * FROM r WHERE a1 IN (SELECT b1 FROM s) OR a4 > 1500");
         assert!(p.contains_subquery());
@@ -526,9 +515,7 @@ mod tests {
     #[test]
     fn mixed_aggregate_projection_rejected() {
         let catalog = rst_catalog();
-        let Statement::Query(q) =
-            parse_statement("SELECT a1, COUNT(*) FROM r").unwrap()
-        else {
+        let Statement::Query(q) = parse_statement("SELECT a1, COUNT(*) FROM r").unwrap() else {
             panic!()
         };
         let err = translate_query(&catalog, &q).unwrap_err();
@@ -563,8 +550,7 @@ mod tests {
     #[test]
     fn order_by_distinct_requires_projected_keys() {
         let catalog = rst_catalog();
-        let Statement::Query(q) =
-            parse_statement("SELECT DISTINCT a1 FROM r ORDER BY a4").unwrap()
+        let Statement::Query(q) = parse_statement("SELECT DISTINCT a1 FROM r ORDER BY a4").unwrap()
         else {
             panic!()
         };

@@ -217,9 +217,7 @@ impl Schema {
 
     /// Index of the first field matching the reference, or `None`.
     pub fn find(&self, qualifier: Option<&str>, name: &str) -> Option<usize> {
-        self.fields
-            .iter()
-            .position(|f| f.matches(qualifier, name))
+        self.fields.iter().position(|f| f.matches(qualifier, name))
     }
 
     /// All field indices whose qualifier matches `qualifier` — used for

@@ -483,12 +483,7 @@ mod tests {
 
     #[test]
     fn like_semantics() {
-        let t = |s: &str, p: &str| {
-            Value::text(s)
-                .sql_like(&Value::text(p))
-                .unwrap()
-                .is_true()
-        };
+        let t = |s: &str, p: &str| Value::text(s).sql_like(&Value::text(p)).unwrap().is_true();
         assert!(t("PROMO BRASS", "%BRASS"));
         assert!(t("BRASS", "%BRASS"));
         assert!(!t("BRASSY", "%BRASS"));

@@ -1,63 +1,80 @@
 //! Property-based tests for the value model: three-valued logic laws,
 //! hash/equality consistency, total ordering, NULL-propagating
 //! arithmetic, and the LIKE matcher against a reference implementation.
+//!
+//! Runs on the in-tree `bypass-check` harness; failures print a
+//! `BYPASS_CHECK_SEED=…` line that replays the minimized input.
 
-use proptest::prelude::*;
-
+use bypass_check::{
+    bool_any, choice, f64_range, forall_cases, i64_any, int_range, just, string_of, tuple2, tuple3,
+    Gen,
+};
 use bypass_types::{Truth, Value};
 
-fn arb_truth() -> impl Strategy<Value = Truth> {
-    prop_oneof![
-        Just(Truth::True),
-        Just(Truth::False),
-        Just(Truth::Unknown)
-    ]
+const CASES: u32 = 256;
+
+fn arb_truth() -> Gen<Truth> {
+    choice(vec![
+        just(Truth::True),
+        just(Truth::False),
+        just(Truth::Unknown),
+    ])
 }
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<i64>().prop_map(Value::Int),
+fn arb_value() -> Gen<Value> {
+    choice(vec![
+        just(Value::Null),
+        i64_any().map(Value::Int),
         // Finite floats plus the special cases.
-        prop_oneof![
-            (-1e12f64..1e12).prop_map(Value::Float),
-            Just(Value::Float(0.0)),
-            Just(Value::Float(-0.0)),
-            Just(Value::Float(f64::NAN)),
-        ],
-        "[a-z%_]{0,6}".prop_map(Value::text),
-        any::<bool>().prop_map(Value::Bool),
-    ]
+        choice(vec![
+            f64_range(-1e12, 1e12).map(Value::Float),
+            just(Value::Float(0.0)),
+            just(Value::Float(-0.0)),
+            just(Value::Float(f64::NAN)),
+        ]),
+        string_of("abz%_", 0, 6).map(Value::text),
+        bool_any().map(Value::Bool),
+    ])
 }
 
-proptest! {
-    // ---- Kleene logic laws ------------------------------------------
+// ---- Kleene logic laws --------------------------------------------------
 
-    #[test]
-    fn de_morgan(a in arb_truth(), b in arb_truth()) {
-        prop_assert_eq!(a.and(b).not(), a.not().or(b.not()));
-        prop_assert_eq!(a.or(b).not(), a.not().and(b.not()));
-    }
+#[test]
+fn de_morgan() {
+    forall_cases(CASES, &tuple2(arb_truth(), arb_truth()), |(a, b)| {
+        assert_eq!(a.and(*b).not(), a.not().or(b.not()));
+        assert_eq!(a.or(*b).not(), a.not().and(b.not()));
+    });
+}
 
-    #[test]
-    fn logic_commutative_and_idempotent(a in arb_truth(), b in arb_truth()) {
-        prop_assert_eq!(a.and(b), b.and(a));
-        prop_assert_eq!(a.or(b), b.or(a));
-        prop_assert_eq!(a.and(a), a);
-        prop_assert_eq!(a.or(a), a);
-        prop_assert_eq!(a.not().not(), a);
-    }
+#[test]
+fn logic_commutative_and_idempotent() {
+    forall_cases(CASES, &tuple2(arb_truth(), arb_truth()), |(a, b)| {
+        assert_eq!(a.and(*b), b.and(*a));
+        assert_eq!(a.or(*b), b.or(*a));
+        assert_eq!(a.and(*a), *a);
+        assert_eq!(a.or(*a), *a);
+        assert_eq!(a.not().not(), *a);
+    });
+}
 
-    #[test]
-    fn logic_associative(a in arb_truth(), b in arb_truth(), c in arb_truth()) {
-        prop_assert_eq!(a.and(b).and(c), a.and(b.and(c)));
-        prop_assert_eq!(a.or(b).or(c), a.or(b.or(c)));
-    }
+#[test]
+fn logic_associative() {
+    forall_cases(
+        CASES,
+        &tuple3(arb_truth(), arb_truth(), arb_truth()),
+        |(a, b, c)| {
+            assert_eq!(a.and(*b).and(*c), a.and(b.and(*c)));
+            assert_eq!(a.or(*b).or(*c), a.or(b.or(*c)));
+        },
+    );
+}
 
-    // ---- structural equality / hashing / ordering --------------------
+// ---- structural equality / hashing / ordering ---------------------------
 
-    #[test]
-    fn eq_implies_same_hash(a in arb_value(), b in arb_value()) {
+#[test]
+fn eq_implies_same_hash() {
+    forall_cases(CASES, &tuple2(arb_value(), arb_value()), |(a, b)| {
         use std::collections::hash_map::DefaultHasher;
         use std::hash::{Hash, Hasher};
         fn h(v: &Value) -> u64 {
@@ -66,69 +83,87 @@ proptest! {
             s.finish()
         }
         if a == b {
-            prop_assert_eq!(h(&a), h(&b));
+            assert_eq!(h(a), h(b));
         }
-    }
+    });
+}
 
-    #[test]
-    fn ordering_is_total_and_consistent(a in arb_value(), b in arb_value(), c in arb_value()) {
-        use std::cmp::Ordering;
-        // Antisymmetry.
-        match a.cmp(&b) {
-            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
-            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
-            Ordering::Equal => prop_assert_eq!(b.cmp(&a), Ordering::Equal),
-        }
-        // Transitivity (≤).
-        if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
-            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
-        }
-        // Consistency with Eq.
-        prop_assert_eq!(a == b, a.cmp(&b) == Ordering::Equal);
-    }
+#[test]
+fn ordering_is_total_and_consistent() {
+    forall_cases(
+        CASES,
+        &tuple3(arb_value(), arb_value(), arb_value()),
+        |(a, b, c)| {
+            use std::cmp::Ordering;
+            // Antisymmetry.
+            match a.cmp(b) {
+                Ordering::Less => assert_eq!(b.cmp(a), Ordering::Greater),
+                Ordering::Greater => assert_eq!(b.cmp(a), Ordering::Less),
+                Ordering::Equal => assert_eq!(b.cmp(a), Ordering::Equal),
+            }
+            // Transitivity (≤).
+            if a.cmp(b) != Ordering::Greater && b.cmp(c) != Ordering::Greater {
+                assert_ne!(a.cmp(c), Ordering::Greater);
+            }
+            // Consistency with Eq.
+            assert_eq!(a == b, a.cmp(b) == Ordering::Equal);
+        },
+    );
+}
 
-    // ---- SQL comparison / arithmetic ---------------------------------
+// ---- SQL comparison / arithmetic ----------------------------------------
 
-    #[test]
-    fn sql_cmp_with_null_is_unknown(a in arb_value()) {
-        prop_assert_eq!(a.sql_eq(&Value::Null), Truth::Unknown);
-        prop_assert_eq!(Value::Null.sql_eq(&a), Truth::Unknown);
-        prop_assert!(a.sql_cmp(&Value::Null).is_none());
-    }
+#[test]
+fn sql_cmp_with_null_is_unknown() {
+    forall_cases(CASES, &arb_value(), |a| {
+        assert_eq!(a.sql_eq(&Value::Null), Truth::Unknown);
+        assert_eq!(Value::Null.sql_eq(a), Truth::Unknown);
+        assert!(a.sql_cmp(&Value::Null).is_none());
+    });
+}
 
-    #[test]
-    fn sql_eq_symmetric(a in arb_value(), b in arb_value()) {
-        prop_assert_eq!(a.sql_eq(&b), b.sql_eq(&a));
-    }
+#[test]
+fn sql_eq_symmetric() {
+    forall_cases(CASES, &tuple2(arb_value(), arb_value()), |(a, b)| {
+        assert_eq!(a.sql_eq(b), b.sql_eq(a));
+    });
+}
 
-    #[test]
-    fn arithmetic_null_propagates(a in arb_value()) {
-        prop_assert_eq!(a.add(&Value::Null).ok(), Some(Value::Null));
-        prop_assert_eq!(Value::Null.mul(&a).ok(), Some(Value::Null));
-        prop_assert_eq!(a.sub(&Value::Null).ok(), Some(Value::Null));
-        prop_assert_eq!(Value::Null.div(&a).ok(), Some(Value::Null));
-    }
+#[test]
+fn arithmetic_null_propagates() {
+    forall_cases(CASES, &arb_value(), |a| {
+        assert_eq!(a.add(&Value::Null).ok(), Some(Value::Null));
+        assert_eq!(Value::Null.mul(a).ok(), Some(Value::Null));
+        assert_eq!(a.sub(&Value::Null).ok(), Some(Value::Null));
+        assert_eq!(Value::Null.div(a).ok(), Some(Value::Null));
+    });
+}
 
-    #[test]
-    fn int_addition_commutes_where_defined(x in -1_000_000i64..1_000_000, y in -1_000_000i64..1_000_000) {
-        let a = Value::Int(x);
-        let b = Value::Int(y);
-        prop_assert_eq!(a.add(&b).unwrap(), b.add(&a).unwrap());
-        prop_assert_eq!(a.mul(&b).unwrap(), b.mul(&a).unwrap());
+#[test]
+fn int_addition_commutes_where_defined() {
+    let small = || int_range(-1_000_000, 1_000_000);
+    forall_cases(CASES, &tuple2(small(), small()), |(x, y)| {
+        let a = Value::Int(*x);
+        let b = Value::Int(*y);
+        assert_eq!(a.add(&b).unwrap(), b.add(&a).unwrap());
+        assert_eq!(a.mul(&b).unwrap(), b.mul(&a).unwrap());
         // sub is the inverse of add.
-        prop_assert_eq!(a.add(&b).unwrap().sub(&b).unwrap(), a);
-    }
+        assert_eq!(a.add(&b).unwrap().sub(&b).unwrap(), a);
+    });
+}
 
-    // ---- LIKE vs a reference matcher ----------------------------------
+// ---- LIKE vs a reference matcher ----------------------------------------
 
-    #[test]
-    fn like_matches_reference(s in "[ab]{0,8}", p in "[ab%_]{0,6}") {
-        let got = Value::text(&s)
-            .sql_like(&Value::text(&p))
-            .unwrap()
-            .is_true();
-        prop_assert_eq!(got, reference_like(&s, &p), "s={:?} p={:?}", s, p);
-    }
+#[test]
+fn like_matches_reference() {
+    forall_cases(
+        CASES,
+        &tuple2(string_of("ab", 0, 8), string_of("ab%_", 0, 6)),
+        |(s, p)| {
+            let got = Value::text(s).sql_like(&Value::text(p)).unwrap().is_true();
+            assert_eq!(got, reference_like(s, p), "s={s:?} p={p:?}");
+        },
+    );
 }
 
 /// Exponential-but-obviously-correct reference for LIKE.
@@ -137,13 +172,9 @@ fn reference_like(s: &str, p: &str) -> bool {
         match (s, p) {
             ([], []) => true,
             (_, []) => false,
-            (s, ['%', rest @ ..]) => {
-                (0..=s.len()).any(|k| go(&s[k..], rest))
-            }
+            (s, ['%', rest @ ..]) => (0..=s.len()).any(|k| go(&s[k..], rest)),
             ([], _) => false,
-            ([c, s_rest @ ..], [q, p_rest @ ..]) => {
-                (*q == '_' || q == c) && go(s_rest, p_rest)
-            }
+            ([c, s_rest @ ..], [q, p_rest @ ..]) => (*q == '_' || q == c) && go(s_rest, p_rest),
         }
     }
     let s: Vec<char> = s.chars().collect();

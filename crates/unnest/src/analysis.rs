@@ -100,9 +100,7 @@ pub fn eq_correlation(e: &Scalar, inner: &Schema) -> Option<EqCorrelation> {
     else {
         return None;
     };
-    let bound_col = |s: &Scalar| -> bool {
-        matches!(s, Scalar::Column(c) if c.resolves_in(inner))
-    };
+    let bound_col = |s: &Scalar| -> bool { matches!(s, Scalar::Column(c) if c.resolves_in(inner)) };
     if is_outer_only(left, inner) && bound_col(right) {
         return Some(EqCorrelation {
             outer: (**left).clone(),
@@ -252,7 +250,10 @@ mod tests {
     fn locality_and_outerness() {
         let s = inner_schema();
         assert!(is_local(&Scalar::qcol("s", "b2").gt(Scalar::lit(1i64)), &s));
-        assert!(!is_local(&Scalar::col("a2").eq(Scalar::qcol("s", "b2")), &s));
+        assert!(!is_local(
+            &Scalar::col("a2").eq(Scalar::qcol("s", "b2")),
+            &s
+        ));
         assert!(is_outer_only(&Scalar::col("a2"), &s));
         assert!(!is_outer_only(&Scalar::qcol("s", "b2"), &s));
         // Mixed expression is neither local nor outer-only.
@@ -273,9 +274,7 @@ mod tests {
 
         // Non-equality or local-only are not correlations.
         assert!(eq_correlation(&Scalar::col("a2").gt(Scalar::qcol("s", "b2")), &s).is_none());
-        assert!(
-            eq_correlation(&Scalar::qcol("s", "b1").eq(Scalar::qcol("s", "b2")), &s).is_none()
-        );
+        assert!(eq_correlation(&Scalar::qcol("s", "b1").eq(Scalar::qcol("s", "b2")), &s).is_none());
     }
 
     #[test]

@@ -94,8 +94,7 @@ pub(crate) fn attach_aggregate(
         .collect();
     if eq_corrs.iter().all(Option::is_some) {
         let corrs: Vec<EqCorrelation> = eq_corrs.into_iter().flatten().collect();
-        let plan =
-            gamma_outerjoin(current, &source, &local_cs, &corrs, agg, names)?;
+        let plan = gamma_outerjoin(current, &source, &local_cs, &corrs, agg, names)?;
         return Ok(Some(plan));
     }
 
@@ -173,18 +172,29 @@ fn gamma_outerjoin(
 ) -> Result<(PlanBuilder, String)> {
     let x = apply_locals(PlanBuilder::from_plan(source.clone()), local_cs);
     let g = names.fresh("g");
-    let grouped = x.aggregate(
-        corrs.iter().map(|c| c.key.clone()).collect(),
-        vec![((*agg).clone(), g.clone())],
-    );
+    // Deduplicate inner keys: two correlation conjuncts may reference
+    // the same inner column (`a2 = b1 AND a4 = b1`); grouping or
+    // projecting `b1` twice would make the reference ambiguous.
+    let mut unique_keys: Vec<Scalar> = Vec::new();
+    let mut key_index: Vec<usize> = Vec::with_capacity(corrs.len());
+    for c in corrs {
+        match unique_keys.iter().position(|k| *k == c.key) {
+            Some(i) => key_index.push(i),
+            None => {
+                key_index.push(unique_keys.len());
+                unique_keys.push(c.key.clone());
+            }
+        }
+    }
+    let grouped = x.aggregate(unique_keys.clone(), vec![((*agg).clone(), g.clone())]);
     // Rename the keys to fresh names so the outerjoin predicate cannot
     // collide with outer columns (TPC-H 2d joins the same tables in both
     // blocks).
-    let fresh_keys: Vec<String> = corrs.iter().map(|_| names.fresh("k")).collect();
-    let mut proj: Vec<(Scalar, Option<String>)> = corrs
+    let fresh_keys: Vec<String> = unique_keys.iter().map(|_| names.fresh("k")).collect();
+    let mut proj: Vec<(Scalar, Option<String>)> = unique_keys
         .iter()
         .zip(&fresh_keys)
-        .map(|(c, k)| (c.key.clone(), Some(k.clone())))
+        .map(|(key, k)| (key.clone(), Some(k.clone())))
         .collect();
     proj.push((Scalar::col(g.clone()), None));
     let projected = grouped.project(proj);
@@ -192,16 +202,12 @@ fn gamma_outerjoin(
     let join_pred = Scalar::conjunction(
         corrs
             .iter()
-            .zip(&fresh_keys)
-            .map(|(c, k)| c.outer.clone().eq(Scalar::col(k.clone())))
+            .zip(&key_index)
+            .map(|(c, i)| c.outer.clone().eq(Scalar::col(fresh_keys[*i].clone())))
             .collect(),
     )
     .expect("at least one correlation key");
-    let attached = current.outer_join(
-        projected,
-        join_pred,
-        vec![(g.clone(), agg.empty_value())],
-    );
+    let attached = current.outer_join(projected, join_pred, vec![(g.clone(), agg.empty_value())]);
     Ok((attached, g))
 }
 
@@ -234,8 +240,7 @@ fn eqv4_decomposed(
             .collect(),
     );
     let k = names.fresh("k");
-    let mut proj: Vec<(Scalar, Option<String>)> =
-        vec![(corr.key.clone(), Some(k.clone()))];
+    let mut proj: Vec<(Scalar, Option<String>)> = vec![(corr.key.clone(), Some(k.clone()))];
     for n in &neg_names {
         proj.push((Scalar::col(n.clone()), None));
     }
@@ -245,11 +250,7 @@ fn eqv4_decomposed(
         .zip(&neg_names)
         .map(|(c, n)| (n.clone(), c.empty_value()))
         .collect();
-    let lhs = current.outer_join(
-        projected,
-        corr.outer.clone().eq(Scalar::col(k)),
-        defaults,
-    );
+    let lhs = current.outer_join(projected, corr.outer.clone().eq(Scalar::col(k)), defaults);
 
     // Correlation-independent partials over the positive stream —
     // evaluated once (a one-row aggregate, cross-joined in).
@@ -439,7 +440,11 @@ mod tests {
         let e = combine_partials(&count, &["a".into()], &["b".into()]);
         assert_eq!(e.to_string(), "(a + b)");
         let avg = AggCall::new(AggFunc::Avg, false, Some(Scalar::col("x")));
-        let e = combine_partials(&avg, &["s1".into(), "c1".into()], &["s2".into(), "c2".into()]);
+        let e = combine_partials(
+            &avg,
+            &["s1".into(), "c1".into()],
+            &["s2".into(), "c2".into()],
+        );
         assert!(e.to_string().contains("+ₙ"), "{e}");
         assert!(e.to_string().contains("/"), "{e}");
     }

@@ -316,8 +316,7 @@ mod tests {
     #[test]
     fn unnested_beats_canonical_at_scale() {
         let canonical = nested_filter(0.0);
-        let unnested =
-            crate::unnest(&canonical, crate::RewriteOptions::default()).unwrap();
+        let unnested = crate::unnest(&canonical, crate::RewriteOptions::default()).unwrap();
         let s = stats(10_000.0);
         let c = estimate(&canonical, &s);
         let u = estimate(&unnested, &s);
@@ -336,14 +335,17 @@ mod tests {
         // prefer canonical ("not always better", Section 1).
         let tiny = |t: &str| Some(if t == "s" { 1.0 } else { 30.0 });
         let canonical = nested_filter(0.0);
-        let unnested =
-            crate::unnest(&canonical, crate::RewriteOptions::default()).unwrap();
+        let unnested = crate::unnest(&canonical, crate::RewriteOptions::default()).unwrap();
         let c = estimate(&canonical, &tiny);
         let u = estimate(&unnested, &tiny);
         // No assertion on which side wins universally; the estimates
         // must at least be in the same ballpark so the choice is real.
-        assert!(c.cost < u.cost * 10.0 && u.cost < c.cost * 10.0,
-            "tiny instance: canonical {:.0} vs unnested {:.0}", c.cost, u.cost);
+        assert!(
+            c.cost < u.cost * 10.0 && u.cost < c.cost * 10.0,
+            "tiny instance: canonical {:.0} vs unnested {:.0}",
+            c.cost,
+            u.cost
+        );
     }
 
     #[test]

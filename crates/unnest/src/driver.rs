@@ -393,8 +393,7 @@ pub(crate) fn attach_subqueries(
     let mut b = builder;
     let mut e = expr.clone();
     for sub in subs {
-        let Some((b2, g)) =
-            attach_aggregate(b, &sub, &mut ctx.names, ctx.options.classic_only)?
+        let Some((b2, g)) = attach_aggregate(b, &sub, &mut ctx.names, ctx.options.classic_only)?
         else {
             return Ok(None);
         };

@@ -89,10 +89,7 @@ fn rewrite_expr_plans(
 ) -> Arc<LogicalPlan> {
     // Only Filter / Project / Join / Map predicates can carry subquery
     // plans in this engine.
-    fn map_scalar(
-        e: &Scalar,
-        memo: &mut HashMap<*const LogicalPlan, Arc<LogicalPlan>>,
-    ) -> Scalar {
+    fn map_scalar(e: &Scalar, memo: &mut HashMap<*const LogicalPlan, Arc<LogicalPlan>>) -> Scalar {
         match e {
             Scalar::Column(_) | Scalar::Literal(_) => e.clone(),
             Scalar::Binary { op, left, right } => Scalar::Binary {

@@ -57,8 +57,8 @@
 
 pub mod ablation;
 mod analysis;
-pub mod cost;
 mod attach;
+pub mod cost;
 mod driver;
 mod joins;
 mod names;

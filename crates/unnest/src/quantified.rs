@@ -50,9 +50,7 @@ pub fn desugar_quantified(pred: &Scalar, positive: bool) -> Scalar {
             expr,
             plan,
         } if positive && !expr.contains_subquery() => {
-            let Some(filtered) =
-                splice_filter(plan, expr, |col| col.eq((**expr).clone()))
-            else {
+            let Some(filtered) = splice_filter(plan, expr, |col| col.eq((**expr).clone())) else {
                 return pred.clone();
             };
             let cnt = Scalar::Subquery(count_plan(&filtered));
@@ -66,9 +64,9 @@ pub fn desugar_quantified(pred: &Scalar, positive: bool) -> Scalar {
             expr,
             plan,
         } if positive && !expr.contains_subquery() => {
-            let Some(filtered) = splice_filter(plan, expr, |col| {
-                Scalar::binary(*op, (**expr).clone(), col)
-            }) else {
+            let Some(filtered) =
+                splice_filter(plan, expr, |col| Scalar::binary(*op, (**expr).clone(), col))
+            else {
                 return pred.clone();
             };
             let cnt = Scalar::Subquery(count_plan(&filtered));

@@ -123,8 +123,7 @@ fn try_union_filter(
         if crate::analysis::scalar_subqueries(target).is_empty() {
             return Ok(None);
         }
-        let Some((b, rewritten)) =
-            attach_subqueries(PlanBuilder::from_plan(base), target, ctx)?
+        let Some((b, rewritten)) = attach_subqueries(PlanBuilder::from_plan(base), target, ctx)?
         else {
             return Ok(None);
         };

@@ -4,18 +4,16 @@
 //! the rewrites — i.e. the unnested plan contains **no** nested block —
 //! and must return the canonical result.
 
-
 use bypass_catalog::{Catalog, TableBuilder};
+use bypass_check::Rng;
 use bypass_exec::{evaluate_with, physical_plan, ExecOptions};
 use bypass_sql::{parse_statement, Statement};
 use bypass_translate::translate_query;
 use bypass_types::{DataType, Value};
 use bypass_unnest::{unnest, RewriteOptions};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn catalog(seed: u64, n: usize) -> Catalog {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut c = Catalog::new();
     for (name, prefix) in [("r", 'a'), ("s", 'b')] {
         let mut b = TableBuilder::new();

@@ -8,19 +8,18 @@
 use std::sync::Arc;
 
 use bypass_catalog::{Catalog, TableBuilder};
+use bypass_check::Rng;
 use bypass_exec::{evaluate_with, physical_plan, ExecOptions};
 use bypass_sql::{parse_statement, Statement};
 use bypass_translate::translate_query;
 use bypass_types::{DataType, Relation, Value};
 use bypass_unnest::{union_rewrite, unnest, DisjunctOrder, RewriteOptions};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Random RST instance: `n` rows per table, values in [0, domain),
 /// ~8% NULLs, plus a handful of duplicated rows to exercise bag
 /// semantics.
 fn random_catalog(seed: u64, n: usize, domain: i64) -> Catalog {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut c = Catalog::new();
     for (name, prefix) in [("r", 'a'), ("s", 'b'), ("t", 'c')] {
         let mut b = TableBuilder::new();

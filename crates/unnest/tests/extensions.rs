@@ -6,16 +6,15 @@
 use std::sync::Arc;
 
 use bypass_catalog::{Catalog, TableBuilder};
+use bypass_check::Rng;
 use bypass_exec::{evaluate_with, physical_plan, ExecOptions};
 use bypass_sql::{parse_statement, Statement};
 use bypass_translate::translate_query;
 use bypass_types::{DataType, Relation, Value};
 use bypass_unnest::{unnest, RewriteOptions};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn random_catalog(seed: u64, n: usize) -> Catalog {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut c = Catalog::new();
     for (name, prefix) in [("r", 'a'), ("s", 'b')] {
         let mut b = TableBuilder::new();
@@ -144,7 +143,11 @@ fn quantified_rewrite_produces_unnested_plan() {
         "ALL should unnest:\n{}",
         rewritten.explain()
     );
-    assert!(rewritten.explain().contains("σ±"), "{}", rewritten.explain());
+    assert!(
+        rewritten.explain().contains("σ±"),
+        "{}",
+        rewritten.explain()
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -153,12 +156,8 @@ fn quantified_rewrite_produces_unnested_plan() {
 
 #[test]
 fn scalar_subquery_in_select_list() {
-    check(
-        "SELECT a1, (SELECT COUNT(*) FROM s WHERE a2 = b2) AS cnt FROM r",
-    );
-    check(
-        "SELECT a1, (SELECT MIN(b1) FROM s WHERE a2 = b2) FROM r",
-    );
+    check("SELECT a1, (SELECT COUNT(*) FROM s WHERE a2 = b2) AS cnt FROM r");
+    check("SELECT a1, (SELECT MIN(b1) FROM s WHERE a2 = b2) FROM r");
 }
 
 #[test]
@@ -193,7 +192,11 @@ fn select_list_disjunctive_correlation_unnests_via_eqv4() {
     let canonical = logical(&c, sql);
     let rewritten = unnest(&canonical, RewriteOptions::default()).unwrap();
     assert!(!rewritten.contains_subquery(), "{}", rewritten.explain());
-    assert!(rewritten.explain().contains("χ["), "{}", rewritten.explain());
+    assert!(
+        rewritten.explain().contains("χ["),
+        "{}",
+        rewritten.explain()
+    );
 }
 
 #[test]

@@ -17,7 +17,10 @@ const Q2: &str = "SELECT DISTINCT * FROM r \
     WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2 OR b4 > 1500)";
 
 fn main() -> bypass::Result<()> {
-    for (name, sql) in [("Q1 (disjunctive linking)", Q1), ("Q2 (disjunctive correlation)", Q2)] {
+    for (name, sql) in [
+        ("Q1 (disjunctive linking)", Q1),
+        ("Q2 (disjunctive correlation)", Q2),
+    ] {
         println!("== {name} ==");
         print!("{:>18}", "rows per table");
         for sf in [0.02, 0.05, 0.1] {

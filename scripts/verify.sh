@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate, fully offline: release build, the whole test
+# suite (including the 200-case differential oracle and the regression
+# corpus), clippy as errors, and formatting.
+#
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "verify: OK"

@@ -128,9 +128,7 @@ impl Shell {
                     "\\tables  \\schema <t>  \\strategy [{}]\n\
                      \\explain <sql>  \\analyze <sql>  \\load <t> <csv>  \\demo [sf]\n\
                      \\timing on|off  \\q",
-                    Strategy::all()
-                        .map(|s| s.to_string())
-                        .join("|")
+                    Strategy::all().map(|s| s.to_string()).join("|")
                 );
             }
             "\\tables" => {
@@ -153,18 +151,16 @@ impl Shell {
             },
             "\\strategy" => match rest.first() {
                 None => println!("{}", self.strategy),
-                Some(name) => {
-                    match Strategy::all().into_iter().find(|s| s.to_string() == *name) {
-                        Some(s) => {
-                            self.strategy = s;
-                            println!("strategy set to {s}");
-                        }
-                        None => eprintln!(
-                            "unknown strategy `{name}`; one of: {}",
-                            Strategy::all().map(|s| s.to_string()).join(", ")
-                        ),
+                Some(name) => match Strategy::all().into_iter().find(|s| s.to_string() == *name) {
+                    Some(s) => {
+                        self.strategy = s;
+                        println!("strategy set to {s}");
                     }
-                }
+                    None => eprintln!(
+                        "unknown strategy `{name}`; one of: {}",
+                        Strategy::all().map(|s| s.to_string()).join(", ")
+                    ),
+                },
             },
             "\\explain" => {
                 let sql = line.trim_start_matches("\\explain").trim();
@@ -194,10 +190,7 @@ impl Shell {
                 _ => eprintln!("usage: \\load <table> <file.csv>"),
             },
             "\\demo" => {
-                let sf: f64 = rest
-                    .first()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or(0.01);
+                let sf: f64 = rest.first().and_then(|s| s.parse().ok()).unwrap_or(0.01);
                 match rst::register(self.db.catalog_mut(), &rst::generate(sf, sf, 42)) {
                     Ok(()) => println!(
                         "loaded RST demo at SF {sf} ({} rows per table); try:\n\

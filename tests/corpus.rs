@@ -1,0 +1,116 @@
+//! Regression corpus replay: every `tests/corpus/*.sql` file — each a
+//! minimized oracle finding or a pinned rewrite-family representative —
+//! runs under the full strategy matrix on two deterministic RST
+//! instances and must bag-match canonical evaluation. See
+//! `tests/corpus/README.md` for the corpus policy.
+
+use std::fs;
+use std::path::PathBuf;
+
+use bypass::Strategy as EvalStrategy;
+use bypass::{DataType, Database, TableBuilder, Value};
+use bypass_check::{random_instance, OracleConfig, Rng};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+/// Load `(file_name, sql)` pairs, stripping `--` comment lines.
+fn corpus_queries() -> Vec<(String, String)> {
+    let mut entries: Vec<_> = fs::read_dir(corpus_dir())
+        .expect("tests/corpus must exist")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "sql"))
+        .collect();
+    entries.sort();
+    entries
+        .into_iter()
+        .map(|p| {
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            let sql: String = fs::read_to_string(&p)
+                .unwrap()
+                .lines()
+                .filter(|l| !l.trim_start().starts_with("--"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            (name, sql.trim().to_string())
+        })
+        .collect()
+}
+
+/// A handcrafted instance: NULLs, duplicate rows, empty-group keys —
+/// the shapes that historically break unnesting rewrites.
+fn handcrafted() -> Database {
+    let mut db = Database::new();
+    let rows_r: &[[Option<i64>; 4]] = &[
+        [Some(0), Some(1), Some(2), Some(7)],
+        [Some(1), Some(1), Some(0), Some(2)],
+        [Some(1), Some(1), Some(0), Some(2)], // duplicate
+        [Some(2), None, Some(1), Some(5)],
+        [None, Some(3), Some(3), None],
+        [Some(3), Some(9), Some(1), Some(6)], // no partner in s
+    ];
+    let rows_s: &[[Option<i64>; 4]] = &[
+        [Some(5), Some(1), Some(1), Some(1)],
+        [Some(6), Some(1), Some(1), Some(7)],
+        [Some(2), Some(3), None, Some(4)],
+        [None, None, Some(2), Some(3)],
+    ];
+    let rows_t: &[[Option<i64>; 4]] = &[
+        [Some(1), Some(2), Some(0), Some(0)],
+        [Some(0), Some(0), None, Some(1)],
+    ];
+    for (name, prefix, rows) in [("r", 'a', rows_r), ("s", 'b', rows_s), ("t", 'c', rows_t)] {
+        let mut b = TableBuilder::new();
+        for i in 1..=4 {
+            b = b.column(format!("{prefix}{i}"), DataType::Int);
+        }
+        for row in rows {
+            b = b
+                .row(
+                    row.iter()
+                        .map(|v| v.map(Value::Int).unwrap_or(Value::Null))
+                        .collect(),
+                )
+                .unwrap();
+        }
+        db.register_table(name, b.build()).unwrap();
+    }
+    db
+}
+
+#[test]
+fn corpus_queries_agree_across_strategies() {
+    let queries = corpus_queries();
+    assert!(
+        queries.len() >= 8,
+        "corpus unexpectedly small: {} files",
+        queries.len()
+    );
+    // Instance 2: generator-built, fixed seed (independent of the
+    // BYPASS_CHECK_SEED env override so the corpus stays deterministic).
+    let cfg = OracleConfig {
+        seed: 0xC0FFEE,
+        ..OracleConfig::default()
+    };
+    let generated = random_instance(&mut Rng::seed_from_u64(cfg.seed), &cfg);
+    for (label, db) in [("handcrafted", handcrafted()), ("generated", generated)] {
+        for (file, sql) in &queries {
+            let reference = db
+                .sql_with(sql, EvalStrategy::Canonical, None)
+                .unwrap_or_else(|e| panic!("{file} must run canonically on {label}: {e}"));
+            for strategy in EvalStrategy::all() {
+                let got = db
+                    .sql_with(sql, strategy, None)
+                    .unwrap_or_else(|e| panic!("{file} under {strategy} on {label}: {e}"));
+                assert!(
+                    got.bag_eq(&reference),
+                    "{file}: strategy {strategy} diverges on {label} instance \
+                     ({} vs {} rows)\n  {sql}",
+                    got.len(),
+                    reference.len()
+                );
+            }
+        }
+    }
+}

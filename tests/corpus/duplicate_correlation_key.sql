@@ -1,0 +1,7 @@
+-- Found by the differential oracle (BYPASS_CHECK_SEED=0x18321bc5c43bf014,
+-- 2026-08-06): two correlation conjuncts referencing the SAME inner
+-- column made Eqv. 1's Γ+outerjoin group by `b1` twice, producing an
+-- ambiguous column reference at plan time under the unnested strategies.
+-- Fixed by deduplicating inner keys in `gamma_outerjoin`.
+SELECT a1, (SELECT COUNT(DISTINCT *) FROM s WHERE a2 = b1 AND a4 = b1)
+FROM r WHERE a2 IS NOT NULL

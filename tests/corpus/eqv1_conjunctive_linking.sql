@@ -1,0 +1,2 @@
+-- Eqv. 1: conjunctive linking predicate; Γ + outerjoin with f(∅).
+SELECT * FROM r WHERE a1 >= (SELECT MIN(b1) FROM s WHERE a2 = b2)

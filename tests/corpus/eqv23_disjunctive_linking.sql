@@ -1,0 +1,3 @@
+-- Eqv. 2/3: linking predicate under disjunction; bypass selection keeps
+-- the subquery off the rows that already qualify via a4 > 4.
+SELECT * FROM r WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2) OR a4 > 4

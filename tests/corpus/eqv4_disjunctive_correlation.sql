@@ -1,0 +1,3 @@
+-- Eqv. 4: disjunction INSIDE the subquery with a decomposable aggregate;
+-- bypass selection splits the inner block, χ recombines partials.
+SELECT * FROM r WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2 OR b4 > 4)

@@ -1,0 +1,3 @@
+-- Eqv. 5: disjunctive correlation with a NON-decomposable aggregate
+-- (COUNT(DISTINCT *)); requires the bypass join + dedup recombination.
+SELECT * FROM r WHERE a1 = (SELECT COUNT(DISTINCT *) FROM s WHERE a2 = b2 OR b4 > 4)

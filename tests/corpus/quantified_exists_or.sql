@@ -1,0 +1,3 @@
+-- Quantified subquery (EXISTS) under disjunction; semijoin on the
+-- negative stream only.
+SELECT * FROM r WHERE EXISTS (SELECT * FROM s WHERE a2 = b2) OR a4 > 6

@@ -1,0 +1,3 @@
+-- NOT IN with NULLs in the inner column: the classic three-valued-logic
+-- trap for antijoin rewrites.
+SELECT * FROM r WHERE a2 NOT IN (SELECT b2 FROM s WHERE b4 > 2) OR a1 = 0

@@ -1,0 +1,3 @@
+-- Scalar subquery in the SELECT list (technical-report extension):
+-- apply/outerjoin attachment with f(∅) defaults, one row per outer row.
+SELECT a1, (SELECT COUNT(*) FROM s WHERE a2 = b2) FROM r

@@ -1,0 +1,5 @@
+-- Tree query: two independent subqueries under one disjunction — the
+-- bypass chain threads the negative stream through both.
+SELECT DISTINCT * FROM r
+WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2)
+   OR a3 = (SELECT COUNT(*) FROM t WHERE a4 = c2)

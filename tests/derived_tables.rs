@@ -110,7 +110,9 @@ fn aggregate_over_derived_with_nested_filter() {
               WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2) OR a4 > 1500) AS q",
         )
         .unwrap();
-    let Value::Int(n) = rel.rows()[0][0] else { panic!() };
+    let Value::Int(n) = rel.rows()[0][0] else {
+        panic!()
+    };
     let direct = db
         .sql(
             "SELECT a1 FROM r \

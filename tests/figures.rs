@@ -44,7 +44,10 @@ fn fig2a_canonical_q1_has_nested_block_in_predicate() {
         "{text}"
     );
     assert!(text.contains("subquery:"), "{text}");
-    assert!(text.contains("Γ[; count(distinct *): count(distinct *)]"), "{text}");
+    assert!(
+        text.contains("Γ[; count(distinct *): count(distinct *)]"),
+        "{text}"
+    );
 }
 
 #[test]
@@ -71,7 +74,10 @@ fn fig2c_unnested_q1_structure() {
 fn fig3b_unnested_q2_structure() {
     let text = unnested_plan(Q2);
     // σ± splits S on the correlation-independent predicate p.
-    assert!(text.contains("σ±+[(b4 > 1500)] (#1)") || text.contains("σ±-[(b4 > 1500)] (#1)"), "{text}");
+    assert!(
+        text.contains("σ±+[(b4 > 1500)] (#1)") || text.contains("σ±-[(b4 > 1500)] (#1)"),
+        "{text}"
+    );
     assert!(text.contains("(shared #1)"), "{text}");
     // Grouped partial count over one stream, scalar partial over the
     // other, combined by χ (here: g = g1 + g2).
@@ -134,11 +140,7 @@ fn physical_q4_fuses_neg_filter_into_bypass_join() {
     // negative stream is fused (no Filter directly above Stream(-)).
     assert!(text.contains("BypassNLJoin"), "{text}");
     let physical = text.split("-- physical plan").nth(1).unwrap();
-    for window in physical
-        .lines()
-        .collect::<Vec<_>>()
-        .windows(2)
-    {
+    for window in physical.lines().collect::<Vec<_>>().windows(2) {
         let (parent, child) = (window[0].trim(), window[1].trim());
         assert!(
             !(child.starts_with("Stream(-)") && parent.starts_with("Filter")),

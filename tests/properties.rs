@@ -2,30 +2,23 @@
 //! RST schema (with NULLs and duplicate rows), every evaluation strategy
 //! returns the same bag of rows for a matrix of nested queries covering
 //! each rewrite — the end-to-end counterpart of the per-crate tests.
+//!
+//! Runs on the in-tree `bypass-check` harness; failures print a
+//! `BYPASS_CHECK_SEED=…` line that replays the minimized input.
 
-use bypass::{Database, DataType, TableBuilder, Value};
 use bypass::Strategy as EvalStrategy;
-use proptest::prelude::*;
+use bypass::{DataType, Database, TableBuilder, Value};
+use bypass_check::{
+    array_of, forall_cases, int_range, option_weighted, tuple2, tuple3, vec_of, Gen,
+};
 
 /// Rows for one 4-column table: values in 0..8 with ~10% NULLs, small
 /// domains so correlations and duplicates actually occur.
-fn arb_rows(max: usize) -> impl Strategy<Value = Vec<[Option<i64>; 4]>> {
-    proptest::collection::vec(
-        [
-            proptest::option::weighted(0.9, 0..8i64),
-            proptest::option::weighted(0.9, 0..8i64),
-            proptest::option::weighted(0.9, 0..8i64),
-            proptest::option::weighted(0.9, 0..8i64),
-        ],
-        0..max,
-    )
+fn arb_rows(max: usize) -> Gen<Vec<[Option<i64>; 4]>> {
+    vec_of(array_of(option_weighted(0.9, int_range(0, 7))), 0, max)
 }
 
-fn build_db(
-    r: &[[Option<i64>; 4]],
-    s: &[[Option<i64>; 4]],
-    t: &[[Option<i64>; 4]],
-) -> Database {
+fn build_db(r: &[[Option<i64>; 4]], s: &[[Option<i64>; 4]], t: &[[Option<i64>; 4]]) -> Database {
     let mut db = Database::new();
     for (name, prefix, rows) in [("r", 'a', r), ("s", 'b', s), ("t", 'c', t)] {
         let mut b = TableBuilder::new();
@@ -34,10 +27,11 @@ fn build_db(
         }
         for row in rows {
             b = b
-                .row(row
-                    .iter()
-                    .map(|v| v.map(Value::Int).unwrap_or(Value::Null))
-                    .collect())
+                .row(
+                    row.iter()
+                        .map(|v| v.map(Value::Int).unwrap_or(Value::Null))
+                        .collect(),
+                )
                 .unwrap();
         }
         db.register_table(name, b.build()).unwrap();
@@ -63,53 +57,55 @@ const QUERIES: &[&str] = &[
     "SELECT * FROM r WHERE EXISTS (SELECT * FROM s WHERE a2 = b2) OR a4 > 6",
 ];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn all_strategies_agree_on_random_instances(
-        r in arb_rows(25),
-        s in arb_rows(25),
-        t in arb_rows(15),
-    ) {
-        let db = build_db(&r, &s, &t);
-        for sql in QUERIES {
-            let reference = db.sql_with(sql, EvalStrategy::Canonical, None).unwrap();
-            for strategy in EvalStrategy::all() {
-                let got = db.sql_with(sql, strategy, None).unwrap();
-                prop_assert!(
-                    got.bag_eq(&reference),
-                    "strategy {} differs on {} ({} vs {} rows; r={:?} s={:?} t={:?})",
-                    strategy, sql, got.len(), reference.len(), r, s, t
-                );
+#[test]
+fn all_strategies_agree_on_random_instances() {
+    forall_cases(
+        24,
+        &tuple3(arb_rows(25), arb_rows(25), arb_rows(15)),
+        |(r, s, t)| {
+            let db = build_db(r, s, t);
+            for sql in QUERIES {
+                let reference = db.sql_with(sql, EvalStrategy::Canonical, None).unwrap();
+                for strategy in EvalStrategy::all() {
+                    let got = db.sql_with(sql, strategy, None).unwrap();
+                    assert!(
+                        got.bag_eq(&reference),
+                        "strategy {} differs on {} ({} vs {} rows; r={:?} s={:?} t={:?})",
+                        strategy,
+                        sql,
+                        got.len(),
+                        reference.len(),
+                        r,
+                        s,
+                        t
+                    );
+                }
             }
-        }
-    }
+        },
+    );
+}
 
-    #[test]
-    fn unnested_plans_preserve_duplicates_exactly(
-        r in arb_rows(15),
-        s in arb_rows(15),
-    ) {
+#[test]
+fn unnested_plans_preserve_duplicates_exactly() {
+    forall_cases(24, &tuple2(arb_rows(15), arb_rows(15)), |(r, s)| {
         // Non-DISTINCT query: duplicates in R must survive with their
         // exact multiplicity (Section 3.7).
-        let db = build_db(&r, &s, &[]);
+        let db = build_db(r, s, &[]);
         let sql = "SELECT * FROM r WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2) OR a4 > 4";
         let canonical = db.sql_with(sql, EvalStrategy::Canonical, None).unwrap();
         let unnested = db.sql_with(sql, EvalStrategy::Unnested, None).unwrap();
-        prop_assert!(canonical.bag_eq(&unnested));
-    }
+        assert!(canonical.bag_eq(&unnested));
+    });
+}
 
-    #[test]
-    fn distinct_projection_agrees(
-        r in arb_rows(15),
-        s in arb_rows(15),
-    ) {
-        let db = build_db(&r, &s, &[]);
+#[test]
+fn distinct_projection_agrees() {
+    forall_cases(24, &tuple2(arb_rows(15), arb_rows(15)), |(r, s)| {
+        let db = build_db(r, s, &[]);
         let sql = "SELECT DISTINCT a2 FROM r \
                    WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2) OR a4 > 4";
         let canonical = db.sql_with(sql, EvalStrategy::Canonical, None).unwrap();
         let unnested = db.sql_with(sql, EvalStrategy::Unnested, None).unwrap();
-        prop_assert!(canonical.bag_eq(&unnested));
-    }
+        assert!(canonical.bag_eq(&unnested));
+    });
 }

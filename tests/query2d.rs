@@ -22,9 +22,11 @@ fn query_2d_all_strategies_agree() {
     let inst = tpch::generate_2d(0.002, 42);
     db.register_table("region", inst.region.clone()).unwrap();
     db.register_table("nation", inst.nation.clone()).unwrap();
-    db.register_table("supplier", inst.supplier.clone()).unwrap();
+    db.register_table("supplier", inst.supplier.clone())
+        .unwrap();
     db.register_table("part", inst.part.clone()).unwrap();
-    db.register_table("partsupp", inst.partsupp.clone()).unwrap();
+    db.register_table("partsupp", inst.partsupp.clone())
+        .unwrap();
 
     let expected = db
         .sql_with(tpch::QUERY_2D, Strategy::Canonical, None)
@@ -49,9 +51,11 @@ fn query_2d_unnested_plan_is_bypass_dag() {
     let inst = tpch::generate_2d(0.001, 42);
     db.register_table("region", inst.region.clone()).unwrap();
     db.register_table("nation", inst.nation.clone()).unwrap();
-    db.register_table("supplier", inst.supplier.clone()).unwrap();
+    db.register_table("supplier", inst.supplier.clone())
+        .unwrap();
     db.register_table("part", inst.part.clone()).unwrap();
-    db.register_table("partsupp", inst.partsupp.clone()).unwrap();
+    db.register_table("partsupp", inst.partsupp.clone())
+        .unwrap();
 
     let text = db.explain(tpch::QUERY_2D, Strategy::Unnested).unwrap();
     assert!(text.contains("σ±"), "bypass selection expected:\n{text}");
@@ -71,11 +75,15 @@ fn query_2d_semantics_spot_check() {
     let inst = tpch::generate_2d(0.002, 7);
     db.register_table("region", inst.region.clone()).unwrap();
     db.register_table("nation", inst.nation.clone()).unwrap();
-    db.register_table("supplier", inst.supplier.clone()).unwrap();
+    db.register_table("supplier", inst.supplier.clone())
+        .unwrap();
     db.register_table("part", inst.part.clone()).unwrap();
-    db.register_table("partsupp", inst.partsupp.clone()).unwrap();
+    db.register_table("partsupp", inst.partsupp.clone())
+        .unwrap();
 
-    let out = db.sql_with(tpch::QUERY_2D, Strategy::Unnested, None).unwrap();
+    let out = db
+        .sql_with(tpch::QUERY_2D, Strategy::Unnested, None)
+        .unwrap();
     // ORDER BY s_acctbal DESC: the first column must be non-increasing.
     let idx = out.schema().resolve(None, "s_acctbal").unwrap();
     let mut prev = f64::INFINITY;
@@ -101,9 +109,11 @@ fn helper_registration_paths_agree() {
     let inst = tpch::generate_2d(0.001, 42);
     db_b.register_table("region", inst.region.clone()).unwrap();
     db_b.register_table("nation", inst.nation.clone()).unwrap();
-    db_b.register_table("supplier", inst.supplier.clone()).unwrap();
+    db_b.register_table("supplier", inst.supplier.clone())
+        .unwrap();
     db_b.register_table("part", inst.part.clone()).unwrap();
-    db_b.register_table("partsupp", inst.partsupp.clone()).unwrap();
+    db_b.register_table("partsupp", inst.partsupp.clone())
+        .unwrap();
     let q = "SELECT COUNT(*) FROM partsupp";
     assert_eq!(db_a.sql(q).unwrap(), db_b.sql(q).unwrap());
 }

@@ -18,7 +18,8 @@ fn db() -> Database {
          (5, 'eve', NULL, 75.0, 1)",
     )
     .unwrap();
-    db.execute_sql("CREATE TABLE dept (d_id INT, d_name TEXT)").unwrap();
+    db.execute_sql("CREATE TABLE dept (d_id INT, d_name TEXT)")
+        .unwrap();
     db.execute_sql("INSERT INTO dept VALUES (10, 'eng'), (20, 'ops'), (30, 'hr')")
         .unwrap();
     db
@@ -41,7 +42,10 @@ fn ints(db: &Database, sql: &str) -> Vec<i64> {
 #[test]
 fn comparisons_and_null() {
     let db = db();
-    assert_eq!(ints(&db, "SELECT id FROM emp WHERE salary > 100"), vec![1, 3, 4]);
+    assert_eq!(
+        ints(&db, "SELECT id FROM emp WHERE salary > 100"),
+        vec![1, 3, 4]
+    );
     assert_eq!(ints(&db, "SELECT id FROM emp WHERE dept = 10"), vec![1, 2]);
     // NULL dept never compares equal (row 5 dropped).
     assert_eq!(ints(&db, "SELECT id FROM emp WHERE dept <> 10"), vec![3, 4]);
@@ -56,7 +60,9 @@ fn comparisons_and_null() {
 #[test]
 fn arithmetic_in_projection_and_predicate() {
     let db = db();
-    let rel = db.sql("SELECT salary * 2 + 1 FROM emp WHERE id = 1").unwrap();
+    let rel = db
+        .sql("SELECT salary * 2 + 1 FROM emp WHERE id = 1")
+        .unwrap();
     assert_eq!(rel.rows()[0][0], Value::Float(241.0));
     assert_eq!(
         ints(&db, "SELECT id FROM emp WHERE salary / 2 > 60"),
@@ -73,8 +79,14 @@ fn arithmetic_in_projection_and_predicate() {
 #[test]
 fn like_patterns() {
     let db = db();
-    assert_eq!(ints(&db, "SELECT id FROM emp WHERE name LIKE '%e'"), vec![4, 5]);
-    assert_eq!(ints(&db, "SELECT id FROM emp WHERE name LIKE '_o_'"), vec![2]);
+    assert_eq!(
+        ints(&db, "SELECT id FROM emp WHERE name LIKE '%e'"),
+        vec![4, 5]
+    );
+    assert_eq!(
+        ints(&db, "SELECT id FROM emp WHERE name LIKE '_o_'"),
+        vec![2]
+    );
     assert_eq!(
         ints(&db, "SELECT id FROM emp WHERE name NOT LIKE '%e%'"),
         vec![1, 2, 3]

@@ -18,9 +18,7 @@ fn check_all_strategies(db: &Database, sql: &str) {
         .sql_with(sql, Strategy::Canonical, Some(Duration::from_secs(60)))
         .unwrap();
     for s in Strategy::all() {
-        let got = db
-            .sql_with(sql, s, Some(Duration::from_secs(60)))
-            .unwrap();
+        let got = db.sql_with(sql, s, Some(Duration::from_secs(60))).unwrap();
         assert!(
             got.bag_eq(&reference),
             "{s} differs on {sql}: {} vs {} rows",
