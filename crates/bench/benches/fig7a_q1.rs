@@ -25,5 +25,25 @@ fn bench_q1(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_q1);
+/// The paper's headline cell: Q1 at the full Fig. 7 scale (SF 1/1,
+/// 10k×10k rows), canonical vs. unnested only — the regression gate for
+/// the executor's two hot paths (correlated nested-loop evaluation and
+/// the bypass pipeline).
+fn bench_q1_full_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7a_q1_sf1");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let db = rst_database(1.0, 1.0, 42);
+    for strategy in [Strategy::Canonical, Strategy::Unnested] {
+        group.bench_with_input(
+            BenchmarkId::new(strategy.to_string(), "sf1x1"),
+            &db,
+            |b, db| b.iter(|| db.sql_with(Q1, strategy, None).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_q1, bench_q1_full_scale);
 criterion_main!(benches);

@@ -1,0 +1,460 @@
+//! JSON benchmark baselines: save a run's medians, compare a later run
+//! against them, and flag regressions.
+//!
+//! The container is offline and serde-free, so the (deliberately flat)
+//! JSON format is hand-rolled:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "entries": {
+//!     "fig7a_q1/Canonical/sf0.1x0.1": 0.042137,
+//!     "fig7a_q1/Unnested/sf0.1x0.1": 0.001893
+//!   }
+//! }
+//! ```
+//!
+//! Keys are benchmark names (`group/function/parameter`), values are
+//! median seconds after MAD outlier rejection (see [`crate::timing`]).
+//! Entries are sorted, so the file diffs cleanly under version control —
+//! `BENCH_baseline.json` at the workspace root is the committed
+//! reference that `scripts/bench.sh` gates against.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// Format version written to / accepted from baseline files.
+pub const VERSION: u32 = 1;
+
+/// A named set of reference timings (seconds), ordered by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Baseline {
+    entries: BTreeMap<String, f64>,
+}
+
+impl Baseline {
+    pub fn new() -> Baseline {
+        Baseline::default()
+    }
+
+    pub fn set(&mut self, name: &str, secs: f64) {
+        self.entries.insert(name.to_string(), secs);
+    }
+
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.entries.get(name).copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.entries.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Render as the JSON document described in the module docs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": ");
+        out.push_str(&VERSION.to_string());
+        out.push_str(",\n  \"entries\": {");
+        for (i, (name, secs)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            out.push_str(&json_string(name));
+            out.push_str(": ");
+            out.push_str(&format_secs(*secs));
+        }
+        if !self.entries.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Parse the JSON document produced by [`Baseline::to_json`] (and
+    /// tolerant of whitespace/ordering variations a human edit leaves).
+    pub fn from_json(text: &str) -> Result<Baseline, String> {
+        let mut p = Parser::new(text);
+        p.expect('{')?;
+        let mut base = Baseline::new();
+        let mut saw_entries = false;
+        loop {
+            if p.peek() == Some('}') {
+                p.next_ch();
+                break;
+            }
+            let key = p.string()?;
+            p.expect(':')?;
+            match key.as_str() {
+                "version" => {
+                    let v = p.number()?;
+                    if v as u32 != VERSION {
+                        return Err(format!("unsupported baseline version {v}"));
+                    }
+                }
+                "entries" => {
+                    saw_entries = true;
+                    p.expect('{')?;
+                    loop {
+                        if p.peek() == Some('}') {
+                            p.next_ch();
+                            break;
+                        }
+                        let name = p.string()?;
+                        p.expect(':')?;
+                        let secs = p.number()?;
+                        base.entries.insert(name, secs);
+                        if p.peek() == Some(',') {
+                            p.next_ch();
+                        }
+                    }
+                }
+                other => return Err(format!("unknown baseline field `{other}`")),
+            }
+            if p.peek() == Some(',') {
+                p.next_ch();
+            }
+        }
+        if !saw_entries {
+            return Err("baseline file has no \"entries\" object".to_string());
+        }
+        Ok(base)
+    }
+
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), String> {
+        std::fs::write(path.as_ref(), self.to_json())
+            .map_err(|e| format!("{}: {e}", path.as_ref().display()))
+    }
+
+    pub fn load(path: impl AsRef<Path>) -> Result<Baseline, String> {
+        let text = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| format!("{}: {e}", path.as_ref().display()))?;
+        Baseline::from_json(&text)
+    }
+}
+
+/// Seconds with enough precision for microsecond-scale benches, without
+/// scientific notation (keeps the file grep-able).
+fn format_secs(secs: f64) -> String {
+    if secs == 0.0 {
+        return "0.0".to_string();
+    }
+    let s = format!("{secs:.9}");
+    // Trim trailing zeros but keep at least one decimal digit.
+    let trimmed = s.trim_end_matches('0');
+    if trimmed.ends_with('.') {
+        format!("{trimmed}0")
+    } else {
+        trimmed.to_string()
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A minimal recursive-descent scanner for the baseline document.
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser {
+            chars: text.chars().peekable(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some(c) if c.is_whitespace()) {
+            self.chars.next();
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.chars.peek().copied()
+    }
+
+    fn next_ch(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.chars.next()
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.next_ch() {
+            Some(c) if c == want => Ok(()),
+            Some(c) => Err(format!("expected `{want}`, found `{c}`")),
+            None => Err(format!("expected `{want}`, found end of input")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.next() {
+                Some('"') => return Ok(out),
+                Some('\\') => match self.chars.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .chars
+                                .next()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or("bad \\u escape")?;
+                            code = code * 16 + d;
+                        }
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(c) => out.push(c),
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        let mut text = String::new();
+        while matches!(
+            self.chars.peek(),
+            Some(c) if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')
+        ) {
+            text.push(self.chars.next().expect("peeked"));
+        }
+        text.parse::<f64>().map_err(|e| format!("bad number: {e}"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Comparison
+// ---------------------------------------------------------------------
+
+/// One benchmark whose current median differs notably from baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    pub name: String,
+    pub baseline_secs: f64,
+    pub current_secs: f64,
+    /// Positive = slower than baseline.
+    pub delta_pct: f64,
+}
+
+/// Outcome of comparing a run against a baseline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CompareReport {
+    /// Slower than baseline by more than the threshold — the gate fails.
+    pub regressions: Vec<Delta>,
+    /// Faster than baseline by more than the threshold (informational).
+    pub improvements: Vec<Delta>,
+    /// Within the threshold either way.
+    pub unchanged: usize,
+    /// Measured now but absent from the baseline.
+    pub new: Vec<String>,
+    /// In the baseline but not measured now.
+    pub missing: Vec<String>,
+    pub threshold_pct: f64,
+}
+
+/// Compare current measurements against `base`: anything more than
+/// `threshold_pct` percent slower is a regression. Determinism: inputs
+/// are visited in order, so two runs over the same data produce
+/// identical reports.
+pub fn compare(base: &Baseline, current: &[(String, f64)], threshold_pct: f64) -> CompareReport {
+    let mut report = CompareReport {
+        threshold_pct,
+        ..CompareReport::default()
+    };
+    let mut seen: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+    for (name, secs) in current {
+        seen.insert(name.as_str());
+        match base.get(name) {
+            Some(b) if b > 0.0 => {
+                let delta_pct = (secs / b - 1.0) * 100.0;
+                let delta = Delta {
+                    name: name.clone(),
+                    baseline_secs: b,
+                    current_secs: *secs,
+                    delta_pct,
+                };
+                if delta_pct > threshold_pct {
+                    report.regressions.push(delta);
+                } else if delta_pct < -threshold_pct {
+                    report.improvements.push(delta);
+                } else {
+                    report.unchanged += 1;
+                }
+            }
+            _ => report.new.push(name.clone()),
+        }
+    }
+    for (name, _) in base.iter() {
+        if !seen.contains(name) {
+            report.missing.push(name.to_string());
+        }
+    }
+    report
+}
+
+impl fmt::Display for CompareReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "baseline comparison (threshold ±{:.0}%): {} regression(s), \
+             {} improvement(s), {} unchanged, {} new, {} missing",
+            self.threshold_pct,
+            self.regressions.len(),
+            self.improvements.len(),
+            self.unchanged,
+            self.new.len(),
+            self.missing.len()
+        )?;
+        for d in &self.regressions {
+            writeln!(
+                f,
+                "  REGRESSION {:<48} {:>12.6}s -> {:>12.6}s  (+{:.1}%)",
+                d.name, d.baseline_secs, d.current_secs, d.delta_pct
+            )?;
+        }
+        for d in &self.improvements {
+            writeln!(
+                f,
+                "  improved   {:<48} {:>12.6}s -> {:>12.6}s  ({:.1}%)",
+                d.name, d.baseline_secs, d.current_secs, d.delta_pct
+            )?;
+        }
+        for n in &self.new {
+            writeln!(f, "  new        {n}")?;
+        }
+        for n in &self.missing {
+            writeln!(f, "  missing    {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Baseline {
+        let mut b = Baseline::new();
+        b.set("g/canonical/sf1", 3.7);
+        b.set("g/unnested/sf1", 0.013);
+        b
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let b = sample();
+        let text = b.to_json();
+        let back = Baseline::from_json(&text).expect("roundtrip parses");
+        assert_eq!(b, back);
+        assert!(text.contains("\"version\": 1"), "{text}");
+        assert!(text.contains("\"g/canonical/sf1\": 3.7"), "{text}");
+    }
+
+    #[test]
+    fn json_roundtrip_escapes_and_empty() {
+        let mut b = Baseline::new();
+        b.set("weird \"name\"\\with\nescapes", 1.25e-6);
+        let back = Baseline::from_json(&b.to_json()).expect("escaped roundtrip");
+        assert_eq!(b, back);
+        let empty = Baseline::new();
+        assert_eq!(
+            Baseline::from_json(&empty.to_json()).expect("empty roundtrip"),
+            empty
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Baseline::from_json("").is_err());
+        assert!(Baseline::from_json("{}").is_err(), "entries required");
+        assert!(Baseline::from_json("{\"version\": 99, \"entries\": {}}").is_err());
+        assert!(Baseline::from_json("{\"entries\": {\"a\": }}").is_err());
+    }
+
+    #[test]
+    fn compare_classifies_deltas() {
+        let base = sample();
+        let current = vec![
+            ("g/canonical/sf1".to_string(), 1.8),  // 2x faster
+            ("g/unnested/sf1".to_string(), 0.020), // ~54% slower
+            ("g/other".to_string(), 1.0),          // new
+        ];
+        let report = compare(&base, &current, 25.0);
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].name, "g/unnested/sf1");
+        assert!(report.regressions[0].delta_pct > 25.0);
+        assert_eq!(report.improvements.len(), 1);
+        assert_eq!(report.improvements[0].name, "g/canonical/sf1");
+        assert_eq!(report.new, vec!["g/other".to_string()]);
+        assert!(report.missing.is_empty());
+        let rendered = report.to_string();
+        assert!(rendered.contains("REGRESSION g/unnested/sf1"), "{rendered}");
+    }
+
+    #[test]
+    fn compare_within_threshold_is_unchanged() {
+        let base = sample();
+        let current = vec![
+            ("g/canonical/sf1".to_string(), 3.8),
+            ("g/unnested/sf1".to_string(), 0.012),
+        ];
+        let report = compare(&base, &current, 25.0);
+        assert!(report.regressions.is_empty());
+        assert!(report.improvements.is_empty());
+        assert_eq!(report.unchanged, 2);
+    }
+
+    #[test]
+    fn compare_reports_missing() {
+        let base = sample();
+        let report = compare(&base, &[], 25.0);
+        assert_eq!(report.missing.len(), 2);
+        assert!(report.regressions.is_empty());
+    }
+
+    #[test]
+    fn save_and_load_file() {
+        let dir = std::env::temp_dir().join(format!("bypass_baseline_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("b.json");
+        let b = sample();
+        b.save(&path).expect("save works");
+        assert_eq!(Baseline::load(&path).expect("load works"), b);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -16,6 +16,11 @@
 //! Scale factors are 1/10 of the paper's (see DESIGN.md §4); cells that
 //! exceed the timeout print `n/a` exactly like the paper's six-hour
 //! aborts.
+//!
+//! Timing runs are serial by default. Set `BYPASS_THREADS=N` to fan the
+//! independent strategy rows (and database construction) out over N
+//! scoped workers — useful for fast smoke runs; published numbers
+//! should keep the default, since concurrent rows contend for cores.
 
 use std::time::Duration;
 
@@ -24,6 +29,7 @@ use bypass_bench::{
     Q_COMBINED, Q_EXISTS,
 };
 use bypass_core::Strategy;
+use bypass_types::par;
 
 struct Config {
     timeout: Duration,
@@ -146,14 +152,24 @@ fn rst_experiment(cfg: &Config, title: &str, sql: &str) {
     rst_experiment_with_grid(cfg, title, sql, cells);
 }
 
+/// Worker count for the bench grid: serial unless `BYPASS_THREADS` is
+/// set (timings are only comparable when rows don't contend for cores).
+fn bench_threads() -> usize {
+    par::thread_count_or(1)
+}
+
 fn rst_experiment_with_grid(cfg: &Config, title: &str, sql: &str, cells: Vec<(f64, f64)>) {
+    let threads = bench_threads();
     let header: Vec<String> = cells.iter().map(|(a, b)| format!("{a}/{b}")).collect();
     let mut table = Table::new(format!("{title} (columns: SF1/SF2)"), header);
-    let dbs: Vec<_> = cells
-        .iter()
-        .map(|&(sf1, sf2)| rst_database(sf1, sf2, 42))
-        .collect();
-    for strategy in Strategy::all() {
+    // Database construction is embarrassingly parallel (one catalog per
+    // cell, independent generators).
+    let dbs = par::scoped_map(&cells, threads, |_, &(sf1, sf2)| rst_database(sf1, sf2, 42));
+    // Each strategy row is an independent unit; the cells *within* a
+    // row stay sequential because dominance skipping (below) threads
+    // state from smaller to larger scale factors.
+    let strategies = Strategy::all();
+    let rows = par::scoped_map(&strategies, threads, |_, &strategy| {
         let mut row = Vec::with_capacity(dbs.len());
         // Dominance skipping: once a cell timed out, every cell with
         // component-wise larger scale factors is reported n/a without
@@ -172,6 +188,9 @@ fn rst_experiment_with_grid(cfg: &Config, title: &str, sql: &str, cells: Vec<(f6
             }
             row.push(m.render());
         }
+        row
+    });
+    for (strategy, row) in strategies.iter().zip(rows) {
         table.row(strategy.to_string(), row);
     }
     print(cfg, &table);
@@ -188,12 +207,15 @@ fn q2d_experiment(cfg: &Config) {
         "Fig. 7(b) — TPC-H Query 2d (disjunctive linking); seconds".to_string(),
         header,
     );
-    let dbs: Vec<_> = sfs.iter().map(|&sf| tpch_database(sf, 42)).collect();
-    for strategy in Strategy::all() {
-        let mut row = Vec::with_capacity(dbs.len());
-        for db in &dbs {
-            row.push(measure(db, QUERY_2D, strategy, cfg.timeout).render());
-        }
+    let threads = bench_threads();
+    let dbs = par::scoped_map(sfs, threads, |_, &sf| tpch_database(sf, 42));
+    let strategies = Strategy::all();
+    let rows = par::scoped_map(&strategies, threads, |_, &strategy| {
+        dbs.iter()
+            .map(|db| measure(db, QUERY_2D, strategy, cfg.timeout).render())
+            .collect::<Vec<_>>()
+    });
+    for (strategy, row) in strategies.iter().zip(rows) {
         table.row(strategy.to_string(), row);
     }
     print(cfg, &table);

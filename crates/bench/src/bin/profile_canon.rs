@@ -1,0 +1,72 @@
+//! `profile_canon` — EXPLAIN ANALYZE-style operator profile for the
+//! paper's evaluation queries.
+//!
+//! Runs one (query, strategy) pair on the RST instance and prints the
+//! per-operator profile table (calls / rows / inclusive / exclusive
+//! time), the tool that located the canonical plan's hot loop while
+//! tuning the zero-clone executor core.
+//!
+//! Usage: `profile_canon [QUERY] [STRATEGY] [SF1 [SF2]]`
+//!   QUERY    q1 | q2 | q3 | q4 | qexists | qcombined   (default q1)
+//!   STRATEGY canonical | unnested | unnested-sqfirst | S1 | S2 | S3 |
+//!            cost-based                                 (default canonical)
+//!   SF1 SF2  selectivity scale factors, percent         (default 1 1)
+
+use bypass_bench::{report::profile_table, rst_database};
+use bypass_core::Strategy;
+
+fn usage() -> ! {
+    eprintln!("usage: profile_canon [QUERY] [STRATEGY] [SF1 [SF2]]");
+    eprintln!("  QUERY:    q1 q2 q3 q4 qexists qcombined (default q1)");
+    eprintln!(
+        "  STRATEGY: one of {:?} (default canonical)",
+        strategy_names()
+    );
+    eprintln!("  SF1 SF2:  scale factors in percent (default 1 1)");
+    std::process::exit(2)
+}
+
+fn strategy_names() -> Vec<String> {
+    Strategy::all().iter().map(|s| s.to_string()).collect()
+}
+
+fn parse_strategy(name: &str) -> Option<Strategy> {
+    Strategy::all().into_iter().find(|s| s.to_string() == name)
+}
+
+fn parse_query(name: &str) -> Option<&'static str> {
+    Some(match name {
+        "q1" => bypass_bench::Q1,
+        "q2" => bypass_bench::Q2,
+        "q3" => bypass_bench::Q3,
+        "q4" => bypass_bench::Q4,
+        "qexists" => bypass_bench::Q_EXISTS,
+        "qcombined" => bypass_bench::Q_COMBINED,
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sql =
+        parse_query(args.first().map(String::as_str).unwrap_or("q1")).unwrap_or_else(|| usage());
+    let strategy = parse_strategy(args.get(1).map(String::as_str).unwrap_or("canonical"))
+        .unwrap_or_else(|| usage());
+    let sf1: f64 = args
+        .get(2)
+        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(1.0);
+    let sf2: f64 = args
+        .get(3)
+        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(sf1);
+
+    let db = rst_database(sf1, sf2, 42);
+    let (plan, metrics, rows) = db
+        .profile(sql, strategy)
+        .unwrap_or_else(|e| panic!("profiling failed: {e}"));
+    println!("query: {sql}");
+    println!("strategy: {strategy}   sf: {sf1}/{sf2}   result rows: {rows}");
+    println!();
+    println!("{}", profile_table(&plan, &metrics));
+}

@@ -9,11 +9,13 @@
 //! cargo run --release -p bypass-bench --bin fig7 -- all
 //! ```
 
+pub mod baseline;
 pub mod queries;
 pub mod report;
 pub mod runner;
 pub mod timing;
 
+pub use baseline::{compare, Baseline, CompareReport, Delta};
 pub use queries::*;
 pub use report::Table;
 pub use runner::{measure, rst_database, tpch_database, Measurement};

@@ -1,4 +1,10 @@
-//! Aligned-text table rendering in the style of Fig. 7.
+//! Aligned-text table rendering in the style of Fig. 7, plus an
+//! EXPLAIN ANALYZE-style per-operator profile table.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bypass_exec::{NodeMetrics, PhysKind, PhysNode};
 
 /// A simple column-aligned table: one header row, labelled data rows.
 #[derive(Debug, Default)]
@@ -81,9 +87,120 @@ impl Table {
     }
 }
 
+// ---------------------------------------------------------------------
+// EXPLAIN ANALYZE profile table
+// ---------------------------------------------------------------------
+
+/// One flattened operator row of a [`profile_table`].
+struct ProfileRow {
+    depth: usize,
+    label: String,
+    metrics: Option<NodeMetrics>,
+    shared: bool,
+}
+
+fn flatten_plan(
+    n: &Arc<PhysNode>,
+    depth: usize,
+    label_prefix: &str,
+    metrics: &HashMap<usize, NodeMetrics>,
+    seen: &mut HashMap<usize, usize>,
+    next_id: &mut usize,
+    out: &mut Vec<ProfileRow>,
+) {
+    let ptr = Arc::as_ptr(n) as usize;
+    // DAG-shared bypass nodes appear once with their metrics; later
+    // references render as a `(shared #k)` row with no counters, so the
+    // exclusive-time percentages still sum to ~100.
+    let is_bypass = matches!(
+        n.kind,
+        PhysKind::BypassFilter { .. } | PhysKind::BypassNLJoin { .. }
+    );
+    if is_bypass {
+        if let Some(id) = seen.get(&ptr) {
+            out.push(ProfileRow {
+                depth,
+                label: format!("{label_prefix}{} (shared #{id})", n.name()),
+                metrics: None,
+                shared: true,
+            });
+            return;
+        }
+    }
+    let mut label = format!("{label_prefix}{}", n.name());
+    if is_bypass {
+        let id = *next_id;
+        *next_id += 1;
+        seen.insert(ptr, id);
+        label.push_str(&format!(" (#{id})"));
+    }
+    out.push(ProfileRow {
+        depth,
+        label,
+        metrics: metrics.get(&ptr).copied(),
+        shared: false,
+    });
+    for sq in n.expr_subplans() {
+        flatten_plan(sq, depth + 1, "subquery: ", metrics, seen, next_id, out);
+    }
+    for c in n.children() {
+        flatten_plan(c, depth + 1, "", metrics, seen, next_id, out);
+    }
+}
+
+/// Render an EXPLAIN ANALYZE-style profile: one row per operator with
+/// call count, output rows, inclusive time, exclusive (self) time and
+/// the operator's share of total runtime. The tree shape is kept via
+/// indentation; percentages are computed against the root's inclusive
+/// time, so the `self` column surfaces where a plan actually spends its
+/// cycles (the thing the inline tree annotation of
+/// `Database::explain_analyze` makes hard to eyeball).
+pub fn profile_table(root: &Arc<PhysNode>, metrics: &HashMap<usize, NodeMetrics>) -> String {
+    let mut rows = Vec::new();
+    flatten_plan(root, 0, "", metrics, &mut HashMap::new(), &mut 1, &mut rows);
+    let total_nanos = metrics
+        .get(&(Arc::as_ptr(root) as usize))
+        .map(|m| m.nanos)
+        .unwrap_or(0);
+    let mut table = Table::new(
+        "per-operator profile (times in ms; % of root inclusive time)",
+        vec![
+            "calls".into(),
+            "rows".into(),
+            "total".into(),
+            "self".into(),
+            "self%".into(),
+        ],
+    );
+    for r in &rows {
+        let label = format!("{}{}", "  ".repeat(r.depth), r.label);
+        let cells = match &r.metrics {
+            Some(m) => {
+                let pct = if total_nanos > 0 {
+                    m.self_nanos as f64 / total_nanos as f64 * 100.0
+                } else {
+                    0.0
+                };
+                vec![
+                    m.calls.to_string(),
+                    m.rows.to_string(),
+                    format!("{:.3}", m.total_ms()),
+                    format!("{:.3}", m.self_ms()),
+                    format!("{pct:.1}"),
+                ]
+            }
+            None if r.shared => vec!["-".into(), "-".into(), "-".into(), "-".into(), "-".into()],
+            None => vec!["0".into(), "0".into(), "-".into(), "-".into(), "-".into()],
+        };
+        table.row(label, cells);
+    }
+    table.render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bypass_core::Strategy;
 
     #[test]
     fn renders_aligned() {
@@ -104,5 +221,51 @@ mod tests {
         t.row("s", vec!["1".into()]);
         let csv = t.to_csv();
         assert_eq!(csv, "# demo\nsystem,x\ns,1\n");
+    }
+
+    #[test]
+    fn profile_table_reports_self_time_columns() {
+        let db = crate::rst_database(0.01, 0.01, 42);
+        let (plan, metrics, rows) = db.profile(crate::Q1, Strategy::Canonical).unwrap();
+        assert!(rows > 0, "Q1 returns rows on the small instance");
+        let text = profile_table(&plan, &metrics);
+        let header = text.lines().nth(1).unwrap_or("");
+        for col in ["calls", "rows", "total", "self", "self%"] {
+            assert!(header.contains(col), "missing column {col}: {text}");
+        }
+        assert!(text.contains("Scan"), "{text}");
+        // Canonical Q1 evaluates the subquery per outer tuple: some
+        // operator must report calls > 1.
+        let many_calls = text
+            .lines()
+            .any(|l| l.trim_start().starts_with("subquery:"));
+        assert!(many_calls, "subquery subplan rendered: {text}");
+    }
+
+    #[test]
+    fn profile_table_marks_shared_bypass_nodes() {
+        let db = crate::rst_database(0.01, 0.01, 42);
+        let (plan, metrics, _) = db.profile(crate::Q1, Strategy::Unnested).unwrap();
+        let text = profile_table(&plan, &metrics);
+        assert!(text.contains("(#1)"), "bypass node numbered: {text}");
+        assert!(
+            text.contains("(shared #"),
+            "second reference marked: {text}"
+        );
+        // Shared references carry no counters (no double counting).
+        for line in text.lines().filter(|l| l.contains("(shared #")) {
+            assert!(line.trim_end().ends_with('-'), "{line}");
+        }
+    }
+
+    #[test]
+    fn database_profile_matches_plain_execution() {
+        let db = crate::rst_database(0.01, 0.01, 42);
+        let expect = db
+            .sql_with(crate::Q1, Strategy::Unnested, None)
+            .unwrap()
+            .len();
+        let (_, _, rows) = db.profile(crate::Q1, Strategy::Unnested).unwrap();
+        assert_eq!(rows, expect);
     }
 }

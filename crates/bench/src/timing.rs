@@ -13,16 +13,27 @@
 //!   the per-iteration cost,
 //! * `sample_size` samples (default 10), each batching enough iterations
 //!   to fill `measurement_time / sample_size`,
-//! * a `group/id  mean … min … max …` report line per benchmark on
-//!   stdout.
+//! * MAD-based outlier rejection: samples whose modified z-score
+//!   (`0.6745·|x − median| / MAD`) exceeds 3.5 are discarded before the
+//!   summary statistics are computed — one scheduler hiccup no longer
+//!   poisons a 10-sample mean,
+//! * a `group/id  median … mean … min … max …` report line per
+//!   benchmark on stdout,
+//! * baseline regression gating: every benchmark's post-rejection
+//!   median is recorded in a process-global registry; [`finalize`]
+//!   (called by `criterion_main!`) saves it to or compares it against a
+//!   JSON baseline depending on `BENCH_BASELINE_MODE` (see
+//!   [`crate::baseline`]).
 //!
-//! It is *not* a statistics engine — no outlier rejection, no regression
-//! tracking. For the paper's actual measurements use the `fig7` binary,
-//! which has its own timeout-aware runner ([`crate::runner`]).
+//! For the paper's actual measurements use the `fig7` binary, which has
+//! its own timeout-aware runner ([`crate::runner`]).
 
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+use crate::baseline::{self, Baseline};
 
 /// Re-export of [`std::hint::black_box`] under criterion's name.
 pub fn black_box<T>(x: T) -> T {
@@ -105,10 +116,28 @@ impl BenchmarkGroup<'_> {
         id: impl Display,
         mut f: impl FnMut(&mut Bencher),
     ) -> &mut Self {
+        // `BENCH_FAST=1` caps the sampling budget — used by the smoke
+        // invocation in scripts/bench.sh (and verify.sh) to prove the
+        // save→compare→gate pipeline without paying full timing runs.
+        let fast = std::env::var(FAST_ENV)
+            .map(|v| !v.trim().is_empty() && v.trim() != "0")
+            .unwrap_or(false);
         let mut b = Bencher {
-            sample_size: self.sample_size,
-            warm_up: self.warm_up,
-            measurement: self.measurement,
+            sample_size: if fast {
+                self.sample_size.min(5)
+            } else {
+                self.sample_size
+            },
+            warm_up: if fast {
+                self.warm_up.min(Duration::from_millis(20))
+            } else {
+                self.warm_up
+            },
+            measurement: if fast {
+                self.measurement.min(Duration::from_millis(100))
+            } else {
+                self.measurement
+            },
             stats: None,
         };
         f(&mut b);
@@ -128,14 +157,61 @@ impl BenchmarkGroup<'_> {
     pub fn finish(&mut self) {}
 }
 
-/// Summary statistics over the collected samples (per-iteration times).
+/// Summary statistics over the collected samples (per-iteration times),
+/// computed **after** MAD outlier rejection.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Stats {
     pub mean: Duration,
+    pub median: Duration,
     pub min: Duration,
     pub max: Duration,
+    /// Samples kept after outlier rejection.
     pub samples: usize,
+    /// Samples discarded as outliers.
+    pub rejected: usize,
     pub iters_per_sample: u64,
+}
+
+/// Median of a sorted slice of nanosecond samples.
+fn median_ns(sorted: &[u128]) -> u128 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+    }
+}
+
+/// MAD-based outlier rejection: keep samples whose modified z-score
+/// `0.6745·|x − median| / MAD` is ≤ 3.5 (the standard Iglewicz–Hoaglin
+/// cutoff). With `MAD == 0` (more than half the samples identical) all
+/// samples are kept — there is no spread to judge outliers against.
+/// Returns `(kept, rejected_count)`.
+pub fn mad_filter(samples: &[u128]) -> (Vec<u128>, usize) {
+    if samples.len() < 3 {
+        return (samples.to_vec(), 0);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let med = median_ns(&sorted);
+    let mut dev: Vec<u128> = samples.iter().map(|&x| x.abs_diff(med)).collect();
+    dev.sort_unstable();
+    let mad = median_ns(&dev);
+    if mad == 0 {
+        return (samples.to_vec(), 0);
+    }
+    // 0.6745·|x − med| / mad > 3.5  ⇔  |x − med| > 3.5/0.6745 · mad.
+    // Integer-only: |x − med| · 6745 > 35_000 · mad.
+    let kept: Vec<u128> = samples
+        .iter()
+        .copied()
+        .filter(|&x| x.abs_diff(med) * 6745 <= 35_000 * mad)
+        .collect();
+    let rejected = samples.len() - kept.len();
+    (kept, rejected)
 }
 
 /// Measurement driver handed to `Bencher::iter` closures.
@@ -159,37 +235,45 @@ impl Bencher {
         }
         let per_iter_ns = (start.elapsed().as_nanos() / u128::from(warm_iters)).max(1);
 
-        // Batched samples.
+        // Batched samples (per-iteration nanoseconds).
         let per_sample = self.measurement.as_nanos() / self.sample_size.max(1) as u128;
         let iters = ((per_sample / per_iter_ns).max(1)).min(u128::from(u32::MAX)) as u64;
-        let mut min = Duration::MAX;
-        let mut max = Duration::ZERO;
-        let mut total = Duration::ZERO;
+        let mut raw: Vec<u128> = Vec::with_capacity(self.sample_size);
         for _ in 0..self.sample_size {
             let t = Instant::now();
             for _ in 0..iters {
                 std_black_box(f());
             }
-            let sample = t.elapsed() / iters as u32;
-            min = min.min(sample);
-            max = max.max(sample);
-            total += sample;
+            raw.push(t.elapsed().as_nanos() / u128::from(iters));
         }
+
+        // MAD outlier rejection, then summary stats over the survivors.
+        let (kept, rejected) = mad_filter(&raw);
+        let mut sorted = kept.clone();
+        sorted.sort_unstable();
+        let as_dur = |ns: u128| Duration::from_nanos(ns.min(u128::from(u64::MAX)) as u64);
+        let mean_ns = sorted.iter().sum::<u128>() / sorted.len().max(1) as u128;
         self.stats = Some(Stats {
-            mean: total / self.sample_size as u32,
-            min,
-            max,
-            samples: self.sample_size,
+            mean: as_dur(mean_ns),
+            median: as_dur(median_ns(&sorted)),
+            min: as_dur(sorted.first().copied().unwrap_or(0)),
+            max: as_dur(sorted.last().copied().unwrap_or(0)),
+            samples: sorted.len(),
+            rejected,
             iters_per_sample: iters,
         });
     }
 
     fn report(&self, group: &str, id: &str) {
         match &self.stats {
-            Some(s) => println!(
-                "{group}/{id:<40} mean {:>12?}  min {:>12?}  max {:>12?}  ({} samples x {} iters)",
-                s.mean, s.min, s.max, s.samples, s.iters_per_sample
-            ),
+            Some(s) => {
+                println!(
+                    "{group}/{id:<40} median {:>12?}  mean {:>12?}  min {:>12?}  max {:>12?}  \
+                     ({} samples x {} iters, {} rejected)",
+                    s.median, s.mean, s.min, s.max, s.samples, s.iters_per_sample, s.rejected
+                );
+                record(format!("{group}/{id}"), s.median.as_secs_f64());
+            }
             None => println!("{group}/{id:<40} (no measurement taken)"),
         }
     }
@@ -197,6 +281,111 @@ impl Bencher {
     /// The statistics of the last `iter` call, if any (used by tests).
     pub fn stats(&self) -> Option<Stats> {
         self.stats
+    }
+}
+
+// ---------------------------------------------------------------------
+// Baseline regression gating
+// ---------------------------------------------------------------------
+
+/// Process-global registry of `(benchmark name, median seconds)` pairs,
+/// filled by [`Bencher`] reports and drained by [`finalize`].
+static RECORDS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+/// Record one measurement for baseline gating (called automatically by
+/// the harness; public so ad-hoc drivers can feed the same registry).
+pub fn record(name: String, secs: f64) {
+    RECORDS
+        .lock()
+        .expect("registry poisoned")
+        .push((name, secs));
+}
+
+/// Snapshot of everything recorded so far (used by tests).
+pub fn recorded() -> Vec<(String, f64)> {
+    RECORDS.lock().expect("registry poisoned").clone()
+}
+
+/// `BENCH_FAST=1` caps warm-up/measurement budgets for smoke runs.
+pub const FAST_ENV: &str = "BENCH_FAST";
+
+/// Environment variables steering [`finalize`].
+pub const BASELINE_MODE_ENV: &str = "BENCH_BASELINE_MODE";
+pub const BASELINE_PATH_ENV: &str = "BENCH_BASELINE";
+pub const REGRESS_PCT_ENV: &str = "BENCH_REGRESS_PCT";
+
+/// Default baseline location (workspace root when run via `cargo bench`
+/// from the top; scripts pass an absolute `BENCH_BASELINE`).
+pub const DEFAULT_BASELINE_PATH: &str = "BENCH_baseline.json";
+
+/// Baseline save/compare step, invoked by `criterion_main!` after all
+/// groups ran. Behaviour depends on `BENCH_BASELINE_MODE`:
+///
+/// * unset / empty — no-op, returns 0;
+/// * `save` — write every recorded median to `BENCH_BASELINE`
+///   (default `BENCH_baseline.json`);
+/// * `compare` — load the baseline and flag every benchmark whose
+///   median regressed by more than `BENCH_REGRESS_PCT` percent
+///   (default 25). Returns nonzero iff regressions were found.
+///
+/// The comparison itself lives in [`crate::baseline`]; this function
+/// only handles the environment plumbing and reporting.
+pub fn finalize() -> i32 {
+    let mode = std::env::var(BASELINE_MODE_ENV).unwrap_or_default();
+    if mode.trim().is_empty() {
+        return 0;
+    }
+    let path =
+        std::env::var(BASELINE_PATH_ENV).unwrap_or_else(|_| DEFAULT_BASELINE_PATH.to_string());
+    let records = recorded();
+    match mode.trim() {
+        "save" => {
+            // Merge into an existing baseline: each bench binary is a
+            // separate process, so `scripts/bench.sh save` accumulates
+            // entries across targets instead of each run clobbering the
+            // previous one. Entries for benches not run now are kept.
+            let mut base = match Baseline::load(&path) {
+                Ok(existing) => existing,
+                Err(_) => Baseline::new(),
+            };
+            for (name, secs) in &records {
+                base.set(name, *secs);
+            }
+            match base.save(&path) {
+                Ok(()) => {
+                    println!(
+                        "\nbaseline: saved {} entries ({} from this run) to {path}",
+                        base.len(),
+                        records.len()
+                    );
+                    0
+                }
+                Err(e) => {
+                    eprintln!("baseline: failed to save {path}: {e}");
+                    1
+                }
+            }
+        }
+        "compare" => {
+            let threshold = std::env::var(REGRESS_PCT_ENV)
+                .ok()
+                .and_then(|s| s.trim().parse::<f64>().ok())
+                .unwrap_or(25.0);
+            let base = match Baseline::load(&path) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("baseline: cannot load {path}: {e}");
+                    return 1;
+                }
+            };
+            let report = baseline::compare(&base, &records, threshold);
+            println!("\n{report}");
+            i32::from(!report.regressions.is_empty())
+        }
+        other => {
+            eprintln!("baseline: unknown {BASELINE_MODE_ENV}={other} (want save|compare)");
+            1
+        }
     }
 }
 
@@ -213,7 +402,9 @@ macro_rules! criterion_group {
 }
 
 /// Mirror of `criterion::criterion_main!`: generates `fn main` running
-/// each group. Ignores harness CLI arguments (`--bench`, filters) that
+/// each group, then the baseline save/compare step ([`finalize`]) —
+/// the process exits nonzero when `BENCH_BASELINE_MODE=compare` finds a
+/// regression. Ignores harness CLI arguments (`--bench`, filters) that
 /// cargo passes to `harness = false` targets.
 #[macro_export]
 macro_rules! criterion_main {
@@ -223,6 +414,10 @@ macro_rules! criterion_main {
             // binary; this minimal harness runs everything.
             let _ = std::env::args();
             $($group();)+
+            let code = $crate::timing::finalize();
+            if code != 0 {
+                std::process::exit(code);
+            }
         }
     };
 }
@@ -254,9 +449,50 @@ mod tests {
             n
         });
         let s = b.stats().expect("stats recorded");
-        assert_eq!(s.samples, 3);
+        assert_eq!(s.samples + s.rejected, 3);
         assert!(s.iters_per_sample >= 1);
         assert!(s.min <= s.mean && s.mean <= s.max);
+        assert!(s.min <= s.median && s.median <= s.max);
+    }
+
+    #[test]
+    fn mad_filter_rejects_single_spike() {
+        // Nine tight samples and one 100× spike: the spike goes.
+        let mut samples: Vec<u128> = (0..9).map(|i| 1_000 + i).collect();
+        samples.push(100_000);
+        let (kept, rejected) = mad_filter(&samples);
+        assert_eq!(rejected, 1);
+        assert_eq!(kept.len(), 9);
+        assert!(kept.iter().all(|&x| x < 2_000));
+    }
+
+    #[test]
+    fn mad_filter_keeps_uniform_and_tiny_inputs() {
+        let same = vec![500u128; 8];
+        assert_eq!(mad_filter(&same), (same.clone(), 0));
+        let two = vec![1u128, 1_000_000];
+        assert_eq!(mad_filter(&two), (two.clone(), 0), "n<3 is never filtered");
+        assert_eq!(mad_filter(&[]), (vec![], 0));
+    }
+
+    #[test]
+    fn mad_filter_keeps_moderate_spread() {
+        // Spread within the 3.5 modified-z cutoff survives intact.
+        let samples: Vec<u128> = vec![90, 95, 100, 105, 110, 120];
+        let (kept, rejected) = mad_filter(&samples);
+        assert_eq!(rejected, 0);
+        assert_eq!(kept, samples);
+    }
+
+    #[test]
+    fn record_registry_accumulates() {
+        record("timing_test/alpha".to_string(), 0.5);
+        record("timing_test/beta".to_string(), 0.25);
+        let got = recorded();
+        assert!(got
+            .iter()
+            .any(|(n, s)| n == "timing_test/alpha" && (*s - 0.5).abs() < 1e-12));
+        assert!(got.iter().any(|(n, _)| n == "timing_test/beta"));
     }
 
     #[test]

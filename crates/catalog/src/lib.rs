@@ -15,3 +15,13 @@ pub use csv::{load_csv_file, load_csv_str};
 pub use table::Table;
 
 pub use bypass_types::Relation;
+
+// The parallel oracle and bench drivers share one catalog across scoped
+// worker threads. The read path is `Arc`-based with no interior
+// mutability, so both types are `Send + Sync` by construction; this
+// compile-time assertion keeps it that way.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Table>();
+    assert_send_sync::<Catalog>();
+};

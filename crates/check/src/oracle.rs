@@ -474,7 +474,11 @@ pub fn random_instance(rng: &mut Rng, cfg: &OracleConfig) -> Database {
 /// through [`Database::sql_with`]; tests plant bugs by substituting an
 /// executor that mutates the rewritten plan (see
 /// [`crate::mutate::BrokenUnnestExecutor`]).
-pub trait QueryExecutor {
+///
+/// `Sync` is required so [`run_differential_parallel`] can share one
+/// executor across the scoped worker threads; the production pipeline
+/// is stateless, so this costs implementors nothing.
+pub trait QueryExecutor: Sync {
     fn execute(&self, db: &Database, sql: &str, strategy: Strategy) -> Result<Relation>;
 }
 
@@ -610,6 +614,54 @@ fn render_rows(rows: &[Vec<Value>]) -> String {
     cells.join(", ")
 }
 
+/// Per-case summary returned by [`run_case`] on success.
+struct CaseStats {
+    nested: bool,
+    strategy_runs: u64,
+}
+
+/// Derive the deterministic seed for `case` within a run. Cases are
+/// seeded independently so they can execute in any order (or on any
+/// thread) without changing what each one generates.
+pub fn case_seed(run_seed: u64, case: u32) -> u64 {
+    if case == 0 {
+        run_seed
+    } else {
+        let mut s = run_seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        crate::rng::split_mix64(&mut s)
+    }
+}
+
+/// Run one oracle case: regenerate the query + instance from the case
+/// seed, execute every strategy, and minimize on divergence.
+fn run_case(
+    cfg: &OracleConfig,
+    exec: &dyn QueryExecutor,
+    case: u32,
+) -> std::result::Result<CaseStats, Box<Mismatch>> {
+    let case_seed = case_seed(cfg.seed, case);
+    let mut rng = Rng::seed_from_u64(case_seed);
+    let spec = arb_query(&mut rng, cfg);
+    let r = random_rows(&mut rng, cfg);
+    let s = random_rows(&mut rng, cfg);
+    let t = random_rows(&mut rng, cfg);
+    let db = build_database(&[("r", 'a', &r), ("s", 'b', &s), ("t", 'c', &t)]);
+    let sql = spec.sql();
+    let mut stats = CaseStats {
+        nested: sql.contains("(SELECT"),
+        strategy_runs: 0,
+    };
+    for &strategy in &cfg.strategies {
+        stats.strategy_runs += 1;
+        if let Some(detail) = divergence(exec, &db, &sql, strategy) {
+            return Err(Box::new(minimize(
+                cfg, exec, case, case_seed, strategy, spec, r, s, t, detail,
+            )));
+        }
+    }
+    Ok(stats)
+}
+
 /// Run the differential oracle with the default executor.
 pub fn run_differential(cfg: &OracleConfig) -> std::result::Result<OracleReport, Box<Mismatch>> {
     run_differential_with(cfg, &DefaultExecutor)
@@ -626,31 +678,51 @@ pub fn run_differential_with(
         nested_queries: 0,
     };
     for case in 0..cfg.cases {
-        let case_seed = if case == 0 {
-            cfg.seed
-        } else {
-            let mut s = cfg.seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            crate::rng::split_mix64(&mut s)
-        };
-        let mut rng = Rng::seed_from_u64(case_seed);
-        let spec = arb_query(&mut rng, cfg);
-        let r = random_rows(&mut rng, cfg);
-        let s = random_rows(&mut rng, cfg);
-        let t = random_rows(&mut rng, cfg);
-        let db = build_database(&[("r", 'a', &r), ("s", 'b', &s), ("t", 'c', &t)]);
-        let sql = spec.sql();
-        if sql.contains("(SELECT") {
+        let stats = run_case(cfg, exec, case)?;
+        report.cases += 1;
+        report.strategy_runs += stats.strategy_runs;
+        if stats.nested {
             report.nested_queries += 1;
         }
-        for &strategy in &cfg.strategies {
-            report.strategy_runs += 1;
-            if let Some(detail) = divergence(exec, &db, &sql, strategy) {
-                return Err(Box::new(minimize(
-                    cfg, exec, case, case_seed, strategy, spec, r, s, t, detail,
-                )));
-            }
+    }
+    Ok(report)
+}
+
+/// Run the differential oracle with up to `threads` scoped workers.
+///
+/// Cases are independent units (each regenerates its query + instance
+/// from [`case_seed`]), so they fan out over [`bypass_types::par`]'s
+/// atomic-counter driver. The report and — crucially — any reported
+/// mismatch are **identical to the sequential run for every thread
+/// count**: results come back in input order, and on failure the
+/// mismatch with the lowest case index wins deterministically.
+///
+/// `threads == 0` means "use [`bypass_types::par::thread_count`]"
+/// (i.e. honour `BYPASS_THREADS`, defaulting to available parallelism).
+pub fn run_differential_parallel(
+    cfg: &OracleConfig,
+    exec: &dyn QueryExecutor,
+    threads: usize,
+) -> std::result::Result<OracleReport, Box<Mismatch>> {
+    let threads = if threads == 0 {
+        bypass_types::par::thread_count()
+    } else {
+        threads
+    };
+    let cases: Vec<u32> = (0..cfg.cases).collect();
+    let stats =
+        bypass_types::par::scoped_try_map(&cases, threads, |_, &case| run_case(cfg, exec, case))
+            .map_err(|(_, m)| m)?;
+    let mut report = OracleReport {
+        cases: cfg.cases,
+        strategy_runs: 0,
+        nested_queries: 0,
+    };
+    for s in &stats {
+        report.strategy_runs += s.strategy_runs;
+        if s.nested {
+            report.nested_queries += 1;
         }
-        report.cases += 1;
     }
     Ok(report)
 }

@@ -265,6 +265,31 @@ impl Database {
         ))
     }
 
+    /// Execute with per-operator instrumentation and return the raw
+    /// profile: the physical plan, the metrics map (keyed by node
+    /// address) and the output row count. [`Database::explain_analyze`]
+    /// renders the tree inline; the bench crate's profile formatter
+    /// (`bypass_bench::report::profile_table`) renders a flat
+    /// exclusive-time table from the same data.
+    pub fn profile(
+        &self,
+        sql: &str,
+        strategy: Strategy,
+    ) -> Result<(
+        Arc<PhysNode>,
+        std::collections::HashMap<usize, bypass_exec::NodeMetrics>,
+        usize,
+    )> {
+        let canonical = self.logical_plan(sql)?;
+        let strategy = self.resolve_strategy(&canonical, strategy)?;
+        let logical = strategy.prepare(&canonical)?;
+        let physical = physical_plan(&logical, &self.catalog)?;
+        let mut ctx = ExecContext::new(strategy.exec_options()).with_metrics();
+        let rel = ctx.eval_plan(&physical)?;
+        let metrics = ctx.take_metrics();
+        Ok((physical, metrics, rel.len()))
+    }
+
     /// Resolve [`Strategy::CostBased`] to a concrete strategy for this
     /// plan; other strategies pass through.
     fn resolve_strategy(

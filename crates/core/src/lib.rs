@@ -13,3 +13,12 @@ pub use bypass_algebra::LogicalPlan;
 pub use bypass_catalog::{Catalog, TableBuilder};
 pub use bypass_exec::ExecOptions;
 pub use bypass_types::{DataType, Error, Field, Relation, Result, Schema, Tuple, Value};
+
+// A `Database` is shared by reference across the scoped worker threads
+// of the parallel oracle and the bench grid; queries never mutate it.
+// Compile-time proof that the whole facade stays thread-shareable:
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Database>();
+    assert_send_sync::<Strategy>();
+};

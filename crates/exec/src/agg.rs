@@ -1,7 +1,5 @@
-use std::collections::HashSet;
-
 use bypass_algebra::AggFunc;
-use bypass_types::{Error, Result, Tuple, Value};
+use bypass_types::{Error, FxHashSet, Result, Tuple, Value};
 
 use crate::expr::PhysExpr;
 
@@ -24,13 +22,13 @@ pub struct AggSpec {
 #[derive(Debug)]
 pub enum Accumulator {
     CountRows { n: i64 },
-    CountDistinctRows { seen: HashSet<Tuple> },
+    CountDistinctRows { seen: FxHashSet<Tuple> },
     CountValues { n: i64 },
-    CountDistinctValues { seen: HashSet<Value> },
+    CountDistinctValues { seen: FxHashSet<Value> },
     Sum { acc: Option<Value> },
-    SumDistinct { seen: HashSet<Value> },
+    SumDistinct { seen: FxHashSet<Value> },
     Avg { sum: f64, n: i64 },
-    AvgDistinct { seen: HashSet<Value> },
+    AvgDistinct { seen: FxHashSet<Value> },
     Min { acc: Option<Value> },
     Max { acc: Option<Value> },
 }
@@ -40,19 +38,19 @@ pub fn create_accumulator(spec: &AggSpec) -> Accumulator {
     match (spec.func, spec.distinct, spec.arg.is_some()) {
         (AggFunc::Count, false, false) => Accumulator::CountRows { n: 0 },
         (AggFunc::Count, true, false) => Accumulator::CountDistinctRows {
-            seen: HashSet::new(),
+            seen: FxHashSet::default(),
         },
         (AggFunc::Count, false, true) => Accumulator::CountValues { n: 0 },
         (AggFunc::Count, true, true) => Accumulator::CountDistinctValues {
-            seen: HashSet::new(),
+            seen: FxHashSet::default(),
         },
         (AggFunc::Sum, false, _) => Accumulator::Sum { acc: None },
         (AggFunc::Sum, true, _) => Accumulator::SumDistinct {
-            seen: HashSet::new(),
+            seen: FxHashSet::default(),
         },
         (AggFunc::Avg, false, _) => Accumulator::Avg { sum: 0.0, n: 0 },
         (AggFunc::Avg, true, _) => Accumulator::AvgDistinct {
-            seen: HashSet::new(),
+            seen: FxHashSet::default(),
         },
         // MIN/MAX are duplicate-insensitive; DISTINCT is a no-op.
         (AggFunc::Min, _, _) => Accumulator::Min { acc: None },

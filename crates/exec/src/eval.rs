@@ -2,7 +2,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use bypass_types::{compare_tuples, Error, Relation, Result, SortKey, Truth, Tuple, Value};
+use bypass_types::{
+    compare_tuples, fxhash, Error, FxHashMap, Relation, Result, SortKey, Truth, Tuple, Value,
+};
 
 use crate::agg::{create_accumulator, Accumulator, AggSpec};
 use crate::expr::{eval_binop, in_membership, outer_value, value_truth, PhysExpr};
@@ -48,10 +50,20 @@ pub fn evaluate(root: &Arc<PhysNode>) -> Result<Relation> {
 }
 
 /// Evaluate a physical plan with explicit options.
+///
+/// The result is unwrapped from its shared handle without copying when
+/// this evaluation is its sole owner (every operator except a bare
+/// `Scan` root); use [`evaluate_shared`] to avoid even that corner case.
 pub fn evaluate_with(root: &Arc<PhysNode>, options: ExecOptions) -> Result<Relation> {
+    let rel = evaluate_shared(root, options)?;
+    Ok(Arc::try_unwrap(rel).unwrap_or_else(|shared| shared.as_ref().clone()))
+}
+
+/// Evaluate a physical plan and return the result as a shared handle —
+/// a bare `Scan` root hands back the catalog's own `Arc` (zero copy).
+pub fn evaluate_shared(root: &Arc<PhysNode>, options: ExecOptions) -> Result<Arc<Relation>> {
     let mut ctx = ExecContext::new(options);
-    let rel = ctx.eval_plan(root)?;
-    Ok(rel.as_ref().clone())
+    ctx.eval_plan(root)
 }
 
 /// Mutable evaluation state: the correlation binding stack, the subquery
@@ -62,28 +74,50 @@ pub struct ExecContext {
     /// Per-node runtime counters, keyed by node pointer; `None` unless
     /// metric collection was requested.
     metrics: Option<HashMap<usize, NodeMetrics>>,
+    /// Inclusive-nanos accumulators for the metrics stack: each frame
+    /// sums the time spent in *direct* child operators, so exclusive
+    /// (self) time is `elapsed - frame`.
+    child_nanos: Vec<u128>,
     /// Outer tuple bindings, outermost first; `PhysExpr::Outer { depth }`
     /// indexes from the back.
     outer: Vec<Tuple>,
     /// Cache for uncorrelated subquery plans (pointer-keyed).
-    uncorr: HashMap<usize, Arc<Relation>>,
-    /// Cache for correlated subquery plans keyed by (plan, correlation
-    /// values).
-    corr: HashMap<(usize, Vec<Value>), Arc<Relation>>,
+    uncorr: FxHashMap<usize, Arc<Relation>>,
+    /// Cache for correlated subquery plans, bucketed by a *precomputed*
+    /// FxHash of `(plan pointer, correlation values)`. Entries store the
+    /// correlation key as a shared-row [`Tuple`]; memo hits compare
+    /// values in place and allocate nothing.
+    corr: FxHashMap<u64, Vec<(usize, Tuple, Arc<Relation>)>>,
     deadline: Option<Instant>,
     ticks: u32,
 }
 
 /// Per-operator runtime counters collected when metrics are enabled
-/// (EXPLAIN ANALYZE). Time is inclusive of children.
+/// (EXPLAIN ANALYZE).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NodeMetrics {
     /// How many times the operator ran (> 1 inside correlated subplans).
     pub calls: u64,
     /// Total rows produced across all calls.
     pub rows: u64,
-    /// Total inclusive wall time.
+    /// Total inclusive wall time (children included).
     pub nanos: u128,
+    /// Total exclusive wall time (this operator only, children
+    /// subtracted) — the per-node cost an EXPLAIN ANALYZE report
+    /// attributes to the operator itself.
+    pub self_nanos: u128,
+}
+
+impl NodeMetrics {
+    /// Inclusive wall time in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.nanos as f64 / 1e6
+    }
+
+    /// Exclusive (self) wall time in milliseconds.
+    pub fn self_ms(&self) -> f64 {
+        self.self_nanos as f64 / 1e6
+    }
 }
 
 /// Output of a bypass operator: both streams.
@@ -92,16 +126,79 @@ type Dual = (Arc<Relation>, Arc<Relation>);
 /// Per-plan-evaluation memo for bypass operators (fresh for the root and
 /// for every subquery invocation, because bypass results depend on the
 /// current outer bindings).
-type Local = HashMap<usize, Dual>;
+type Local = FxHashMap<usize, Dual>;
+
+/// Hash table over the build side of a hash join: rows are bucketed by
+/// a precomputed FxHash of their key values. Key values live in one
+/// flat arena (`width` values per entry) — no per-row `Vec<Value>`
+/// allocation, single pass over the build input.
+struct JoinHashTable {
+    width: usize,
+    /// hash → (first, last) entry of the bucket chain. Buckets are
+    /// intrusive singly-linked lists through `next` instead of
+    /// `Vec<u32>` values: one-entry buckets (the common case — chains
+    /// only form on hash-equal keys) cost zero extra allocations, and
+    /// the tail pointer keeps appends O(1) *in insertion order*, so
+    /// multi-match probes still yield build rows in row order.
+    buckets: FxHashMap<u64, (u32, u32)>,
+    /// entry → next entry of the same bucket (`NO_ENTRY` terminates).
+    next: Vec<u32>,
+    /// entry → build-relation row id.
+    row_ids: Vec<u32>,
+    /// Flat key arena: entry `e`'s key is `keys[e*width .. (e+1)*width]`.
+    keys: Vec<Value>,
+}
+
+const NO_ENTRY: u32 = u32::MAX;
+
+impl JoinHashTable {
+    fn entry_key(&self, e: u32) -> &[Value] {
+        let s = e as usize * self.width;
+        &self.keys[s..s + self.width]
+    }
+
+    /// Append an entry to the bucket chain for `hash`.
+    fn insert(&mut self, hash: u64, row_id: u32) {
+        let e = self.row_ids.len() as u32;
+        self.row_ids.push(row_id);
+        self.next.push(NO_ENTRY);
+        match self.buckets.entry(hash) {
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                let (_, tail) = *o.get();
+                self.next[tail as usize] = e;
+                o.get_mut().1 = e;
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert((e, e));
+            }
+        }
+    }
+
+    /// Build-relation row ids whose key equals `key` (hash precomputed).
+    fn probe<'a>(&'a self, hash: u64, key: &'a [Value]) -> impl Iterator<Item = usize> + 'a {
+        let mut cur = self.buckets.get(&hash).map_or(NO_ENTRY, |&(head, _)| head);
+        std::iter::from_fn(move || {
+            while cur != NO_ENTRY {
+                let e = cur;
+                cur = self.next[e as usize];
+                if self.entry_key(e) == key {
+                    return Some(self.row_ids[e as usize] as usize);
+                }
+            }
+            None
+        })
+    }
+}
 
 impl ExecContext {
     pub fn new(options: ExecOptions) -> ExecContext {
         ExecContext {
             options,
             metrics: None,
+            child_nanos: Vec::new(),
             outer: Vec::new(),
-            uncorr: HashMap::new(),
-            corr: HashMap::new(),
+            uncorr: FxHashMap::default(),
+            corr: FxHashMap::default(),
             deadline: options.timeout.map(|t| Instant::now() + t),
             ticks: 0,
         }
@@ -145,7 +242,7 @@ impl ExecContext {
 
     /// Evaluate a plan root (fresh bypass memo).
     pub fn eval_plan(&mut self, node: &Arc<PhysNode>) -> Result<Arc<Relation>> {
-        let mut local = Local::new();
+        let mut local = Local::default();
         self.eval_node(node, &mut local)
     }
 
@@ -154,13 +251,19 @@ impl ExecContext {
             return self.eval_node_inner(node, local);
         }
         let start = Instant::now();
+        self.child_nanos.push(0);
         let result = self.eval_node_inner(node, local);
         let elapsed = start.elapsed().as_nanos();
+        let children = self.child_nanos.pop().unwrap_or(0);
+        if let Some(parent) = self.child_nanos.last_mut() {
+            *parent += elapsed;
+        }
         if let (Some(metrics), Ok(rel)) = (self.metrics.as_mut(), &result) {
             let m = metrics.entry(Arc::as_ptr(node) as usize).or_default();
             m.calls += 1;
             m.rows += rel.len() as u64;
             m.nanos += elapsed;
+            m.self_nanos += elapsed.saturating_sub(children);
         }
         result
     }
@@ -172,6 +275,7 @@ impl ExecContext {
     ) -> Result<Arc<Relation>> {
         let schema = node.schema.clone();
         let rel = match &node.kind {
+            // Zero-copy: hand out the catalog's shared storage handle.
             PhysKind::Scan { data } => return Ok(data.clone()),
             PhysKind::Filter { input, predicate } => {
                 let input = self.eval_node(input, local)?;
@@ -179,6 +283,7 @@ impl ExecContext {
                 for t in input.rows() {
                     self.tick()?;
                     if self.eval_truth(predicate, t)?.is_true() {
+                        // Shared-row: refcount bump, not a value copy.
                         out.push(t.clone());
                     }
                 }
@@ -186,6 +291,25 @@ impl ExecContext {
             }
             PhysKind::Project { input, exprs } => {
                 let input = self.eval_node(input, local)?;
+                // Column-only projections skip the expression
+                // evaluator; the identity projection is a pure schema
+                // relabel whose rows are refcount bumps of the input's
+                // shared buffers.
+                let arity = input.schema().arity();
+                let cols = column_only(exprs).filter(|cs| cs.iter().all(|&c| c < arity));
+                if let Some(cols) = cols {
+                    let identity =
+                        cols.len() == arity && cols.iter().enumerate().all(|(i, &c)| i == c);
+                    if identity {
+                        return Ok(Arc::new(Relation::new(schema, input.rows().to_vec())));
+                    }
+                    let mut out = Vec::with_capacity(input.len());
+                    for t in input.rows() {
+                        self.tick()?;
+                        out.push(t.project(&cols));
+                    }
+                    return Ok(Arc::new(Relation::new(schema, out)));
+                }
                 let mut out = Vec::with_capacity(input.len());
                 for t in input.rows() {
                     self.tick()?;
@@ -209,10 +333,10 @@ impl ExecContext {
                     self.check_size(out.len())?;
                     for rt in r.rows() {
                         self.tick()?;
-                        let joined = lt.concat(rt);
                         match predicate {
-                            None => out.push(joined),
+                            None => out.push(lt.concat(rt)),
                             Some(p) => {
+                                let joined = lt.concat(rt);
                                 if self.eval_truth(p, &joined)?.is_true() {
                                     out.push(joined);
                                 }
@@ -233,21 +357,20 @@ impl ExecContext {
                 let r = self.eval_node(right, local)?;
                 let table = self.build_hash_table(&r, right_keys)?;
                 let mut out = Vec::new();
+                let mut probe = Vec::with_capacity(left_keys.len());
                 for lt in l.rows() {
                     self.tick()?;
-                    let Some(key) = self.eval_key(left_keys, lt)? else {
+                    let Some(hash) = self.eval_key_into(left_keys, lt, &mut probe)? else {
                         continue; // NULL keys never match
                     };
-                    if let Some(matches) = table.get(&key) {
-                        for &ri in matches {
-                            let joined = lt.concat(&r.rows()[ri]);
-                            if let Some(p) = residual {
-                                if !self.eval_truth(p, &joined)?.is_true() {
-                                    continue;
-                                }
+                    for ri in table.probe(hash, &probe) {
+                        let joined = lt.concat(&r.rows()[ri]);
+                        if let Some(p) = residual {
+                            if !self.eval_truth(p, &joined)?.is_true() {
+                                continue;
                             }
-                            out.push(joined);
                         }
+                        out.push(joined);
                     }
                 }
                 Relation::new(schema, out)
@@ -265,21 +388,20 @@ impl ExecContext {
                 let table = self.build_hash_table(&r, right_keys)?;
                 let pad = padded_right(r.schema().arity(), defaults);
                 let mut out = Vec::new();
+                let mut probe = Vec::with_capacity(left_keys.len());
                 for lt in l.rows() {
                     self.tick()?;
                     let mut matched = false;
-                    if let Some(key) = self.eval_key(left_keys, lt)? {
-                        if let Some(matches) = table.get(&key) {
-                            for &ri in matches {
-                                let joined = lt.concat(&r.rows()[ri]);
-                                if let Some(p) = residual {
-                                    if !self.eval_truth(p, &joined)?.is_true() {
-                                        continue;
-                                    }
+                    if let Some(hash) = self.eval_key_into(left_keys, lt, &mut probe)? {
+                        for ri in table.probe(hash, &probe) {
+                            let joined = lt.concat(&r.rows()[ri]);
+                            if let Some(p) = residual {
+                                if !self.eval_truth(p, &joined)?.is_true() {
+                                    continue;
                                 }
-                                matched = true;
-                                out.push(joined);
                             }
+                            matched = true;
+                            out.push(joined);
                         }
                     }
                     if !matched {
@@ -328,7 +450,7 @@ impl ExecContext {
                 let l = self.eval_node(left, local)?;
                 let r = self.eval_node(right, local)?;
                 // Aggregate the right side per distinct key, once.
-                let mut groups: HashMap<Value, Accumulator> = HashMap::new();
+                let mut groups: FxHashMap<Value, Accumulator> = FxHashMap::default();
                 for rt in r.rows() {
                     self.tick()?;
                     let k = self.eval_expr(right_key, rt)?;
@@ -342,7 +464,7 @@ impl ExecContext {
                     };
                     acc.update(rt, v.as_ref())?;
                 }
-                let finished: HashMap<Value, Value> = groups
+                let finished: FxHashMap<Value, Value> = groups
                     .into_iter()
                     .map(|(k, acc)| Ok((k, acc.finish()?)))
                     .collect::<Result<_>>()?;
@@ -478,14 +600,41 @@ impl ExecContext {
         if let Some(d) = local.get(&ptr) {
             return Ok(d.clone());
         }
+        let start = self.metrics.is_some().then(Instant::now);
+        if start.is_some() {
+            self.child_nanos.push(0);
+        }
+        let result = self.eval_bypass_inner(source, local);
+        if let Some(start) = start {
+            let elapsed = start.elapsed().as_nanos();
+            let children = self.child_nanos.pop().unwrap_or(0);
+            if let Some(parent) = self.child_nanos.last_mut() {
+                *parent += elapsed;
+            }
+            if let (Some(metrics), Ok((pos, neg))) = (self.metrics.as_mut(), &result) {
+                let m = metrics.entry(ptr).or_default();
+                m.calls += 1;
+                m.rows += (pos.len() + neg.len()) as u64;
+                m.nanos += elapsed;
+                m.self_nanos += elapsed.saturating_sub(children);
+            }
+        }
+        let dual = result?;
+        local.insert(ptr, dual.clone());
+        Ok(dual)
+    }
+
+    fn eval_bypass_inner(&mut self, source: &Arc<PhysNode>, local: &mut Local) -> Result<Dual> {
         let schema = source.schema.clone();
-        let dual: Dual = match &source.kind {
+        Ok(match &source.kind {
             PhysKind::BypassFilter { input, predicate } => {
                 let input = self.eval_node(input, local)?;
                 let mut pos = Vec::new();
                 let mut neg = Vec::new();
                 for t in input.rows() {
                     self.tick()?;
+                    // Stream split by refcount bump: the row buffer is
+                    // shared with the input relation, never copied.
                     if self.eval_truth(predicate, t)?.is_true() {
                         pos.push(t.clone());
                     } else {
@@ -536,9 +685,7 @@ impl ExecContext {
                     "Stream node must point at a bypass operator",
                 ))
             }
-        };
-        local.insert(ptr, dual.clone());
-        Ok(dual)
+        })
     }
 
     fn hash_aggregate(
@@ -568,38 +715,71 @@ impl ExecContext {
                 .collect::<Result<Vec<_>>>()?;
             return Ok(Relation::new(schema, vec![Tuple::new(vals)]));
         }
-        // Grouped aggregation; group order = first appearance
-        // (deterministic output).
-        let mut order: Vec<Vec<Value>> = Vec::new();
-        let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
+        // Grouped aggregation. Groups live in flat arenas in first-
+        // appearance order (the deterministic output order): group `g`'s
+        // key occupies `key_arena[g*width..]` and its accumulators
+        // `accs[g*naggs..]`, so a new group costs zero per-group heap
+        // allocations (amortized arena growth only). The hash side maps
+        // the *precomputed* key hash to an intrusive chain of group
+        // indices; the key is evaluated into a reused scratch buffer and
+        // moved — not cloned — into the arena exactly once, when the
+        // group first appears.
+        let width = keys.len();
+        let naggs = aggs.len();
+        let mut key_arena: Vec<Value> = Vec::new();
+        let mut accs: Vec<Accumulator> = Vec::new();
+        let mut chain: Vec<u32> = Vec::new(); // group → next group with equal hash
+        let mut heads: FxHashMap<u64, u32> = FxHashMap::default();
+        let mut keybuf: Vec<Value> = Vec::with_capacity(width);
         for t in input.rows() {
             self.tick()?;
-            let mut key = Vec::with_capacity(keys.len());
+            keybuf.clear();
             for k in keys {
-                key.push(self.eval_expr(k, t)?);
+                let v = self.eval_expr(k, t)?;
+                keybuf.push(v);
             }
-            let accs = match groups.get_mut(&key) {
-                Some(a) => a,
+            let hash = fxhash::hash_values(&keybuf);
+            let mut found = None;
+            let mut cur = heads.get(&hash).copied();
+            while let Some(g) = cur {
+                let s = g as usize * width;
+                if key_arena[s..s + width] == keybuf[..] {
+                    found = Some(g as usize);
+                    break;
+                }
+                let nxt = chain[g as usize];
+                cur = (nxt != u32::MAX).then_some(nxt);
+            }
+            let gi = match found {
+                Some(g) => g,
                 None => {
-                    order.push(key.clone());
-                    groups
-                        .entry(key)
-                        .or_insert_with(|| aggs.iter().map(create_accumulator).collect())
+                    let g = chain.len();
+                    // Prepend to the hash chain (group order is kept by
+                    // the arenas, not the chains).
+                    let prev = heads.insert(hash, g as u32);
+                    chain.push(prev.unwrap_or(u32::MAX));
+                    key_arena.append(&mut keybuf);
+                    accs.extend(aggs.iter().map(create_accumulator));
+                    g
                 }
             };
-            for (acc, spec) in accs.iter_mut().zip(aggs) {
+            for (j, spec) in aggs.iter().enumerate() {
                 let v = match &spec.arg {
                     Some(a) => Some(self.eval_expr(a, t)?),
                     None => None,
                 };
-                acc.update(t, v.as_ref())?;
+                accs[gi * naggs + j].update(t, v.as_ref())?;
             }
         }
-        let mut out = Vec::with_capacity(order.len());
-        for key in order {
-            let accs = groups.remove(&key).expect("group exists");
-            let mut vals = key;
-            for a in accs {
+        let ngroups = chain.len();
+        let mut out = Vec::with_capacity(ngroups);
+        let mut key_iter = key_arena.into_iter();
+        let mut acc_iter = accs.into_iter();
+        for _ in 0..ngroups {
+            let mut vals: Vec<Value> = Vec::with_capacity(width + naggs);
+            vals.extend(key_iter.by_ref().take(width));
+            for _ in 0..naggs {
+                let a = acc_iter.next().expect("arena length mismatch");
                 vals.push(a.finish()?);
             }
             out.push(Tuple::new(vals));
@@ -607,38 +787,147 @@ impl ExecContext {
         Ok(Relation::new(schema, out))
     }
 
-    fn build_hash_table(
-        &mut self,
-        rel: &Relation,
-        keys: &[PhysExpr],
-    ) -> Result<HashMap<Vec<Value>, Vec<usize>>> {
-        let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(rel.len());
+    /// Single-pass build of the join hash table: per build row, evaluate
+    /// the key into a scratch buffer; NULL keys are skipped entirely
+    /// (they can never match); surviving keys move into the flat arena.
+    fn build_hash_table(&mut self, rel: &Relation, keys: &[PhysExpr]) -> Result<JoinHashTable> {
+        let mut table = JoinHashTable {
+            width: keys.len(),
+            buckets: FxHashMap::with_capacity_and_hasher(rel.len(), Default::default()),
+            next: Vec::with_capacity(rel.len()),
+            row_ids: Vec::with_capacity(rel.len()),
+            keys: Vec::with_capacity(rel.len() * keys.len()),
+        };
+        let mut keybuf: Vec<Value> = Vec::with_capacity(keys.len());
         for (i, t) in rel.rows().iter().enumerate() {
             self.tick()?;
-            if let Some(key) = self.eval_key(keys, t)? {
-                table.entry(key).or_default().push(i);
-            }
+            let Some(hash) = self.eval_key_into(keys, t, &mut keybuf)? else {
+                continue;
+            };
+            table.keys.append(&mut keybuf);
+            table.insert(hash, i as u32);
         }
         Ok(table)
     }
 
-    /// Evaluate join keys; `None` when any key is NULL (never matches).
-    fn eval_key(&mut self, keys: &[PhysExpr], t: &Tuple) -> Result<Option<Vec<Value>>> {
-        let mut out = Vec::with_capacity(keys.len());
+    /// Evaluate join keys into `buf` and return their precomputed hash;
+    /// `None` when any key is NULL (never matches). `buf` is cleared
+    /// first so callers can reuse one buffer across rows.
+    fn eval_key_into(
+        &mut self,
+        keys: &[PhysExpr],
+        t: &Tuple,
+        buf: &mut Vec<Value>,
+    ) -> Result<Option<u64>> {
+        buf.clear();
         for k in keys {
             let v = self.eval_expr(k, t)?;
             if v.is_null() {
                 return Ok(None);
             }
-            out.push(v);
+            buf.push(v);
         }
-        Ok(Some(out))
+        Ok(Some(fxhash::hash_values(buf)))
     }
 
     // ----- expression evaluation ---------------------------------------
 
     pub fn eval_truth(&mut self, e: &PhysExpr, t: &Tuple) -> Result<Truth> {
+        // Borrow-only fast path first: the canonical plans of Fig. 7
+        // evaluate tens of millions of simple comparison predicates per
+        // query, and the general evaluator pays for owned `Value`
+        // returns plus `Result` plumbing on every node. Predicates made
+        // of AND/OR/NOT/IS NULL/comparisons over column, outer and
+        // literal operands never allocate and never fail, so they can
+        // be folded over borrowed values directly.
+        if let Some(truth) = self.truth_fast(e, t) {
+            return Ok(truth);
+        }
         Ok(value_truth(&self.eval_expr(e, t)?))
+    }
+
+    /// Zero-clone truth evaluation for the simple-predicate fragment.
+    /// Returns `None` when the expression needs the general evaluator
+    /// (subqueries, arithmetic, LIKE, out-of-range references, …); the
+    /// caller then falls back to [`Self::eval_expr`], which reproduces
+    /// the same semantics and reports proper errors.
+    fn truth_fast(&self, e: &PhysExpr, t: &Tuple) -> Option<Truth> {
+        use bypass_algebra::BinOp;
+        match e {
+            PhysExpr::Binary { op, left, right } => match op {
+                BinOp::And => {
+                    let l = self.truth_fast(left, t)?;
+                    if l == Truth::False {
+                        return Some(Truth::False);
+                    }
+                    Some(l.and(self.truth_fast(right, t)?))
+                }
+                BinOp::Or => {
+                    let l = self.truth_fast(left, t)?;
+                    if l == Truth::True {
+                        return Some(Truth::True);
+                    }
+                    Some(l.or(self.truth_fast(right, t)?))
+                }
+                BinOp::Eq => {
+                    let (l, r) = (self.value_ref(left, t)?, self.value_ref(right, t)?);
+                    Some(l.sql_eq(r))
+                }
+                BinOp::Neq => {
+                    let (l, r) = (self.value_ref(left, t)?, self.value_ref(right, t)?);
+                    Some(l.sql_eq(r).not())
+                }
+                BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
+                    let (l, r) = (self.value_ref(left, t)?, self.value_ref(right, t)?);
+                    Some(match l.sql_cmp(r) {
+                        None => Truth::Unknown,
+                        Some(o) => {
+                            let hit = match op {
+                                BinOp::Lt => o == std::cmp::Ordering::Less,
+                                BinOp::LtEq => o != std::cmp::Ordering::Greater,
+                                BinOp::Gt => o == std::cmp::Ordering::Greater,
+                                _ => o != std::cmp::Ordering::Less,
+                            };
+                            if hit {
+                                Truth::True
+                            } else {
+                                Truth::False
+                            }
+                        }
+                    })
+                }
+                _ => None,
+            },
+            PhysExpr::Not(x) => Some(self.truth_fast(x, t)?.not()),
+            PhysExpr::IsNull { negated, expr } => {
+                let v = self.value_ref(expr, t)?;
+                Some(if v.is_null() != *negated {
+                    Truth::True
+                } else {
+                    Truth::False
+                })
+            }
+            PhysExpr::Column(_) | PhysExpr::Outer { .. } | PhysExpr::Literal(_) => {
+                Some(value_truth(self.value_ref(e, t)?))
+            }
+            _ => None,
+        }
+    }
+
+    /// Borrowed view of a leaf operand; `None` for anything that is not
+    /// a (valid) column, outer or literal reference.
+    fn value_ref<'a>(&'a self, e: &'a PhysExpr, t: &'a Tuple) -> Option<&'a Value> {
+        match e {
+            PhysExpr::Column(i) => t.get(*i),
+            PhysExpr::Literal(v) => Some(v),
+            PhysExpr::Outer { depth, index } => {
+                if *depth == 0 || *depth > self.outer.len() {
+                    return None;
+                }
+                self.outer[self.outer.len() - depth].get(*index)
+            }
+            _ => None,
+        }
     }
 
     pub fn eval_expr(&mut self, e: &PhysExpr, t: &Tuple) -> Result<Value> {
@@ -805,23 +1094,64 @@ impl ExecContext {
             return Ok(r);
         }
         if correlated && self.options.memo_correlated && !outer_keys.is_empty() {
-            let key = (ptr, t.key(outer_keys));
-            if let Some(r) = self.corr.get(&key) {
-                return Ok(r.clone());
+            // Memo probe without materializing a key: hash (plan ptr,
+            // correlation values) straight off the outer tuple, then
+            // compare candidate entries value-by-value.
+            let hash = corr_hash(ptr, outer_keys, t);
+            if let Some(entries) = self.corr.get(&hash) {
+                for (p, key, rel) in entries {
+                    if *p == ptr && corr_key_matches(key, outer_keys, t) {
+                        return Ok(rel.clone());
+                    }
+                }
             }
             let r = self.run_nested(plan, t)?;
-            self.corr.insert(key, r.clone());
+            // Materialize the key only on first miss (shared-row Tuple).
+            self.corr
+                .entry(hash)
+                .or_default()
+                .push((ptr, t.key_tuple(outer_keys), r.clone()));
             return Ok(r);
         }
         self.run_nested(plan, t)
     }
 
     fn run_nested(&mut self, plan: &Arc<PhysNode>, t: &Tuple) -> Result<Arc<Relation>> {
+        // Shared-row: binding the outer tuple is a refcount bump.
         self.outer.push(t.clone());
         let result = self.eval_plan(plan);
         self.outer.pop();
         result
     }
+}
+
+/// If every projection expression is a plain column reference, the
+/// column indices; `None` as soon as anything needs real evaluation.
+fn column_only(exprs: &[PhysExpr]) -> Option<Vec<usize>> {
+    exprs
+        .iter()
+        .map(|e| match e {
+            PhysExpr::Column(i) => Some(*i),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Precomputed FxHash of `(plan ptr, t[outer_keys...])`, matching the
+/// hash of the stored correlation key tuples.
+fn corr_hash(ptr: usize, outer_keys: &[usize], t: &Tuple) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = bypass_types::FxHasher::default();
+    h.write_usize(ptr);
+    h.write_usize(outer_keys.len());
+    for &i in outer_keys {
+        t[i].hash(&mut h);
+    }
+    h.finish()
+}
+
+fn corr_key_matches(key: &Tuple, outer_keys: &[usize], t: &Tuple) -> bool {
+    key.arity() == outer_keys.len() && outer_keys.iter().enumerate().all(|(k, &i)| key[k] == t[i])
 }
 
 /// The padded right-hand tuple for unmatched outer-join rows: NULLs with
@@ -891,6 +1221,45 @@ mod tests {
         let out = run(&project);
         assert_eq!(out.len(), 2);
         assert_eq!(out.rows()[0][0], Value::Int(20));
+    }
+
+    #[test]
+    fn scan_result_shares_storage_with_catalog() {
+        let scan = int_rel("r", &["a"], &[&[1], &[2]]);
+        let PhysKind::Scan { data } = &scan.kind else {
+            panic!()
+        };
+        let out = evaluate_shared(&scan, ExecOptions::default()).unwrap();
+        assert!(
+            Arc::ptr_eq(&out, data),
+            "scan must return the shared relation, not a copy"
+        );
+    }
+
+    #[test]
+    fn filter_passes_rows_by_refcount() {
+        let scan = int_rel("r", &["a"], &[&[1], &[2], &[3]]);
+        let schema = scan.schema.clone();
+        let filter = PhysNode::new(
+            PhysKind::Filter {
+                input: scan.clone(),
+                predicate: PhysExpr::Binary {
+                    op: BinOp::Gt,
+                    left: Box::new(PhysExpr::Column(0)),
+                    right: Box::new(PhysExpr::Literal(Value::Int(1))),
+                },
+            },
+            schema,
+        );
+        let input = evaluate_shared(&scan, ExecOptions::default()).unwrap();
+        let out = evaluate_shared(&filter, ExecOptions::default()).unwrap();
+        assert_eq!(out.len(), 2);
+        for t in out.rows() {
+            assert!(
+                input.rows().iter().any(|i| i.shares_buffer(t)),
+                "filtered row must share its buffer with the input row"
+            );
+        }
     }
 
     #[test]
@@ -1013,6 +1382,52 @@ mod tests {
         // First-appearance order: key 1 first.
         assert_eq!(out.rows()[0].values(), &[Value::Int(1), Value::Int(40)]);
         assert_eq!(out.rows()[1].values(), &[Value::Int(2), Value::Int(20)]);
+    }
+
+    #[test]
+    fn grouped_aggregate_null_and_text_keys() {
+        // NULL groups with NULL (structural key equality) and text keys
+        // exercise the precomputed-hash bucket path with collisions in
+        // type rank.
+        let schema_in = Schema::new(vec![
+            Field::new("k", DataType::Text),
+            Field::new("v", DataType::Int),
+        ]);
+        let rel = Relation::new(
+            schema_in.clone(),
+            vec![
+                Tuple::new(vec![Value::text("a"), Value::Int(1)]),
+                Tuple::new(vec![Value::Null, Value::Int(2)]),
+                Tuple::new(vec![Value::text("a"), Value::Int(3)]),
+                Tuple::new(vec![Value::Null, Value::Int(4)]),
+            ],
+        );
+        let scan = PhysNode::new(
+            PhysKind::Scan {
+                data: Arc::new(rel),
+            },
+            schema_in,
+        );
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Text),
+            Field::new("s", DataType::Int),
+        ]);
+        let agg = PhysNode::new(
+            PhysKind::HashAggregate {
+                input: scan,
+                keys: vec![PhysExpr::Column(0)],
+                aggs: vec![AggSpec {
+                    func: AggFunc::Sum,
+                    distinct: false,
+                    arg: Some(PhysExpr::Column(1)),
+                }],
+            },
+            schema,
+        );
+        let out = run(&agg);
+        assert_eq!(out.len(), 2, "NULL forms one group: {out}");
+        assert_eq!(out.rows()[0].values(), &[Value::text("a"), Value::Int(4)]);
+        assert_eq!(out.rows()[1].values(), &[Value::Null, Value::Int(6)]);
     }
 
     #[test]
@@ -1166,6 +1581,58 @@ mod tests {
         assert_eq!(p.len(), 1, "one equality match");
         // Negative pairs: (1,9),(2,1),(2,9); only c>1500 survive: (1,9),(2,9).
         assert_eq!(n.len(), 2);
+    }
+
+    #[test]
+    fn metrics_track_self_time_and_bypass_nodes() {
+        let scan = int_rel("r", &["a"], &[&[1], &[2], &[3], &[4]]);
+        let schema = scan.schema.clone();
+        let bypass = PhysNode::new(
+            PhysKind::BypassFilter {
+                input: scan,
+                predicate: PhysExpr::Binary {
+                    op: BinOp::Gt,
+                    left: Box::new(PhysExpr::Column(0)),
+                    right: Box::new(PhysExpr::Literal(Value::Int(2))),
+                },
+            },
+            schema.clone(),
+        );
+        let pos = PhysNode::new(
+            PhysKind::Stream {
+                source: bypass.clone(),
+                positive: true,
+            },
+            schema.clone(),
+        );
+        let neg = PhysNode::new(
+            PhysKind::Stream {
+                source: bypass.clone(),
+                positive: false,
+            },
+            schema.clone(),
+        );
+        let union = PhysNode::new(
+            PhysKind::UnionAll {
+                left: pos,
+                right: neg,
+            },
+            schema,
+        );
+        let mut ctx = ExecContext::new(ExecOptions::default()).with_metrics();
+        let out = ctx.eval_plan(&union).unwrap();
+        assert_eq!(out.len(), 4);
+        let metrics = ctx.take_metrics();
+        let union_m = metrics[&(Arc::as_ptr(&union) as usize)];
+        assert_eq!(union_m.calls, 1);
+        assert_eq!(union_m.rows, 4);
+        assert!(union_m.self_nanos <= union_m.nanos, "self ⊆ inclusive");
+        // The shared bypass operator is metered exactly once even with
+        // two Stream consumers, and reports both streams' rows.
+        let bypass_m = metrics[&(Arc::as_ptr(&bypass) as usize)];
+        assert_eq!(bypass_m.calls, 1);
+        assert_eq!(bypass_m.rows, 4);
+        assert!(bypass_m.total_ms() >= bypass_m.self_ms());
     }
 
     #[test]

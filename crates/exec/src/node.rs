@@ -293,7 +293,8 @@ impl PhysNode {
     }
 
     /// EXPLAIN ANALYZE rendering: operator tree annotated with the
-    /// collected runtime counters (calls, total rows, inclusive time).
+    /// collected runtime counters (calls, total rows, inclusive wall
+    /// time, and exclusive/self time with child time subtracted).
     pub fn explain_with_metrics(
         self: &std::sync::Arc<Self>,
         metrics: &std::collections::HashMap<usize, crate::eval::NodeMetrics>,
@@ -328,10 +329,11 @@ impl PhysNode {
             }
             match metrics.get(&(ptr as usize)) {
                 Some(m) => out.push_str(&format!(
-                    "  [calls={} rows={} time={:.3}ms]",
+                    "  [calls={} rows={} time={:.3}ms self={:.3}ms]",
                     m.calls,
                     m.rows,
-                    m.nanos as f64 / 1e6
+                    m.total_ms(),
+                    m.self_ms()
                 )),
                 None => out.push_str("  [not executed]"),
             }

@@ -18,6 +18,8 @@
 
 mod datatype;
 mod error;
+pub mod fxhash;
+pub mod par;
 mod relation;
 mod schema;
 mod sort;
@@ -27,9 +29,22 @@ mod value;
 
 pub use datatype::DataType;
 pub use error::{Error, Result};
+pub use fxhash::{hash_one, hash_values, FxBuildHasher, FxHashMap, FxHashSet, FxHasher, Prehashed};
 pub use relation::Relation;
 pub use schema::{Field, Schema};
 pub use sort::{compare_tuples, SortKey, SortOrder};
 pub use stats::{ColumnStats, TableStats};
 pub use tuple::Tuple;
 pub use value::{Truth, Value};
+
+// The zero-clone executor shares rows, relations and catalog entries
+// across scoped worker threads; every core type must therefore stay
+// `Send + Sync`. Compile-time proof (fails to build if violated):
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Value>();
+    assert_send_sync::<Tuple>();
+    assert_send_sync::<Schema>();
+    assert_send_sync::<Relation>();
+    assert_send_sync::<TableStats>();
+};

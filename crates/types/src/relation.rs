@@ -1,6 +1,6 @@
-use std::collections::HashSet;
 use std::fmt;
 
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::{compare_tuples, Schema, SortKey, Tuple, Value};
 
 /// A fully materialized relation: a schema plus a bag of rows.
@@ -57,8 +57,11 @@ impl Relation {
     }
 
     /// Duplicate elimination preserving first occurrence order.
+    /// Tuples are shared-row, so the `seen` set holds refcount bumps,
+    /// not deep copies; hashing uses the in-tree FxHash kernel.
     pub fn distinct(mut self) -> Relation {
-        let mut seen = HashSet::with_capacity(self.rows.len());
+        let mut seen: FxHashSet<Tuple> =
+            FxHashSet::with_capacity_and_hasher(self.rows.len(), Default::default());
         self.rows.retain(|r| seen.insert(r.clone()));
         Relation {
             schema: self.schema,
@@ -95,8 +98,8 @@ impl Relation {
         if self.rows.len() != other.rows.len() {
             return false;
         }
-        let mut counts: std::collections::HashMap<&Tuple, i64> =
-            std::collections::HashMap::with_capacity(self.rows.len());
+        let mut counts: FxHashMap<&Tuple, i64> =
+            FxHashMap::with_capacity_and_hasher(self.rows.len(), Default::default());
         for r in &self.rows {
             *counts.entry(r).or_insert(0) += 1;
         }

@@ -1,25 +1,48 @@
 use std::fmt;
 use std::ops::Index;
+use std::sync::Arc;
 
 use crate::Value;
 
-/// A row of values.
+/// A row of values backed by a shared, immutable buffer.
 ///
 /// Tuples are positional; names live in the accompanying [`crate::Schema`].
 /// Concatenation (`◦` in the paper's notation) is the building block of
 /// joins and the map operator χ.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+///
+/// # Zero-clone representation
+///
+/// The value buffer is an `Arc<[Value]>`, so [`Tuple::clone`] is a
+/// refcount bump — **not** a deep copy. This is what lets σ, Π-identity,
+/// ⋈ probe passthrough, ∪̇ and the bypass operators' dual-stream
+/// splitting move rows between operators (and into *both* bypass
+/// streams) without cloning a single [`Value`]. Rows are immutable once
+/// built; "modifying" operators ([`Tuple::concat`], [`Tuple::extended`],
+/// [`Tuple::project`]) construct fresh buffers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Tuple {
-    values: Vec<Value>,
+    values: Arc<[Value]>,
+}
+
+impl Default for Tuple {
+    fn default() -> Self {
+        Tuple::empty()
+    }
 }
 
 impl Tuple {
     pub fn new(values: Vec<Value>) -> Self {
-        Tuple { values }
+        Tuple {
+            values: values.into(),
+        }
     }
 
     pub fn empty() -> Self {
-        Tuple { values: Vec::new() }
+        // `Arc::from([])` allocates a header only; cheap enough that a
+        // shared static is not worth the OnceLock.
+        Tuple {
+            values: Arc::from(Vec::new()),
+        }
     }
 
     pub fn arity(&self) -> usize {
@@ -31,7 +54,7 @@ impl Tuple {
     }
 
     pub fn into_values(self) -> Vec<Value> {
-        self.values
+        self.values.to_vec()
     }
 
     pub fn get(&self, i: usize) -> Option<&Value> {
@@ -43,7 +66,9 @@ impl Tuple {
         let mut values = Vec::with_capacity(self.values.len() + other.values.len());
         values.extend_from_slice(&self.values);
         values.extend_from_slice(&other.values);
-        Tuple { values }
+        Tuple {
+            values: values.into(),
+        }
     }
 
     /// Append a single value (the χ / ν operators extend tuples by one).
@@ -51,19 +76,37 @@ impl Tuple {
         let mut values = Vec::with_capacity(self.values.len() + 1);
         values.extend_from_slice(&self.values);
         values.push(v);
-        Tuple { values }
+        Tuple {
+            values: values.into(),
+        }
     }
 
     /// Keep only the columns at `indices`, in that order (projection Π).
     pub fn project(&self, indices: &[usize]) -> Tuple {
         Tuple {
-            values: indices.iter().map(|&i| self.values[i].clone()).collect(),
+            values: indices
+                .iter()
+                .map(|&i| self.values[i].clone())
+                .collect::<Vec<_>>()
+                .into(),
         }
     }
 
     /// Extract a (cloneable) key for hashing/grouping from `indices`.
     pub fn key(&self, indices: &[usize]) -> Vec<Value> {
         indices.iter().map(|&i| self.values[i].clone()).collect()
+    }
+
+    /// Extract a key as a shared-buffer [`Tuple`] (memo keys keep the
+    /// refcounted representation instead of a fresh `Vec`).
+    pub fn key_tuple(&self, indices: &[usize]) -> Tuple {
+        Tuple::new(self.key(indices))
+    }
+
+    /// Does this tuple share its buffer with `other`? (Diagnostic for
+    /// zero-clone tests.)
+    pub fn shares_buffer(&self, other: &Tuple) -> bool {
+        Arc::ptr_eq(&self.values, &other.values)
     }
 }
 
@@ -76,7 +119,7 @@ impl Index<usize> for Tuple {
 
 impl From<Vec<Value>> for Tuple {
     fn from(values: Vec<Value>) -> Self {
-        Tuple { values }
+        Tuple::new(values)
     }
 }
 
@@ -137,6 +180,23 @@ mod tests {
     fn key_extracts_values() {
         let a = t(&[7, 8, 9]);
         assert_eq!(a.key(&[1, 2]), vec![Value::Int(8), Value::Int(9)]);
+        assert_eq!(a.key_tuple(&[1, 2]), t(&[8, 9]));
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let a = t(&[1, 2, 3]);
+        let b = a.clone();
+        assert!(a.shares_buffer(&b), "clone must share the row buffer");
+        let c = t(&[1, 2, 3]);
+        assert!(!a.shares_buffer(&c), "independent construction allocates");
+        assert_eq!(a, c, "equality is structural, not pointer-based");
+    }
+
+    #[test]
+    fn into_values_roundtrip() {
+        let a = t(&[4, 5]);
+        assert_eq!(a.clone().into_values(), vec![Value::Int(4), Value::Int(5)]);
     }
 
     #[test]

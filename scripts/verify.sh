@@ -21,4 +21,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
+echo "==> bench gating smoke (scripts/bench.sh smoke)"
+scripts/bench.sh smoke
+
 echo "verify: OK"
