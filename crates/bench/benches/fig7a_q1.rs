@@ -43,6 +43,11 @@ fn bench_q1_full_scale(c: &mut Criterion) {
         );
     }
     group.finish();
+    // Behavioural gate: the dual-stream cardinalities and memo counters
+    // of the gated cell, recorded into the same baseline as the medians.
+    for strategy in [Strategy::Canonical, Strategy::Unnested] {
+        bypass_bench::record_counter_snapshot("fig7a_q1_sf1", &db, Q1, strategy);
+    }
 }
 
 criterion_group!(benches, bench_q1, bench_q1_full_scale);

@@ -1,0 +1,106 @@
+//! Deterministic execution-counter snapshots for baseline gating.
+//!
+//! Timings drift with machine load; the bypass stream cardinalities and
+//! memo counters do **not** — for a fixed (query, strategy, instance)
+//! they are exact invariants of the plan the optimizer produced and the
+//! data the generator emitted. Recording them into the same
+//! `BENCH_baseline.json` registry as the medians turns the baseline
+//! gate into a *behavioural* gate as well: a rewrite that silently
+//! changes how many tuples take the negative stream (or stops memoizing
+//! an uncorrelated subquery) trips `scripts/bench.sh compare` even when
+//! the timing noise hides it.
+
+use bypass_core::{Database, Strategy};
+
+use crate::timing::record;
+
+/// Profile one (query, strategy) pair and record its counter snapshot
+/// under `{group}/counters/{strategy}/…`. Prints a one-line summary so
+/// bench output carries the counters next to the timing report lines.
+///
+/// Recorded entries (all exact, unit-free values stored in the baseline
+/// value slot):
+///
+/// * `bypass_pos_rows` / `bypass_neg_rows` — dual-stream cardinalities
+///   summed over every σ±/⋈± in the plan,
+/// * `bypass_split_pct` — negative share of the total split, percent
+///   (only when the plan has bypass operators),
+/// * `memo_hit_pct` — subquery memo hit rate, percent (only when the
+///   run probed a memo).
+pub fn record_counter_snapshot(group: &str, db: &Database, sql: &str, strategy: Strategy) {
+    let profile = match db.profile(sql, strategy) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{group}/counters/{strategy}: profiling failed: {e}");
+            return;
+        }
+    };
+    let (nodes, pos, neg) = profile.bypass_totals();
+    let prefix = format!("{group}/counters/{}", profile.strategy);
+    record(format!("{prefix}/bypass_pos_rows"), pos as f64);
+    record(format!("{prefix}/bypass_neg_rows"), neg as f64);
+    let split = if pos + neg > 0 {
+        let pct = neg as f64 / (pos + neg) as f64 * 100.0;
+        record(format!("{prefix}/bypass_split_pct"), pct);
+        format!("{pct:.1}%")
+    } else {
+        "-".to_string()
+    };
+    let memo = match profile.counters.memo_hit_rate() {
+        Some(rate) => {
+            record(format!("{prefix}/memo_hit_pct"), rate * 100.0);
+            format!("{:.1}%", rate * 100.0)
+        }
+        None => "-".to_string(),
+    };
+    println!(
+        "{prefix:<40} bypass nodes {nodes}  pos {pos}  neg {neg}  split {split}  memo-hit {memo}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::recorded;
+
+    #[test]
+    fn snapshot_records_bypass_counters_for_unnested_q1() {
+        let db = crate::rst_database(0.01, 0.01, 42);
+        record_counter_snapshot("ctest", &db, crate::Q1, Strategy::Unnested);
+        let got = recorded();
+        let pos = got
+            .iter()
+            .find(|(n, _)| n == "ctest/counters/unnested/bypass_pos_rows")
+            .expect("pos counter recorded");
+        let neg = got
+            .iter()
+            .find(|(n, _)| n == "ctest/counters/unnested/bypass_neg_rows")
+            .expect("neg counter recorded");
+        // The bypass selection partitions the 100-row outer table.
+        assert!(pos.1 + neg.1 > 0.0, "streams non-empty: {got:?}");
+        assert!(got
+            .iter()
+            .any(|(n, _)| n == "ctest/counters/unnested/bypass_split_pct"));
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_across_runs() {
+        let db = crate::rst_database(0.01, 0.01, 42);
+        record_counter_snapshot("cdet", &db, crate::Q1, Strategy::Unnested);
+        let first: Vec<(String, f64)> = recorded()
+            .into_iter()
+            .filter(|(n, _)| n.starts_with("cdet/"))
+            .collect();
+        record_counter_snapshot("cdet", &db, crate::Q1, Strategy::Unnested);
+        let all: Vec<(String, f64)> = recorded()
+            .into_iter()
+            .filter(|(n, _)| n.starts_with("cdet/"))
+            .collect();
+        assert_eq!(all.len(), first.len() * 2, "{all:?}");
+        for (i, (name, v)) in first.iter().enumerate() {
+            let (n2, v2) = &all[first.len() + i];
+            assert_eq!(name, n2);
+            assert_eq!(v, v2, "counter {name} drifted between identical runs");
+        }
+    }
+}

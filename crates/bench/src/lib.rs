@@ -10,12 +10,14 @@
 //! ```
 
 pub mod baseline;
+pub mod counters;
 pub mod queries;
 pub mod report;
 pub mod runner;
 pub mod timing;
 
 pub use baseline::{compare, Baseline, CompareReport, Delta};
+pub use counters::record_counter_snapshot;
 pub use queries::*;
 pub use report::Table;
 pub use runner::{measure, rst_database, tpch_database, Measurement};

@@ -170,27 +170,51 @@ pub fn profile_table(root: &Arc<PhysNode>, metrics: &HashMap<usize, NodeMetrics>
             "total".into(),
             "self".into(),
             "self%".into(),
+            "pos".into(),
+            "neg".into(),
+            "split".into(),
         ],
     );
     for r in &rows {
         let label = format!("{}{}", "  ".repeat(r.depth), r.label);
         let cells = match &r.metrics {
             Some(m) => {
+                // A zero root inclusive time (sub-ns plan on an empty
+                // instance, or an unmeasured root) makes every share
+                // undefined — render `-` rather than 0.0% or NaN%.
                 let pct = if total_nanos > 0 {
-                    m.self_nanos as f64 / total_nanos as f64 * 100.0
+                    format!("{:.1}", m.self_nanos as f64 / total_nanos as f64 * 100.0)
                 } else {
-                    0.0
+                    "-".into()
+                };
+                let (pos, neg, split) = if m.is_bypass() {
+                    (
+                        m.pos_rows.to_string(),
+                        m.neg_rows.to_string(),
+                        m.split_ratio()
+                            .map(|s| format!("{:.1}%", s * 100.0))
+                            .unwrap_or_else(|| "-".into()),
+                    )
+                } else {
+                    ("-".into(), "-".into(), "-".into())
                 };
                 vec![
                     m.calls.to_string(),
                     m.rows.to_string(),
                     format!("{:.3}", m.total_ms()),
                     format!("{:.3}", m.self_ms()),
-                    format!("{pct:.1}"),
+                    pct,
+                    pos,
+                    neg,
+                    split,
                 ]
             }
-            None if r.shared => vec!["-".into(), "-".into(), "-".into(), "-".into(), "-".into()],
-            None => vec!["0".into(), "0".into(), "-".into(), "-".into(), "-".into()],
+            None if r.shared => vec!["-".into(); 8],
+            None => {
+                let mut cells: Vec<String> = vec!["0".into(), "0".into()];
+                cells.extend(vec![String::from("-"); 6]);
+                cells
+            }
         };
         table.row(label, cells);
     }
@@ -226,11 +250,13 @@ mod tests {
     #[test]
     fn profile_table_reports_self_time_columns() {
         let db = crate::rst_database(0.01, 0.01, 42);
-        let (plan, metrics, rows) = db.profile(crate::Q1, Strategy::Canonical).unwrap();
-        assert!(rows > 0, "Q1 returns rows on the small instance");
-        let text = profile_table(&plan, &metrics);
+        let p = db.profile(crate::Q1, Strategy::Canonical).unwrap();
+        assert!(p.rows > 0, "Q1 returns rows on the small instance");
+        let text = profile_table(&p.physical, &p.metrics);
         let header = text.lines().nth(1).unwrap_or("");
-        for col in ["calls", "rows", "total", "self", "self%"] {
+        for col in [
+            "calls", "rows", "total", "self", "self%", "pos", "neg", "split",
+        ] {
             assert!(header.contains(col), "missing column {col}: {text}");
         }
         assert!(text.contains("Scan"), "{text}");
@@ -245,8 +271,8 @@ mod tests {
     #[test]
     fn profile_table_marks_shared_bypass_nodes() {
         let db = crate::rst_database(0.01, 0.01, 42);
-        let (plan, metrics, _) = db.profile(crate::Q1, Strategy::Unnested).unwrap();
-        let text = profile_table(&plan, &metrics);
+        let p = db.profile(crate::Q1, Strategy::Unnested).unwrap();
+        let text = profile_table(&p.physical, &p.metrics);
         assert!(text.contains("(#1)"), "bypass node numbered: {text}");
         assert!(
             text.contains("(shared #"),
@@ -256,6 +282,44 @@ mod tests {
         for line in text.lines().filter(|l| l.contains("(shared #")) {
             assert!(line.trim_end().ends_with('-'), "{line}");
         }
+        // The bypass selection reports its stream cardinalities.
+        let bypass_line = text
+            .lines()
+            .find(|l| l.contains("(#1)"))
+            .expect("numbered bypass row");
+        let cells: Vec<&str> = bypass_line.split_whitespace().collect();
+        assert!(
+            cells.iter().any(|c| c.ends_with('%')),
+            "split ratio rendered: {bypass_line}"
+        );
+    }
+
+    #[test]
+    fn profile_table_zero_root_time_renders_dash_not_percent() {
+        let db = crate::rst_database(0.01, 0.01, 42);
+        let p = db.profile(crate::Q1, Strategy::Unnested).unwrap();
+        // Zero out every timing: the share of root inclusive time is
+        // undefined, so the self% column must degrade to `-`.
+        let metrics: HashMap<usize, NodeMetrics> = p
+            .metrics
+            .iter()
+            .map(|(k, m)| {
+                let mut m = *m;
+                m.nanos = 0;
+                m.self_nanos = 0;
+                (*k, m)
+            })
+            .collect();
+        let text = profile_table(&p.physical, &metrics);
+        for line in text.lines().skip(3) {
+            assert!(!line.contains("NaN") && !line.contains("inf"), "{line}");
+        }
+        let first = text.lines().nth(3).expect("root row");
+        let cells: Vec<&str> = first.split_whitespace().collect();
+        // calls rows total self self% ... — self% is the 5th cell from
+        // the end-of-label; just assert a literal `-` is present where a
+        // percentage would otherwise be.
+        assert!(cells.contains(&"-"), "{first}");
     }
 
     #[test]
@@ -265,7 +329,10 @@ mod tests {
             .sql_with(crate::Q1, Strategy::Unnested, None)
             .unwrap()
             .len();
-        let (_, _, rows) = db.profile(crate::Q1, Strategy::Unnested).unwrap();
-        assert_eq!(rows, expect);
+        let p = db.profile(crate::Q1, Strategy::Unnested).unwrap();
+        assert_eq!(p.rows, expect);
+        // Phase timings are populated (executed queries take > 0 time).
+        assert!(p.phases.execute > 0, "{:?}", p.phases);
+        assert!(p.phases.total() >= p.phases.execute);
     }
 }

@@ -560,6 +560,10 @@ pub struct Mismatch {
     pub detail: String,
     /// Minimized instance, rendered per table.
     pub instance: String,
+    /// Traced phase timings + bypass/memo counters of the canonical run
+    /// and the diverging strategy on the minimized repro (one line per
+    /// strategy; execution failures render as the error).
+    pub profiles: Vec<String>,
 }
 
 impl fmt::Display for Mismatch {
@@ -573,7 +577,34 @@ impl fmt::Display for Mismatch {
         writeln!(f, "  query:     {}", self.sql)?;
         writeln!(f, "  minimized: {}", self.minimized_sql)?;
         writeln!(f, "  detail:    {}", self.detail)?;
+        for p in &self.profiles {
+            writeln!(f, "  profile:   {p}")?;
+        }
         write!(f, "  instance:\n{}", self.instance)
+    }
+}
+
+/// One-line profile of `(sql, strategy)` on `db`: phase timings plus
+/// the bypass stream and memo counters — the observability attachment
+/// of a minimized repro report.
+fn profile_summary(db: &Database, sql: &str, strategy: Strategy) -> String {
+    match db.profile(sql, strategy) {
+        Ok(p) => {
+            let (nodes, pos, neg) = p.bypass_totals();
+            let c = p.counters;
+            format!(
+                "{}: rows={} phases[{}] bypass[nodes={nodes} pos={pos} neg={neg}] \
+                 memo[uncorr {}h/{}m, corr {}h/{}m]",
+                p.strategy,
+                p.rows,
+                p.phases.render(),
+                c.memo_uncorr_hits,
+                c.memo_uncorr_misses,
+                c.memo_corr_hits,
+                c.memo_corr_misses,
+            )
+        }
+        Err(e) => format!("{strategy}: profile unavailable ({e})"),
     }
 }
 
@@ -819,12 +850,23 @@ fn minimize(
         }
     }
 
+    // Attach traced phase timings + counters of both strategies on the
+    // minimized repro: when a rewrite diverges, the first question is
+    // *what plan shape executed* — the bypass split and memo counters
+    // answer it without re-running under a debugger.
+    let minimized_sql = current.sql();
+    let db = build_database(&[("r", 'a', &r), ("s", 'b', &s), ("t", 'c', &t)]);
+    let profiles = vec![
+        profile_summary(&db, &minimized_sql, Strategy::Canonical),
+        profile_summary(&db, &minimized_sql, strategy),
+    ];
+
     Mismatch {
         case_seed,
         case,
         strategy,
         sql: original_sql,
-        minimized_sql: current.sql(),
+        minimized_sql,
         detail: final_detail,
         instance: format!(
             "    r: {}\n    s: {}\n    t: {}",
@@ -832,6 +874,7 @@ fn minimize(
             render_rows(&s),
             render_rows(&t)
         ),
+        profiles,
     }
 }
 

@@ -1,12 +1,17 @@
+use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bypass_algebra::LogicalPlan;
 use bypass_catalog::Catalog;
-use bypass_exec::{evaluate_with, physical_plan, ExecContext, ExecOptions, PhysExpr, PhysNode};
-use bypass_sql::{parse_statement, Expr, Statement};
+use bypass_exec::{
+    evaluate_with, physical_plan, ExecContext, ExecCounters, ExecOptions, NodeMetrics, PhysExpr,
+    PhysKind, PhysNode,
+};
+use bypass_sql::{parse_statement, Expr, SelectStmt, Statement};
 use bypass_translate::{translate_query, Translator};
 use bypass_types::{DataType, Error, Field, Relation, Result, Schema, Tuple, Value};
+use bypass_unnest::optimize_joins;
 
 use crate::Strategy;
 
@@ -69,6 +74,8 @@ pub enum Response {
     Created,
     /// `INSERT` succeeded with this many rows.
     Inserted(usize),
+    /// `EXPLAIN [ANALYZE]` — the rendered report.
+    Explained(String),
 }
 
 impl Response {
@@ -80,6 +87,136 @@ impl Response {
                 "statement did not produce rows: {other:?}"
             ))),
         }
+    }
+
+    /// The report text of an `Explained` response; errors otherwise.
+    pub fn into_text(self) -> Result<String> {
+        match self {
+            Response::Explained(s) => Ok(s),
+            other => Err(Error::execution(format!(
+                "statement did not produce a report: {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Wall time spent in each pipeline phase of one profiled query run
+/// (nanoseconds). The same boundaries are traced as `bypass-trace`
+/// spans when tracing is enabled, so a Chrome trace and an
+/// EXPLAIN ANALYZE report agree on where time went.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseNanos {
+    /// SQL text → AST.
+    pub parse: u128,
+    /// AST → canonical nested algebra.
+    pub translate: u128,
+    /// Strategy nesting rewrites (Eqv. 1–5 / OR→UNION / reordering).
+    pub unnest: u128,
+    /// Join optimization + physical planning.
+    pub optimize: u128,
+    /// Plan evaluation.
+    pub execute: u128,
+}
+
+impl PhaseNanos {
+    pub fn total(&self) -> u128 {
+        self.parse + self.translate + self.unnest + self.optimize + self.execute
+    }
+
+    /// One-line rendering in milliseconds.
+    pub fn render(&self) -> String {
+        let ms = |n: u128| n as f64 / 1e6;
+        format!(
+            "parse={:.3}ms translate={:.3}ms unnest={:.3}ms optimize={:.3}ms \
+             execute={:.3}ms total={:.3}ms",
+            ms(self.parse),
+            ms(self.translate),
+            ms(self.unnest),
+            ms(self.optimize),
+            ms(self.execute),
+            ms(self.total())
+        )
+    }
+}
+
+/// Everything one instrumented query run produced: the physical plan,
+/// per-operator metrics (keyed by `Arc::as_ptr(node) as usize`),
+/// query-wide execution counters, per-phase wall times and the output
+/// cardinality. Produced by [`Database::profile`]; rendered inline by
+/// [`QueryProfile::render`] (the EXPLAIN ANALYZE report) or as a flat
+/// table by `bypass_bench::report::profile_table`.
+#[derive(Debug, Clone)]
+pub struct QueryProfile {
+    /// The concrete strategy the run executed under (CostBased
+    /// resolved).
+    pub strategy: Strategy,
+    pub physical: Arc<PhysNode>,
+    pub metrics: HashMap<usize, NodeMetrics>,
+    pub counters: ExecCounters,
+    pub phases: PhaseNanos,
+    /// Output row count.
+    pub rows: usize,
+}
+
+impl QueryProfile {
+    /// Sum the dual-stream counters over every bypass operator in the
+    /// plan: `(bypass node count, positive rows, negative rows)`.
+    pub fn bypass_totals(&self) -> (usize, u64, u64) {
+        let (mut nodes, mut pos, mut neg) = (0usize, 0u64, 0u64);
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![&self.physical];
+        while let Some(n) = stack.pop() {
+            if !seen.insert(Arc::as_ptr(n)) {
+                continue;
+            }
+            if matches!(
+                n.kind,
+                PhysKind::BypassFilter { .. } | PhysKind::BypassNLJoin { .. }
+            ) {
+                nodes += 1;
+                if let Some(m) = self.metrics.get(&(Arc::as_ptr(n) as usize)) {
+                    pos += m.pos_rows;
+                    neg += m.neg_rows;
+                }
+            }
+            stack.extend(n.children());
+            stack.extend(n.expr_subplans());
+        }
+        (nodes, pos, neg)
+    }
+
+    /// The full EXPLAIN ANALYZE report: phase timings, the metric-
+    /// annotated operator tree (with per-bypass-node positive/negative
+    /// stream counts) and the query-wide counter footer.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "-- EXPLAIN ANALYZE ({}), {} output rows\n-- phases: {}\n{}",
+            self.strategy,
+            self.rows,
+            self.phases.render(),
+            self.physical.explain_with_metrics(&self.metrics)
+        );
+        let (nodes, pos, neg) = self.bypass_totals();
+        if nodes > 0 {
+            let split = match pos + neg {
+                0 => "-".to_string(),
+                total => format!("{:.1}%", neg as f64 / total as f64 * 100.0),
+            };
+            out.push_str(&format!(
+                "-- bypass: {nodes} node(s), pos={pos} neg={neg} split={split}\n"
+            ));
+        }
+        let c = &self.counters;
+        let rate = c
+            .memo_hit_rate()
+            .map(|r| format!("{:.1}%", r * 100.0))
+            .unwrap_or_else(|| "-".to_string());
+        out.push_str(&format!(
+            "-- memo: uncorrelated {} hit / {} miss, correlated {} hit / {} miss, \
+             hit rate {rate}\n",
+            c.memo_uncorr_hits, c.memo_uncorr_misses, c.memo_corr_hits, c.memo_corr_misses
+        ));
+        out
     }
 }
 
@@ -134,7 +271,10 @@ impl Database {
 
     /// Execute any supported statement.
     pub fn execute_sql(&mut self, sql: &str) -> Result<Response> {
-        match parse_statement(sql)? {
+        let t0 = Instant::now();
+        let stmt = parse_statement(sql)?;
+        let parse_nanos = t0.elapsed().as_nanos();
+        match stmt {
             Statement::Query(q) => {
                 let logical = translate_query(&self.catalog, &q)?;
                 let rel = self.run(&logical, self.default_strategy, None)?;
@@ -148,6 +288,20 @@ impl Database {
             Statement::Insert { table, rows } => {
                 let n = self.insert(&table, rows)?;
                 Ok(Response::Inserted(n))
+            }
+            Statement::Explain {
+                analyze: true,
+                query,
+            } => {
+                let profile = self.profile_query(&query, self.default_strategy, parse_nanos)?;
+                Ok(Response::Explained(profile.render()))
+            }
+            Statement::Explain {
+                analyze: false,
+                query,
+            } => {
+                let text = self.explain_parsed(&query, self.default_strategy)?;
+                Ok(Response::Explained(text))
             }
         }
     }
@@ -184,12 +338,22 @@ impl Database {
         timeout: Option<Duration>,
     ) -> Result<Relation> {
         let strategy = self.resolve_strategy(canonical, strategy)?;
-        let logical = strategy.prepare(canonical)?;
+        let logical = {
+            let mut s = bypass_trace::span("prepare");
+            if s.is_recording() {
+                s.arg("strategy", strategy.to_string());
+            }
+            strategy.prepare(canonical)?
+        };
         let physical = physical_plan(&logical, &self.catalog)?;
         let options = ExecOptions {
             timeout,
             ..strategy.exec_options()
         };
+        let mut s = bypass_trace::span("execute");
+        if s.is_recording() {
+            s.arg("strategy", strategy.to_string());
+        }
         evaluate_with(&physical, options)
     }
 
@@ -220,7 +384,17 @@ impl Database {
     /// physical operator tree. For [`Strategy::CostBased`], the chosen
     /// strategy and all candidate cost estimates are reported.
     pub fn explain(&self, sql: &str, strategy: Strategy) -> Result<String> {
-        let canonical = self.logical_plan(sql)?;
+        match parse_statement(sql)? {
+            Statement::Query(q) | Statement::Explain { query: q, .. } => {
+                self.explain_parsed(&q, strategy)
+            }
+            _ => Err(Error::plan("not a SELECT statement")),
+        }
+    }
+
+    /// [`Database::explain`] on an already-parsed query block.
+    fn explain_parsed(&self, query: &SelectStmt, strategy: Strategy) -> Result<String> {
+        let canonical = translate_query(&self.catalog, query)?;
         let mut header = String::new();
         let strategy = if strategy == Strategy::CostBased {
             let (chosen, estimates) =
@@ -245,49 +419,99 @@ impl Database {
         ))
     }
 
-    /// EXPLAIN ANALYZE: execute the query with per-operator
-    /// instrumentation and render the physical plan annotated with
-    /// calls, row counts and inclusive wall time. Operators inside a
-    /// correlated subplan show `calls > 1` — the visible signature of
-    /// nested-loop evaluation that unnesting removes.
+    /// EXPLAIN ANALYZE: execute the query with full instrumentation
+    /// and render phase timings, the metric-annotated physical plan
+    /// (per-bypass-node positive/negative stream counts included) and
+    /// the query-wide counter footer. Operators inside a correlated
+    /// subplan show `calls > 1` — the visible signature of nested-loop
+    /// evaluation that unnesting removes.
     pub fn explain_analyze(&self, sql: &str, strategy: Strategy) -> Result<String> {
-        let canonical = self.logical_plan(sql)?;
-        let strategy = self.resolve_strategy(&canonical, strategy)?;
-        let logical = strategy.prepare(&canonical)?;
-        let physical = physical_plan(&logical, &self.catalog)?;
-        let mut ctx = ExecContext::new(strategy.exec_options()).with_metrics();
-        let rel = ctx.eval_plan(&physical)?;
-        let metrics = ctx.take_metrics();
-        Ok(format!(
-            "-- physical plan ({strategy}), {} output rows\n{}",
-            rel.len(),
-            physical.explain_with_metrics(&metrics)
-        ))
+        Ok(self.profile(sql, strategy)?.render())
     }
 
-    /// Execute with per-operator instrumentation and return the raw
-    /// profile: the physical plan, the metrics map (keyed by node
-    /// address) and the output row count. [`Database::explain_analyze`]
-    /// renders the tree inline; the bench crate's profile formatter
-    /// (`bypass_bench::report::profile_table`) renders a flat
+    /// Execute with full instrumentation and return the raw
+    /// [`QueryProfile`]: physical plan, per-operator metrics,
+    /// query-wide counters, phase timings and output cardinality.
+    /// [`QueryProfile::render`] produces the EXPLAIN ANALYZE report;
+    /// `bypass_bench::report::profile_table` renders a flat
     /// exclusive-time table from the same data.
-    pub fn profile(
+    pub fn profile(&self, sql: &str, strategy: Strategy) -> Result<QueryProfile> {
+        let t0 = Instant::now();
+        let stmt = parse_statement(sql)?;
+        let parse_nanos = t0.elapsed().as_nanos();
+        match stmt {
+            Statement::Query(q) | Statement::Explain { query: q, .. } => {
+                self.profile_query(&q, strategy, parse_nanos)
+            }
+            _ => Err(Error::plan("not a SELECT statement")),
+        }
+    }
+
+    /// Instrumented run of an already-parsed query block. Every phase
+    /// is timed directly *and* wrapped in a `bypass-trace` span, so a
+    /// Chrome trace of the run nests `query > translate/unnest/
+    /// optimize/execute` (the parse span is emitted by the SQL crate
+    /// around `parse_statement`, before this method).
+    fn profile_query(
         &self,
-        sql: &str,
+        query: &SelectStmt,
         strategy: Strategy,
-    ) -> Result<(
-        Arc<PhysNode>,
-        std::collections::HashMap<usize, bypass_exec::NodeMetrics>,
-        usize,
-    )> {
-        let canonical = self.logical_plan(sql)?;
+        parse_nanos: u128,
+    ) -> Result<QueryProfile> {
+        let mut phases = PhaseNanos {
+            parse: parse_nanos,
+            ..Default::default()
+        };
+        let mut span = bypass_trace::span("core.profile_query");
+        let t = Instant::now();
+        let canonical = {
+            let _s = bypass_trace::span("translate");
+            translate_query(&self.catalog, query)?
+        };
+        phases.translate = t.elapsed().as_nanos();
         let strategy = self.resolve_strategy(&canonical, strategy)?;
-        let logical = strategy.prepare(&canonical)?;
-        let physical = physical_plan(&logical, &self.catalog)?;
-        let mut ctx = ExecContext::new(strategy.exec_options()).with_metrics();
-        let rel = ctx.eval_plan(&physical)?;
-        let metrics = ctx.take_metrics();
-        Ok((physical, metrics, rel.len()))
+        span.arg("strategy", strategy.to_string());
+        let t = Instant::now();
+        let rewritten = {
+            let mut s = bypass_trace::span("unnest");
+            s.arg("strategy", strategy.to_string());
+            strategy.rewrite_nesting(&canonical)?
+        };
+        phases.unnest = t.elapsed().as_nanos();
+        let t = Instant::now();
+        let physical = {
+            let _s = bypass_trace::span("optimize");
+            let logical = optimize_joins(&rewritten);
+            physical_plan(&logical, &self.catalog)?
+        };
+        phases.optimize = t.elapsed().as_nanos();
+        let t = Instant::now();
+        let (rel, metrics, counters) = {
+            let _s = bypass_trace::span("execute");
+            let mut ctx = ExecContext::new(strategy.exec_options()).with_metrics();
+            let rel = ctx.eval_plan(&physical)?;
+            let counters = ctx.counters();
+            (rel, ctx.take_metrics(), counters)
+        };
+        phases.execute = t.elapsed().as_nanos();
+        if bypass_trace::enabled() {
+            bypass_trace::counter(
+                "memo_hits",
+                counters.memo_uncorr_hits + counters.memo_corr_hits,
+            );
+            bypass_trace::counter(
+                "memo_misses",
+                counters.memo_uncorr_misses + counters.memo_corr_misses,
+            );
+        }
+        Ok(QueryProfile {
+            strategy,
+            physical,
+            metrics,
+            counters,
+            phases,
+            rows: rel.len(),
+        })
     }
 
     /// Resolve [`Strategy::CostBased`] to a concrete strategy for this

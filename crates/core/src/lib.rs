@@ -6,7 +6,7 @@
 mod database;
 mod strategy;
 
-pub use database::{Database, Prepared, Response};
+pub use database::{Database, PhaseNanos, Prepared, QueryProfile, Response};
 pub use strategy::Strategy;
 
 pub use bypass_algebra::LogicalPlan;

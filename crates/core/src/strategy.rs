@@ -77,7 +77,10 @@ impl Strategy {
         self.rewrite_nesting(plan).map(|p| optimize_joins(&p))
     }
 
-    fn rewrite_nesting(self, plan: &Arc<LogicalPlan>) -> Result<Arc<LogicalPlan>> {
+    /// The unnesting half of [`Strategy::prepare`] (no join
+    /// optimization) — exposed to the crate so the profiler can time
+    /// the unnest and optimize phases separately.
+    pub(crate) fn rewrite_nesting(self, plan: &Arc<LogicalPlan>) -> Result<Arc<LogicalPlan>> {
         match self {
             Strategy::Canonical | Strategy::S3Materialized => {
                 Ok(reorder_plan_disjuncts(plan, false))

@@ -90,6 +90,45 @@ pub struct ExecContext {
     corr: FxHashMap<u64, Vec<(usize, Tuple, Arc<Relation>)>>,
     deadline: Option<Instant>,
     ticks: u32,
+    /// Context-wide counters (memo hit rates); always maintained —
+    /// they increment once per subquery invocation, which is noise
+    /// next to actually evaluating the nested plan.
+    counters: ExecCounters,
+    /// Scratch counters the current operator arm deposits for the
+    /// metrics wrapper to fold into its [`NodeMetrics`] entry
+    /// (hash-table build sizes, collision re-verifies). Only written
+    /// when metrics are enabled.
+    pending: PendingCounters,
+}
+
+/// Query-wide execution counters, independent of any one operator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecCounters {
+    /// Uncorrelated (type A) subquery memo hits / misses.
+    pub memo_uncorr_hits: u64,
+    pub memo_uncorr_misses: u64,
+    /// Correlated subquery memo hits / misses. Probes happen only
+    /// when `memo_correlated` is on; with the memo off every
+    /// correlated invocation re-evaluates and neither counter moves.
+    pub memo_corr_hits: u64,
+    pub memo_corr_misses: u64,
+}
+
+impl ExecCounters {
+    /// Memo hit rate across both caches, if any probe happened.
+    pub fn memo_hit_rate(&self) -> Option<f64> {
+        let hits = self.memo_uncorr_hits + self.memo_corr_hits;
+        let total = hits + self.memo_uncorr_misses + self.memo_corr_misses;
+        (total > 0).then(|| hits as f64 / total as f64)
+    }
+}
+
+/// Per-node scratch deposited by operator arms, drained by the
+/// metrics wrapper after the arm returns.
+#[derive(Debug, Clone, Copy, Default)]
+struct PendingCounters {
+    build_rows: u64,
+    reverify: u64,
 }
 
 /// Per-operator runtime counters collected when metrics are enabled
@@ -106,6 +145,24 @@ pub struct NodeMetrics {
     /// subtracted) — the per-node cost an EXPLAIN ANALYZE report
     /// attributes to the operator itself.
     pub self_nanos: u128,
+    /// Bypass operators only: rows routed to the positive stream
+    /// (tuples that satisfied the cheap disjunct).
+    pub pos_rows: u64,
+    /// Bypass operators only: rows routed to the negative stream —
+    /// the paper's bypass argument holds exactly when this stays
+    /// small relative to `pos_rows`.
+    pub neg_rows: u64,
+    /// Rows this operator handed on by refcount bump of a shared
+    /// buffer (σ, identity Π, ∪̇, stream taps, …).
+    pub rows_shared: u64,
+    /// Rows this operator materialized as fresh buffers (joins,
+    /// Map, general projections, aggregates).
+    pub rows_materialized: u64,
+    /// Hash joins only: entries inserted into the build-side table.
+    pub build_rows: u64,
+    /// Hash joins only: probe candidates whose full key comparison
+    /// failed after a hash-bucket match (collision re-verifies).
+    pub reverify: u64,
 }
 
 impl NodeMetrics {
@@ -117,6 +174,18 @@ impl NodeMetrics {
     /// Exclusive (self) wall time in milliseconds.
     pub fn self_ms(&self) -> f64 {
         self.self_nanos as f64 / 1e6
+    }
+
+    /// Is this a bypass node's metric entry (saw a dual-stream split)?
+    pub fn is_bypass(&self) -> bool {
+        self.pos_rows + self.neg_rows > 0
+    }
+
+    /// Fraction of the split routed to the negative stream, if this
+    /// node produced a dual stream at all.
+    pub fn split_ratio(&self) -> Option<f64> {
+        let total = self.pos_rows + self.neg_rows;
+        (total > 0).then(|| self.neg_rows as f64 / total as f64)
     }
 }
 
@@ -147,6 +216,10 @@ struct JoinHashTable {
     row_ids: Vec<u32>,
     /// Flat key arena: entry `e`'s key is `keys[e*width .. (e+1)*width]`.
     keys: Vec<Value>,
+    /// Probe candidates rejected by the full key comparison after a
+    /// hash-bucket hit (collision re-verifies). `Cell` because
+    /// `probe` hands out a `&self` iterator.
+    reverify: std::cell::Cell<u64>,
 }
 
 const NO_ENTRY: u32 = u32::MAX;
@@ -184,6 +257,7 @@ impl JoinHashTable {
                 if self.entry_key(e) == key {
                     return Some(self.row_ids[e as usize] as usize);
                 }
+                self.reverify.set(self.reverify.get() + 1);
             }
             None
         })
@@ -201,6 +275,8 @@ impl ExecContext {
             corr: FxHashMap::default(),
             deadline: options.timeout.map(|t| Instant::now() + t),
             ticks: 0,
+            counters: ExecCounters::default(),
+            pending: PendingCounters::default(),
         }
     }
 
@@ -213,6 +289,11 @@ impl ExecContext {
     /// The collected metrics, keyed by `Arc::as_ptr(node) as usize`.
     pub fn take_metrics(&mut self) -> HashMap<usize, NodeMetrics> {
         self.metrics.take().unwrap_or_default()
+    }
+
+    /// Query-wide counters (memo hit/miss totals).
+    pub fn counters(&self) -> ExecCounters {
+        self.counters
     }
 
     /// Cheap cancellation check, amortized over 4096 calls.
@@ -258,12 +339,20 @@ impl ExecContext {
         if let Some(parent) = self.child_nanos.last_mut() {
             *parent += elapsed;
         }
+        let pend = std::mem::take(&mut self.pending);
         if let (Some(metrics), Ok(rel)) = (self.metrics.as_mut(), &result) {
             let m = metrics.entry(Arc::as_ptr(node) as usize).or_default();
             m.calls += 1;
             m.rows += rel.len() as u64;
             m.nanos += elapsed;
             m.self_nanos += elapsed.saturating_sub(children);
+            if shares_rows(&node.kind) {
+                m.rows_shared += rel.len() as u64;
+            } else {
+                m.rows_materialized += rel.len() as u64;
+            }
+            m.build_rows += pend.build_rows;
+            m.reverify += pend.reverify;
         }
         result
     }
@@ -373,6 +462,10 @@ impl ExecContext {
                         out.push(joined);
                     }
                 }
+                if self.metrics.is_some() {
+                    self.pending.build_rows += table.row_ids.len() as u64;
+                    self.pending.reverify += table.reverify.get();
+                }
                 Relation::new(schema, out)
             }
             PhysKind::HashOuterJoin {
@@ -407,6 +500,10 @@ impl ExecContext {
                     if !matched {
                         out.push(lt.concat(&pad));
                     }
+                }
+                if self.metrics.is_some() {
+                    self.pending.build_rows += table.row_ids.len() as u64;
+                    self.pending.reverify += table.reverify.get();
                 }
                 Relation::new(schema, out)
             }
@@ -613,10 +710,22 @@ impl ExecContext {
             }
             if let (Some(metrics), Ok((pos, neg))) = (self.metrics.as_mut(), &result) {
                 let m = metrics.entry(ptr).or_default();
+                let total = (pos.len() + neg.len()) as u64;
                 m.calls += 1;
-                m.rows += (pos.len() + neg.len()) as u64;
+                m.rows += total;
                 m.nanos += elapsed;
                 m.self_nanos += elapsed.saturating_sub(children);
+                // The bypass-specific split: the negative stream is
+                // the quantity the paper's cost argument needs small.
+                m.pos_rows += pos.len() as u64;
+                m.neg_rows += neg.len() as u64;
+                // σ± splits by refcount bump; ⋈± materializes the
+                // concatenated pairs.
+                if matches!(source.kind, PhysKind::BypassFilter { .. }) {
+                    m.rows_shared += total;
+                } else {
+                    m.rows_materialized += total;
+                }
             }
         }
         let dual = result?;
@@ -797,6 +906,7 @@ impl ExecContext {
             next: Vec::with_capacity(rel.len()),
             row_ids: Vec::with_capacity(rel.len()),
             keys: Vec::with_capacity(rel.len() * keys.len()),
+            reverify: std::cell::Cell::new(0),
         };
         let mut keybuf: Vec<Value> = Vec::with_capacity(keys.len());
         for (i, t) in rel.rows().iter().enumerate() {
@@ -1087,8 +1197,10 @@ impl ExecContext {
         let ptr = Arc::as_ptr(plan) as usize;
         if !correlated && self.options.memo_uncorrelated {
             if let Some(r) = self.uncorr.get(&ptr) {
+                self.counters.memo_uncorr_hits += 1;
                 return Ok(r.clone());
             }
+            self.counters.memo_uncorr_misses += 1;
             let r = self.run_nested(plan, t)?;
             self.uncorr.insert(ptr, r.clone());
             return Ok(r);
@@ -1101,10 +1213,12 @@ impl ExecContext {
             if let Some(entries) = self.corr.get(&hash) {
                 for (p, key, rel) in entries {
                     if *p == ptr && corr_key_matches(key, outer_keys, t) {
+                        self.counters.memo_corr_hits += 1;
                         return Ok(rel.clone());
                     }
                 }
             }
+            self.counters.memo_corr_misses += 1;
             let r = self.run_nested(plan, t)?;
             // Materialize the key only on first miss (shared-row Tuple).
             self.corr
@@ -1122,6 +1236,32 @@ impl ExecContext {
         let result = self.eval_plan(plan);
         self.outer.pop();
         result
+    }
+}
+
+/// Does this operator hand rows on by refcount bump of shared buffers
+/// (σ, identity Π, DISTINCT, sort/limit/alias/∪̇, stream taps) rather
+/// than materializing fresh tuples? Drives the `rows_shared` /
+/// `rows_materialized` metric split; must mirror the zero-clone
+/// row-passing paths in `eval_node_inner`.
+fn shares_rows(kind: &PhysKind) -> bool {
+    match kind {
+        PhysKind::Scan { .. }
+        | PhysKind::Filter { .. }
+        | PhysKind::Distinct { .. }
+        | PhysKind::Sort { .. }
+        | PhysKind::Limit { .. }
+        | PhysKind::Alias { .. }
+        | PhysKind::UnionAll { .. }
+        | PhysKind::Stream { .. } => true,
+        PhysKind::Project { input, exprs } => {
+            let arity = input.schema.arity();
+            match column_only(exprs) {
+                Some(cols) => cols.len() == arity && cols.iter().enumerate().all(|(i, &c)| i == c),
+                None => false,
+            }
+        }
+        _ => false,
     }
 }
 
@@ -1633,6 +1773,93 @@ mod tests {
         assert_eq!(bypass_m.calls, 1);
         assert_eq!(bypass_m.rows, 4);
         assert!(bypass_m.total_ms() >= bypass_m.self_ms());
+        // Dual-stream split counters: a > 2 on {1,2,3,4} → 2 pos, 2 neg.
+        assert_eq!(bypass_m.pos_rows, 2);
+        assert_eq!(bypass_m.neg_rows, 2);
+        assert_eq!(bypass_m.split_ratio(), Some(0.5));
+        assert!(bypass_m.is_bypass());
+        // σ± splits by refcount bump, never materializing.
+        assert_eq!(bypass_m.rows_shared, 4);
+        assert_eq!(bypass_m.rows_materialized, 0);
+        assert!(!union_m.is_bypass());
+    }
+
+    #[test]
+    fn metrics_track_hash_build_and_row_passing() {
+        let l = int_rel("l", &["a"], &[&[1], &[2], &[2], &[5]]);
+        let r = int_rel("r", &["b"], &[&[2], &[2], &[5], &[7]]);
+        let out_schema = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Int),
+        ]);
+        let join = PhysNode::new(
+            PhysKind::HashJoin {
+                left: l,
+                right: r,
+                left_keys: vec![PhysExpr::Column(0)],
+                right_keys: vec![PhysExpr::Column(0)],
+                residual: None,
+            },
+            out_schema,
+        );
+        let mut ctx = ExecContext::new(ExecOptions::default()).with_metrics();
+        let out = ctx.eval_plan(&join).unwrap();
+        assert_eq!(out.len(), 5);
+        let metrics = ctx.take_metrics();
+        let m = metrics[&(Arc::as_ptr(&join) as usize)];
+        assert_eq!(m.build_rows, 4, "all four build rows have non-NULL keys");
+        // Joins materialize concatenated pairs.
+        assert_eq!(m.rows_materialized, 5);
+        assert_eq!(m.rows_shared, 0);
+        assert!(!m.is_bypass());
+    }
+
+    #[test]
+    fn memo_counters_track_hits_and_misses() {
+        // Correlated EXISTS with memo_correlated on: 4 outer rows over
+        // 2 distinct correlation values → 2 misses + 2 hits.
+        let outer = int_rel("o", &["a"], &[&[1], &[2], &[1], &[2]]);
+        let inner = int_rel("i", &["b"], &[&[1], &[2]]);
+        let sub = PhysNode::new(
+            PhysKind::Filter {
+                input: inner,
+                predicate: PhysExpr::Binary {
+                    op: BinOp::Eq,
+                    left: Box::new(PhysExpr::Column(0)),
+                    right: Box::new(PhysExpr::Outer { depth: 1, index: 0 }),
+                },
+            },
+            Schema::new(vec![Field::new("b", DataType::Int)]),
+        );
+        let filter = PhysNode::new(
+            PhysKind::Filter {
+                input: outer.clone(),
+                predicate: PhysExpr::Exists {
+                    negated: false,
+                    plan: sub,
+                    correlated: true,
+                    outer_keys: vec![0],
+                },
+            },
+            outer.schema.clone(),
+        );
+        let mut ctx = ExecContext::new(ExecOptions {
+            memo_correlated: true,
+            ..Default::default()
+        });
+        let out = ctx.eval_plan(&filter).unwrap();
+        assert_eq!(out.len(), 4);
+        let c = ctx.counters();
+        assert_eq!(c.memo_corr_misses, 2);
+        assert_eq!(c.memo_corr_hits, 2);
+        assert_eq!(c.memo_hit_rate(), Some(0.5));
+        // With the memo off, neither counter moves.
+        let mut ctx = ExecContext::new(ExecOptions {
+            memo_correlated: false,
+            ..Default::default()
+        });
+        ctx.eval_plan(&filter).unwrap();
+        assert_eq!(ctx.counters(), ExecCounters::default());
     }
 
     #[test]

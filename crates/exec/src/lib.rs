@@ -22,7 +22,9 @@ mod node;
 mod plan;
 
 pub use agg::{create_accumulator, Accumulator, AggSpec};
-pub use eval::{evaluate, evaluate_shared, evaluate_with, ExecContext, ExecOptions, NodeMetrics};
+pub use eval::{
+    evaluate, evaluate_shared, evaluate_with, ExecContext, ExecCounters, ExecOptions, NodeMetrics,
+};
 pub use expr::{value_truth, PhysExpr};
 pub use node::{PhysKind, PhysNode};
 pub use plan::{physical_plan, physical_plan_with, PlanOptions, Resolver};

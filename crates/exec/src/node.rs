@@ -328,13 +328,29 @@ impl PhysNode {
                 out.push_str(&format!(" (#{id})"));
             }
             match metrics.get(&(ptr as usize)) {
-                Some(m) => out.push_str(&format!(
-                    "  [calls={} rows={} time={:.3}ms self={:.3}ms]",
-                    m.calls,
-                    m.rows,
-                    m.total_ms(),
-                    m.self_ms()
-                )),
+                Some(m) => {
+                    out.push_str(&format!(
+                        "  [calls={} rows={} time={:.3}ms self={:.3}ms",
+                        m.calls,
+                        m.rows,
+                        m.total_ms(),
+                        m.self_ms()
+                    ));
+                    if is_bypass {
+                        let split = m
+                            .split_ratio()
+                            .map(|r| format!("{:.1}%", r * 100.0))
+                            .unwrap_or_else(|| "-".to_string());
+                        out.push_str(&format!(
+                            " pos={} neg={} split={split}",
+                            m.pos_rows, m.neg_rows
+                        ));
+                    }
+                    if m.build_rows > 0 || m.reverify > 0 {
+                        out.push_str(&format!(" build={} reverify={}", m.build_rows, m.reverify));
+                    }
+                    out.push(']');
+                }
                 None => out.push_str("  [not executed]"),
             }
             out.push('\n');

@@ -18,6 +18,13 @@ pub enum Statement {
         rows: Vec<Vec<Expr>>,
     },
     Query(SelectStmt),
+    /// `EXPLAIN [ANALYZE] <select>` — plan inspection (`analyze =
+    /// false`) or instrumented execution with phase timings and
+    /// per-operator counters (`analyze = true`).
+    Explain {
+        analyze: bool,
+        query: SelectStmt,
+    },
 }
 
 /// A `SELECT` query block. Nested query blocks appear inside [`Expr`]s

@@ -6,6 +6,7 @@ use crate::token::{Keyword as K, Token, TokenKind as T};
 
 /// Parse a single SQL statement (a trailing `;` is allowed).
 pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let _span = bypass_trace::span("sql.parse");
     let mut p = Parser::new(sql)?;
     let stmt = p.statement()?;
     p.eat(&T::Semi);
@@ -117,8 +118,22 @@ impl Parser {
             T::Keyword(K::Select) => Ok(Statement::Query(self.select()?)),
             T::Keyword(K::Create) => self.create_table(),
             T::Keyword(K::Insert) => self.insert(),
-            _ => Err(self.error("expected SELECT, CREATE or INSERT")),
+            T::Keyword(K::Explain) => self.explain(),
+            _ => Err(self.error("expected SELECT, CREATE, INSERT or EXPLAIN")),
         }
+    }
+
+    /// `EXPLAIN [ANALYZE] <select>`.
+    fn explain(&mut self) -> Result<Statement> {
+        self.expect_kw(K::Explain)?;
+        let analyze = self.eat_kw(K::Analyze);
+        if !matches!(self.peek(), T::Keyword(K::Select)) {
+            return Err(self.error("expected SELECT after EXPLAIN"));
+        }
+        Ok(Statement::Explain {
+            analyze,
+            query: self.select()?,
+        })
     }
 
     fn create_table(&mut self) -> Result<Statement> {
@@ -570,6 +585,33 @@ mod tests {
 
     fn expr(s: &str) -> Expr {
         parse_expression(s).unwrap()
+    }
+
+    #[test]
+    fn explain_analyze_statement_parses() {
+        // EXPLAIN ANALYZE wraps the same SELECT grammar.
+        let plain = parse_statement("SELECT a FROM t WHERE a > 1").unwrap();
+        let Statement::Query(q) = plain else { panic!() };
+        let analyzed = parse_statement("EXPLAIN ANALYZE SELECT a FROM t WHERE a > 1;").unwrap();
+        assert_eq!(
+            analyzed,
+            Statement::Explain {
+                analyze: true,
+                query: q.clone()
+            }
+        );
+        // Plain EXPLAIN, lowercase keywords.
+        let explained = parse_statement("explain select a from t where a > 1").unwrap();
+        assert_eq!(
+            explained,
+            Statement::Explain {
+                analyze: false,
+                query: q
+            }
+        );
+        // EXPLAIN requires a SELECT.
+        let err = parse_statement("EXPLAIN ANALYZE INSERT INTO t VALUES (1)").unwrap_err();
+        assert!(err.to_string().contains("expected SELECT"), "{err}");
     }
 
     #[test]

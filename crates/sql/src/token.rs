@@ -34,6 +34,8 @@ pub enum Keyword {
     Avg,
     Min,
     Max,
+    Explain,
+    Analyze,
     Create,
     Table,
     Insert,
@@ -84,6 +86,8 @@ impl Keyword {
             "AVG" => Avg,
             "MIN" => Min,
             "MAX" => Max,
+            "EXPLAIN" => Explain,
+            "ANALYZE" => Analyze,
             "CREATE" => Create,
             "TABLE" => Table,
             "INSERT" => Insert,

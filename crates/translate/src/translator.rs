@@ -10,6 +10,7 @@ use bypass_types::{Error, Result, Value};
 
 /// Translate a parsed query block into its canonical logical plan.
 pub fn translate_query(catalog: &Catalog, stmt: &SelectStmt) -> Result<Arc<LogicalPlan>> {
+    let _span = bypass_trace::span("translate.query");
     Translator::new(catalog).translate(stmt)
 }
 

@@ -52,6 +52,7 @@ pub(crate) struct Ctx {
 
 /// Unnest a canonical plan using the bypass equivalences.
 pub fn unnest(plan: &Arc<LogicalPlan>, options: RewriteOptions) -> Result<Arc<LogicalPlan>> {
+    let _span = bypass_trace::span("unnest.drive");
     let mut ctx = Ctx {
         names: NameGen::new(),
         options,
@@ -348,6 +349,10 @@ fn rewrite_conjunct(
     }
 
     // Bypass chain (Eqv. 2/3 generalized to n disjuncts).
+    let mut sp = bypass_trace::span("unnest.bypass_chain");
+    if sp.is_recording() {
+        sp.arg("disjuncts", disjuncts.len() as u64);
+    }
     let ordered = order_disjuncts(disjuncts, ctx.options.order);
     let mut current = base;
     let mut outputs: Vec<PlanBuilder> = Vec::new();

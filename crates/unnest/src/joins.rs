@@ -28,6 +28,7 @@ use bypass_types::Schema;
 /// Apply join ordering everywhere in the plan (including nested
 /// subquery plans inside predicates).
 pub fn optimize_joins(plan: &Arc<LogicalPlan>) -> Arc<LogicalPlan> {
+    let _span = bypass_trace::span("unnest.optimize_joins");
     let mut memo: HashMap<*const LogicalPlan, Arc<LogicalPlan>> = HashMap::new();
     rewrite(plan, &mut memo)
 }

@@ -28,6 +28,7 @@ use crate::quantified::desugar_quantified;
 
 /// Apply the OR→UNION strategy to a canonical plan.
 pub fn union_rewrite(plan: &Arc<LogicalPlan>) -> Result<Arc<LogicalPlan>> {
+    let _span = bypass_trace::span("unnest.union_rewrite");
     let mut ctx = Ctx {
         names: NameGen::new(),
         options: RewriteOptions {

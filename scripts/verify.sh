@@ -24,4 +24,26 @@ cargo fmt --all -- --check
 echo "==> bench gating smoke (scripts/bench.sh smoke)"
 scripts/bench.sh smoke
 
+echo "==> observability smoke (profile JSON + Chrome trace + EXPLAIN ANALYZE)"
+# profile_canon validates both its --json output and the Chrome trace
+# with the in-tree bypass_trace::json validator before printing/writing
+# (no python needed); a tiny scale factor keeps this instant.
+trace_tmp="$(mktemp)"
+trap 'rm -f "$trace_tmp"' EXIT
+cargo run -q --release -p bypass-bench --bin profile_canon -- \
+    q1 unnested 0.01 0.01 --json --trace "$trace_tmp" > /dev/null
+test -s "$trace_tmp" || { echo "empty chrome trace export"; exit 1; }
+# EXPLAIN ANALYZE round-trips through the SQL frontend in the REPL.
+explain_out="$(printf '%s\n' \
+    'CREATE TABLE r (a1 INT, a2 INT, a3 INT, a4 INT);' \
+    'CREATE TABLE s (b1 INT, b2 INT, b3 INT, b4 INT);' \
+    'INSERT INTO r VALUES (1, 10, 0, 99), (0, 11, 0, 2000);' \
+    'INSERT INTO s VALUES (7, 10, 0, 0);' \
+    'EXPLAIN ANALYZE SELECT DISTINCT * FROM r WHERE a1 = (SELECT COUNT(DISTINCT *) FROM s WHERE a2 = b2) OR a4 > 1500;' \
+    | cargo run -q --release --bin bypassdb)"
+case "$explain_out" in
+  *"EXPLAIN ANALYZE (unnested)"*"-- bypass: 1 node(s)"*) ;;
+  *) echo "EXPLAIN ANALYZE smoke failed:"; echo "$explain_out"; exit 1 ;;
+esac
+
 echo "verify: OK"

@@ -112,6 +112,7 @@ impl Shell {
             }
             Ok(bypass::Response::Created) => println!("CREATE TABLE"),
             Ok(bypass::Response::Inserted(n)) => println!("INSERT {n}"),
+            Ok(bypass::Response::Explained(text)) => println!("{text}"),
             Err(e) => eprintln!("error: {e}"),
         }
     }

@@ -43,3 +43,10 @@ pub use bypass_core::*;
 pub mod datagen {
     pub use bypass_datagen::*;
 }
+
+/// In-tree tracing: spans, counters, and the Chrome-trace JSON export
+/// (`trace::set_enabled(true)` → run queries →
+/// `trace::export_chrome_and_clear()`, viewable in Perfetto).
+pub mod trace {
+    pub use bypass_trace::*;
+}

@@ -69,6 +69,23 @@ fn oracle_catches_planted_bypass_stream_flip() {
         text.contains("BYPASS_CHECK_SEED="),
         "mismatch display must tell the user how to replay:\n{text}"
     );
+    // Observability attachment: the report carries traced phase timings
+    // and bypass/memo counters for canonical AND the diverging strategy.
+    assert_eq!(mismatch.profiles.len(), 2, "{text}");
+    assert!(
+        text.contains("profile:   canonical:") && text.contains("profile:   unnested:"),
+        "both strategies profiled:\n{text}"
+    );
+    for p in &mismatch.profiles {
+        assert!(
+            p.contains("phases") || p.contains("profile unavailable"),
+            "profile line carries phase timings: {p}"
+        );
+    }
+    assert!(
+        text.contains("bypass[") && text.contains("memo["),
+        "counters attached:\n{text}"
+    );
 }
 
 /// The minimized artifact of a detected bug should itself still fail —
