@@ -1,0 +1,41 @@
+//! Behavioural counter gate for the full paper workload beyond Q1.
+//!
+//! No timing groups: this target exists purely to snapshot the exact
+//! execution counters (bypass dual-stream cardinalities, memo hit
+//! rates) of Q2–Q4, the quantified EXISTS variant and the combined
+//! linking+correlation query under canonical and unnested evaluation,
+//! and to gate them against `BENCH_baseline.json`. The counters are
+//! deterministic invariants of (query, strategy, instance) — any
+//! rewrite that silently changes how a plan splits tuples across σ±/⋈±
+//! streams (or stops memoizing) trips `scripts/bench.sh compare` even
+//! when timing noise would hide it.
+
+use bypass_bench::timing::{criterion_group, criterion_main, Criterion};
+
+use bypass_bench::{rst_database, Q2, Q3, Q4, Q_COMBINED, Q_EXISTS};
+use bypass_core::Strategy;
+
+/// Snapshot scale: small enough that canonical nested-loop evaluation
+/// of the disjunctive-correlation queries stays fast, large enough that
+/// every bypass stream is non-trivially populated. Fixed seed — the
+/// counters must be bit-identical run to run.
+const SF: (f64, f64) = (0.05, 0.05);
+const SEED: u64 = 42;
+
+fn bench_counters(_c: &mut Criterion) {
+    let db = rst_database(SF.0, SF.1, SEED);
+    for (group, sql) in [
+        ("q2", Q2),
+        ("q3", Q3),
+        ("q4", Q4),
+        ("qexists", Q_EXISTS),
+        ("qcombined", Q_COMBINED),
+    ] {
+        for strategy in [Strategy::Canonical, Strategy::Unnested] {
+            bypass_bench::record_counter_snapshot(group, &db, sql, strategy);
+        }
+    }
+}
+
+criterion_group!(benches, bench_counters);
+criterion_main!(benches);

@@ -287,10 +287,21 @@ pub struct CompareReport {
     pub threshold_pct: f64,
 }
 
-/// Compare current measurements against `base`: anything more than
-/// `threshold_pct` percent slower is a regression. Determinism: inputs
-/// are visited in order, so two runs over the same data produce
-/// identical reports.
+/// True for registry entries that are exact behavioural counters rather
+/// than timing medians: `{group}/counters/{strategy}/{counter}`. These
+/// are deterministic invariants of (query, strategy, instance) — they
+/// gate on (numerical) equality, in both directions, including when the
+/// baseline value is zero ("canonical has no bypass nodes" is itself an
+/// invariant worth protecting).
+fn is_counter_entry(name: &str) -> bool {
+    name.contains("/counters/")
+}
+
+/// Compare current measurements against `base`: a timing median more
+/// than `threshold_pct` percent slower is a regression; a counter
+/// snapshot (`…/counters/…`) that differs *at all* is a regression.
+/// Determinism: inputs are visited in order, so two runs over the same
+/// data produce identical reports.
 pub fn compare(base: &Baseline, current: &[(String, f64)], threshold_pct: f64) -> CompareReport {
     let mut report = CompareReport {
         threshold_pct,
@@ -300,6 +311,27 @@ pub fn compare(base: &Baseline, current: &[(String, f64)], threshold_pct: f64) -
     for (name, secs) in current {
         seen.insert(name.as_str());
         match base.get(name) {
+            Some(b) if is_counter_entry(name) => {
+                // Equality up to the 9-decimal round-trip through the
+                // JSON file (derived percentages are not exactly
+                // representable; raw row counts are).
+                let tol = 1e-6 * b.abs().max(1.0);
+                if (secs - b).abs() <= tol {
+                    report.unchanged += 1;
+                } else {
+                    let delta_pct = if b > 0.0 {
+                        (secs / b - 1.0) * 100.0
+                    } else {
+                        f64::INFINITY
+                    };
+                    report.regressions.push(Delta {
+                        name: name.clone(),
+                        baseline_secs: b,
+                        current_secs: *secs,
+                        delta_pct,
+                    });
+                }
+            }
             Some(b) if b > 0.0 => {
                 let delta_pct = (secs / b - 1.0) * 100.0;
                 let delta = Delta {
@@ -437,6 +469,41 @@ mod tests {
         assert!(report.regressions.is_empty());
         assert!(report.improvements.is_empty());
         assert_eq!(report.unchanged, 2);
+    }
+
+    #[test]
+    fn counter_entries_gate_on_equality_both_directions_and_zero() {
+        let mut base = Baseline::new();
+        base.set("q2/counters/unnested/bypass_pos_rows", 257.0);
+        base.set("q2/counters/canonical/bypass_pos_rows", 0.0);
+        base.set("q2/counters/unnested/bypass_split_pct", 48.6);
+        // Exact match (incl. the 9-decimal JSON round-trip on the
+        // derived percentage) is unchanged…
+        let ok = vec![
+            ("q2/counters/unnested/bypass_pos_rows".to_string(), 257.0),
+            ("q2/counters/canonical/bypass_pos_rows".to_string(), 0.0),
+            (
+                "q2/counters/unnested/bypass_split_pct".to_string(),
+                243.0 / 500.0 * 100.0,
+            ),
+        ];
+        let report = compare(&base, &ok, 25.0);
+        assert!(report.regressions.is_empty(), "{report}");
+        assert_eq!(report.unchanged, 3);
+        // …while any drift fails, even small, even downward, and even
+        // off a zero baseline (timing entries would tolerate all three).
+        let drifted = vec![
+            ("q2/counters/unnested/bypass_pos_rows".to_string(), 250.0),
+            ("q2/counters/canonical/bypass_pos_rows".to_string(), 12.0),
+            ("q2/counters/unnested/bypass_split_pct".to_string(), 48.6),
+        ];
+        let report = compare(&base, &drifted, 25.0);
+        assert_eq!(report.regressions.len(), 2, "{report}");
+        assert!(report.improvements.is_empty());
+        assert!(report
+            .regressions
+            .iter()
+            .any(|d| d.name.ends_with("canonical/bypass_pos_rows") && d.delta_pct.is_infinite()));
     }
 
     #[test]

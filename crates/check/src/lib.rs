@@ -32,9 +32,9 @@ pub use gen::{
 };
 pub use mutate::{flip_bypass_streams, BrokenUnnestExecutor};
 pub use oracle::{
-    arb_query, case_seed, random_instance, run_differential, run_differential_parallel,
-    run_differential_with, DefaultExecutor, Mismatch, OracleConfig, OracleReport, QueryExecutor,
-    QuerySpec,
+    arb_query, case_seed, random_instance, rewrite_fingerprint, run_differential,
+    run_differential_parallel, run_differential_with, schedule_cases, DefaultExecutor, Mismatch,
+    OracleConfig, OracleReport, OrderSpec, QueryExecutor, QuerySpec, Schedule, MAX_NESTING_DEPTH,
 };
 pub use prop::{forall, forall_cases, Config, DEFAULT_SEED};
 pub use rng::{split_mix64, Rng, SampleRange};

@@ -204,11 +204,18 @@ mod tests {
             hash_values(&[Value::Float(f64::NAN)]),
             hash_values(&[Value::Float(f64::NAN)])
         );
-        // Int(1) != Float(1.0) structurally, and should (almost surely)
-        // hash differently because the discriminant is hashed.
-        assert_ne!(
+        // Int(1) == Float(1.0) (numeric coercion for integral floats),
+        // so the two must hash identically or hash-join/aggregate key
+        // lookups drop matches that `Value::cmp` and SQL `=` accept.
+        assert_eq!(
             hash_values(&[Value::Int(1)]),
             hash_values(&[Value::Float(1.0)])
+        );
+        // Non-integral floats are never Eq to an Int; their hash is free
+        // to differ (and does, via the float-bits key).
+        assert_ne!(
+            hash_values(&[Value::Int(1)]),
+            hash_values(&[Value::Float(1.5)])
         );
     }
 

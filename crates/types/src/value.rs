@@ -238,6 +238,25 @@ impl Value {
             f.to_bits()
         }
     }
+
+    /// The exact `i64` a float represents, if any: integral, in range,
+    /// and round-tripping without precision loss. The shared definition
+    /// behind numeric `Eq`/`Hash` — `Float(1.0)` and `Int(1)` must be
+    /// one equivalence class (and hash identically) or hash joins and
+    /// grouping disagree with SQL `=` and with [`Ord`], which already
+    /// compares `Int`/`Float` numerically. (`AVG` of an INT column is a
+    /// float; joining it back against an INT key is exactly the shape
+    /// Eqv. 1 produces.)
+    fn float_as_i64(f: f64) -> Option<i64> {
+        // `i64::MAX as f64` rounds up to 2^63, which is *not* a valid
+        // i64 — exclude it with a strict bound; `i64::MIN as f64` is
+        // exact. Non-finite and fractional floats fall out via `fract`.
+        if f.fract() == 0.0 && f >= i64::MIN as f64 && f < i64::MAX as f64 {
+            Some(f as i64)
+        } else {
+            None
+        }
+    }
 }
 
 /// Glob-style matcher for SQL LIKE. Iterative two-pointer algorithm with
@@ -285,6 +304,10 @@ impl PartialEq for Value {
             (Null, Null) => true,
             (Int(a), Int(b)) => a == b,
             (Float(a), Float(b)) => Value::float_key(*a) == Value::float_key(*b),
+            // Cross-type numeric equality, consistent with `Ord` (which
+            // compares Int/Float as numbers) and with the SQL `=` the
+            // evaluator implements: `Int(1) == Float(1.0)`.
+            (Int(a), Float(b)) | (Float(b), Int(a)) => Value::float_as_i64(*b) == Some(*a),
             (Text(a), Text(b)) => a == b,
             (Bool(a), Bool(b)) => a == b,
             _ => false,
@@ -297,13 +320,34 @@ impl Eq for Value {}
 impl Hash for Value {
     fn hash<H: Hasher>(&self, state: &mut H) {
         use Value::*;
-        std::mem::discriminant(self).hash(state);
+        // Explicit type tags (matching the `Ord` ranks) instead of
+        // `mem::discriminant`: Int and Float share the numeric tag so
+        // equal cross-type numerics hash identically — the invariant
+        // the join hash table and the grouping operator rely on.
         match self {
-            Null => {}
-            Int(i) => i.hash(state),
-            Float(f) => Value::float_key(*f).hash(state),
-            Text(s) => s.hash(state),
-            Bool(b) => b.hash(state),
+            Null => state.write_u8(0),
+            Bool(b) => {
+                state.write_u8(1);
+                b.hash(state);
+            }
+            Int(i) => {
+                state.write_u8(2);
+                i.hash(state);
+            }
+            Float(f) => {
+                state.write_u8(2);
+                // An exactly-integral float hashes as its integer; the
+                // normalized bit pattern cannot be mistaken for one
+                // because `Eq` always re-checks the payload.
+                match Value::float_as_i64(*f) {
+                    Some(i) => i.hash(state),
+                    None => Value::float_key(*f).hash(state),
+                }
+            }
+            Text(s) => {
+                state.write_u8(3);
+                s.hash(state);
+            }
         }
     }
 }
@@ -439,11 +483,23 @@ mod tests {
     }
 
     #[test]
-    fn structural_eq_distinguishes_types_but_groups_nulls() {
+    fn structural_eq_coerces_integral_floats_and_groups_nulls() {
         assert_eq!(Value::Null, Value::Null);
-        assert_ne!(Value::Int(1), Value::Float(1.0));
+        // Integral floats equal their integer counterpart — this keeps
+        // hash-join/aggregate key matching consistent with `Value::cmp`
+        // and SQL `=` (see tests/corpus/typea_avg_float_int_key.sql).
+        assert_eq!(Value::Int(1), Value::Float(1.0));
+        assert_eq!(Value::Float(1.0), Value::Int(1));
+        assert_ne!(Value::Int(1), Value::Float(1.5));
+        assert_ne!(Value::Int(2), Value::Float(1.0));
+        // Out-of-range / non-integral floats never equal any Int.
+        assert_ne!(Value::Int(i64::MAX), Value::Float(i64::MAX as f64));
+        assert_ne!(Value::Int(0), Value::Float(f64::NAN));
         assert_eq!(Value::Float(0.0), Value::Float(-0.0));
+        assert_eq!(Value::Int(0), Value::Float(-0.0));
         assert_eq!(Value::Float(f64::NAN), Value::Float(f64::NAN));
+        assert_ne!(Value::Int(1), Value::text("1"));
+        assert_ne!(Value::Bool(true), Value::Int(1));
     }
 
     #[test]
@@ -456,6 +512,9 @@ mod tests {
         }
         assert_eq!(h(&Value::Float(0.0)), h(&Value::Float(-0.0)));
         assert_eq!(h(&Value::Float(f64::NAN)), h(&Value::Float(f64::NAN)));
+        // Eq coerces integral floats to ints, so Hash must agree.
+        assert_eq!(h(&Value::Int(1)), h(&Value::Float(1.0)));
+        assert_eq!(h(&Value::Int(0)), h(&Value::Float(-0.0)));
     }
 
     #[test]

@@ -61,18 +61,25 @@ pub fn unnest(plan: &Arc<LogicalPlan>, options: RewriteOptions) -> Result<Arc<Lo
     drive(plan, &mut ctx, &mut memo)
 }
 
-type Memo = HashMap<*const LogicalPlan, Arc<LogicalPlan>>;
+/// Rewrite memo, keyed by node address for O(1) DAG sharing.
+///
+/// The value holds a clone of the *key* `Arc` alongside the result: a
+/// raw `*const LogicalPlan` key alone does not keep the node alive, and
+/// a later allocation reusing the freed address would silently replay an
+/// unrelated rewrite (observed as unbound correlation columns on
+/// multi-level nested queries).
+type Memo = HashMap<*const LogicalPlan, (Arc<LogicalPlan>, Arc<LogicalPlan>)>;
 
 pub(crate) fn drive(
     plan: &Arc<LogicalPlan>,
     ctx: &mut Ctx,
     memo: &mut Memo,
 ) -> Result<Arc<LogicalPlan>> {
-    if let Some(done) = memo.get(&Arc::as_ptr(plan)) {
+    if let Some((_keepalive, done)) = memo.get(&Arc::as_ptr(plan)) {
         return Ok(done.clone());
     }
     let result = drive_inner(plan, ctx, memo)?;
-    memo.insert(Arc::as_ptr(plan), result.clone());
+    memo.insert(Arc::as_ptr(plan), (plan.clone(), result.clone()));
     Ok(result)
 }
 

@@ -17,7 +17,7 @@
 #   BENCH_REGRESS_PCT   regression threshold (default: 25 — a benchmark
 #                       more than 25% slower than baseline fails the gate)
 #   BENCH_FILTER        space-separated bench target list
-#                       (default: fig7a_q1 fig7b_q2d fig7c_q2 operators)
+#                       (default: fig7a_q1 fig7b_q2d fig7c_q2 operators counters)
 #   BYPASS_THREADS      worker count for grid fan-out (leave unset for
 #                       timing runs; timings are only comparable serial)
 set -euo pipefail
@@ -28,7 +28,9 @@ export CARGO_NET_OFFLINE=true
 MODE="${1:-compare}"
 BASELINE="${BENCH_BASELINE:-$PWD/BENCH_baseline.json}"
 THRESHOLD="${BENCH_REGRESS_PCT:-25}"
-BENCHES="${BENCH_FILTER:-fig7a_q1 fig7b_q2d fig7c_q2 operators}"
+# `counters` is timing-free: it gates the exact execution-counter
+# snapshots of Q2-Q4 / qexists / qcombined (see benches/counters.rs).
+BENCHES="${BENCH_FILTER:-fig7a_q1 fig7b_q2d fig7c_q2 operators counters}"
 
 case "$MODE" in
 save | compare) ;;

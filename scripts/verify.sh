@@ -24,6 +24,17 @@ cargo fmt --all -- --check
 echo "==> bench gating smoke (scripts/bench.sh smoke)"
 scripts/bench.sh smoke
 
+echo "==> widened differential oracle (pinned seed, full strategy matrix)"
+# 2000 grammar-generated queries (multi-level nesting, derived inner
+# tables, ORDER BY/LIMIT) x 7 strategies with coverage-guided
+# scheduling. Prints the per-fingerprint coverage table and fails on any
+# mismatch or any under-covered Eqv. 1-5 / structural shape. The seed is
+# pinned so CI failures replay exactly:
+#   BYPASS_CHECK_SEED=<reported case seed> BYPASS_CHECK_CASES=1 \
+#       cargo test --test differential
+BYPASS_CHECK_SEED=0xB1A5 BYPASS_CHECK_CASES=2000 \
+    cargo run -q --release -p bypass-check --bin widened_oracle
+
 echo "==> observability smoke (profile JSON + Chrome trace + EXPLAIN ANALYZE)"
 # profile_canon validates both its --json output and the Chrome trace
 # with the in-tree bypass_trace::json validator before printing/writing

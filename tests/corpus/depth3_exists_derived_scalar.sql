@@ -1,0 +1,13 @@
+-- Found by the widened oracle (2026-08-06, BYPASS_CHECK_SEED=0x8e828f317b043b88,
+-- run seed 0xB1A5 case 165): depth-3 nesting — disjunctive IN over a block whose
+-- correlated EXISTS contains a scalar MIN over a derived table. The rewrite-driver
+-- memos (`driver.rs::drive`, `union_rewrite.rs::drive_union`) keyed plans by raw
+-- `Arc` address without keeping the key alive; the deep recursion here drops
+-- rewritten intermediates whose reused addresses then false-hit the memo and
+-- splice an unrelated subtree into the plan, surfacing as
+--   plan error: unknown column `b2`; local scope: [t.c1..c4, __k8, __g7]
+-- (ASLR-dependent, so the symptom was flaky across processes).
+SELECT * FROM r WHERE a4 IN (SELECT b4 FROM s WHERE b2 >= 0 AND EXISTS
+  (SELECT c1 FROM t WHERE b2 = c4 AND c3 <=
+    (SELECT MIN(f4) FROM (SELECT c1 AS f1, c2 AS f2, c3 AS f3, c4 AS f4 FROM t) f)))
+  OR a1 >= 4

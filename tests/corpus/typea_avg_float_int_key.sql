@@ -1,0 +1,10 @@
+-- Found by the widened oracle (2026-08-06, BYPASS_CHECK_SEED=0xe5b9aceb296c7d54,
+-- run seed 0x2 case 769): type-A AVG attach compared against an INT column.
+-- After unnesting, `a2 = __g0` becomes a hash-join key pair Int vs Float;
+-- `Value::eq`/`Value::hash` discriminated by variant, so `Int(1)` never matched
+-- the aggregate's `Float(1.0)` build key while canonical evaluation (and
+-- `Value::cmp`, which compares numerically) said they are equal — every
+-- hash-joining strategy silently dropped the matching rows.
+-- (AVG(b2) keeps the aggregate integral-valued on the handcrafted corpus
+-- instance so the Int-vs-Float key comparison is actually exercised there.)
+SELECT * FROM r WHERE a2 = (SELECT AVG(b2) FROM s WHERE b3 < 2) OR a2 <> 5
