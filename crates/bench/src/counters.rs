@@ -26,7 +26,11 @@ use crate::timing::record;
 /// * `bypass_split_pct` — negative share of the total split, percent
 ///   (only when the plan has bypass operators),
 /// * `memo_hit_pct` — subquery memo hit rate, percent (only when the
-///   run probed a memo).
+///   run probed a memo),
+/// * `peak_memory_bytes` / `checkpoints` — the resource governor's
+///   deterministic byte-model high-water mark and checkpoint count
+///   (pure functions of plan + data; any drift means the executor's
+///   materialization behaviour changed).
 pub fn record_counter_snapshot(group: &str, db: &Database, sql: &str, strategy: Strategy) {
     let profile = match db.profile(sql, strategy) {
         Ok(p) => p,
@@ -53,8 +57,13 @@ pub fn record_counter_snapshot(group: &str, db: &Database, sql: &str, strategy: 
         }
         None => "-".to_string(),
     };
+    let peak = profile.counters.peak_memory_bytes;
+    let checkpoints = profile.counters.checkpoints;
+    record(format!("{prefix}/peak_memory_bytes"), peak as f64);
+    record(format!("{prefix}/checkpoints"), checkpoints as f64);
     println!(
-        "{prefix:<40} bypass nodes {nodes}  pos {pos}  neg {neg}  split {split}  memo-hit {memo}"
+        "{prefix:<40} bypass nodes {nodes}  pos {pos}  neg {neg}  split {split}  memo-hit {memo}  \
+         peak {peak} B  checkpoints {checkpoints}"
     );
 }
 

@@ -15,24 +15,31 @@
 //!    [`bypass_core::Strategy`] matrix with bag-equality against
 //!    canonical nested-loop evaluation, plus plan mutations that let
 //!    tests verify the oracle actually catches broken rewrites.
+//! 4. [`fault`]: a fault-point injection oracle — deterministic faults
+//!    (memory-budget trip, deadline trip, cancellation) injected at
+//!    exact governor checkpoints of the same grammar-generated queries,
+//!    asserting typed errors (never panics), balanced tracing span
+//!    stacks, and clean re-runs (`BYPASS_CHECK_FAULT_SEED=…` replay).
 //!
 //! Reproduction workflow: any failure prints a seed; re-run with
 //! `BYPASS_CHECK_SEED=<seed>` (optionally `BYPASS_CHECK_CASES=1`) to
 //! replay the failing input as case 0.
 
+pub mod fault;
 pub mod gen;
 pub mod mutate;
 pub mod oracle;
 pub mod prop;
 pub mod rng;
 
+pub use fault::{run_fault_campaign, FaultConfig, FaultFailure, FaultReport};
 pub use gen::{
     array_of, bool_any, choice, f64_range, i64_any, int_range, just, one_of, option_weighted,
     string_any, string_of, tuple2, tuple3, tuple4, usize_range, vec_of, Gen,
 };
 pub use mutate::{flip_bypass_streams, BrokenUnnestExecutor};
 pub use oracle::{
-    arb_query, case_seed, random_instance, rewrite_fingerprint, run_differential,
+    arb_query, case_seed, materialize_case, random_instance, rewrite_fingerprint, run_differential,
     run_differential_parallel, run_differential_with, schedule_cases, DefaultExecutor, Mismatch,
     OracleConfig, OracleReport, OrderSpec, QueryExecutor, QuerySpec, Schedule, MAX_NESTING_DEPTH,
 };

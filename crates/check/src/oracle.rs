@@ -462,6 +462,12 @@ pub struct QuerySpec {
 }
 
 impl QuerySpec {
+    /// The outer ORDER BY / LIMIT contract of this query, if any —
+    /// what [`results_agree`]'s ordered comparator keys off.
+    pub fn order(&self) -> Option<&OrderSpec> {
+        self.order.as_ref()
+    }
+
     /// Render to SQL.
     pub fn sql(&self) -> String {
         let distinct = if self.distinct { "DISTINCT " } else { "" };
@@ -923,6 +929,41 @@ pub fn random_instance(rng: &mut Rng, cfg: &OracleConfig) -> Database {
     build_database(&[("r", 'a', &r), ("s", 'b', &s), ("t", 'c', &t)])
 }
 
+/// Regenerate the exact (query, instance) pair of an oracle case from
+/// its seed — the same recipe [`run_case`] uses (query first, then the
+/// three tables), exposed so the fault-injection oracle and replay
+/// tooling can rebuild a case without running the differential
+/// comparison.
+pub fn materialize_case(seed: u64, cfg: &OracleConfig) -> (QuerySpec, Database) {
+    let mut rng = Rng::seed_from_u64(seed);
+    let spec = arb_query(&mut rng, cfg);
+    let db = random_instance(&mut rng, cfg);
+    (spec, db)
+}
+
+/// Process-wide gate serializing every enable-trace / run / drain
+/// window (shared by [`rewrite_fingerprint`] and the fault campaign)
+/// so concurrent users never steal each other's span events or clobber
+/// the global enable flag mid-window.
+pub(crate) fn trace_gate() -> std::sync::MutexGuard<'static, ()> {
+    use std::sync::{Mutex, OnceLock};
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Parse a seed from environment variable `var`: decimal, or hex with
+/// a `0x` prefix. `None` when unset or unparsable.
+pub(crate) fn env_seed(var: &str) -> Option<u64> {
+    std::env::var(var).ok().and_then(|s| {
+        let s = s.trim();
+        s.strip_prefix("0x")
+            .map(|h| u64::from_str_radix(h, 16).ok())
+            .unwrap_or_else(|| s.parse().ok())
+    })
+}
+
 // ---------------------------------------------------------------------
 // Rewrite-shape fingerprinting + coverage-guided scheduling
 // ---------------------------------------------------------------------
@@ -944,12 +985,7 @@ fn fingerprint_database() -> Database {
 /// window so concurrent oracle runs never steal each other's spans
 /// (events are additionally filtered to the calling thread).
 pub fn rewrite_fingerprint(db: &Database, sql: &str) -> Vec<String> {
-    use std::sync::{Mutex, OnceLock};
-    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
-    let _guard = GATE
-        .get_or_init(|| Mutex::new(()))
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let _guard = trace_gate();
 
     let plan = match db.logical_plan(sql) {
         Ok(p) => p,
@@ -1123,15 +1159,7 @@ impl Default for OracleConfig {
             max_rows: 18,
             domain: 8,
             null_ratio: (1, 7),
-            seed: std::env::var("BYPASS_CHECK_SEED")
-                .ok()
-                .and_then(|s| {
-                    let s = s.trim();
-                    s.strip_prefix("0x")
-                        .map(|h| u64::from_str_radix(h, 16).ok())
-                        .unwrap_or_else(|| s.parse().ok())
-                })
-                .unwrap_or(DEFAULT_SEED),
+            seed: env_seed("BYPASS_CHECK_SEED").unwrap_or(DEFAULT_SEED),
             strategies: Strategy::all().to_vec(),
             minimize: true,
             schedule_attempts: 3,
@@ -1250,7 +1278,7 @@ fn profile_summary(db: &Database, sql: &str, strategy: Strategy) -> String {
 /// strategy-dependent), which is exactly the normalization the
 /// determinism audit calls for: key projections of a key-sorted bag
 /// are unique, full-row orders are not.
-fn results_agree(
+pub(crate) fn results_agree(
     reference: &Relation,
     got: &Relation,
     order: Option<&OrderSpec>,

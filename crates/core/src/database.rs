@@ -10,7 +10,9 @@ use bypass_exec::{
 };
 use bypass_sql::{parse_statement, Expr, SelectStmt, Statement};
 use bypass_translate::{translate_query, Translator};
-use bypass_types::{DataType, Error, Field, Relation, Result, Schema, Tuple, Value};
+use bypass_types::{
+    CancelToken, DataType, Error, Field, InjectedFault, Relation, Result, Schema, Tuple, Value,
+};
 use bypass_unnest::optimize_joins;
 
 use crate::Strategy;
@@ -49,19 +51,82 @@ impl Prepared {
         self.execute_with_timeout(None)
     }
 
-    /// Run the compiled plan with a timeout.
+    /// Run the compiled plan with a timeout. The deadline applies to
+    /// this run only; a timed-out `Prepared` can be re-executed (each
+    /// run gets a fresh `ExecContext`, so no memo or metric residue
+    /// survives a failed run).
     pub fn execute_with_timeout(&self, timeout: Option<Duration>) -> Result<Relation> {
-        let options = ExecOptions {
+        self.execute_governed(&RunLimits {
             timeout,
-            ..self.options
-        };
-        evaluate_with(&self.physical, options)
+            ..Default::default()
+        })
+        .map(|(rel, _)| rel)
+    }
+
+    /// Run the compiled plan under a cooperative cancel token: the run
+    /// returns [`Error::Cancelled`](bypass_types::Error::Cancelled) at
+    /// its next governor checkpoint after `cancel.cancel()` fires.
+    pub fn execute_cancellable(&self, cancel: &CancelToken) -> Result<Relation> {
+        self.execute_governed(&RunLimits {
+            cancel: Some(cancel.clone()),
+            ..Default::default()
+        })
+        .map(|(rel, _)| rel)
+    }
+
+    /// Run the compiled plan under explicit [`RunLimits`], returning
+    /// the result together with the run's execution counters (memo
+    /// totals, peak governed memory, checkpoint count).
+    pub fn execute_governed(&self, limits: &RunLimits) -> Result<(Relation, ExecCounters)> {
+        let mut options = self.options.clone();
+        limits.apply(&mut options);
+        let mut ctx = ExecContext::new(options);
+        let rel = ctx.eval_plan(&self.physical)?;
+        let counters = ctx.counters();
+        let rel = Arc::try_unwrap(rel).unwrap_or_else(|shared| shared.as_ref().clone());
+        Ok((rel, counters))
     }
 
     /// The concrete strategy the query was compiled under (CostBased is
     /// resolved at preparation time).
     pub fn strategy(&self) -> Strategy {
         self.strategy
+    }
+}
+
+/// Per-run resource-governance overrides layered on top of a strategy's
+/// baseline [`ExecOptions`]. Every field defaults to "no override", so
+/// `RunLimits::default()` reproduces the plain run.
+#[derive(Debug, Clone, Default)]
+pub struct RunLimits {
+    /// Wall-clock deadline for this run.
+    pub timeout: Option<Duration>,
+    /// Byte-accurate memory budget (deterministic byte model; see
+    /// DESIGN.md §5f).
+    pub max_memory_bytes: Option<u64>,
+    /// Cooperative cancellation token polled at every governor
+    /// checkpoint.
+    pub cancel: Option<CancelToken>,
+    /// Deterministic fault injection (testing): fail at exactly this
+    /// governor checkpoint.
+    pub fault: Option<InjectedFault>,
+}
+
+impl RunLimits {
+    /// Overlay these limits onto a strategy's baseline options.
+    fn apply(&self, options: &mut ExecOptions) {
+        if self.timeout.is_some() {
+            options.timeout = self.timeout;
+        }
+        if self.max_memory_bytes.is_some() {
+            options.max_memory_bytes = self.max_memory_bytes;
+        }
+        if self.cancel.is_some() {
+            options.cancel = self.cancel.clone();
+        }
+        if self.fault.is_some() {
+            options.fault = self.fault;
+        }
     }
 }
 
@@ -216,6 +281,10 @@ impl QueryProfile {
              hit rate {rate}\n",
             c.memo_uncorr_hits, c.memo_uncorr_misses, c.memo_corr_hits, c.memo_corr_misses
         ));
+        out.push_str(&format!(
+            "-- governor: peak_memory={} bytes, checkpoints={}\n",
+            c.peak_memory_bytes, c.checkpoints
+        ));
         out
     }
 }
@@ -355,6 +424,81 @@ impl Database {
             s.arg("strategy", strategy.to_string());
         }
         evaluate_with(&physical, options)
+    }
+
+    /// Run a `SELECT` under a cooperative cancel token. Calling
+    /// `cancel.cancel()` from any thread makes the run return
+    /// [`Error::Cancelled`](bypass_types::Error::Cancelled) at its next
+    /// governor checkpoint; the database stays fully usable afterwards.
+    ///
+    /// ```
+    /// use bypass_core::{Database, Strategy};
+    /// use bypass_types::CancelToken;
+    /// let mut db = Database::new();
+    /// db.execute_sql("CREATE TABLE t (x INT)").unwrap();
+    /// db.execute_sql("INSERT INTO t VALUES (1), (2)").unwrap();
+    /// let token = CancelToken::new();
+    /// token.cancel(); // cancel before the run: fails at checkpoint 1
+    /// let err = db
+    ///     .run_cancellable("SELECT x FROM t", Strategy::Canonical, &token)
+    ///     .unwrap_err();
+    /// assert_eq!(err, bypass_types::Error::Cancelled);
+    /// token.reset();
+    /// assert_eq!(
+    ///     db.run_cancellable("SELECT x FROM t", Strategy::Canonical, &token)
+    ///         .unwrap()
+    ///         .len(),
+    ///     2
+    /// );
+    /// ```
+    pub fn run_cancellable(
+        &self,
+        sql: &str,
+        strategy: Strategy,
+        cancel: &CancelToken,
+    ) -> Result<Relation> {
+        self.run_governed(
+            sql,
+            strategy,
+            &RunLimits {
+                cancel: Some(cancel.clone()),
+                ..Default::default()
+            },
+        )
+        .map(|(rel, _)| rel)
+    }
+
+    /// Run a `SELECT` under explicit [`RunLimits`] (deadline, memory
+    /// budget, cancel token, injected fault), returning the result and
+    /// the run's [`ExecCounters`] — including the governor's
+    /// deterministic peak-memory and checkpoint totals.
+    pub fn run_governed(
+        &self,
+        sql: &str,
+        strategy: Strategy,
+        limits: &RunLimits,
+    ) -> Result<(Relation, ExecCounters)> {
+        let canonical = self.logical_plan(sql)?;
+        let strategy = self.resolve_strategy(&canonical, strategy)?;
+        let logical = {
+            let mut s = bypass_trace::span("prepare");
+            if s.is_recording() {
+                s.arg("strategy", strategy.to_string());
+            }
+            strategy.prepare(&canonical)?
+        };
+        let physical = physical_plan(&logical, &self.catalog)?;
+        let mut options = strategy.exec_options();
+        limits.apply(&mut options);
+        let mut s = bypass_trace::span("execute");
+        if s.is_recording() {
+            s.arg("strategy", strategy.to_string());
+        }
+        let mut ctx = ExecContext::new(options);
+        let rel = ctx.eval_plan(&physical)?;
+        let counters = ctx.counters();
+        let rel = Arc::try_unwrap(rel).unwrap_or_else(|shared| shared.as_ref().clone());
+        Ok((rel, counters))
     }
 
     /// Compile a `SELECT` once for repeated execution.

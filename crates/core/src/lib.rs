@@ -6,13 +6,16 @@
 mod database;
 mod strategy;
 
-pub use database::{Database, PhaseNanos, Prepared, QueryProfile, Response};
+pub use database::{Database, PhaseNanos, Prepared, QueryProfile, Response, RunLimits};
 pub use strategy::Strategy;
 
 pub use bypass_algebra::LogicalPlan;
 pub use bypass_catalog::{Catalog, TableBuilder};
 pub use bypass_exec::ExecOptions;
-pub use bypass_types::{DataType, Error, Field, Relation, Result, Schema, Tuple, Value};
+pub use bypass_types::{
+    CancelToken, DataType, Error, FaultKind, Field, InjectedFault, Relation, ResourceKind, Result,
+    Schema, Tuple, Value,
+};
 
 // A `Database` is shared by reference across the scoped worker threads
 // of the parallel oracle and the bench grid; queries never mutate it.

@@ -1,5 +1,7 @@
 use bypass_algebra::AggFunc;
-use bypass_types::{Error, FxHashSet, Result, Tuple, Value};
+use bypass_types::{
+    tuple_bytes, value_heap_bytes, Error, FxHashSet, Result, Tuple, Value, VALUE_BYTES,
+};
 
 use crate::expr::PhysExpr;
 
@@ -62,11 +64,21 @@ impl Accumulator {
     /// Fold one row into the accumulator. `value` is the evaluated
     /// argument (ignored by the whole-row COUNT variants, which use
     /// `tuple`).
-    pub fn update(&mut self, tuple: &Tuple, value: Option<&Value>) -> Result<()> {
+    ///
+    /// Returns the bytes of state newly *retained* by this update under
+    /// the deterministic byte model: the DISTINCT variants grow a hash
+    /// set without bound, so each first-seen value reports its cost and
+    /// the executor's governor charges it against the memory budget.
+    /// Constant-state accumulators always report 0.
+    pub fn update(&mut self, tuple: &Tuple, value: Option<&Value>) -> Result<u64> {
+        let mut retained = 0u64;
         match self {
             Accumulator::CountRows { n } => *n += 1,
             Accumulator::CountDistinctRows { seen } => {
-                seen.insert(tuple.clone());
+                let bytes = tuple_bytes(tuple);
+                if seen.insert(tuple.clone()) {
+                    retained = bytes;
+                }
             }
             Accumulator::CountValues { n } => {
                 if value.is_some_and(|v| !v.is_null()) {
@@ -76,7 +88,10 @@ impl Accumulator {
             Accumulator::CountDistinctValues { seen } => {
                 if let Some(v) = value {
                     if !v.is_null() {
-                        seen.insert(v.clone());
+                        let bytes = VALUE_BYTES + value_heap_bytes(v);
+                        if seen.insert(v.clone()) {
+                            retained = bytes;
+                        }
                     }
                 }
             }
@@ -93,7 +108,10 @@ impl Accumulator {
             Accumulator::SumDistinct { seen } | Accumulator::AvgDistinct { seen } => {
                 if let Some(v) = value {
                     if !v.is_null() {
-                        seen.insert(v.clone());
+                        let bytes = VALUE_BYTES + value_heap_bytes(v);
+                        if seen.insert(v.clone()) {
+                            retained = bytes;
+                        }
                     }
                 }
             }
@@ -144,7 +162,7 @@ impl Accumulator {
                 }
             }
         }
-        Ok(())
+        Ok(retained)
     }
 
     /// Final aggregate value.

@@ -3,7 +3,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bypass_types::{
-    compare_tuples, fxhash, Error, FxHashMap, Relation, Result, SortKey, Truth, Tuple, Value,
+    compare_tuples, fxhash, tuple_bytes, CancelToken, Error, FaultKind, FxHashMap, InjectedFault,
+    Relation, ResourceKind, Result, SortKey, Truth, Tuple, Value, SHARED_ROW_BYTES, VALUE_BYTES,
 };
 
 use crate::agg::{create_accumulator, Accumulator, AggSpec};
@@ -13,7 +14,7 @@ use crate::node::{PhysKind, PhysNode};
 /// Execution options — these implement the evaluation-strategy knobs the
 /// benchmark harness uses to emulate the commercial systems of the
 /// paper's study (see DESIGN.md §1, row 8).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// Materialize uncorrelated (type A) subqueries once per query.
     /// The paper (Section 3): "it suffices to materialize the computed
@@ -31,6 +32,22 @@ pub struct ExecOptions {
     /// |L|·|R| tuples). A clean error beats the OOM killer; `None`
     /// disables the guard.
     pub max_intermediate_rows: Option<usize>,
+    /// Byte-accurate memory budget: the governor charges every
+    /// materialization point (output rows, join key arenas, group
+    /// arenas, DISTINCT accumulators, sort decorations, memo caches)
+    /// against this cap using the deterministic byte model of
+    /// `bypass_types::govern`. Exceeding it returns
+    /// [`Error::ResourceExhausted`] with `resource = Memory`.
+    /// `None` disables the budget (accounting still runs, so peak
+    /// memory is always reported).
+    pub max_memory_bytes: Option<u64>,
+    /// Cooperative cancellation: when set, every governor checkpoint
+    /// polls the token and returns [`Error::Cancelled`] once it fires.
+    pub cancel: Option<CancelToken>,
+    /// Deterministic fault injection (testing only): fail with the
+    /// given kind exactly at the given governor checkpoint, regardless
+    /// of real budgets. See `bypass_types::InjectedFault`.
+    pub fault: Option<InjectedFault>,
 }
 
 impl Default for ExecOptions {
@@ -40,6 +57,9 @@ impl Default for ExecOptions {
             memo_correlated: false,
             timeout: None,
             max_intermediate_rows: Some(50_000_000),
+            max_memory_bytes: None,
+            cancel: None,
+            fault: None,
         }
     }
 }
@@ -90,6 +110,17 @@ pub struct ExecContext {
     corr: FxHashMap<u64, Vec<(usize, Tuple, Arc<Relation>)>>,
     deadline: Option<Instant>,
     ticks: u32,
+    /// Governor checkpoint counter: incremented on every [`tick`]
+    /// (per-row progress) and every [`charge`] (materialization).
+    /// Depends only on the plan and the data — never on wall time,
+    /// metrics collection or worker threads — so fault injection at
+    /// checkpoint `k` is exactly reproducible.
+    checkpoints: u64,
+    /// Bytes currently charged to the query under the deterministic
+    /// byte model (see `bypass_types::govern`).
+    used_bytes: u64,
+    /// High-water mark of `used_bytes`.
+    peak_bytes: u64,
     /// Context-wide counters (memo hit rates); always maintained —
     /// they increment once per subquery invocation, which is noise
     /// next to actually evaluating the nested plan.
@@ -112,6 +143,14 @@ pub struct ExecCounters {
     /// correlated invocation re-evaluates and neither counter moves.
     pub memo_corr_hits: u64,
     pub memo_corr_misses: u64,
+    /// High-water mark of governor-charged bytes (deterministic byte
+    /// model — identical on every run of the same plan over the same
+    /// data, so it is pinned in `BENCH_baseline.json`).
+    pub peak_memory_bytes: u64,
+    /// Total governor checkpoints passed (per-row ticks plus
+    /// materialization charges). The fault oracle samples injection
+    /// points from `1..=checkpoints`.
+    pub checkpoints: u64,
 }
 
 impl ExecCounters {
@@ -189,6 +228,19 @@ impl NodeMetrics {
     }
 }
 
+/// Amortized per-entry overhead of the join hash table beyond the key
+/// values themselves: chain link + row id + bucket-slot share.
+const JOIN_ENTRY_BYTES: u64 = 16;
+
+/// Fixed state of one aggregate accumulator (enum tag + payload; the
+/// DISTINCT variants additionally report their set growth through
+/// [`Accumulator::update`]).
+const ACC_BYTES: u64 = 48;
+
+/// Amortized per-entry overhead of a memo-cache insertion (hash-map
+/// slot + `Arc` handle + counters).
+const MEMO_ENTRY_BYTES: u64 = 64;
+
 /// Output of a bypass operator: both streams.
 type Dual = (Arc<Relation>, Arc<Relation>);
 
@@ -220,6 +272,10 @@ struct JoinHashTable {
     /// hash-bucket hit (collision re-verifies). `Cell` because
     /// `probe` hands out a `&self` iterator.
     reverify: std::cell::Cell<u64>,
+    /// Governor bytes charged while building this table (key arena +
+    /// per-entry overhead); released by the join arm when the table's
+    /// scope ends.
+    charged: u64,
 }
 
 const NO_ENTRY: u32 = u32::MAX;
@@ -266,6 +322,7 @@ impl JoinHashTable {
 
 impl ExecContext {
     pub fn new(options: ExecOptions) -> ExecContext {
+        let deadline = options.timeout.map(|t| Instant::now() + t);
         ExecContext {
             options,
             metrics: None,
@@ -273,8 +330,11 @@ impl ExecContext {
             outer: Vec::new(),
             uncorr: FxHashMap::default(),
             corr: FxHashMap::default(),
-            deadline: options.timeout.map(|t| Instant::now() + t),
+            deadline,
             ticks: 0,
+            checkpoints: 0,
+            used_bytes: 0,
+            peak_bytes: 0,
             counters: ExecCounters::default(),
             pending: PendingCounters::default(),
         }
@@ -291,32 +351,131 @@ impl ExecContext {
         self.metrics.take().unwrap_or_default()
     }
 
-    /// Query-wide counters (memo hit/miss totals).
+    /// Query-wide counters (memo hit/miss totals plus the governor's
+    /// peak-memory / checkpoint totals).
     pub fn counters(&self) -> ExecCounters {
-        self.counters
+        let mut c = self.counters;
+        c.peak_memory_bytes = self.peak_bytes;
+        c.checkpoints = self.checkpoints;
+        c
     }
 
-    /// Cheap cancellation check, amortized over 4096 calls.
+    /// One governor checkpoint: per-row progress ticks and byte charges
+    /// both funnel through here. In order of precedence the checkpoint
+    /// (1) fires a deterministically injected fault when its index
+    /// matches, (2) polls the cancel token, and (3) — amortized over
+    /// 4096 ticks, because `Instant::now` is the only non-free check —
+    /// enforces the wall-clock deadline. The checkpoint *index*
+    /// depends only on plan + data, never on timing.
     #[inline]
     fn tick(&mut self) -> Result<()> {
+        self.checkpoints += 1;
+        if self.options.fault.is_some() || self.options.cancel.is_some() {
+            self.governed_checkpoint()?;
+        }
         self.ticks = self.ticks.wrapping_add(1);
-        if self.ticks.is_multiple_of(4096) {
+        // The very first tick also checks the clock, so an
+        // already-expired deadline (timeout zero) fires even on queries
+        // shorter than the amortization window.
+        if self.ticks == 1 || self.ticks.is_multiple_of(4096) {
             if let Some(d) = self.deadline {
-                if Instant::now() > d {
-                    return Err(Error::execution("query timed out"));
+                let now = Instant::now();
+                if now > d {
+                    return Err(self.deadline_error(now, d));
                 }
             }
         }
         Ok(())
     }
 
+    /// Cold path of [`tick`]: fault injection + cancel polling. Split
+    /// out so production runs (no fault plan, no token) pay a single
+    /// predictable branch per checkpoint.
+    #[cold]
+    fn governed_checkpoint(&mut self) -> Result<()> {
+        if let Some(f) = self.options.fault {
+            if self.checkpoints == f.checkpoint {
+                return Err(match f.kind {
+                    FaultKind::Memory => Error::resource_exhausted(
+                        ResourceKind::Memory,
+                        self.options.max_memory_bytes.unwrap_or(self.used_bytes),
+                        self.used_bytes,
+                    ),
+                    FaultKind::Deadline => Error::resource_exhausted(
+                        ResourceKind::Time,
+                        self.options
+                            .timeout
+                            .map(|t| t.as_millis() as u64)
+                            .unwrap_or(0),
+                        0,
+                    ),
+                    FaultKind::Cancel => Error::cancelled(),
+                });
+            }
+        }
+        if let Some(c) = &self.options.cancel {
+            if c.is_cancelled() {
+                return Err(Error::cancelled());
+            }
+        }
+        Ok(())
+    }
+
+    fn deadline_error(&self, now: Instant, deadline: Instant) -> Error {
+        let limit = self
+            .options
+            .timeout
+            .map(|t| t.as_millis() as u64)
+            .unwrap_or(0);
+        let over = now.duration_since(deadline).as_millis() as u64;
+        Error::resource_exhausted(ResourceKind::Time, limit, limit.saturating_add(over))
+    }
+
+    /// Charge `bytes` of materialized state against the memory budget.
+    /// Every charge is also a governor checkpoint, so faults can be
+    /// injected (and cancellation observed) exactly at materialization
+    /// points, not just row boundaries.
+    #[inline]
+    fn charge(&mut self, bytes: u64) -> Result<()> {
+        self.used_bytes += bytes;
+        if self.used_bytes > self.peak_bytes {
+            self.peak_bytes = self.used_bytes;
+        }
+        if let Some(cap) = self.options.max_memory_bytes {
+            if self.used_bytes > cap {
+                return Err(Error::resource_exhausted(
+                    ResourceKind::Memory,
+                    cap,
+                    self.used_bytes,
+                ));
+            }
+        }
+        self.tick()
+    }
+
+    /// Charge `n` shared-row pushes (refcount bumps) in one step.
+    #[inline]
+    fn charge_shared_rows(&mut self, n: usize) -> Result<()> {
+        self.charge(n as u64 * SHARED_ROW_BYTES)
+    }
+
+    /// Return operator-local scratch (join key arenas, sort
+    /// decorations, group maps) to the budget when its scope ends.
+    /// Releases are not checkpoints — nothing can fail while freeing.
+    #[inline]
+    fn release(&mut self, bytes: u64) {
+        self.used_bytes = self.used_bytes.saturating_sub(bytes);
+    }
+
     /// Enforce the intermediate-size guard on a growing buffer.
     #[inline]
     fn check_size(&self, rows: usize) -> Result<()> {
         match self.options.max_intermediate_rows {
-            Some(cap) if rows > cap => Err(Error::execution(format!(
-                "intermediate result exceeds {cap} rows (max_intermediate_rows)"
-            ))),
+            Some(cap) if rows > cap => Err(Error::resource_exhausted(
+                ResourceKind::Rows,
+                cap as u64,
+                rows as u64,
+            )),
             _ => Ok(()),
         }
     }
@@ -373,6 +532,7 @@ impl ExecContext {
                     self.tick()?;
                     if self.eval_truth(predicate, t)?.is_true() {
                         // Shared-row: refcount bump, not a value copy.
+                        self.charge(SHARED_ROW_BYTES)?;
                         out.push(t.clone());
                     }
                 }
@@ -390,12 +550,15 @@ impl ExecContext {
                     let identity =
                         cols.len() == arity && cols.iter().enumerate().all(|(i, &c)| i == c);
                     if identity {
+                        self.charge_shared_rows(input.len())?;
                         return Ok(Arc::new(Relation::new(schema, input.rows().to_vec())));
                     }
                     let mut out = Vec::with_capacity(input.len());
                     for t in input.rows() {
                         self.tick()?;
-                        out.push(t.project(&cols));
+                        let p = t.project(&cols);
+                        self.charge(tuple_bytes(&p))?;
+                        out.push(p);
                     }
                     return Ok(Arc::new(Relation::new(schema, out)));
                 }
@@ -406,7 +569,9 @@ impl ExecContext {
                     for e in exprs {
                         vals.push(self.eval_expr(e, t)?);
                     }
-                    out.push(Tuple::new(vals));
+                    let row = Tuple::new(vals);
+                    self.charge(tuple_bytes(&row))?;
+                    out.push(row);
                 }
                 Relation::new(schema, out)
             }
@@ -423,10 +588,15 @@ impl ExecContext {
                     for rt in r.rows() {
                         self.tick()?;
                         match predicate {
-                            None => out.push(lt.concat(rt)),
+                            None => {
+                                let joined = lt.concat(rt);
+                                self.charge(tuple_bytes(&joined))?;
+                                out.push(joined);
+                            }
                             Some(p) => {
                                 let joined = lt.concat(rt);
                                 if self.eval_truth(p, &joined)?.is_true() {
+                                    self.charge(tuple_bytes(&joined))?;
                                     out.push(joined);
                                 }
                             }
@@ -459,6 +629,7 @@ impl ExecContext {
                                 continue;
                             }
                         }
+                        self.charge(tuple_bytes(&joined))?;
                         out.push(joined);
                     }
                 }
@@ -466,6 +637,8 @@ impl ExecContext {
                     self.pending.build_rows += table.row_ids.len() as u64;
                     self.pending.reverify += table.reverify.get();
                 }
+                // The key arena dies with the table at end of arm.
+                self.release(table.charged);
                 Relation::new(schema, out)
             }
             PhysKind::HashOuterJoin {
@@ -494,17 +667,21 @@ impl ExecContext {
                                 }
                             }
                             matched = true;
+                            self.charge(tuple_bytes(&joined))?;
                             out.push(joined);
                         }
                     }
                     if !matched {
-                        out.push(lt.concat(&pad));
+                        let padded = lt.concat(&pad);
+                        self.charge(tuple_bytes(&padded))?;
+                        out.push(padded);
                     }
                 }
                 if self.metrics.is_some() {
                     self.pending.build_rows += table.row_ids.len() as u64;
                     self.pending.reverify += table.reverify.get();
                 }
+                self.release(table.charged);
                 Relation::new(schema, out)
             }
             PhysKind::NLOuterJoin {
@@ -524,11 +701,14 @@ impl ExecContext {
                         let joined = lt.concat(rt);
                         if self.eval_truth(predicate, &joined)?.is_true() {
                             matched = true;
+                            self.charge(tuple_bytes(&joined))?;
                             out.push(joined);
                         }
                     }
                     if !matched {
-                        out.push(lt.concat(&pad));
+                        let padded = lt.concat(&pad);
+                        self.charge(tuple_bytes(&padded))?;
+                        out.push(padded);
                     }
                 }
                 Relation::new(schema, out)
@@ -548,18 +728,28 @@ impl ExecContext {
                 let r = self.eval_node(right, local)?;
                 // Aggregate the right side per distinct key, once.
                 let mut groups: FxHashMap<Value, Accumulator> = FxHashMap::default();
+                let mut scratch = 0u64; // group-map bytes, released below
                 for rt in r.rows() {
                     self.tick()?;
                     let k = self.eval_expr(right_key, rt)?;
                     if k.is_null() {
                         continue; // θ over NULL never matches
                     }
+                    if !groups.contains_key(&k) {
+                        let bytes = VALUE_BYTES + bypass_types::value_heap_bytes(&k) + ACC_BYTES;
+                        self.charge(bytes)?;
+                        scratch += bytes;
+                    }
                     let acc = groups.entry(k).or_insert_with(|| create_accumulator(agg));
                     let v = match &agg.arg {
                         Some(a) => Some(self.eval_expr(a, rt)?),
                         None => None,
                     };
-                    acc.update(rt, v.as_ref())?;
+                    let grown = acc.update(rt, v.as_ref())?;
+                    if grown != 0 {
+                        self.charge(grown)?;
+                        scratch += grown;
+                    }
                 }
                 let finished: FxHashMap<Value, Value> = groups
                     .into_iter()
@@ -575,8 +765,11 @@ impl ExecContext {
                     } else {
                         finished.get(&k).cloned().unwrap_or_else(|| empty.clone())
                     };
-                    out.push(lt.extended(g));
+                    let row = lt.extended(g);
+                    self.charge(tuple_bytes(&row))?;
+                    out.push(row);
                 }
+                self.release(scratch);
                 Relation::new(schema, out)
             }
             PhysKind::BinaryGroupTheta {
@@ -589,15 +782,21 @@ impl ExecContext {
             } => {
                 let l = self.eval_node(left, local)?;
                 let r = self.eval_node(right, local)?;
-                let right_kv: Vec<(Value, &Tuple)> = r
-                    .rows()
-                    .iter()
-                    .map(|rt| Ok((self.eval_expr(right_key, rt)?, rt)))
-                    .collect::<Result<_>>()?;
+                let mut right_kv: Vec<(Value, &Tuple)> = Vec::with_capacity(r.len());
+                let mut scratch = 0u64; // key decoration, released below
+                for rt in r.rows() {
+                    self.tick()?;
+                    let k = self.eval_expr(right_key, rt)?;
+                    let bytes = VALUE_BYTES + bypass_types::value_heap_bytes(&k);
+                    self.charge(bytes)?;
+                    scratch += bytes;
+                    right_kv.push((k, rt));
+                }
                 let mut out = Vec::with_capacity(l.len());
                 for lt in l.rows() {
                     let lk = self.eval_expr(left_key, lt)?;
                     let mut acc = create_accumulator(agg);
+                    let mut acc_bytes = 0u64; // DISTINCT growth, per-row scope
                     for (rk, rt) in &right_kv {
                         self.tick()?;
                         if value_truth(&eval_binop(*cmp, &lk, rk)?).is_true() {
@@ -605,11 +804,19 @@ impl ExecContext {
                                 Some(a) => Some(self.eval_expr(a, rt)?),
                                 None => None,
                             };
-                            acc.update(rt, v.as_ref())?;
+                            let grown = acc.update(rt, v.as_ref())?;
+                            if grown != 0 {
+                                self.charge(grown)?;
+                                acc_bytes += grown;
+                            }
                         }
                     }
-                    out.push(lt.extended(acc.finish()?));
+                    let row = lt.extended(acc.finish()?);
+                    self.release(acc_bytes);
+                    self.charge(tuple_bytes(&row))?;
+                    out.push(row);
                 }
+                self.release(scratch);
                 Relation::new(schema, out)
             }
             PhysKind::Map { input, expr } => {
@@ -618,35 +825,46 @@ impl ExecContext {
                 for t in input.rows() {
                     self.tick()?;
                     let v = self.eval_expr(expr, t)?;
-                    out.push(t.extended(v));
+                    let row = t.extended(v);
+                    self.charge(tuple_bytes(&row))?;
+                    out.push(row);
                 }
                 Relation::new(schema, out)
             }
             PhysKind::Numbering { input } => {
                 let input = self.eval_node(input, local)?;
-                let out = input
-                    .rows()
-                    .iter()
-                    .enumerate()
-                    .map(|(i, t)| t.extended(Value::Int(i as i64)))
-                    .collect();
+                let mut out = Vec::with_capacity(input.len());
+                for (i, t) in input.rows().iter().enumerate() {
+                    self.tick()?;
+                    let row = t.extended(Value::Int(i as i64));
+                    self.charge(tuple_bytes(&row))?;
+                    out.push(row);
+                }
                 Relation::new(schema, out)
             }
             PhysKind::Distinct { input } => {
                 let input = self.eval_node(input, local)?;
+                // The copied row vector plus the transient dedup set are
+                // both O(n) shared handles; charged as one step.
+                self.charge_shared_rows(input.len())?;
                 Relation::new(schema, input.rows().to_vec()).distinct()
             }
             PhysKind::Sort { input, keys } => {
                 let input = self.eval_node(input, local)?;
                 // Evaluate sort keys once per row, then argsort.
                 let mut decorated: Vec<(Tuple, Tuple)> = Vec::with_capacity(input.len());
+                let mut scratch = 0u64; // sort-key decoration, released below
                 for t in input.rows() {
                     self.tick()?;
                     let mut kv = Vec::with_capacity(keys.len());
                     for (e, _) in keys {
                         kv.push(self.eval_expr(e, t)?);
                     }
-                    decorated.push((Tuple::new(kv), t.clone()));
+                    let key = Tuple::new(kv);
+                    let bytes = tuple_bytes(&key) + SHARED_ROW_BYTES;
+                    self.charge(bytes)?;
+                    scratch += tuple_bytes(&key); // keys die after the argsort
+                    decorated.push((key, t.clone()));
                 }
                 let spec: Vec<SortKey> = keys
                     .iter()
@@ -660,19 +878,23 @@ impl ExecContext {
                     })
                     .collect();
                 decorated.sort_by(|a, b| compare_tuples(&a.0, &b.0, &spec));
+                self.release(scratch);
                 Relation::new(schema, decorated.into_iter().map(|(_, t)| t).collect())
             }
             PhysKind::Limit { input, n } => {
                 let input = self.eval_node(input, local)?;
+                self.charge_shared_rows(input.len().min(*n))?;
                 Relation::new(schema, input.rows().iter().take(*n).cloned().collect())
             }
             PhysKind::Alias { input } => {
                 let input = self.eval_node(input, local)?;
+                self.charge_shared_rows(input.len())?;
                 Relation::new(schema, input.rows().to_vec())
             }
             PhysKind::UnionAll { left, right } => {
                 let l = self.eval_node(left, local)?;
                 let r = self.eval_node(right, local)?;
+                self.charge_shared_rows(l.len() + r.len())?;
                 let mut rows = l.rows().to_vec();
                 rows.extend_from_slice(r.rows());
                 Relation::new(schema, rows)
@@ -744,6 +966,7 @@ impl ExecContext {
                     self.tick()?;
                     // Stream split by refcount bump: the row buffer is
                     // shared with the input relation, never copied.
+                    self.charge(SHARED_ROW_BYTES)?;
                     if self.eval_truth(predicate, t)?.is_true() {
                         pos.push(t.clone());
                     } else {
@@ -771,12 +994,17 @@ impl ExecContext {
                         self.tick()?;
                         let joined = lt.concat(rt);
                         if self.eval_truth(predicate, &joined)?.is_true() {
+                            self.charge(tuple_bytes(&joined))?;
                             pos.push(joined);
                         } else {
                             match neg_filter {
-                                None => neg.push(joined),
+                                None => {
+                                    self.charge(tuple_bytes(&joined))?;
+                                    neg.push(joined);
+                                }
                                 Some(f) => {
                                     if self.eval_truth(f, &joined)?.is_true() {
+                                        self.charge(tuple_bytes(&joined))?;
                                         neg.push(joined);
                                     }
                                 }
@@ -888,6 +1116,11 @@ impl ExecContext {
             let mut vals: Vec<Value> = Vec::with_capacity(width + naggs);
             vals.extend(key_iter.by_ref().take(width));
             for _ in 0..naggs {
+                // invariant: `accs` holds exactly `ngroups * naggs`
+                // accumulators — one batch of `naggs` is pushed in the
+                // same statement that grows `chain` by one group, so
+                // this iterator cannot run dry. (The fault oracle
+                // never reached this expect; kept as an invariant.)
                 let a = acc_iter.next().expect("arena length mismatch");
                 vals.push(a.finish()?);
             }
@@ -907,6 +1140,7 @@ impl ExecContext {
             row_ids: Vec::with_capacity(rel.len()),
             keys: Vec::with_capacity(rel.len() * keys.len()),
             reverify: std::cell::Cell::new(0),
+            charged: 0,
         };
         let mut keybuf: Vec<Value> = Vec::with_capacity(keys.len());
         for (i, t) in rel.rows().iter().enumerate() {
@@ -914,6 +1148,15 @@ impl ExecContext {
             let Some(hash) = self.eval_key_into(keys, t, &mut keybuf)? else {
                 continue;
             };
+            // Charge the key arena growth: inline slots + text heap +
+            // per-entry chain overhead. The join arm releases
+            // `table.charged` when the table dies.
+            let mut bytes = JOIN_ENTRY_BYTES + keybuf.len() as u64 * VALUE_BYTES;
+            for v in &keybuf {
+                bytes += bypass_types::value_heap_bytes(v);
+            }
+            self.charge(bytes)?;
+            table.charged += bytes;
             table.keys.append(&mut keybuf);
             table.insert(hash, i as u32);
         }
@@ -1150,7 +1393,17 @@ impl ExecContext {
             } => {
                 let needle = self.eval_expr(expr, t)?;
                 let rel = self.eval_subquery(plan, *correlated, outer_keys, t)?;
-                let truth = in_membership(&needle, rel.rows().iter().map(|r| &r[0]));
+                // SQL can only produce one-column IN subqueries, but a
+                // hand-built physical plan can reach here with a
+                // zero-width relation — typed error, not a panic.
+                let mut vals = Vec::with_capacity(rel.len());
+                for r in rel.rows() {
+                    vals.push(
+                        r.get(0)
+                            .ok_or_else(|| Error::execution("IN subquery with no column"))?,
+                    );
+                }
+                let truth = in_membership(&needle, vals.into_iter());
                 if *negated {
                     truth.not().to_value()
                 } else {
@@ -1172,7 +1425,10 @@ impl ExecContext {
                 let rel = self.eval_subquery(plan, *correlated, outer_keys, t)?;
                 let mut acc = if *all { Truth::True } else { Truth::False };
                 for row in rel.rows() {
-                    let cmp = value_truth(&eval_binop(*op, &x, &row[0])?);
+                    let y = row
+                        .get(0)
+                        .ok_or_else(|| Error::execution("quantified subquery with no column"))?;
+                    let cmp = value_truth(&eval_binop(*op, &x, y)?);
                     acc = if *all { acc.and(cmp) } else { acc.or(cmp) };
                     // Short-circuit on the absorbing element.
                     if (*all && acc == Truth::False) || (!*all && acc == Truth::True) {
@@ -1202,6 +1458,9 @@ impl ExecContext {
             }
             self.counters.memo_uncorr_misses += 1;
             let r = self.run_nested(plan, t)?;
+            // The memo retains the result for the rest of the query:
+            // charge the retained shared rows plus entry overhead.
+            self.charge(MEMO_ENTRY_BYTES + r.len() as u64 * SHARED_ROW_BYTES)?;
             self.uncorr.insert(ptr, r.clone());
             return Ok(r);
         }
@@ -1221,10 +1480,12 @@ impl ExecContext {
             self.counters.memo_corr_misses += 1;
             let r = self.run_nested(plan, t)?;
             // Materialize the key only on first miss (shared-row Tuple).
+            let key = t.key_tuple(outer_keys);
+            self.charge(MEMO_ENTRY_BYTES + tuple_bytes(&key) + r.len() as u64 * SHARED_ROW_BYTES)?;
             self.corr
                 .entry(hash)
                 .or_default()
-                .push((ptr, t.key_tuple(outer_keys), r.clone()));
+                .push((ptr, key, r.clone()));
             return Ok(r);
         }
         self.run_nested(plan, t)
@@ -1233,8 +1494,17 @@ impl ExecContext {
     fn run_nested(&mut self, plan: &Arc<PhysNode>, t: &Tuple) -> Result<Arc<Relation>> {
         // Shared-row: binding the outer tuple is a refcount bump.
         self.outer.push(t.clone());
+        let before = self.used_bytes;
         let result = self.eval_plan(plan);
         self.outer.pop();
+        // Transient charges made while evaluating the nested plan are
+        // returned to the budget when the invocation completes — the
+        // live-memory footprint of N correlated invocations is one
+        // invocation at a time, not their sum. `peak_bytes` already
+        // recorded the high-water mark inside the call, and anything a
+        // memo retains beyond the call is re-charged by the caller.
+        let delta = self.used_bytes.saturating_sub(before);
+        self.release(delta);
         result
     }
 }
@@ -1859,7 +2129,58 @@ mod tests {
             ..Default::default()
         });
         ctx.eval_plan(&filter).unwrap();
-        assert_eq!(ctx.counters(), ExecCounters::default());
+        let c = ctx.counters();
+        assert_eq!(c.memo_uncorr_hits + c.memo_uncorr_misses, 0);
+        assert_eq!(c.memo_corr_hits + c.memo_corr_misses, 0);
+        // The governor always accounts, memo or not.
+        assert!(c.checkpoints > 0);
+        assert!(c.peak_memory_bytes > 0);
+    }
+
+    #[test]
+    fn zero_width_subqueries_error_instead_of_panicking() {
+        // SQL can't produce a zero-column subquery, but a hand-built
+        // physical plan can; the audit converted these from row[0]
+        // panics to typed execution errors.
+        let outer = int_rel("o", &["a"], &[&[1]]);
+        let inner = int_rel("i", &["b"], &[&[1], &[2]]);
+        // π_{}(i): a projection with no expressions → zero-width rows.
+        let empty_proj = PhysNode::new(
+            PhysKind::Project {
+                input: inner,
+                exprs: vec![],
+            },
+            Schema::new(vec![]),
+        );
+        for predicate in [
+            PhysExpr::InSubquery {
+                negated: false,
+                expr: Box::new(PhysExpr::Column(0)),
+                plan: empty_proj.clone(),
+                correlated: false,
+                outer_keys: vec![],
+            },
+            PhysExpr::QuantifiedCmp {
+                op: BinOp::Eq,
+                all: false,
+                expr: Box::new(PhysExpr::Column(0)),
+                plan: empty_proj.clone(),
+                correlated: false,
+                outer_keys: vec![],
+            },
+        ] {
+            let filter = PhysNode::new(
+                PhysKind::Filter {
+                    input: outer.clone(),
+                    predicate,
+                },
+                outer.schema.clone(),
+            );
+            let err = ExecContext::new(ExecOptions::default())
+                .eval_plan(&filter)
+                .unwrap_err();
+            assert!(err.to_string().contains("no column"), "{err}");
+        }
     }
 
     #[test]
@@ -1906,5 +2227,245 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.to_string().contains("timed out"), "{err}");
+        assert!(matches!(
+            err,
+            Error::ResourceExhausted {
+                resource: ResourceKind::Time,
+                ..
+            }
+        ));
+    }
+
+    /// A small plan with joins, aggregation and filtering for governor
+    /// tests: σ(x>0)(a ⋈ b) grouped by x.
+    fn governed_plan() -> Arc<PhysNode> {
+        let rows: Vec<Vec<i64>> = (0..50).map(|i| vec![i % 7, i]).collect();
+        let slices: Vec<&[i64]> = rows.iter().map(|v| v.as_slice()).collect();
+        let a = int_rel("a", &["x", "y"], &slices);
+        let b = int_rel("b", &["z"], &[&[0], &[1], &[2], &[3]]);
+        let schema3 = Schema::new(vec![
+            Field::new("x", DataType::Int),
+            Field::new("y", DataType::Int),
+            Field::new("z", DataType::Int),
+        ]);
+        let join = PhysNode::new(
+            PhysKind::NLJoin {
+                left: a,
+                right: b,
+                predicate: Some(PhysExpr::Binary {
+                    op: BinOp::Eq,
+                    left: Box::new(PhysExpr::Column(0)),
+                    right: Box::new(PhysExpr::Column(2)),
+                }),
+            },
+            schema3.clone(),
+        );
+        let filter = PhysNode::new(
+            PhysKind::Filter {
+                input: join,
+                predicate: PhysExpr::Binary {
+                    op: BinOp::Gt,
+                    left: Box::new(PhysExpr::Column(1)),
+                    right: Box::new(PhysExpr::Literal(Value::Int(0))),
+                },
+            },
+            schema3,
+        );
+        PhysNode::new(
+            PhysKind::HashAggregate {
+                input: filter,
+                keys: vec![PhysExpr::Column(0)],
+                aggs: vec![AggSpec {
+                    func: AggFunc::Count,
+                    distinct: true,
+                    arg: Some(PhysExpr::Column(1)),
+                }],
+            },
+            Schema::new(vec![
+                Field::new("x", DataType::Int),
+                Field::new("n", DataType::Int),
+            ]),
+        )
+    }
+
+    #[test]
+    fn governor_counters_are_deterministic() {
+        let plan = governed_plan();
+        let mut first = None;
+        for _ in 0..3 {
+            let mut ctx = ExecContext::new(ExecOptions::default());
+            ctx.eval_plan(&plan).unwrap();
+            let c = ctx.counters();
+            assert!(c.checkpoints > 0);
+            assert!(c.peak_memory_bytes > 0);
+            match first {
+                None => first = Some(c),
+                Some(f) => assert_eq!(f, c, "governor counters must be run-invariant"),
+            }
+        }
+        // Metrics collection must not move the governor: checkpoint
+        // indices have to be identical so fault injection replays under
+        // EXPLAIN ANALYZE too.
+        let mut ctx = ExecContext::new(ExecOptions::default()).with_metrics();
+        ctx.eval_plan(&plan).unwrap();
+        assert_eq!(ctx.counters(), first.unwrap());
+    }
+
+    #[test]
+    fn memory_budget_trips_with_typed_error() {
+        let plan = governed_plan();
+        // Measure the peak, then set the budget just below it.
+        let mut ctx = ExecContext::new(ExecOptions::default());
+        ctx.eval_plan(&plan).unwrap();
+        let peak = ctx.counters().peak_memory_bytes;
+        let err = evaluate_with(
+            &plan,
+            ExecOptions {
+                max_memory_bytes: Some(peak - 1),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Error::ResourceExhausted {
+                    resource: ResourceKind::Memory,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        // At or above the peak, the run succeeds.
+        evaluate_with(
+            &plan,
+            ExecOptions {
+                max_memory_bytes: Some(peak),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn cancel_token_stops_evaluation() {
+        let plan = governed_plan();
+        let token = CancelToken::new();
+        // Not cancelled: runs fine.
+        evaluate_with(
+            &plan,
+            ExecOptions {
+                cancel: Some(token.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Pre-cancelled: fails at the first checkpoint with the typed
+        // error, and resetting the token makes the same options work.
+        token.cancel();
+        let opts = ExecOptions {
+            cancel: Some(token.clone()),
+            ..Default::default()
+        };
+        let err = evaluate_with(&plan, opts.clone()).unwrap_err();
+        assert_eq!(err, Error::Cancelled);
+        token.reset();
+        evaluate_with(&plan, opts).unwrap();
+    }
+
+    #[test]
+    fn injected_faults_fire_at_exact_checkpoints() {
+        let plan = governed_plan();
+        let mut ctx = ExecContext::new(ExecOptions::default());
+        ctx.eval_plan(&plan).unwrap();
+        let total = ctx.counters().checkpoints;
+        for (k, kind) in [
+            (1, FaultKind::Memory),
+            (total / 2, FaultKind::Deadline),
+            (total, FaultKind::Cancel),
+        ] {
+            let err = evaluate_with(
+                &plan,
+                ExecOptions {
+                    fault: Some(InjectedFault::new(k, kind)),
+                    ..Default::default()
+                },
+            )
+            .unwrap_err();
+            let matches_kind = match kind {
+                FaultKind::Memory => matches!(
+                    err,
+                    Error::ResourceExhausted {
+                        resource: ResourceKind::Memory,
+                        ..
+                    }
+                ),
+                FaultKind::Deadline => matches!(
+                    err,
+                    Error::ResourceExhausted {
+                        resource: ResourceKind::Time,
+                        ..
+                    }
+                ),
+                FaultKind::Cancel => err == Error::Cancelled,
+            };
+            assert!(matches_kind, "checkpoint {k}: {err}");
+        }
+        // One past the final checkpoint: the fault never fires.
+        evaluate_with(
+            &plan,
+            ExecOptions {
+                fault: Some(InjectedFault::new(total + 1, FaultKind::Cancel)),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn nested_invocations_release_their_frames() {
+        // A correlated EXISTS evaluated once per outer row: cumulative
+        // charges would scale with the outer cardinality, the released
+        // frames keep `used` at one invocation's footprint. We observe
+        // this indirectly: peak memory with 4 outer rows must be well
+        // under 4× the single-row peak.
+        let peak_for = |outer_rows: &[&[i64]]| {
+            let outer = int_rel("o", &["a"], outer_rows);
+            let inner_rows: Vec<Vec<i64>> = (0..200).map(|i| vec![i]).collect();
+            let inner_slices: Vec<&[i64]> = inner_rows.iter().map(|v| v.as_slice()).collect();
+            let inner = int_rel("i", &["b"], &inner_slices);
+            let sub = PhysNode::new(
+                PhysKind::Filter {
+                    input: inner,
+                    predicate: PhysExpr::Binary {
+                        op: BinOp::Gt,
+                        left: Box::new(PhysExpr::Column(0)),
+                        right: Box::new(PhysExpr::Outer { depth: 1, index: 0 }),
+                    },
+                },
+                Schema::new(vec![Field::new("b", DataType::Int)]),
+            );
+            let filter = PhysNode::new(
+                PhysKind::Filter {
+                    input: outer.clone(),
+                    predicate: PhysExpr::Exists {
+                        negated: false,
+                        plan: sub,
+                        correlated: true,
+                        outer_keys: vec![0],
+                    },
+                },
+                outer.schema.clone(),
+            );
+            let mut ctx = ExecContext::new(ExecOptions::default());
+            ctx.eval_plan(&filter).unwrap();
+            ctx.counters().peak_memory_bytes
+        };
+        let one = peak_for(&[&[1]]);
+        let four = peak_for(&[&[1], &[2], &[3], &[4]]);
+        assert!(
+            four < one * 3,
+            "nested frames must be released: 1-row peak {one}, 4-row peak {four}"
+        );
     }
 }

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use bypass_algebra::{AggCall, Scalar};
 use bypass_catalog::{Catalog, TableBuilder};
 use bypass_exec::{physical_plan, ExecContext, ExecOptions, PhysNode};
-use bypass_types::{DataType, Value};
+use bypass_types::{DataType, Error, ResourceKind, Value};
 
 /// R has `n` rows whose a2 takes only two distinct values; S is small.
 fn catalog(n: i64) -> Catalog {
@@ -138,5 +138,16 @@ fn intermediate_size_guard_fires() {
         ..Default::default()
     });
     let err = ctx.eval_plan(&phys).unwrap_err();
-    assert!(err.to_string().contains("exceeds 1000000 rows"), "{err}");
+    assert!(
+        matches!(
+            err,
+            Error::ResourceExhausted {
+                resource: ResourceKind::Rows,
+                limit: 1_000_000,
+                ..
+            }
+        ),
+        "{err}"
+    );
+    assert!(err.to_string().contains("limit 1000000"), "{err}");
 }

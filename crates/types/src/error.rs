@@ -3,6 +3,33 @@ use std::fmt;
 /// Convenience alias used across every `bypass` crate.
 pub type Result<T, E = Error> = std::result::Result<T, E>;
 
+/// The resource whose budget was exhausted in
+/// [`Error::ResourceExhausted`].
+///
+/// Each variant corresponds to one of the per-query guards enforced by the
+/// executor's resource governor: the byte-accurate memory budget
+/// (`max_memory_bytes`), the intermediate-row cap
+/// (`max_intermediate_rows`) and the wall-clock deadline (`timeout`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// The deterministic byte-accounting budget was exceeded.
+    Memory,
+    /// An intermediate relation exceeded the row cap.
+    Rows,
+    /// The wall-clock deadline passed (reported in milliseconds).
+    Time,
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceKind::Memory => write!(f, "memory"),
+            ResourceKind::Rows => write!(f, "rows"),
+            ResourceKind::Time => write!(f, "time"),
+        }
+    }
+}
+
 /// The error type shared by all layers of the engine.
 ///
 /// Variants mirror the pipeline stage that produced the error so that a
@@ -26,6 +53,19 @@ pub enum Error {
     Execution(String),
     /// A feature the engine intentionally does not implement.
     Unsupported(String),
+    /// A per-query resource budget was exceeded. The run stopped at a
+    /// governor checkpoint; the `Database` and all caches stay usable.
+    ResourceExhausted {
+        /// Which guard tripped.
+        resource: ResourceKind,
+        /// The configured budget (bytes, rows or milliseconds).
+        limit: u64,
+        /// The observed value at the tripping checkpoint.
+        observed: u64,
+    },
+    /// The query's [`CancelToken`](crate::CancelToken) was triggered. The
+    /// run stopped at a governor checkpoint; the `Database` stays usable.
+    Cancelled,
 }
 
 impl Error {
@@ -51,6 +91,23 @@ impl Error {
     pub fn unsupported(msg: impl Into<String>) -> Self {
         Error::Unsupported(msg.into())
     }
+    pub fn resource_exhausted(resource: ResourceKind, limit: u64, observed: u64) -> Self {
+        Error::ResourceExhausted {
+            resource,
+            limit,
+            observed,
+        }
+    }
+    pub fn cancelled() -> Self {
+        Error::Cancelled
+    }
+
+    /// True for the error categories a caller can retry after raising the
+    /// offending budget (or not cancelling): the run was stopped
+    /// cooperatively at a checkpoint and left the database usable.
+    pub fn is_resource_limit(&self) -> bool {
+        matches!(self, Error::ResourceExhausted { .. } | Error::Cancelled)
+    }
 }
 
 impl fmt::Display for Error {
@@ -63,6 +120,17 @@ impl fmt::Display for Error {
             Error::Type(m) => write!(f, "type error: {m}"),
             Error::Execution(m) => write!(f, "execution error: {m}"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            Error::ResourceExhausted {
+                resource: ResourceKind::Time,
+                limit,
+                observed,
+            } => write!(f, "resource exhausted: query timed out ({observed} ms elapsed, limit {limit} ms)"),
+            Error::ResourceExhausted {
+                resource,
+                limit,
+                observed,
+            } => write!(f, "resource exhausted: {resource} budget exceeded (observed {observed}, limit {limit})"),
+            Error::Cancelled => write!(f, "cancelled: query cancel token was triggered"),
         }
     }
 }
@@ -88,5 +156,23 @@ mod tests {
     fn errors_are_comparable() {
         assert_eq!(Error::parse("a"), Error::Parse("a".into()));
         assert_ne!(Error::parse("a"), Error::plan("a"));
+    }
+
+    #[test]
+    fn resource_errors_display_and_classify() {
+        let mem = Error::resource_exhausted(ResourceKind::Memory, 1024, 2048);
+        assert_eq!(
+            mem.to_string(),
+            "resource exhausted: memory budget exceeded (observed 2048, limit 1024)"
+        );
+        let time = Error::resource_exhausted(ResourceKind::Time, 100, 250);
+        // The timeout display keeps the historical "timed out" phrasing so
+        // existing substring checks stay valid.
+        assert!(time.to_string().contains("timed out"));
+        assert!(Error::cancelled().to_string().contains("cancelled"));
+        assert!(mem.is_resource_limit());
+        assert!(time.is_resource_limit());
+        assert!(Error::cancelled().is_resource_limit());
+        assert!(!Error::execution("x").is_resource_limit());
     }
 }

@@ -19,6 +19,7 @@
 mod datatype;
 mod error;
 pub mod fxhash;
+pub mod govern;
 pub mod par;
 mod relation;
 mod schema;
@@ -28,8 +29,12 @@ mod tuple;
 mod value;
 
 pub use datatype::DataType;
-pub use error::{Error, Result};
+pub use error::{Error, ResourceKind, Result};
 pub use fxhash::{hash_one, hash_values, FxBuildHasher, FxHashMap, FxHashSet, FxHasher, Prehashed};
+pub use govern::{
+    tuple_bytes, value_heap_bytes, CancelToken, FaultKind, InjectedFault, ROW_OVERHEAD_BYTES,
+    SHARED_ROW_BYTES, VALUE_BYTES,
+};
 pub use relation::Relation;
 pub use schema::{Field, Schema};
 pub use sort::{compare_tuples, SortKey, SortOrder};

@@ -35,6 +35,18 @@ echo "==> widened differential oracle (pinned seed, full strategy matrix)"
 BYPASS_CHECK_SEED=0xB1A5 BYPASS_CHECK_CASES=2000 \
     cargo run -q --release -p bypass-check --bin widened_oracle
 
+echo "==> fault-injection oracle (pinned seed, error-path trifecta)"
+# ~950 deterministic faults (memory-budget trip, deadline trip,
+# cancellation) injected at exact governor checkpoints of 16
+# grammar-generated queries x the full strategy matrix. Every injection
+# must surface as the matching typed error (never a panic), leave the
+# tracing span stack balanced, and a clean re-run on the same Database
+# must reproduce canonical results. Replay a reported failure with:
+#   BYPASS_CHECK_FAULT_SEED=<reported seed> BYPASS_CHECK_FAULT_QUERIES=1 \
+#       cargo run -q --release -p bypass-check --bin fault_oracle
+BYPASS_CHECK_FAULT_SEED=0xFA17 BYPASS_CHECK_FAULT_QUERIES=16 \
+    cargo run -q --release -p bypass-check --bin fault_oracle
+
 echo "==> observability smoke (profile JSON + Chrome trace + EXPLAIN ANALYZE)"
 # profile_canon validates both its --json output and the Chrome trace
 # with the in-tree bypass_trace::json validator before printing/writing

@@ -4,9 +4,10 @@
 //! execution counters.
 
 use std::sync::Mutex;
+use std::time::Duration;
 
 use bypass::datagen::rst;
-use bypass::{Database, Response, Strategy};
+use bypass::{CancelToken, Database, Error, Response, RunLimits, Strategy};
 
 /// The trace collector is process-global; tests that enable, disable or
 /// drain it must not interleave.
@@ -149,6 +150,128 @@ fn disabled_tracing_records_no_events_for_queries() {
         "disabled tracing recorded {} events",
         events.len()
     );
+}
+
+/// The span stack must rebalance after **every** error category the
+/// engine can produce — parse, plan, type, execution, all three
+/// resource guards and cancellation. Every span is an RAII guard, so
+/// `?`-propagation unwinds it; this test pins that property across the
+/// whole error surface, then proves the collector is still usable by
+/// exporting a valid trace of a clean follow-up run.
+///
+/// (`Error::Rewrite` is absent: the current rewrite pipeline rejects
+/// by falling back to canonical plans and has no reachable constructor
+/// for it — see `unnest`'s completeness tests.)
+#[test]
+fn span_stack_rebalances_after_every_error_category() {
+    let _gate = TRACE_GATE.lock().unwrap();
+    let db = q1_database(Strategy::Unnested);
+    bypass::trace::clear();
+    bypass::trace::set_enabled(true);
+    assert_eq!(bypass::trace::current_depth(), 0);
+
+    let cancelled = CancelToken::new();
+    cancelled.cancel();
+    type Check = fn(&Error) -> bool;
+    let matrix: Vec<(&str, &str, RunLimits, Check)> = vec![
+        (
+            "parse",
+            "SELEC DISTINCT * FROM r",
+            RunLimits::default(),
+            (|e| matches!(e, Error::Parse(_))) as Check,
+        ),
+        ("plan", "SELECT nosuch FROM r", RunLimits::default(), |e| {
+            matches!(e, Error::Plan(_))
+        }),
+        (
+            "catalog",
+            "SELECT * FROM nosuch",
+            RunLimits::default(),
+            |e| matches!(e, Error::Plan(_) | Error::Catalog(_)),
+        ),
+        (
+            "type",
+            "SELECT * FROM r WHERE a1 + 'x' = 1",
+            RunLimits::default(),
+            |e| matches!(e, Error::Type(_)),
+        ),
+        (
+            "execution",
+            "SELECT * FROM r WHERE a1 = (SELECT b1 FROM s)",
+            RunLimits::default(),
+            |e| matches!(e, Error::Execution(_)),
+        ),
+        (
+            "resource: memory",
+            Q1,
+            RunLimits {
+                max_memory_bytes: Some(64),
+                ..Default::default()
+            },
+            |e| {
+                matches!(
+                    e,
+                    Error::ResourceExhausted {
+                        resource: bypass::ResourceKind::Memory,
+                        ..
+                    }
+                )
+            },
+        ),
+        (
+            "resource: time",
+            Q1,
+            RunLimits {
+                timeout: Some(Duration::ZERO),
+                ..Default::default()
+            },
+            |e| {
+                matches!(
+                    e,
+                    Error::ResourceExhausted {
+                        resource: bypass::ResourceKind::Time,
+                        ..
+                    }
+                )
+            },
+        ),
+        (
+            "cancelled",
+            Q1,
+            RunLimits {
+                cancel: Some(cancelled.clone()),
+                ..Default::default()
+            },
+            |e| matches!(e, Error::Cancelled),
+        ),
+    ];
+    for strategy in [Strategy::Canonical, Strategy::Unnested] {
+        for (label, sql, limits, expected) in &matrix {
+            let err = db
+                .run_governed(sql, strategy, limits)
+                .expect_err(&format!("{label} under {strategy} must fail"));
+            assert!(
+                expected(&err),
+                "{label} under {strategy}: wrong category: {err}"
+            );
+            assert_eq!(
+                bypass::trace::current_depth(),
+                0,
+                "{label} under {strategy} left the span stack unbalanced"
+            );
+        }
+    }
+
+    // The collector survived eight error unwinds per strategy: a clean
+    // run afterwards still produces a valid, complete Chrome trace.
+    let _balanced = bypass::trace::take_events();
+    db.run_governed(Q1, Strategy::Unnested, &RunLimits::default())
+        .unwrap();
+    bypass::trace::set_enabled(false);
+    let chrome = bypass::trace::export_chrome_and_clear();
+    bypass::trace::json::validate(&chrome)
+        .unwrap_or_else(|e| panic!("chrome export must stay valid after errors: {e}"));
+    assert!(chrome.contains("execute"), "{chrome}");
 }
 
 /// Execution counters are per-run state, not process globals: profiling
