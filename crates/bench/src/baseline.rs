@@ -297,9 +297,19 @@ fn is_counter_entry(name: &str) -> bool {
     name.contains("/counters/")
 }
 
+/// Absolute noise floor for *timing* deltas. A relative threshold alone
+/// is meaningless near timer resolution: a 3 µs plan phase that reads
+/// 4 µs on the next run is "+33%" of pure quantization. A timing delta
+/// only gates (either direction) when it also exceeds this floor —
+/// a genuine complexity regression in a µs-scale phase clears it
+/// easily, a ±1 µs wobble never does. Counter entries are unaffected
+/// (they gate on equality).
+pub const TIMING_NOISE_FLOOR_SECS: f64 = 20e-6;
+
 /// Compare current measurements against `base`: a timing median more
-/// than `threshold_pct` percent slower is a regression; a counter
-/// snapshot (`…/counters/…`) that differs *at all* is a regression.
+/// than `threshold_pct` percent *and* [`TIMING_NOISE_FLOOR_SECS`]
+/// slower is a regression; a counter snapshot (`…/counters/…`) that
+/// differs *at all* is a regression.
 /// Determinism: inputs are visited in order, so two runs over the same
 /// data produce identical reports.
 pub fn compare(base: &Baseline, current: &[(String, f64)], threshold_pct: f64) -> CompareReport {
@@ -340,9 +350,9 @@ pub fn compare(base: &Baseline, current: &[(String, f64)], threshold_pct: f64) -
                     current_secs: *secs,
                     delta_pct,
                 };
-                if delta_pct > threshold_pct {
+                if delta_pct > threshold_pct && secs - b > TIMING_NOISE_FLOOR_SECS {
                     report.regressions.push(delta);
-                } else if delta_pct < -threshold_pct {
+                } else if delta_pct < -threshold_pct && b - secs > TIMING_NOISE_FLOOR_SECS {
                     report.improvements.push(delta);
                 } else {
                     report.unchanged += 1;
@@ -504,6 +514,32 @@ mod tests {
             .regressions
             .iter()
             .any(|d| d.name.ends_with("canonical/bypass_pos_rows") && d.delta_pct.is_infinite()));
+    }
+
+    #[test]
+    fn timing_deltas_below_noise_floor_never_gate() {
+        let mut base = Baseline::new();
+        base.set("phases/q/s/parse", 3e-6); // 3 µs
+        base.set("phases/q/s/execute", 1e-3); // 1 ms
+                                              // +33% on 3 µs is 1 µs of quantization — under the floor, not a
+                                              // regression; -33% likewise not an improvement.
+        let wobble = vec![
+            ("phases/q/s/parse".to_string(), 4e-6),
+            ("phases/q/s/execute".to_string(), 1e-3),
+        ];
+        let report = compare(&base, &wobble, 25.0);
+        assert!(report.regressions.is_empty(), "{report}");
+        assert_eq!(report.unchanged, 2);
+        let report = compare(&base, &[("phases/q/s/parse".to_string(), 2e-6)], 25.0);
+        assert!(report.improvements.is_empty(), "{report}");
+        // A genuine complexity blow-up clears both bars, even from a
+        // µs-scale baseline; ms-scale entries gate exactly as before.
+        let blown = vec![
+            ("phases/q/s/parse".to_string(), 60e-6),
+            ("phases/q/s/execute".to_string(), 1.5e-3),
+        ];
+        let report = compare(&base, &blown, 25.0);
+        assert_eq!(report.regressions.len(), 2, "{report}");
     }
 
     #[test]

@@ -107,6 +107,14 @@ pub struct RunLimits {
     /// Cooperative cancellation token polled at every governor
     /// checkpoint.
     pub cancel: Option<CancelToken>,
+    /// Worker-pool width for morsel-driven intra-query parallelism
+    /// (overrides `BYPASS_THREADS` / the detected core count; `1`
+    /// forces serial execution).
+    pub threads: Option<usize>,
+    /// Morsel size in rows — operator loops over more rows than this
+    /// fan out. Tests force it small to exercise the parallel paths on
+    /// tiny relations.
+    pub morsel_rows: Option<usize>,
     /// Deterministic fault injection (testing): fail at exactly this
     /// governor checkpoint.
     pub fault: Option<InjectedFault>,
@@ -126,6 +134,12 @@ impl RunLimits {
         }
         if self.fault.is_some() {
             options.fault = self.fault;
+        }
+        if let Some(t) = self.threads {
+            options.threads = t;
+        }
+        if let Some(m) = self.morsel_rows {
+            options.morsel_rows = m;
         }
     }
 }
@@ -362,7 +376,12 @@ impl Database {
                 analyze: true,
                 query,
             } => {
-                let profile = self.profile_query(&query, self.default_strategy, parse_nanos)?;
+                let profile = self.profile_query(
+                    &query,
+                    self.default_strategy,
+                    parse_nanos,
+                    &RunLimits::default(),
+                )?;
                 Ok(Response::Explained(profile.render()))
             }
             Statement::Explain {
@@ -580,12 +599,25 @@ impl Database {
     /// `bypass_bench::report::profile_table` renders a flat
     /// exclusive-time table from the same data.
     pub fn profile(&self, sql: &str, strategy: Strategy) -> Result<QueryProfile> {
+        self.profile_governed(sql, strategy, &RunLimits::default())
+    }
+
+    /// [`Database::profile`] with per-run [`RunLimits`] overlaid on the
+    /// strategy's execution options — the entry point the
+    /// worker-count-independence tests use to force a thread count and
+    /// morsel size and compare the resulting profiles.
+    pub fn profile_governed(
+        &self,
+        sql: &str,
+        strategy: Strategy,
+        limits: &RunLimits,
+    ) -> Result<QueryProfile> {
         let t0 = Instant::now();
         let stmt = parse_statement(sql)?;
         let parse_nanos = t0.elapsed().as_nanos();
         match stmt {
             Statement::Query(q) | Statement::Explain { query: q, .. } => {
-                self.profile_query(&q, strategy, parse_nanos)
+                self.profile_query(&q, strategy, parse_nanos, limits)
             }
             _ => Err(Error::plan("not a SELECT statement")),
         }
@@ -601,6 +633,7 @@ impl Database {
         query: &SelectStmt,
         strategy: Strategy,
         parse_nanos: u128,
+        limits: &RunLimits,
     ) -> Result<QueryProfile> {
         let mut phases = PhaseNanos {
             parse: parse_nanos,
@@ -632,7 +665,9 @@ impl Database {
         let t = Instant::now();
         let (rel, metrics, counters) = {
             let _s = bypass_trace::span("execute");
-            let mut ctx = ExecContext::new(strategy.exec_options()).with_metrics();
+            let mut options = strategy.exec_options();
+            limits.apply(&mut options);
+            let mut ctx = ExecContext::new(options).with_metrics();
             let rel = ctx.eval_plan(&physical)?;
             let counters = ctx.counters();
             (rel, ctx.take_metrics(), counters)

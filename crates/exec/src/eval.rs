@@ -3,8 +3,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bypass_types::{
-    compare_tuples, fxhash, tuple_bytes, CancelToken, Error, FaultKind, FxHashMap, InjectedFault,
-    Relation, ResourceKind, Result, SortKey, Truth, Tuple, Value, SHARED_ROW_BYTES, VALUE_BYTES,
+    compare_tuples, fxhash, par, tuple_bytes, CancelToken, Error, FaultKind, FxHashMap, GovEvent,
+    InjectedFault, Relation, ResourceKind, Result, SortKey, Truth, Tuple, Value, SHARED_ROW_BYTES,
+    VALUE_BYTES,
 };
 
 use crate::agg::{create_accumulator, Accumulator, AggSpec};
@@ -48,7 +49,22 @@ pub struct ExecOptions {
     /// given kind exactly at the given governor checkpoint, regardless
     /// of real budgets. See `bypass_types::InjectedFault`.
     pub fault: Option<InjectedFault>,
+    /// Intra-query worker count for morsel-driven parallelism
+    /// (`BYPASS_THREADS`; 1 disables it). Workers run base-relation
+    /// morsels speculatively and their governor effects are replayed in
+    /// morsel order, so every counter, budget trip and injected fault
+    /// is worker-count-independent (DESIGN.md §7).
+    pub threads: usize,
+    /// Maximum rows per morsel — also the parallelism threshold: an
+    /// operator input with at most this many rows runs serially. Tests
+    /// shrink it to force tiny inputs onto the parallel path.
+    pub morsel_rows: usize,
 }
+
+/// Default morsel granularity: large enough that forking a worker
+/// governor is noise, small enough that SF 1 inputs (10k rows) split
+/// across every worker.
+pub const MORSEL_ROWS: usize = 4096;
 
 impl Default for ExecOptions {
     fn default() -> Self {
@@ -60,6 +76,8 @@ impl Default for ExecOptions {
             max_memory_bytes: None,
             cancel: None,
             fault: None,
+            threads: par::thread_count(),
+            morsel_rows: MORSEL_ROWS,
         }
     }
 }
@@ -130,6 +148,15 @@ pub struct ExecContext {
     /// (hash-table build sizes, collision re-verifies). Only written
     /// when metrics are enabled.
     pending: PendingCounters,
+    /// Morsel workers only: the governor event log recorded for exact
+    /// replay on the master context. `None` on the master and in
+    /// summary mode (no fault plan, no memory budget), where a
+    /// three-counter summary suffices.
+    gov_log: Option<Vec<GovEvent>>,
+    /// Per-node cache of the parallel-safety verdict (may this node's
+    /// expressions run on a worker without touching the memo caches?),
+    /// keyed by node pointer.
+    par_safe_cache: FxHashMap<usize, bool>,
 }
 
 /// Query-wide execution counters, independent of any one operator.
@@ -241,6 +268,96 @@ const ACC_BYTES: u64 = 48;
 /// slot + `Arc` handle + counters).
 const MEMO_ENTRY_BYTES: u64 = 64;
 
+/// A morsel worker's recorded governor effects, replayed in morsel
+/// order on the master context (see the morsel section of the
+/// `ExecContext` impl).
+enum GovLog {
+    /// Fast path (no fault plan, no byte budget): the worker's
+    /// checkpoint count, net byte delta and local peak reproduce the
+    /// serial trajectory exactly when merged in order.
+    Summary {
+        checkpoints: u64,
+        net_bytes: u64,
+        peak_bytes: u64,
+    },
+    /// Exact path: the full run-length-encoded event stream, replayed
+    /// event by event so budget trips and injected faults land on the
+    /// same checkpoint and byte count as a serial run.
+    Events(Vec<GovEvent>),
+}
+
+/// Everything a morsel worker hands back to the master for the in-order
+/// merge.
+struct MorselOut<P> {
+    gov: GovLog,
+    metrics: Option<HashMap<usize, NodeMetrics>>,
+    pending: PendingCounters,
+    /// Inclusive nanos of nested-plan evaluations inside worker
+    /// expressions; billed to the master's current metrics frame, as a
+    /// serial run would have.
+    child_nanos: u128,
+    /// Worker memo counters — must be all zero (debug-asserted): the
+    /// safety gate keeps memoized subqueries off workers.
+    memo_counters: ExecCounters,
+    payload: Result<P>,
+    /// Morsel was skipped because a lower-index morsel already failed;
+    /// the merge loop never reaches it.
+    skipped: bool,
+}
+
+impl<P> MorselOut<P> {
+    fn skipped() -> MorselOut<P> {
+        MorselOut {
+            gov: GovLog::Summary {
+                checkpoints: 0,
+                net_bytes: 0,
+                peak_bytes: 0,
+            },
+            metrics: None,
+            pending: PendingCounters::default(),
+            child_nanos: 0,
+            memo_counters: ExecCounters::default(),
+            payload: Err(Error::execution(
+                "morsel skipped after an earlier morsel failed",
+            )),
+            skipped: true,
+        }
+    }
+}
+
+/// Concatenate per-morsel row buffers in morsel (= input) order. The
+/// single-part case is the serial path: the buffer is moved, not
+/// copied.
+fn concat_rows(mut parts: Vec<Vec<Tuple>>) -> Vec<Tuple> {
+    if parts.len() == 1 {
+        return parts.pop().unwrap();
+    }
+    let total = parts.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// Concatenate per-morsel dual-stream (pos, neg) buffers in morsel
+/// order: both streams preserve the serial emission order.
+fn concat_dual(mut parts: Vec<(Vec<Tuple>, Vec<Tuple>)>) -> (Vec<Tuple>, Vec<Tuple>) {
+    if parts.len() == 1 {
+        return parts.pop().unwrap();
+    }
+    let (pt, nt) = parts
+        .iter()
+        .fold((0, 0), |(p, n), (pv, nv)| (p + pv.len(), n + nv.len()));
+    let mut pos = Vec::with_capacity(pt);
+    let mut neg = Vec::with_capacity(nt);
+    for (p, n) in parts {
+        pos.extend(p);
+        neg.extend(n);
+    }
+    (pos, neg)
+}
+
 /// Output of a bypass operator: both streams.
 type Dual = (Arc<Relation>, Arc<Relation>);
 
@@ -268,10 +385,6 @@ struct JoinHashTable {
     row_ids: Vec<u32>,
     /// Flat key arena: entry `e`'s key is `keys[e*width .. (e+1)*width]`.
     keys: Vec<Value>,
-    /// Probe candidates rejected by the full key comparison after a
-    /// hash-bucket hit (collision re-verifies). `Cell` because
-    /// `probe` hands out a `&self` iterator.
-    reverify: std::cell::Cell<u64>,
     /// Governor bytes charged while building this table (key arena +
     /// per-entry overhead); released by the join arm when the table's
     /// scope ends.
@@ -304,7 +417,15 @@ impl JoinHashTable {
     }
 
     /// Build-relation row ids whose key equals `key` (hash precomputed).
-    fn probe<'a>(&'a self, hash: u64, key: &'a [Value]) -> impl Iterator<Item = usize> + 'a {
+    /// Collision re-verifies are counted into `reverify`, a caller-local
+    /// accumulator — the table itself stays immutable (and therefore
+    /// `Sync`) during the probe phase, so morsel workers can share it.
+    fn probe<'a>(
+        &'a self,
+        hash: u64,
+        key: &'a [Value],
+        reverify: &'a mut u64,
+    ) -> impl Iterator<Item = usize> + 'a {
         let mut cur = self.buckets.get(&hash).map_or(NO_ENTRY, |&(head, _)| head);
         std::iter::from_fn(move || {
             while cur != NO_ENTRY {
@@ -313,7 +434,7 @@ impl JoinHashTable {
                 if self.entry_key(e) == key {
                     return Some(self.row_ids[e as usize] as usize);
                 }
-                self.reverify.set(self.reverify.get() + 1);
+                *reverify += 1;
             }
             None
         })
@@ -337,6 +458,8 @@ impl ExecContext {
             peak_bytes: 0,
             counters: ExecCounters::default(),
             pending: PendingCounters::default(),
+            gov_log: None,
+            par_safe_cache: FxHashMap::default(),
         }
     }
 
@@ -369,6 +492,17 @@ impl ExecContext {
     /// depends only on plan + data, never on timing.
     #[inline]
     fn tick(&mut self) -> Result<()> {
+        if self.gov_log.is_some() {
+            self.log_tick();
+        }
+        self.tick_inner()
+    }
+
+    /// The checkpoint body shared by [`tick`] and replayed charges:
+    /// everything except event logging (a replayed `Charge` must not
+    /// re-log its embedded tick).
+    #[inline]
+    fn tick_inner(&mut self) -> Result<()> {
         self.checkpoints += 1;
         if self.options.fault.is_some() || self.options.cancel.is_some() {
             self.governed_checkpoint()?;
@@ -388,6 +522,18 @@ impl ExecContext {
         Ok(())
     }
 
+    /// Run-length append one plain checkpoint to the worker event log.
+    #[cold]
+    fn log_tick(&mut self) {
+        if let Some(log) = &mut self.gov_log {
+            if let Some(GovEvent::Ticks(n)) = log.last_mut() {
+                *n += 1;
+            } else {
+                log.push(GovEvent::Ticks(1));
+            }
+        }
+    }
+
     /// Cold path of [`tick`]: fault injection + cancel polling. Split
     /// out so production runs (no fault plan, no token) pay a single
     /// predictable branch per checkpoint.
@@ -395,22 +541,7 @@ impl ExecContext {
     fn governed_checkpoint(&mut self) -> Result<()> {
         if let Some(f) = self.options.fault {
             if self.checkpoints == f.checkpoint {
-                return Err(match f.kind {
-                    FaultKind::Memory => Error::resource_exhausted(
-                        ResourceKind::Memory,
-                        self.options.max_memory_bytes.unwrap_or(self.used_bytes),
-                        self.used_bytes,
-                    ),
-                    FaultKind::Deadline => Error::resource_exhausted(
-                        ResourceKind::Time,
-                        self.options
-                            .timeout
-                            .map(|t| t.as_millis() as u64)
-                            .unwrap_or(0),
-                        0,
-                    ),
-                    FaultKind::Cancel => Error::cancelled(),
-                });
+                return Err(self.fault_error(f.kind));
             }
         }
         if let Some(c) = &self.options.cancel {
@@ -419,6 +550,28 @@ impl ExecContext {
             }
         }
         Ok(())
+    }
+
+    /// The typed error an injected fault of `kind` raises, built from
+    /// the governor's current state (shared by the serial checkpoint
+    /// path and the morsel-replay path).
+    fn fault_error(&self, kind: FaultKind) -> Error {
+        match kind {
+            FaultKind::Memory => Error::resource_exhausted(
+                ResourceKind::Memory,
+                self.options.max_memory_bytes.unwrap_or(self.used_bytes),
+                self.used_bytes,
+            ),
+            FaultKind::Deadline => Error::resource_exhausted(
+                ResourceKind::Time,
+                self.options
+                    .timeout
+                    .map(|t| t.as_millis() as u64)
+                    .unwrap_or(0),
+                0,
+            ),
+            FaultKind::Cancel => Error::cancelled(),
+        }
     }
 
     fn deadline_error(&self, now: Instant, deadline: Instant) -> Error {
@@ -437,6 +590,17 @@ impl ExecContext {
     /// points, not just row boundaries.
     #[inline]
     fn charge(&mut self, bytes: u64) -> Result<()> {
+        if let Some(log) = &mut self.gov_log {
+            log.push(GovEvent::Charge(bytes));
+        }
+        self.charge_inner(bytes)
+    }
+
+    /// The charge body shared by [`charge`] and morsel replay: apply
+    /// the bytes, enforce the cap, pass one checkpoint — without
+    /// re-logging (a `Charge` event embeds its own tick).
+    #[inline]
+    fn charge_inner(&mut self, bytes: u64) -> Result<()> {
         self.used_bytes += bytes;
         if self.used_bytes > self.peak_bytes {
             self.peak_bytes = self.used_bytes;
@@ -450,7 +614,7 @@ impl ExecContext {
                 ));
             }
         }
-        self.tick()
+        self.tick_inner()
     }
 
     /// Charge `n` shared-row pushes (refcount bumps) in one step.
@@ -464,6 +628,9 @@ impl ExecContext {
     /// Releases are not checkpoints — nothing can fail while freeing.
     #[inline]
     fn release(&mut self, bytes: u64) {
+        if let Some(log) = &mut self.gov_log {
+            log.push(GovEvent::Release(bytes));
+        }
         self.used_bytes = self.used_bytes.saturating_sub(bytes);
     }
 
@@ -478,6 +645,330 @@ impl ExecContext {
             )),
             _ => Ok(()),
         }
+    }
+
+    // ----- morsel-driven parallelism -----------------------------------
+    //
+    // An operator arm that loops over one input relation can hand that
+    // loop to `run_morsels`: the serial path runs the loop body over
+    // the full range on `self` (byte-for-byte the pre-parallel code
+    // path), the parallel path splits the range into fixed-size morsels
+    // executed by scoped workers on *forked* contexts. Workers are
+    // speculative — their governor starts at zero bytes and they never
+    // see the fault plan — and their effects are replayed on the master
+    // in morsel order, which makes every determinism invariant hold by
+    // construction: checkpoint indices, peak/used bytes, memory-budget
+    // trip points and injected-fault landing sites are identical to a
+    // serial run, regardless of the worker count.
+
+    /// May this node's expressions run on a worker? True iff no
+    /// subquery inside them would probe a memo cache (workers hold
+    /// empty memos; a worker-side probe would skew the hit/miss
+    /// counters and duplicate memoized work).
+    fn par_safe_node(&mut self, node: &Arc<PhysNode>) -> bool {
+        let ptr = Arc::as_ptr(node) as usize;
+        if let Some(&v) = self.par_safe_cache.get(&ptr) {
+            return v;
+        }
+        let v = node.exprs().into_iter().all(|e| self.expr_par_safe(e));
+        self.par_safe_cache.insert(ptr, v);
+        v
+    }
+
+    /// Recursive worker-safety check: a subquery whose memo is enabled
+    /// (uncorrelated + `memo_uncorrelated`, or correlated with keys +
+    /// `memo_correlated`) pins the operator to the master; all other
+    /// subqueries re-evaluate per row anyway (`run_nested` touches no
+    /// shared state), so their nested plans are checked recursively.
+    fn expr_par_safe(&self, e: &PhysExpr) -> bool {
+        let sub_safe = |plan: &Arc<PhysNode>, correlated: bool, outer_keys: &[usize]| {
+            let memoized = if correlated {
+                self.options.memo_correlated && !outer_keys.is_empty()
+            } else {
+                self.options.memo_uncorrelated
+            };
+            !memoized && self.plan_par_safe(plan)
+        };
+        match e {
+            PhysExpr::Column(_) | PhysExpr::Outer { .. } | PhysExpr::Literal(_) => true,
+            PhysExpr::Binary { left, right, .. } => {
+                self.expr_par_safe(left) && self.expr_par_safe(right)
+            }
+            PhysExpr::Not(x) | PhysExpr::Neg(x) => self.expr_par_safe(x),
+            PhysExpr::IsNull { expr, .. } => self.expr_par_safe(expr),
+            PhysExpr::Like { expr, pattern, .. } => {
+                self.expr_par_safe(expr) && self.expr_par_safe(pattern)
+            }
+            PhysExpr::InList { expr, list, .. } => {
+                self.expr_par_safe(expr) && list.iter().all(|i| self.expr_par_safe(i))
+            }
+            PhysExpr::Subquery {
+                plan,
+                correlated,
+                outer_keys,
+            }
+            | PhysExpr::Exists {
+                plan,
+                correlated,
+                outer_keys,
+                ..
+            } => sub_safe(plan, *correlated, outer_keys),
+            PhysExpr::InSubquery {
+                expr,
+                plan,
+                correlated,
+                outer_keys,
+                ..
+            }
+            | PhysExpr::QuantifiedCmp {
+                expr,
+                plan,
+                correlated,
+                outer_keys,
+                ..
+            } => self.expr_par_safe(expr) && sub_safe(plan, *correlated, outer_keys),
+        }
+    }
+
+    /// Worker-safety over a whole nested plan: every node's expressions.
+    fn plan_par_safe(&self, node: &Arc<PhysNode>) -> bool {
+        node.exprs().into_iter().all(|e| self.expr_par_safe(e))
+            && node.children().into_iter().all(|c| self.plan_par_safe(c))
+    }
+
+    /// Should this operator's loop over `total` input rows fan out?
+    fn morsel_gate(&mut self, node: &Arc<PhysNode>, total: usize) -> bool {
+        self.options.threads > 1 && total > self.options.morsel_rows && self.par_safe_node(node)
+    }
+
+    /// Record/replay mode: with a fault plan or a byte budget armed the
+    /// workers keep an exact event log; otherwise a three-counter
+    /// summary reproduces checkpoints/used/peak exactly (the serial
+    /// trajectory at a morsel boundary *is* the master's state at merge
+    /// time, so `peak = max(peak, used + local_peak)` is not an
+    /// approximation).
+    fn exact_replay(&self) -> bool {
+        self.options.fault.is_some() || self.options.max_memory_bytes.is_some()
+    }
+
+    /// The options a morsel worker runs under: no fault plan (faults
+    /// fire during replay on the master, at the exact global
+    /// checkpoint), no nested fan-out, and in summary mode no byte cap
+    /// (a worker's local `used` is relative, so a cap check there would
+    /// be meaningless — in exact mode the cap stays on as a speculative
+    /// early-abort; replay reproduces the authoritative error).
+    fn worker_options(&self) -> ExecOptions {
+        let mut o = self.options.clone();
+        o.fault = None;
+        o.threads = 1;
+        if !self.exact_replay() {
+            o.max_memory_bytes = None;
+        }
+        o
+    }
+
+    /// Replay one worker's recorded governor effects on the master.
+    fn replay(&mut self, gov: GovLog) -> Result<()> {
+        match gov {
+            GovLog::Summary {
+                checkpoints,
+                net_bytes,
+                peak_bytes,
+            } => {
+                let candidate = self.used_bytes + peak_bytes;
+                if candidate > self.peak_bytes {
+                    self.peak_bytes = candidate;
+                }
+                self.used_bytes += net_bytes;
+                self.checkpoints += checkpoints;
+                self.ticks = self.ticks.wrapping_add(checkpoints as u32);
+                Ok(())
+            }
+            GovLog::Events(events) => {
+                for ev in events {
+                    match ev {
+                        GovEvent::Ticks(n) => self.replay_ticks(n)?,
+                        GovEvent::Charge(b) => self.charge_inner(b)?,
+                        GovEvent::Release(b) => self.used_bytes = self.used_bytes.saturating_sub(b),
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Bulk-replay `n` plain checkpoints: an injected fault whose index
+    /// falls inside the batch fires with exactly that checkpoint count
+    /// recorded, cancellation is polled once per batch, and the
+    /// deadline is checked when the batch crosses an amortization
+    /// boundary — same guarantees as `n` serial ticks.
+    fn replay_ticks(&mut self, n: u64) -> Result<()> {
+        if let Some(f) = self.options.fault {
+            if self.checkpoints < f.checkpoint && f.checkpoint <= self.checkpoints + n {
+                self.checkpoints = f.checkpoint;
+                return Err(self.fault_error(f.kind));
+            }
+        }
+        self.checkpoints += n;
+        if let Some(c) = &self.options.cancel {
+            if c.is_cancelled() {
+                return Err(Error::cancelled());
+            }
+        }
+        let before = self.ticks;
+        self.ticks = self.ticks.wrapping_add(n as u32);
+        // Crossed a 4096-tick boundary (or covers a full window)?
+        if n >= 4096 || before / 4096 != self.ticks / 4096 || before == 0 {
+            if let Some(d) = self.deadline {
+                let now = Instant::now();
+                if now > d {
+                    return Err(self.deadline_error(now, d));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fork a worker context for one morsel: shared read-only options
+    /// (fault stripped, single-threaded), the same outer-binding stack
+    /// (refcount bumps), fresh memo maps that the safety gate
+    /// guarantees stay untouched, and a zeroed governor.
+    fn fork_worker(&self, template: &ExecOptions, exact: bool) -> ExecContext {
+        ExecContext {
+            options: template.clone(),
+            metrics: self.metrics.is_some().then(HashMap::new),
+            // One sentinel frame so nested-plan evaluations inside
+            // worker expressions have a parent to bill their inclusive
+            // time to; folded into the master's current frame on merge.
+            child_nanos: vec![0],
+            outer: self.outer.clone(),
+            uncorr: FxHashMap::default(),
+            corr: FxHashMap::default(),
+            deadline: self.deadline,
+            ticks: 0,
+            checkpoints: 0,
+            used_bytes: 0,
+            peak_bytes: 0,
+            counters: ExecCounters::default(),
+            pending: PendingCounters::default(),
+            gov_log: exact.then(Vec::new),
+            par_safe_cache: FxHashMap::default(),
+        }
+    }
+
+    /// Drive one operator loop over `total` input rows, either serially
+    /// (the body runs on `self` over the full range — governor
+    /// sequence identical to the pre-parallel executor) or across the
+    /// worker pool in fixed-size morsels. Returns the per-morsel
+    /// payloads in input order; the caller concatenates.
+    fn run_morsels<P, F>(&mut self, node: &Arc<PhysNode>, total: usize, body: F) -> Result<Vec<P>>
+    where
+        P: Send,
+        F: Fn(&mut ExecContext, std::ops::Range<usize>) -> Result<P> + Sync,
+    {
+        if !self.morsel_gate(node, total) {
+            return Ok(vec![body(self, 0..total)?]);
+        }
+        let threads = self.options.threads;
+        let exact = self.exact_replay();
+        let template = self.worker_options();
+        // Aim for ~4 morsels per worker (pull-based balancing without
+        // tiny fragments), capped at the configured morsel size.
+        let chunk = (total / (threads * 4)).clamp(1, self.options.morsel_rows);
+        let ranges: Vec<std::ops::Range<usize>> = (0..total)
+            .step_by(chunk)
+            .map(|s| s..(s + chunk).min(total))
+            .collect();
+        // Lowest-index failure wins; later morsels bail out early.
+        let stop = std::sync::atomic::AtomicUsize::new(usize::MAX);
+        let outs: Vec<MorselOut<P>> = par::scoped_map(&ranges, threads, |idx, range| {
+            use std::sync::atomic::Ordering;
+            if stop.load(Ordering::Relaxed) < idx {
+                return MorselOut::skipped();
+            }
+            let mut w = self.fork_worker(&template, exact);
+            let _span = bypass_trace::span("exec.morsel");
+            let payload = body(&mut w, range.clone());
+            if payload.is_err() {
+                stop.fetch_min(idx, Ordering::Relaxed);
+            }
+            w.into_morsel_out(payload, exact)
+        });
+        // In-order merge: governor effects first (authoritative errors
+        // — budget trips and injected faults — surface here at their
+        // exact serial checkpoint), then the payload.
+        let mut payloads = Vec::with_capacity(outs.len());
+        for out in outs {
+            debug_assert!(
+                out.skipped
+                    || (out.memo_counters.memo_uncorr_hits
+                        | out.memo_counters.memo_uncorr_misses
+                        | out.memo_counters.memo_corr_hits
+                        | out.memo_counters.memo_corr_misses)
+                        == 0,
+                "morsel worker probed a memo cache despite the safety gate"
+            );
+            self.replay(out.gov)?;
+            let p = out.payload?;
+            if let (Some(master), Some(worker)) = (self.metrics.as_mut(), out.metrics) {
+                for (ptr, wm) in worker {
+                    let m = master.entry(ptr).or_default();
+                    m.calls += wm.calls;
+                    m.rows += wm.rows;
+                    m.nanos += wm.nanos;
+                    m.self_nanos += wm.self_nanos;
+                    m.pos_rows += wm.pos_rows;
+                    m.neg_rows += wm.neg_rows;
+                    m.rows_shared += wm.rows_shared;
+                    m.rows_materialized += wm.rows_materialized;
+                    m.build_rows += wm.build_rows;
+                    m.reverify += wm.reverify;
+                }
+            }
+            self.pending.build_rows += out.pending.build_rows;
+            self.pending.reverify += out.pending.reverify;
+            if let Some(frame) = self.child_nanos.last_mut() {
+                *frame += out.child_nanos;
+            }
+            payloads.push(p);
+        }
+        Ok(payloads)
+    }
+
+    /// Tear a worker down into its mergeable parts.
+    fn into_morsel_out<P>(self, payload: Result<P>, exact: bool) -> MorselOut<P> {
+        let gov = if exact {
+            GovLog::Events(self.gov_log.unwrap_or_default())
+        } else {
+            GovLog::Summary {
+                checkpoints: self.checkpoints,
+                net_bytes: self.used_bytes,
+                peak_bytes: self.peak_bytes,
+            }
+        };
+        MorselOut {
+            gov,
+            metrics: self.metrics,
+            pending: self.pending,
+            child_nanos: self.child_nanos.first().copied().unwrap_or(0),
+            memo_counters: self.counters,
+            payload,
+            skipped: false,
+        }
+    }
+
+    /// Concatenate morsel outputs, re-applying the intermediate-size
+    /// guard over the merged total when the loop actually fanned out
+    /// (each morsel only guarded its local buffer). The serial path —
+    /// exactly one part — keeps the pre-parallel guard sequence
+    /// unchanged.
+    fn concat_checked(&self, parts: Vec<Vec<Tuple>>) -> Result<Vec<Tuple>> {
+        let fanned_out = parts.len() > 1;
+        let out = concat_rows(parts);
+        if fanned_out {
+            self.check_size(out.len())?;
+        }
+        Ok(out)
     }
 
     /// Evaluate a plan root (fresh bypass memo).
@@ -527,16 +1018,20 @@ impl ExecContext {
             PhysKind::Scan { data } => return Ok(data.clone()),
             PhysKind::Filter { input, predicate } => {
                 let input = self.eval_node(input, local)?;
-                let mut out = Vec::new();
-                for t in input.rows() {
-                    self.tick()?;
-                    if self.eval_truth(predicate, t)?.is_true() {
-                        // Shared-row: refcount bump, not a value copy.
-                        self.charge(SHARED_ROW_BYTES)?;
-                        out.push(t.clone());
+                let rows = input.rows();
+                let parts = self.run_morsels(node, rows.len(), |ctx, range| {
+                    let mut out = Vec::new();
+                    for t in &rows[range] {
+                        ctx.tick()?;
+                        if ctx.eval_truth(predicate, t)?.is_true() {
+                            // Shared-row: refcount bump, not a value copy.
+                            ctx.charge(SHARED_ROW_BYTES)?;
+                            out.push(t.clone());
+                        }
                     }
-                }
-                Relation::new(schema, out)
+                    Ok(out)
+                })?;
+                Relation::new(schema, concat_rows(parts))
             }
             PhysKind::Project { input, exprs } => {
                 let input = self.eval_node(input, local)?;
@@ -553,27 +1048,35 @@ impl ExecContext {
                         self.charge_shared_rows(input.len())?;
                         return Ok(Arc::new(Relation::new(schema, input.rows().to_vec())));
                     }
-                    let mut out = Vec::with_capacity(input.len());
-                    for t in input.rows() {
-                        self.tick()?;
-                        let p = t.project(&cols);
-                        self.charge(tuple_bytes(&p))?;
-                        out.push(p);
-                    }
-                    return Ok(Arc::new(Relation::new(schema, out)));
+                    let rows = input.rows();
+                    let parts = self.run_morsels(node, rows.len(), |ctx, range| {
+                        let mut out = Vec::with_capacity(range.len());
+                        for t in &rows[range] {
+                            ctx.tick()?;
+                            let p = t.project(&cols);
+                            ctx.charge(tuple_bytes(&p))?;
+                            out.push(p);
+                        }
+                        Ok(out)
+                    })?;
+                    return Ok(Arc::new(Relation::new(schema, concat_rows(parts))));
                 }
-                let mut out = Vec::with_capacity(input.len());
-                for t in input.rows() {
-                    self.tick()?;
-                    let mut vals = Vec::with_capacity(exprs.len());
-                    for e in exprs {
-                        vals.push(self.eval_expr(e, t)?);
+                let rows = input.rows();
+                let parts = self.run_morsels(node, rows.len(), |ctx, range| {
+                    let mut out = Vec::with_capacity(range.len());
+                    for t in &rows[range] {
+                        ctx.tick()?;
+                        let mut vals = Vec::with_capacity(exprs.len());
+                        for e in exprs {
+                            vals.push(ctx.eval_expr(e, t)?);
+                        }
+                        let row = Tuple::new(vals);
+                        ctx.charge(tuple_bytes(&row))?;
+                        out.push(row);
                     }
-                    let row = Tuple::new(vals);
-                    self.charge(tuple_bytes(&row))?;
-                    out.push(row);
-                }
-                Relation::new(schema, out)
+                    Ok(out)
+                })?;
+                Relation::new(schema, concat_rows(parts))
             }
             PhysKind::NLJoin {
                 left,
@@ -582,27 +1085,31 @@ impl ExecContext {
             } => {
                 let l = self.eval_node(left, local)?;
                 let r = self.eval_node(right, local)?;
-                let mut out = Vec::new();
-                for lt in l.rows() {
-                    self.check_size(out.len())?;
-                    for rt in r.rows() {
-                        self.tick()?;
-                        match predicate {
-                            None => {
-                                let joined = lt.concat(rt);
-                                self.charge(tuple_bytes(&joined))?;
-                                out.push(joined);
-                            }
-                            Some(p) => {
-                                let joined = lt.concat(rt);
-                                if self.eval_truth(p, &joined)?.is_true() {
-                                    self.charge(tuple_bytes(&joined))?;
+                let parts = self.run_morsels(node, l.len(), |ctx, range| {
+                    let mut out = Vec::new();
+                    for lt in &l.rows()[range] {
+                        ctx.check_size(out.len())?;
+                        for rt in r.rows() {
+                            ctx.tick()?;
+                            match predicate {
+                                None => {
+                                    let joined = lt.concat(rt);
+                                    ctx.charge(tuple_bytes(&joined))?;
                                     out.push(joined);
+                                }
+                                Some(p) => {
+                                    let joined = lt.concat(rt);
+                                    if ctx.eval_truth(p, &joined)?.is_true() {
+                                        ctx.charge(tuple_bytes(&joined))?;
+                                        out.push(joined);
+                                    }
                                 }
                             }
                         }
                     }
-                }
+                    Ok(out)
+                })?;
+                let out = self.concat_checked(parts)?;
                 Relation::new(schema, out)
             }
             PhysKind::HashJoin {
@@ -614,32 +1121,41 @@ impl ExecContext {
             } => {
                 let l = self.eval_node(left, local)?;
                 let r = self.eval_node(right, local)?;
+                // Build stays on the master (charge order is
+                // insertion order); the immutable table is shared by
+                // the probe morsels.
                 let table = self.build_hash_table(&r, right_keys)?;
-                let mut out = Vec::new();
-                let mut probe = Vec::with_capacity(left_keys.len());
-                for lt in l.rows() {
-                    self.tick()?;
-                    let Some(hash) = self.eval_key_into(left_keys, lt, &mut probe)? else {
-                        continue; // NULL keys never match
-                    };
-                    for ri in table.probe(hash, &probe) {
-                        let joined = lt.concat(&r.rows()[ri]);
-                        if let Some(p) = residual {
-                            if !self.eval_truth(p, &joined)?.is_true() {
-                                continue;
+                let parts = self.run_morsels(node, l.len(), |ctx, range| {
+                    let mut out = Vec::new();
+                    let mut probe = Vec::with_capacity(left_keys.len());
+                    let mut reverify = 0u64;
+                    for lt in &l.rows()[range] {
+                        ctx.tick()?;
+                        let Some(hash) = ctx.eval_key_into(left_keys, lt, &mut probe)? else {
+                            continue; // NULL keys never match
+                        };
+                        for ri in table.probe(hash, &probe, &mut reverify) {
+                            let joined = lt.concat(&r.rows()[ri]);
+                            if let Some(p) = residual {
+                                if !ctx.eval_truth(p, &joined)?.is_true() {
+                                    continue;
+                                }
                             }
+                            ctx.charge(tuple_bytes(&joined))?;
+                            out.push(joined);
                         }
-                        self.charge(tuple_bytes(&joined))?;
-                        out.push(joined);
                     }
-                }
+                    if ctx.metrics.is_some() {
+                        ctx.pending.reverify += reverify;
+                    }
+                    Ok(out)
+                })?;
                 if self.metrics.is_some() {
                     self.pending.build_rows += table.row_ids.len() as u64;
-                    self.pending.reverify += table.reverify.get();
                 }
                 // The key arena dies with the table at end of arm.
                 self.release(table.charged);
-                Relation::new(schema, out)
+                Relation::new(schema, concat_rows(parts))
             }
             PhysKind::HashOuterJoin {
                 left,
@@ -653,36 +1169,42 @@ impl ExecContext {
                 let r = self.eval_node(right, local)?;
                 let table = self.build_hash_table(&r, right_keys)?;
                 let pad = padded_right(r.schema().arity(), defaults);
-                let mut out = Vec::new();
-                let mut probe = Vec::with_capacity(left_keys.len());
-                for lt in l.rows() {
-                    self.tick()?;
-                    let mut matched = false;
-                    if let Some(hash) = self.eval_key_into(left_keys, lt, &mut probe)? {
-                        for ri in table.probe(hash, &probe) {
-                            let joined = lt.concat(&r.rows()[ri]);
-                            if let Some(p) = residual {
-                                if !self.eval_truth(p, &joined)?.is_true() {
-                                    continue;
+                let parts = self.run_morsels(node, l.len(), |ctx, range| {
+                    let mut out = Vec::new();
+                    let mut probe = Vec::with_capacity(left_keys.len());
+                    let mut reverify = 0u64;
+                    for lt in &l.rows()[range] {
+                        ctx.tick()?;
+                        let mut matched = false;
+                        if let Some(hash) = ctx.eval_key_into(left_keys, lt, &mut probe)? {
+                            for ri in table.probe(hash, &probe, &mut reverify) {
+                                let joined = lt.concat(&r.rows()[ri]);
+                                if let Some(p) = residual {
+                                    if !ctx.eval_truth(p, &joined)?.is_true() {
+                                        continue;
+                                    }
                                 }
+                                matched = true;
+                                ctx.charge(tuple_bytes(&joined))?;
+                                out.push(joined);
                             }
-                            matched = true;
-                            self.charge(tuple_bytes(&joined))?;
-                            out.push(joined);
+                        }
+                        if !matched {
+                            let padded = lt.concat(&pad);
+                            ctx.charge(tuple_bytes(&padded))?;
+                            out.push(padded);
                         }
                     }
-                    if !matched {
-                        let padded = lt.concat(&pad);
-                        self.charge(tuple_bytes(&padded))?;
-                        out.push(padded);
+                    if ctx.metrics.is_some() {
+                        ctx.pending.reverify += reverify;
                     }
-                }
+                    Ok(out)
+                })?;
                 if self.metrics.is_some() {
                     self.pending.build_rows += table.row_ids.len() as u64;
-                    self.pending.reverify += table.reverify.get();
                 }
                 self.release(table.charged);
-                Relation::new(schema, out)
+                Relation::new(schema, concat_rows(parts))
             }
             PhysKind::NLOuterJoin {
                 left,
@@ -693,29 +1215,32 @@ impl ExecContext {
                 let l = self.eval_node(left, local)?;
                 let r = self.eval_node(right, local)?;
                 let pad = padded_right(r.schema().arity(), defaults);
-                let mut out = Vec::new();
-                for lt in l.rows() {
-                    let mut matched = false;
-                    for rt in r.rows() {
-                        self.tick()?;
-                        let joined = lt.concat(rt);
-                        if self.eval_truth(predicate, &joined)?.is_true() {
-                            matched = true;
-                            self.charge(tuple_bytes(&joined))?;
-                            out.push(joined);
+                let parts = self.run_morsels(node, l.len(), |ctx, range| {
+                    let mut out = Vec::new();
+                    for lt in &l.rows()[range] {
+                        let mut matched = false;
+                        for rt in r.rows() {
+                            ctx.tick()?;
+                            let joined = lt.concat(rt);
+                            if ctx.eval_truth(predicate, &joined)?.is_true() {
+                                matched = true;
+                                ctx.charge(tuple_bytes(&joined))?;
+                                out.push(joined);
+                            }
+                        }
+                        if !matched {
+                            let padded = lt.concat(&pad);
+                            ctx.charge(tuple_bytes(&padded))?;
+                            out.push(padded);
                         }
                     }
-                    if !matched {
-                        let padded = lt.concat(&pad);
-                        self.charge(tuple_bytes(&padded))?;
-                        out.push(padded);
-                    }
-                }
-                Relation::new(schema, out)
+                    Ok(out)
+                })?;
+                Relation::new(schema, concat_rows(parts))
             }
             PhysKind::HashAggregate { input, keys, aggs } => {
                 let input = self.eval_node(input, local)?;
-                self.hash_aggregate(&input, keys, aggs, schema)?
+                self.hash_aggregate(node, &input, keys, aggs, schema)?
             }
             PhysKind::BinaryGroupEq {
                 left,
@@ -756,21 +1281,24 @@ impl ExecContext {
                     .map(|(k, acc)| Ok((k, acc.finish()?)))
                     .collect::<Result<_>>()?;
                 let empty = create_accumulator(agg).finish()?;
-                let mut out = Vec::with_capacity(l.len());
-                for lt in l.rows() {
-                    self.tick()?;
-                    let k = self.eval_expr(left_key, lt)?;
-                    let g = if k.is_null() {
-                        empty.clone()
-                    } else {
-                        finished.get(&k).cloned().unwrap_or_else(|| empty.clone())
-                    };
-                    let row = lt.extended(g);
-                    self.charge(tuple_bytes(&row))?;
-                    out.push(row);
-                }
+                let parts = self.run_morsels(node, l.len(), |ctx, range| {
+                    let mut out = Vec::with_capacity(range.len());
+                    for lt in &l.rows()[range] {
+                        ctx.tick()?;
+                        let k = ctx.eval_expr(left_key, lt)?;
+                        let g = if k.is_null() {
+                            empty.clone()
+                        } else {
+                            finished.get(&k).cloned().unwrap_or_else(|| empty.clone())
+                        };
+                        let row = lt.extended(g);
+                        ctx.charge(tuple_bytes(&row))?;
+                        out.push(row);
+                    }
+                    Ok(out)
+                })?;
                 self.release(scratch);
-                Relation::new(schema, out)
+                Relation::new(schema, concat_rows(parts))
             }
             PhysKind::BinaryGroupTheta {
                 left,
@@ -792,55 +1320,68 @@ impl ExecContext {
                     scratch += bytes;
                     right_kv.push((k, rt));
                 }
-                let mut out = Vec::with_capacity(l.len());
-                for lt in l.rows() {
-                    let lk = self.eval_expr(left_key, lt)?;
-                    let mut acc = create_accumulator(agg);
-                    let mut acc_bytes = 0u64; // DISTINCT growth, per-row scope
-                    for (rk, rt) in &right_kv {
-                        self.tick()?;
-                        if value_truth(&eval_binop(*cmp, &lk, rk)?).is_true() {
-                            let v = match &agg.arg {
-                                Some(a) => Some(self.eval_expr(a, rt)?),
-                                None => None,
-                            };
-                            let grown = acc.update(rt, v.as_ref())?;
-                            if grown != 0 {
-                                self.charge(grown)?;
-                                acc_bytes += grown;
+                let parts = self.run_morsels(node, l.len(), |ctx, range| {
+                    let mut out = Vec::with_capacity(range.len());
+                    for lt in &l.rows()[range] {
+                        let lk = ctx.eval_expr(left_key, lt)?;
+                        let mut acc = create_accumulator(agg);
+                        let mut acc_bytes = 0u64; // DISTINCT growth, per-row scope
+                        for (rk, rt) in &right_kv {
+                            ctx.tick()?;
+                            if value_truth(&eval_binop(*cmp, &lk, rk)?).is_true() {
+                                let v = match &agg.arg {
+                                    Some(a) => Some(ctx.eval_expr(a, rt)?),
+                                    None => None,
+                                };
+                                let grown = acc.update(rt, v.as_ref())?;
+                                if grown != 0 {
+                                    ctx.charge(grown)?;
+                                    acc_bytes += grown;
+                                }
                             }
                         }
+                        let row = lt.extended(acc.finish()?);
+                        ctx.release(acc_bytes);
+                        ctx.charge(tuple_bytes(&row))?;
+                        out.push(row);
                     }
-                    let row = lt.extended(acc.finish()?);
-                    self.release(acc_bytes);
-                    self.charge(tuple_bytes(&row))?;
-                    out.push(row);
-                }
+                    Ok(out)
+                })?;
                 self.release(scratch);
-                Relation::new(schema, out)
+                Relation::new(schema, concat_rows(parts))
             }
             PhysKind::Map { input, expr } => {
                 let input = self.eval_node(input, local)?;
-                let mut out = Vec::with_capacity(input.len());
-                for t in input.rows() {
-                    self.tick()?;
-                    let v = self.eval_expr(expr, t)?;
-                    let row = t.extended(v);
-                    self.charge(tuple_bytes(&row))?;
-                    out.push(row);
-                }
-                Relation::new(schema, out)
+                let rows = input.rows();
+                let parts = self.run_morsels(node, rows.len(), |ctx, range| {
+                    let mut out = Vec::with_capacity(range.len());
+                    for t in &rows[range] {
+                        ctx.tick()?;
+                        let v = ctx.eval_expr(expr, t)?;
+                        let row = t.extended(v);
+                        ctx.charge(tuple_bytes(&row))?;
+                        out.push(row);
+                    }
+                    Ok(out)
+                })?;
+                Relation::new(schema, concat_rows(parts))
             }
             PhysKind::Numbering { input } => {
                 let input = self.eval_node(input, local)?;
-                let mut out = Vec::with_capacity(input.len());
-                for (i, t) in input.rows().iter().enumerate() {
-                    self.tick()?;
-                    let row = t.extended(Value::Int(i as i64));
-                    self.charge(tuple_bytes(&row))?;
-                    out.push(row);
-                }
-                Relation::new(schema, out)
+                let rows = input.rows();
+                let parts = self.run_morsels(node, rows.len(), |ctx, range| {
+                    let mut out = Vec::with_capacity(range.len());
+                    // The global row index is position-derived, so each
+                    // morsel numbers its slice independently.
+                    for (i, t) in range.clone().zip(&rows[range]) {
+                        ctx.tick()?;
+                        let row = t.extended(Value::Int(i as i64));
+                        ctx.charge(tuple_bytes(&row))?;
+                        out.push(row);
+                    }
+                    Ok(out)
+                })?;
+                Relation::new(schema, concat_rows(parts))
             }
             PhysKind::Distinct { input } => {
                 let input = self.eval_node(input, local)?;
@@ -960,19 +1501,27 @@ impl ExecContext {
         Ok(match &source.kind {
             PhysKind::BypassFilter { input, predicate } => {
                 let input = self.eval_node(input, local)?;
-                let mut pos = Vec::new();
-                let mut neg = Vec::new();
-                for t in input.rows() {
-                    self.tick()?;
-                    // Stream split by refcount bump: the row buffer is
-                    // shared with the input relation, never copied.
-                    self.charge(SHARED_ROW_BYTES)?;
-                    if self.eval_truth(predicate, t)?.is_true() {
-                        pos.push(t.clone());
-                    } else {
-                        neg.push(t.clone());
+                let rows = input.rows();
+                // Each morsel splits into its own pos/neg buffers;
+                // concatenating them in morsel order reproduces the
+                // serial stream order exactly.
+                let parts = self.run_morsels(source, rows.len(), |ctx, range| {
+                    let mut pos = Vec::new();
+                    let mut neg = Vec::new();
+                    for t in &rows[range] {
+                        ctx.tick()?;
+                        // Stream split by refcount bump: the row buffer is
+                        // shared with the input relation, never copied.
+                        ctx.charge(SHARED_ROW_BYTES)?;
+                        if ctx.eval_truth(predicate, t)?.is_true() {
+                            pos.push(t.clone());
+                        } else {
+                            neg.push(t.clone());
+                        }
                     }
-                }
+                    Ok((pos, neg))
+                })?;
+                let (pos, neg) = concat_dual(parts);
                 (
                     Arc::new(Relation::new(schema.clone(), pos)),
                     Arc::new(Relation::new(schema, neg)),
@@ -986,31 +1535,42 @@ impl ExecContext {
             } => {
                 let l = self.eval_node(left, local)?;
                 let r = self.eval_node(right, local)?;
-                let mut pos = Vec::new();
-                let mut neg = Vec::new();
-                for lt in l.rows() {
-                    self.check_size(pos.len().max(neg.len()))?;
-                    for rt in r.rows() {
-                        self.tick()?;
-                        let joined = lt.concat(rt);
-                        if self.eval_truth(predicate, &joined)?.is_true() {
-                            self.charge(tuple_bytes(&joined))?;
-                            pos.push(joined);
-                        } else {
-                            match neg_filter {
-                                None => {
-                                    self.charge(tuple_bytes(&joined))?;
-                                    neg.push(joined);
-                                }
-                                Some(f) => {
-                                    if self.eval_truth(f, &joined)?.is_true() {
-                                        self.charge(tuple_bytes(&joined))?;
+                let parts = self.run_morsels(source, l.len(), |ctx, range| {
+                    let mut pos = Vec::new();
+                    let mut neg = Vec::new();
+                    for lt in &l.rows()[range] {
+                        ctx.check_size(pos.len().max(neg.len()))?;
+                        for rt in r.rows() {
+                            ctx.tick()?;
+                            let joined = lt.concat(rt);
+                            if ctx.eval_truth(predicate, &joined)?.is_true() {
+                                ctx.charge(tuple_bytes(&joined))?;
+                                pos.push(joined);
+                            } else {
+                                match neg_filter {
+                                    None => {
+                                        ctx.charge(tuple_bytes(&joined))?;
                                         neg.push(joined);
+                                    }
+                                    Some(f) => {
+                                        if ctx.eval_truth(f, &joined)?.is_true() {
+                                            ctx.charge(tuple_bytes(&joined))?;
+                                            neg.push(joined);
+                                        }
                                     }
                                 }
                             }
                         }
                     }
+                    Ok((pos, neg))
+                })?;
+                // Morsels guard their local buffers; a parallel run
+                // adds one post-merge check over the combined size (the
+                // serial path keeps the exact per-left-row guard).
+                let n_parts = parts.len();
+                let (pos, neg) = concat_dual(parts);
+                if n_parts > 1 {
+                    self.check_size(pos.len().max(neg.len()))?;
                 }
                 (
                     Arc::new(Relation::new(schema.clone(), pos)),
@@ -1027,11 +1587,15 @@ impl ExecContext {
 
     fn hash_aggregate(
         &mut self,
+        node: &Arc<PhysNode>,
         input: &Relation,
         keys: &[PhysExpr],
         aggs: &[AggSpec],
         schema: bypass_types::Schema,
     ) -> Result<Relation> {
+        if self.morsel_gate(node, input.len()) {
+            return self.hash_aggregate_parallel(node, input, keys, aggs, schema);
+        }
         if keys.is_empty() {
             // Scalar aggregation: exactly one output row, even for empty
             // input (f(∅)).
@@ -1129,6 +1693,114 @@ impl ExecContext {
         Ok(Relation::new(schema, out))
     }
 
+    /// Parallel two-phase aggregation (callers have already passed the
+    /// morsel gate): phase 1 fans the per-row expression work — group
+    /// keys, key hash, aggregate arguments — across the worker pool in
+    /// morsel order; phase 2 runs the order-sensitive grouping serially
+    /// on the master over the precomputed entries. Phase 2 performs no
+    /// expression evaluation and no governor operations (the serial
+    /// aggregate never charges bytes), so the complete governor
+    /// sequence is produced by phase 1's in-order replay — identical
+    /// to a serial run, as are first-appearance group order and
+    /// accumulator update order.
+    fn hash_aggregate_parallel(
+        &mut self,
+        node: &Arc<PhysNode>,
+        input: &Relation,
+        keys: &[PhysExpr],
+        aggs: &[AggSpec],
+        schema: bypass_types::Schema,
+    ) -> Result<Relation> {
+        let rows = input.rows();
+        let parts = self.run_morsels(node, rows.len(), |ctx, range| {
+            let mut entries = Vec::with_capacity(range.len());
+            for t in &rows[range] {
+                ctx.tick()?;
+                let mut kv = Vec::with_capacity(keys.len());
+                for k in keys {
+                    kv.push(ctx.eval_expr(k, t)?);
+                }
+                let hash = fxhash::hash_values(&kv);
+                let mut args = Vec::with_capacity(aggs.len());
+                for spec in aggs {
+                    args.push(match &spec.arg {
+                        Some(a) => Some(ctx.eval_expr(a, t)?),
+                        None => None,
+                    });
+                }
+                entries.push((kv, hash, args));
+            }
+            Ok(entries)
+        })?;
+        let mut rows_it = rows.iter();
+        if keys.is_empty() {
+            // Scalar aggregation over the precomputed arguments, in row
+            // order.
+            let mut accs: Vec<Accumulator> = aggs.iter().map(create_accumulator).collect();
+            for (_, _, args) in parts.into_iter().flatten() {
+                let t = rows_it.next().expect("one entry per input row");
+                for (acc, v) in accs.iter_mut().zip(&args) {
+                    acc.update(t, v.as_ref())?;
+                }
+            }
+            let vals = accs
+                .into_iter()
+                .map(|a| a.finish())
+                .collect::<Result<Vec<_>>>()?;
+            return Ok(Relation::new(schema, vec![Tuple::new(vals)]));
+        }
+        // Grouped: identical arena layout and first-appearance order as
+        // the serial path (see `hash_aggregate`).
+        let width = keys.len();
+        let naggs = aggs.len();
+        let mut key_arena: Vec<Value> = Vec::new();
+        let mut accs: Vec<Accumulator> = Vec::new();
+        let mut chain: Vec<u32> = Vec::new();
+        let mut heads: FxHashMap<u64, u32> = FxHashMap::default();
+        for (mut kv, hash, args) in parts.into_iter().flatten() {
+            let t = rows_it.next().expect("one entry per input row");
+            let mut found = None;
+            let mut cur = heads.get(&hash).copied();
+            while let Some(g) = cur {
+                let s = g as usize * width;
+                if key_arena[s..s + width] == kv[..] {
+                    found = Some(g as usize);
+                    break;
+                }
+                let nxt = chain[g as usize];
+                cur = (nxt != u32::MAX).then_some(nxt);
+            }
+            let gi = match found {
+                Some(g) => g,
+                None => {
+                    let g = chain.len();
+                    let prev = heads.insert(hash, g as u32);
+                    chain.push(prev.unwrap_or(u32::MAX));
+                    key_arena.append(&mut kv);
+                    accs.extend(aggs.iter().map(create_accumulator));
+                    g
+                }
+            };
+            for (j, v) in args.into_iter().enumerate() {
+                accs[gi * naggs + j].update(t, v.as_ref())?;
+            }
+        }
+        let ngroups = chain.len();
+        let mut out = Vec::with_capacity(ngroups);
+        let mut key_iter = key_arena.into_iter();
+        let mut acc_iter = accs.into_iter();
+        for _ in 0..ngroups {
+            let mut vals: Vec<Value> = Vec::with_capacity(width + naggs);
+            vals.extend(key_iter.by_ref().take(width));
+            for _ in 0..naggs {
+                let a = acc_iter.next().expect("arena length mismatch");
+                vals.push(a.finish()?);
+            }
+            out.push(Tuple::new(vals));
+        }
+        Ok(Relation::new(schema, out))
+    }
+
     /// Single-pass build of the join hash table: per build row, evaluate
     /// the key into a scratch buffer; NULL keys are skipped entirely
     /// (they can never match); surviving keys move into the flat arena.
@@ -1139,7 +1811,6 @@ impl ExecContext {
             next: Vec::with_capacity(rel.len()),
             row_ids: Vec::with_capacity(rel.len()),
             keys: Vec::with_capacity(rel.len() * keys.len()),
-            reverify: std::cell::Cell::new(0),
             charged: 0,
         };
         let mut keybuf: Vec<Value> = Vec::with_capacity(keys.len());

@@ -32,8 +32,8 @@ pub use datatype::DataType;
 pub use error::{Error, ResourceKind, Result};
 pub use fxhash::{hash_one, hash_values, FxBuildHasher, FxHashMap, FxHashSet, FxHasher, Prehashed};
 pub use govern::{
-    tuple_bytes, value_heap_bytes, CancelToken, FaultKind, InjectedFault, ROW_OVERHEAD_BYTES,
-    SHARED_ROW_BYTES, VALUE_BYTES,
+    tuple_bytes, value_heap_bytes, CancelToken, FaultKind, GovEvent, InjectedFault,
+    ROW_OVERHEAD_BYTES, SHARED_ROW_BYTES, VALUE_BYTES,
 };
 pub use relation::Relation;
 pub use schema::{Field, Schema};

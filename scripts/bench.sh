@@ -17,9 +17,13 @@
 #   BENCH_REGRESS_PCT   regression threshold (default: 25 — a benchmark
 #                       more than 25% slower than baseline fails the gate)
 #   BENCH_FILTER        space-separated bench target list
-#                       (default: fig7a_q1 fig7b_q2d fig7c_q2 operators counters)
-#   BYPASS_THREADS      worker count for grid fan-out (leave unset for
-#                       timing runs; timings are only comparable serial)
+#                       (default: fig7a_q1 fig7b_q2d fig7c_q2 operators
+#                       counters phases)
+#   BYPASS_THREADS      intra-query worker count (morsel-driven
+#                       execution, DESIGN.md §7) and grid fan-out width.
+#                       Leave unset for timing runs: baselines are
+#                       recorded serial, and counters/phases snapshots
+#                       are worker-count independent by construction.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,7 +34,9 @@ BASELINE="${BENCH_BASELINE:-$PWD/BENCH_baseline.json}"
 THRESHOLD="${BENCH_REGRESS_PCT:-25}"
 # `counters` is timing-free: it gates the exact execution-counter
 # snapshots of Q2-Q4 / qexists / qcombined (see benches/counters.rs).
-BENCHES="${BENCH_FILTER:-fig7a_q1 fig7b_q2d fig7c_q2 operators counters}"
+# `phases` gates the span-derived plan-phase medians (parse/translate/
+# unnest/optimize/execute — see benches/phases.rs).
+BENCHES="${BENCH_FILTER:-fig7a_q1 fig7b_q2d fig7c_q2 operators counters phases}"
 
 case "$MODE" in
 save | compare) ;;

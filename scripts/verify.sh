@@ -12,8 +12,17 @@ export CARGO_NET_OFFLINE=true
 echo "==> cargo build --release"
 cargo build --release --workspace
 
-echo "==> cargo test -q"
-cargo test -q --workspace
+# The whole suite runs twice: once pinned serial and once with 8
+# intra-query workers, so every tier-1 test exercises both the serial
+# fast path and the morsel-driven parallel path (DESIGN.md §7). Results,
+# counters and oracle reports must be identical either way — the
+# worker-count-independence tests assert that explicitly; running the
+# full matrix under both settings catches anything they missed.
+echo "==> cargo test -q (BYPASS_THREADS=1, serial execution)"
+BYPASS_THREADS=1 cargo test -q --workspace
+
+echo "==> cargo test -q (BYPASS_THREADS=8, morsel-driven parallel execution)"
+BYPASS_THREADS=8 cargo test -q --workspace
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
