@@ -182,7 +182,7 @@ fn push_operators(
     if !seen.insert(ptr) {
         return;
     }
-    let m = metrics.get(&ptr).copied().unwrap_or_default();
+    let m = metrics.get(&ptr).cloned().unwrap_or_default();
     if !*first {
         out.push(',');
     }

@@ -137,7 +137,7 @@ fn flatten_plan(
     out.push(ProfileRow {
         depth,
         label,
-        metrics: metrics.get(&ptr).copied(),
+        metrics: metrics.get(&ptr).cloned(),
         shared: false,
     });
     for sq in n.expr_subplans() {
@@ -304,7 +304,7 @@ mod tests {
             .metrics
             .iter()
             .map(|(k, m)| {
-                let mut m = *m;
+                let mut m = m.clone();
                 m.nanos = 0;
                 m.self_nanos = 0;
                 (*k, m)

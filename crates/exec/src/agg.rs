@@ -35,6 +35,19 @@ pub enum Accumulator {
     Max { acc: Option<Value> },
 }
 
+impl AggSpec {
+    /// `true` when this aggregate can never raise a *value* error:
+    /// COUNT (all variants) only counts, and MIN/MAX fold via the
+    /// total-order `sql_cmp` — neither `update` nor `finish` performs
+    /// fallible arithmetic. SUM can overflow and AVG type-errors on
+    /// non-numeric input, so both stay fallible. Used by the adaptive
+    /// predicate reordering (`crate::vector`) to prove a scalar
+    /// subquery safe to hoist.
+    pub fn infallible(&self) -> bool {
+        matches!(self.func, AggFunc::Count | AggFunc::Min | AggFunc::Max)
+    }
+}
+
 /// Build the accumulator matching an [`AggSpec`].
 pub fn create_accumulator(spec: &AggSpec) -> Accumulator {
     match (spec.func, spec.distinct, spec.arg.is_some()) {

@@ -3,14 +3,18 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bypass_types::{
-    compare_tuples, fxhash, par, tuple_bytes, CancelToken, Error, FaultKind, FxHashMap, GovEvent,
-    InjectedFault, Relation, ResourceKind, Result, SortKey, Truth, Tuple, Value, SHARED_ROW_BYTES,
-    VALUE_BYTES,
+    batch_rows_or, compare_tuples, fxhash, par, tuple_bytes, Batch, CancelToken, Error, FaultKind,
+    FxHashMap, GovEvent, InjectedFault, Relation, ResourceKind, Result, SortKey, Truth, Tuple,
+    Value, BATCH_ROWS, SHARED_ROW_BYTES, VALUE_BYTES,
 };
 
 use crate::agg::{create_accumulator, Accumulator, AggSpec};
 use crate::expr::{eval_binop, in_membership, outer_value, value_truth, PhysExpr};
 use crate::node::{PhysKind, PhysNode};
+use crate::vector::{
+    chain_bindable, cmp_op_truth, compile_chain, ranked_order, ChainOrder, ChainStats,
+    CompiledChain, EPOCH_ROWS,
+};
 
 /// Execution options — these implement the evaluation-strategy knobs the
 /// benchmark harness uses to emulate the commercial systems of the
@@ -59,6 +63,15 @@ pub struct ExecOptions {
     /// operator input with at most this many rows runs serially. Tests
     /// shrink it to force tiny inputs onto the parallel path.
     pub morsel_rows: usize,
+    /// Rows per columnar chunk on the vectorized σ/Π/σ± path
+    /// (`BYPASS_BATCH`; `0` — and, degenerately, `1` — selects the
+    /// legacy row-at-a-time loop). Purely a mechanism knob: results,
+    /// errors, counters and governor byte accounting are identical at
+    /// every batch size (DESIGN.md §8). Note the *adaptive disjunct
+    /// ordering* is independent of this switch — it applies to chained
+    /// predicates in row mode too, precisely so batch size can never
+    /// change which order was used.
+    pub batch_rows: usize,
 }
 
 /// Default morsel granularity: large enough that forking a worker
@@ -78,6 +91,7 @@ impl Default for ExecOptions {
             fault: None,
             threads: par::thread_count(),
             morsel_rows: MORSEL_ROWS,
+            batch_rows: batch_rows_or(BATCH_ROWS),
         }
     }
 }
@@ -157,6 +171,20 @@ pub struct ExecContext {
     /// expressions run on a worker without touching the memo caches?),
     /// keyed by node pointer.
     par_safe_cache: FxHashMap<usize, bool>,
+    /// Per-node cache of compiled predicate chains for the vectorized
+    /// σ/σ± path (`None` = predicate not chainable, use the legacy
+    /// loop), keyed by node pointer.
+    chains: FxHashMap<usize, Option<Arc<CompiledChain>>>,
+    /// Per-node cache of the kernel-column transpose of the node's
+    /// current input relation. A memoized correlated subplan re-invokes
+    /// the same σ node over the same `Arc`-shared scan once per outer
+    /// binding — caching the transpose makes those re-runs pay it once.
+    /// The stored `Arc<Relation>` both validates the entry
+    /// (`Arc::ptr_eq` against the current input) and keeps the
+    /// allocation alive, so a recycled address can never alias a stale
+    /// batch. Batches are uncharged scratch, bounded by one kernel-
+    /// column set per σ/σ± node.
+    batches: FxHashMap<usize, (Arc<Relation>, Arc<Batch>)>,
 }
 
 /// Query-wide execution counters, independent of any one operator.
@@ -191,15 +219,42 @@ impl ExecCounters {
 
 /// Per-node scratch deposited by operator arms, drained by the
 /// metrics wrapper after the arm returns.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 struct PendingCounters {
     build_rows: u64,
     reverify: u64,
+    /// Chained σ/σ± only: per-disjunct reach/decide counters, indexed
+    /// by syntactic disjunct position.
+    disjuncts: Vec<DisjunctMetrics>,
+}
+
+/// Per-disjunct counters of a chained filter predicate: how many rows
+/// reached the disjunct (were evaluated against it) and how many it
+/// decided (TRUE under OR, FALSE under AND). Semantic counts — batch
+/// size and worker count independent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DisjunctMetrics {
+    pub evals: u64,
+    pub hits: u64,
+}
+
+/// Elementwise commutative fold of per-disjunct counters.
+fn merge_disjuncts(into: &mut Vec<DisjunctMetrics>, from: &[DisjunctMetrics]) {
+    if from.is_empty() {
+        return;
+    }
+    if into.len() < from.len() {
+        into.resize(from.len(), DisjunctMetrics::default());
+    }
+    for (a, b) in into.iter_mut().zip(from) {
+        a.evals += b.evals;
+        a.hits += b.hits;
+    }
 }
 
 /// Per-operator runtime counters collected when metrics are enabled
 /// (EXPLAIN ANALYZE).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct NodeMetrics {
     /// How many times the operator ran (> 1 inside correlated subplans).
     pub calls: u64,
@@ -229,6 +284,11 @@ pub struct NodeMetrics {
     /// Hash joins only: probe candidates whose full key comparison
     /// failed after a hash-bucket match (collision re-verifies).
     pub reverify: u64,
+    /// Chained σ/σ± only (predicates with ≥ 2 disjuncts/conjuncts):
+    /// per-disjunct reach/decide counters in *syntactic* order —
+    /// `hits / evals` is the observed decide selectivity driving the
+    /// adaptive BestD ordering. Empty for unchained operators.
+    pub disjuncts: Vec<DisjunctMetrics>,
 }
 
 impl NodeMetrics {
@@ -460,6 +520,8 @@ impl ExecContext {
             pending: PendingCounters::default(),
             gov_log: None,
             par_safe_cache: FxHashMap::default(),
+            chains: FxHashMap::default(),
+            batches: FxHashMap::default(),
         }
     }
 
@@ -853,6 +915,12 @@ impl ExecContext {
             pending: PendingCounters::default(),
             gov_log: exact.then(Vec::new),
             par_safe_cache: FxHashMap::default(),
+            // Workers never compile chains or transpose batches: the
+            // master resolves the chain, epoch order and cached batch
+            // before fanning out and passes them into the morsel body
+            // by reference.
+            chains: FxHashMap::default(),
+            batches: FxHashMap::default(),
         }
     }
 
@@ -923,10 +991,12 @@ impl ExecContext {
                     m.rows_materialized += wm.rows_materialized;
                     m.build_rows += wm.build_rows;
                     m.reverify += wm.reverify;
+                    merge_disjuncts(&mut m.disjuncts, &wm.disjuncts);
                 }
             }
             self.pending.build_rows += out.pending.build_rows;
             self.pending.reverify += out.pending.reverify;
+            merge_disjuncts(&mut self.pending.disjuncts, &out.pending.disjuncts);
             if let Some(frame) = self.child_nanos.last_mut() {
                 *frame += out.child_nanos;
             }
@@ -971,6 +1041,288 @@ impl ExecContext {
         Ok(out)
     }
 
+    // -----------------------------------------------------------------
+    // Vectorized / adaptively ordered predicate chains (DESIGN.md §8).
+    // -----------------------------------------------------------------
+
+    /// The compiled chain for a σ/σ± node, if its predicate is
+    /// chainable *and* every outer reference of the chain resolves
+    /// against the current binding stack (re-checked per call — the
+    /// same node can be invoked under different stacks inside nested
+    /// subplans). `None` falls back to the legacy row loop.
+    fn chain_for(
+        &mut self,
+        node: &Arc<PhysNode>,
+        predicate: &PhysExpr,
+        arity: usize,
+    ) -> Option<Arc<CompiledChain>> {
+        let ptr = Arc::as_ptr(node) as usize;
+        let chain = self
+            .chains
+            .entry(ptr)
+            .or_insert_with(|| compile_chain(predicate, arity).map(Arc::new))
+            .clone()?;
+        chain_bindable(&chain, &self.outer).then_some(chain)
+    }
+
+    /// The kernel-column transpose of `input` for this node, cached
+    /// across invocations. Correlated subplans re-run the same σ node
+    /// over the same `Arc`-shared input once per outer binding; the
+    /// cached entry is validated by `Arc::ptr_eq` (safe against address
+    /// reuse because the map holds the relation alive) and rebuilt
+    /// whenever the node sees a different input.
+    fn chain_batch(
+        &mut self,
+        node: &Arc<PhysNode>,
+        input: &Arc<Relation>,
+        chain: &CompiledChain,
+    ) -> Arc<Batch> {
+        let key = Arc::as_ptr(node) as usize;
+        if let Some((rel, batch)) = self.batches.get(&key) {
+            if Arc::ptr_eq(rel, input) {
+                return batch.clone();
+            }
+        }
+        let batch = Arc::new(Batch::from_rows_cols(input.rows(), &chain.cols));
+        self.batches.insert(key, (input.clone(), batch.clone()));
+        batch
+    }
+
+    /// Drive a chained σ (`bypass == false`, negative stream unused) or
+    /// σ± (`bypass == true`) over the input rows.
+    ///
+    /// Adaptive chains advance in fixed [`EPOCH_ROWS`] epochs: the term
+    /// order is frozen per epoch from the cumulative reach/decide
+    /// stats, each epoch fans out over `run_morsels` (stats ride back
+    /// as morsel payloads and fold commutatively), and the rank is
+    /// recomputed at the epoch boundary. Non-adaptive chains (nothing
+    /// to reorder) run as one full-input `run_morsels` call, keeping
+    /// the legacy parallel fan-out geometry.
+    fn run_chain(
+        &mut self,
+        node: &Arc<PhysNode>,
+        input: &Arc<Relation>,
+        chain: &Arc<CompiledChain>,
+        bypass: bool,
+    ) -> Result<(Vec<Tuple>, Vec<Tuple>)> {
+        let rows = input.rows();
+        let batch = (self.options.batch_rows > 1).then(|| self.chain_batch(node, input, chain));
+        let batch_ref: Option<&Batch> = batch.as_deref();
+        let mut stats = ChainStats::zeroed(chain);
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        let epoch = if chain.adaptive {
+            EPOCH_ROWS
+        } else {
+            rows.len().max(1)
+        };
+        let chain_ref: &CompiledChain = chain;
+        let mut start = 0;
+        while start < rows.len() {
+            let end = rows.len().min(start + epoch);
+            let order = ranked_order(chain_ref, &stats);
+            let slice = &rows[start..end];
+            let parts = self.run_morsels(node, slice.len(), |ctx, range| {
+                let base = start + range.start;
+                ctx.chain_slice(chain_ref, &order, &slice[range], batch_ref, base, bypass)
+            })?;
+            for ((p, n), st) in parts {
+                pos.extend(p);
+                neg.extend(n);
+                stats.fold(&st);
+            }
+            start = end;
+        }
+        // Surface per-disjunct selectivities in EXPLAIN ANALYZE; a
+        // single-term chain is plain vectorization, not a disjunction,
+        // and keeps its metrics block unchanged.
+        if self.metrics.is_some() && chain.terms.len() >= 2 {
+            let top: Vec<DisjunctMetrics> = stats
+                .reach
+                .iter()
+                .zip(&stats.decide)
+                .map(|(&evals, &hits)| DisjunctMetrics { evals, hits })
+                .collect();
+            merge_disjuncts(&mut self.pending.disjuncts, &top);
+        }
+        Ok((pos, neg))
+    }
+
+    /// Evaluate one morsel's rows through the chain under a frozen
+    /// order. Batch mode first evaluates the order's *kernel prefix*
+    /// columnar-ly over a shrinking selection vector — kernels are
+    /// infallible, effect-free and governor-invisible — then finalizes
+    /// per row in input order, replaying the exact legacy tick/charge
+    /// sequence (σ: tick, then charge only kept rows; σ±: tick, charge,
+    /// then split). `batch` is the node's cached kernel-column
+    /// transpose of the *full* input (`None` = row mode); `base` is the
+    /// absolute index of `rows[0]` within it, so selection vectors
+    /// carry absolute lane indices.
+    #[allow(clippy::type_complexity)]
+    fn chain_slice(
+        &mut self,
+        chain: &CompiledChain,
+        order: &ChainOrder,
+        rows: &[Tuple],
+        batch: Option<&Batch>,
+        base: usize,
+        bypass: bool,
+    ) -> Result<((Vec<Tuple>, Vec<Tuple>), ChainStats)> {
+        let mut stats = ChainStats::zeroed(chain);
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        let Some(batch) = batch else {
+            // Row mode — identical term order, no columnar prefix.
+            for t in rows {
+                self.tick()?;
+                if bypass {
+                    self.charge(SHARED_ROW_BYTES)?;
+                }
+                let truth =
+                    self.chain_eval_row(chain, order, &mut stats, t, 0, chain.identity())?;
+                if truth.is_true() {
+                    if !bypass {
+                        self.charge(SHARED_ROW_BYTES)?;
+                    }
+                    pos.push(t.clone());
+                } else if bypass {
+                    neg.push(t.clone());
+                }
+            }
+            return Ok(((pos, neg), stats));
+        };
+        let batch_rows = self.options.batch_rows;
+        let decide = chain.decide();
+        // Per-chunk scratch, reused across chunks (allocation-free
+        // steady state). `sel` holds absolute lane indices and is
+        // filtered in place per kernel term.
+        let mut acc: Vec<Truth> = Vec::new();
+        let mut decided: Vec<bool> = Vec::new();
+        let mut sel: Vec<u32> = Vec::new();
+        let mut off = 0usize;
+        while off < rows.len() {
+            let n = (rows.len() - off).min(batch_rows);
+            let chunk = &rows[off..off + n];
+            let abs0 = (base + off) as u32;
+            acc.clear();
+            acc.resize(n, chain.identity());
+            decided.clear();
+            decided.resize(n, false);
+            sel.clear();
+            sel.extend(abs0..abs0 + n as u32);
+            let mut prefix = 0usize;
+            for &oi in &order.order {
+                let i = oi as usize;
+                let Some(kernel) = chain.terms[i].kernel.as_ref() else {
+                    break;
+                };
+                if !sel.is_empty() {
+                    stats.reach[i] += sel.len() as u64;
+                    let mut decide_n = 0u64;
+                    // Deciding lanes drop out of the selection; the
+                    // rest fold into the per-row accumulator and stay.
+                    if let Some((op, c, rhs)) = kernel.col_cmp(&self.outer) {
+                        // Hot shape: tight loop over the column slice
+                        // against a pre-resolved constant.
+                        let col = batch.column(c);
+                        sel.retain(|&lane| {
+                            let t = cmp_op_truth(op, &col[lane as usize], rhs);
+                            let row = (lane - abs0) as usize;
+                            if t == decide {
+                                decided[row] = true;
+                                decide_n += 1;
+                                false
+                            } else {
+                                acc[row] = chain.combine(acc[row], t);
+                                true
+                            }
+                        });
+                    } else {
+                        let outer = &self.outer;
+                        sel.retain(|&lane| {
+                            let t = kernel.eval_lane(batch, lane as usize, outer);
+                            let row = (lane - abs0) as usize;
+                            if t == decide {
+                                decided[row] = true;
+                                decide_n += 1;
+                                false
+                            } else {
+                                acc[row] = chain.combine(acc[row], t);
+                                true
+                            }
+                        });
+                    }
+                    stats.decide[i] += decide_n;
+                }
+                prefix += 1;
+            }
+            // When every term was a kernel the fold is already final —
+            // `chain_eval_row` from `prefix` would return `acc` without
+            // touching the stats.
+            let fully_kerneled = prefix == order.order.len();
+            for (r, t) in chunk.iter().enumerate() {
+                self.tick()?;
+                if bypass {
+                    self.charge(SHARED_ROW_BYTES)?;
+                }
+                let truth = if decided[r] {
+                    decide
+                } else if fully_kerneled {
+                    acc[r]
+                } else {
+                    self.chain_eval_row(chain, order, &mut stats, t, prefix, acc[r])?
+                };
+                if truth.is_true() {
+                    if !bypass {
+                        self.charge(SHARED_ROW_BYTES)?;
+                    }
+                    pos.push(t.clone());
+                } else if bypass {
+                    neg.push(t.clone());
+                }
+            }
+            off += n;
+        }
+        Ok(((pos, neg), stats))
+    }
+
+    /// Evaluate the chain's terms for one row, in the frozen order,
+    /// starting at order position `from` with the fold of the already-
+    /// evaluated prefix in `acc`. Terms short-circuit on the deciding
+    /// truth value; non-deciding results fold commutatively.
+    fn chain_eval_row(
+        &mut self,
+        chain: &CompiledChain,
+        order: &ChainOrder,
+        stats: &mut ChainStats,
+        t: &Tuple,
+        from: usize,
+        acc: Truth,
+    ) -> Result<Truth> {
+        let decide = chain.decide();
+        let mut acc = acc;
+        for &oi in &order.order[from..] {
+            let i = oi as usize;
+            stats.reach[i] += 1;
+            let term = &chain.terms[i];
+            let tr = match (&term.nested, &order.nested[i]) {
+                (Some(sub), Some(sub_order)) => {
+                    let sub_stats = stats.nested[i]
+                        .as_deref_mut()
+                        .expect("nested stats follow nested chains");
+                    self.chain_eval_row(sub, sub_order, sub_stats, t, 0, sub.identity())?
+                }
+                _ => self.eval_truth(&term.expr, t)?,
+            };
+            if tr == decide {
+                stats.decide[i] += 1;
+                return Ok(decide);
+            }
+            acc = chain.combine(acc, tr);
+        }
+        Ok(acc)
+    }
+
     /// Evaluate a plan root (fresh bypass memo).
     pub fn eval_plan(&mut self, node: &Arc<PhysNode>) -> Result<Arc<Relation>> {
         let mut local = Local::default();
@@ -1003,6 +1355,7 @@ impl ExecContext {
             }
             m.build_rows += pend.build_rows;
             m.reverify += pend.reverify;
+            merge_disjuncts(&mut m.disjuncts, &pend.disjuncts);
         }
         result
     }
@@ -1019,19 +1372,24 @@ impl ExecContext {
             PhysKind::Filter { input, predicate } => {
                 let input = self.eval_node(input, local)?;
                 let rows = input.rows();
-                let parts = self.run_morsels(node, rows.len(), |ctx, range| {
-                    let mut out = Vec::new();
-                    for t in &rows[range] {
-                        ctx.tick()?;
-                        if ctx.eval_truth(predicate, t)?.is_true() {
-                            // Shared-row: refcount bump, not a value copy.
-                            ctx.charge(SHARED_ROW_BYTES)?;
-                            out.push(t.clone());
+                if let Some(chain) = self.chain_for(node, predicate, input.schema().arity()) {
+                    let (pos, _neg) = self.run_chain(node, &input, &chain, false)?;
+                    Relation::new(schema, pos)
+                } else {
+                    let parts = self.run_morsels(node, rows.len(), |ctx, range| {
+                        let mut out = Vec::new();
+                        for t in &rows[range] {
+                            ctx.tick()?;
+                            if ctx.eval_truth(predicate, t)?.is_true() {
+                                // Shared-row: refcount bump, not a value copy.
+                                ctx.charge(SHARED_ROW_BYTES)?;
+                                out.push(t.clone());
+                            }
                         }
-                    }
-                    Ok(out)
-                })?;
-                Relation::new(schema, concat_rows(parts))
+                        Ok(out)
+                    })?;
+                    Relation::new(schema, concat_rows(parts))
+                }
             }
             PhysKind::Project { input, exprs } => {
                 let input = self.eval_node(input, local)?;
@@ -1049,13 +1407,31 @@ impl ExecContext {
                         return Ok(Arc::new(Relation::new(schema, input.rows().to_vec())));
                     }
                     let rows = input.rows();
+                    let batch_rows = self.options.batch_rows;
                     let parts = self.run_morsels(node, rows.len(), |ctx, range| {
-                        let mut out = Vec::with_capacity(range.len());
-                        for t in &rows[range] {
-                            ctx.tick()?;
-                            let p = t.project(&cols);
-                            ctx.charge(tuple_bytes(&p))?;
-                            out.push(p);
+                        let slice = &rows[range];
+                        let mut out = Vec::with_capacity(slice.len());
+                        if batch_rows > 1 {
+                            // Vectorized Π: transpose the chunk and
+                            // build output tuples column-wise. The
+                            // batch is uncharged scratch; the per-row
+                            // tick/charge sequence below is exactly
+                            // the row path's.
+                            for chunk in slice.chunks(batch_rows) {
+                                let batch = Batch::from_rows_cols(chunk, &cols);
+                                for p in batch.project_rows(&cols) {
+                                    ctx.tick()?;
+                                    ctx.charge(tuple_bytes(&p))?;
+                                    out.push(p);
+                                }
+                            }
+                        } else {
+                            for t in slice {
+                                ctx.tick()?;
+                                let p = t.project(&cols);
+                                ctx.charge(tuple_bytes(&p))?;
+                                out.push(p);
+                            }
                         }
                         Ok(out)
                     })?;
@@ -1471,6 +1847,9 @@ impl ExecContext {
             if let Some(parent) = self.child_nanos.last_mut() {
                 *parent += elapsed;
             }
+            // Drain the per-call scratch exactly like `eval_node` does;
+            // σ± chains deposit their per-disjunct counters here.
+            let pend = std::mem::take(&mut self.pending);
             if let (Some(metrics), Ok((pos, neg))) = (self.metrics.as_mut(), &result) {
                 let m = metrics.entry(ptr).or_default();
                 let total = (pos.len() + neg.len()) as u64;
@@ -1478,6 +1857,9 @@ impl ExecContext {
                 m.rows += total;
                 m.nanos += elapsed;
                 m.self_nanos += elapsed.saturating_sub(children);
+                m.build_rows += pend.build_rows;
+                m.reverify += pend.reverify;
+                merge_disjuncts(&mut m.disjuncts, &pend.disjuncts);
                 // The bypass-specific split: the negative stream is
                 // the quantity the paper's cost argument needs small.
                 m.pos_rows += pos.len() as u64;
@@ -1502,30 +1884,41 @@ impl ExecContext {
             PhysKind::BypassFilter { input, predicate } => {
                 let input = self.eval_node(input, local)?;
                 let rows = input.rows();
-                // Each morsel splits into its own pos/neg buffers;
-                // concatenating them in morsel order reproduces the
-                // serial stream order exactly.
-                let parts = self.run_morsels(source, rows.len(), |ctx, range| {
-                    let mut pos = Vec::new();
-                    let mut neg = Vec::new();
-                    for t in &rows[range] {
-                        ctx.tick()?;
-                        // Stream split by refcount bump: the row buffer is
-                        // shared with the input relation, never copied.
-                        ctx.charge(SHARED_ROW_BYTES)?;
-                        if ctx.eval_truth(predicate, t)?.is_true() {
-                            pos.push(t.clone());
-                        } else {
-                            neg.push(t.clone());
+                if let Some(chain) = self.chain_for(source, predicate, input.schema().arity()) {
+                    // Vectorized dual-stream split: two selection
+                    // vectors over one shared batch, gathered into
+                    // pos/neg in input order.
+                    let (pos, neg) = self.run_chain(source, &input, &chain, true)?;
+                    (
+                        Arc::new(Relation::new(schema.clone(), pos)),
+                        Arc::new(Relation::new(schema, neg)),
+                    )
+                } else {
+                    // Each morsel splits into its own pos/neg buffers;
+                    // concatenating them in morsel order reproduces the
+                    // serial stream order exactly.
+                    let parts = self.run_morsels(source, rows.len(), |ctx, range| {
+                        let mut pos = Vec::new();
+                        let mut neg = Vec::new();
+                        for t in &rows[range] {
+                            ctx.tick()?;
+                            // Stream split by refcount bump: the row buffer is
+                            // shared with the input relation, never copied.
+                            ctx.charge(SHARED_ROW_BYTES)?;
+                            if ctx.eval_truth(predicate, t)?.is_true() {
+                                pos.push(t.clone());
+                            } else {
+                                neg.push(t.clone());
+                            }
                         }
-                    }
-                    Ok((pos, neg))
-                })?;
-                let (pos, neg) = concat_dual(parts);
-                (
-                    Arc::new(Relation::new(schema.clone(), pos)),
-                    Arc::new(Relation::new(schema, neg)),
-                )
+                        Ok((pos, neg))
+                    })?;
+                    let (pos, neg) = concat_dual(parts);
+                    (
+                        Arc::new(Relation::new(schema.clone(), pos)),
+                        Arc::new(Relation::new(schema, neg)),
+                    )
+                }
             }
             PhysKind::BypassNLJoin {
                 left,
@@ -2704,13 +3097,13 @@ mod tests {
         let out = ctx.eval_plan(&union).unwrap();
         assert_eq!(out.len(), 4);
         let metrics = ctx.take_metrics();
-        let union_m = metrics[&(Arc::as_ptr(&union) as usize)];
+        let union_m = &metrics[&(Arc::as_ptr(&union) as usize)];
         assert_eq!(union_m.calls, 1);
         assert_eq!(union_m.rows, 4);
         assert!(union_m.self_nanos <= union_m.nanos, "self ⊆ inclusive");
         // The shared bypass operator is metered exactly once even with
         // two Stream consumers, and reports both streams' rows.
-        let bypass_m = metrics[&(Arc::as_ptr(&bypass) as usize)];
+        let bypass_m = &metrics[&(Arc::as_ptr(&bypass) as usize)];
         assert_eq!(bypass_m.calls, 1);
         assert_eq!(bypass_m.rows, 4);
         assert!(bypass_m.total_ms() >= bypass_m.self_ms());
@@ -2747,7 +3140,7 @@ mod tests {
         let out = ctx.eval_plan(&join).unwrap();
         assert_eq!(out.len(), 5);
         let metrics = ctx.take_metrics();
-        let m = metrics[&(Arc::as_ptr(&join) as usize)];
+        let m = &metrics[&(Arc::as_ptr(&join) as usize)];
         assert_eq!(m.build_rows, 4, "all four build rows have non-NULL keys");
         // Joins materialize concatenated pairs.
         assert_eq!(m.rows_materialized, 5);

@@ -20,10 +20,12 @@ mod eval;
 mod expr;
 mod node;
 mod plan;
+pub mod vector;
 
 pub use agg::{create_accumulator, Accumulator, AggSpec};
 pub use eval::{
-    evaluate, evaluate_shared, evaluate_with, ExecContext, ExecCounters, ExecOptions, NodeMetrics,
+    evaluate, evaluate_shared, evaluate_with, DisjunctMetrics, ExecContext, ExecCounters,
+    ExecOptions, NodeMetrics,
 };
 pub use expr::{value_truth, PhysExpr};
 pub use node::{PhysKind, PhysNode};

@@ -349,6 +349,28 @@ impl PhysNode {
                     if m.build_rows > 0 || m.reverify > 0 {
                         out.push_str(&format!(" build={} reverify={}", m.build_rows, m.reverify));
                     }
+                    if !m.disjuncts.is_empty() {
+                        // Per-disjunct selectivities (syntactic order):
+                        // `evals` counts rows that reached the term,
+                        // `hits` rows it decided. Counter-derived, so
+                        // deterministic — unlike the `ms` timings.
+                        out.push_str(" disjuncts=[");
+                        for (i, d) in m.disjuncts.iter().enumerate() {
+                            if i > 0 {
+                                out.push(' ');
+                            }
+                            let sel = if d.evals > 0 {
+                                format!("{:.1}%", d.hits as f64 / d.evals as f64 * 100.0)
+                            } else {
+                                "-".to_string()
+                            };
+                            out.push_str(&format!(
+                                "#{i} evals={} hits={} sel={sel}",
+                                d.evals, d.hits
+                            ));
+                        }
+                        out.push(']');
+                    }
                     out.push(']');
                 }
                 None => out.push_str("  [not executed]"),

@@ -16,6 +16,7 @@
 //! defines on sets (Section 2.3) are provided as explicit helpers so that
 //! the duplicate-handling arguments of Section 3.7 can be tested directly.
 
+pub mod batch;
 mod datatype;
 mod error;
 pub mod fxhash;
@@ -28,6 +29,7 @@ mod stats;
 mod tuple;
 mod value;
 
+pub use batch::{batch_rows_or, Batch, BATCH_ENV, BATCH_ROWS};
 pub use datatype::DataType;
 pub use error::{Error, ResourceKind, Result};
 pub use fxhash::{hash_one, hash_values, FxBuildHasher, FxHashMap, FxHashSet, FxHasher, Prehashed};

@@ -18,12 +18,19 @@
 #                       more than 25% slower than baseline fails the gate)
 #   BENCH_FILTER        space-separated bench target list
 #                       (default: fig7a_q1 fig7b_q2d fig7c_q2 operators
-#                       counters phases)
+#                       counters selectivity phases)
 #   BYPASS_THREADS      intra-query worker count (morsel-driven
 #                       execution, DESIGN.md §7) and grid fan-out width.
 #                       Leave unset for timing runs: baselines are
 #                       recorded serial, and counters/phases snapshots
 #                       are worker-count independent by construction.
+#   BYPASS_BATCH        executor batch size (vectorized hot path,
+#                       DESIGN.md §8; 0 = legacy row-at-a-time path).
+#                       Leave unset for timing runs: baselines are
+#                       recorded at the default batch size, and all
+#                       counter snapshots (including the selectivity
+#                       disjunct counters) are batch-size independent
+#                       by construction.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,9 +41,12 @@ BASELINE="${BENCH_BASELINE:-$PWD/BENCH_baseline.json}"
 THRESHOLD="${BENCH_REGRESS_PCT:-25}"
 # `counters` is timing-free: it gates the exact execution-counter
 # snapshots of Q2-Q4 / qexists / qcombined (see benches/counters.rs).
+# `selectivity` is also timing-free: it gates the per-disjunct
+# reach/decide counters proving the adaptive predicate ordering
+# converges cheap-first (see benches/selectivity.rs).
 # `phases` gates the span-derived plan-phase medians (parse/translate/
 # unnest/optimize/execute — see benches/phases.rs).
-BENCHES="${BENCH_FILTER:-fig7a_q1 fig7b_q2d fig7c_q2 operators counters phases}"
+BENCHES="${BENCH_FILTER:-fig7a_q1 fig7b_q2d fig7c_q2 operators counters selectivity phases}"
 
 case "$MODE" in
 save | compare) ;;

@@ -12,17 +12,24 @@ export CARGO_NET_OFFLINE=true
 echo "==> cargo build --release"
 cargo build --release --workspace
 
-# The whole suite runs twice: once pinned serial and once with 8
-# intra-query workers, so every tier-1 test exercises both the serial
-# fast path and the morsel-driven parallel path (DESIGN.md §7). Results,
-# counters and oracle reports must be identical either way — the
-# worker-count-independence tests assert that explicitly; running the
-# full matrix under both settings catches anything they missed.
-echo "==> cargo test -q (BYPASS_THREADS=1, serial execution)"
-BYPASS_THREADS=1 cargo test -q --workspace
+# The whole suite runs twice: once pinned serial on the legacy
+# row-at-a-time path and once with 8 intra-query workers on the
+# vectorized path, so every tier-1 test exercises both execution
+# mechanisms (DESIGN.md §7–8). Results, counters and oracle reports
+# must be identical either way — the worker-count- and batch-size-
+# independence tests assert that explicitly; running the full matrix
+# under both settings catches anything they missed.
+echo "==> cargo test -q (BYPASS_THREADS=1 BYPASS_BATCH=0, serial row-at-a-time)"
+BYPASS_THREADS=1 BYPASS_BATCH=0 cargo test -q --workspace
 
-echo "==> cargo test -q (BYPASS_THREADS=8, morsel-driven parallel execution)"
-BYPASS_THREADS=8 cargo test -q --workspace
+echo "==> cargo test -q (BYPASS_THREADS=8 BYPASS_BATCH=64, parallel vectorized)"
+BYPASS_THREADS=8 BYPASS_BATCH=64 cargo test -q --workspace
+
+# The remaining two corners of the threads x batch matrix, smoke-tested
+# on the regression corpus (every corpus query, all 7 strategies).
+echo "==> corpus smoke across the threads x batch matrix"
+BYPASS_THREADS=1 BYPASS_BATCH=64 cargo test -q --test corpus
+BYPASS_THREADS=8 BYPASS_BATCH=0 cargo test -q --test corpus
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -1,0 +1,10 @@
+-- Error-pinning guard for the adaptive disjunct reordering (PR 7):
+-- `10 / a1` raises a division-by-zero value error unless the guard
+-- `a1 = 0` decides the row first. The division term is value-fallible,
+-- so `compile_term` marks it immovable — a barrier the adaptive order
+-- must never hoist a later term past, and must never hoist ITSELF ahead
+-- of the guard. The instance contains a1 = 0 rows (and a NULL a1 row),
+-- so any illegal swap surfaces as a spurious `division by zero` the
+-- oracle's error comparison catches. All strategies — and, via the
+-- batch axis, every batch size — must agree with canonical evaluation.
+SELECT * FROM r WHERE a1 = 0 OR 10 / a1 > 2

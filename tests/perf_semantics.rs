@@ -22,6 +22,14 @@
 //!    determinism contract of the morsel executor (DESIGN.md §7):
 //!    in-order merge, per-worker governor record/replay, and
 //!    worker-count-independent metric totals.
+//! 4. **Batch-size independence of the vectorized executor** — the same
+//!    queries executed at batch sizes 0 (legacy row path), 1, 2 and 64,
+//!    serial and at 8 workers, must produce the identical row sequence,
+//!    `ExecCounters`, `QueryProfile` counters and (timing-stripped)
+//!    EXPLAIN ANALYZE report. This is the determinism contract of the
+//!    vectorized hot path (DESIGN.md §8): `batch_rows` selects a
+//!    mechanism, never semantics, and the adaptive disjunct ordering is
+//!    identical in both modes.
 
 use bypass::datagen::rst;
 use bypass::{Database, RunLimits};
@@ -267,6 +275,148 @@ fn explain_analyze_snapshots_are_worker_count_independent() {
                     "EXPLAIN ANALYZE must not depend on the worker count \
                      ({strategy}, threads={threads})"
                 );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Angle 4: batch-size independence of the vectorized executor.
+// ---------------------------------------------------------------------------
+
+/// `RunLimits` that pin the batch size alongside the worker count
+/// (morsel fan-out stays forced so the batch × thread interaction is
+/// exercised, not just serial batching).
+fn batch_limits(batch: usize, threads: usize) -> RunLimits {
+    RunLimits {
+        threads: Some(threads),
+        morsel_rows: Some(2),
+        batch_rows: Some(batch),
+        ..RunLimits::default()
+    }
+}
+
+/// The exact row sequence and the full `ExecCounters` snapshot are
+/// independent of the batch size, for every strategy, serial and
+/// parallel: the vectorized path replays the row path's governor
+/// checkpoint/charge sequence exactly, and kernels are scratch
+/// evaluation the counters never see.
+#[test]
+fn executor_rows_and_counters_are_batch_size_independent() {
+    let db = morsel_database();
+    for strategy in Strategy::all() {
+        for sql in [Q1, Q1_ORDERED] {
+            let (ref_rows, ref_counters) =
+                db.run_governed(sql, strategy, &batch_limits(0, 1)).unwrap();
+            for batch in [1, 2, 64] {
+                for threads in [1, 8] {
+                    let (rows, counters) = db
+                        .run_governed(sql, strategy, &batch_limits(batch, threads))
+                        .unwrap();
+                    assert_eq!(
+                        rows.rows(),
+                        ref_rows.rows(),
+                        "row sequence must not depend on the batch size \
+                         ({strategy}, batch={batch}, threads={threads})"
+                    );
+                    assert_eq!(
+                        counters, ref_counters,
+                        "ExecCounters must not depend on the batch size \
+                         ({strategy}, batch={batch}, threads={threads})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `QueryProfile` is batch-size independent in everything but wall
+/// time: output cardinality, query-wide counters, dual-stream totals,
+/// per-operator calls/rows/pos/neg and the per-disjunct
+/// reach/decide counters of adaptive chains.
+#[test]
+fn query_profiles_are_batch_size_independent() {
+    // Pointer-keyed metric maps differ across runs; compare sorted
+    // multisets. Disjunct counters ride along so the adaptive ordering
+    // is proven identical in row and batch mode, not just the output.
+    #[allow(clippy::type_complexity)]
+    fn metric_multiset(p: &bypass::QueryProfile) -> Vec<(u64, u64, u64, u64, Vec<(u64, u64)>)> {
+        let mut v: Vec<_> = p
+            .metrics
+            .values()
+            .map(|m| {
+                (
+                    m.calls,
+                    m.rows,
+                    m.pos_rows,
+                    m.neg_rows,
+                    m.disjuncts.iter().map(|d| (d.evals, d.hits)).collect(),
+                )
+            })
+            .collect();
+        v.sort_unstable();
+        v
+    }
+    let db = morsel_database();
+    for strategy in Strategy::all() {
+        let reference = db
+            .profile_governed(Q1, strategy, &batch_limits(0, 1))
+            .unwrap();
+        for batch in [1, 2, 64] {
+            for threads in [1, 8] {
+                let profile = db
+                    .profile_governed(Q1, strategy, &batch_limits(batch, threads))
+                    .unwrap();
+                assert_eq!(profile.strategy, reference.strategy);
+                assert_eq!(
+                    profile.rows, reference.rows,
+                    "output cardinality ({strategy}, batch={batch}, threads={threads})"
+                );
+                assert_eq!(
+                    profile.counters, reference.counters,
+                    "profile counters ({strategy}, batch={batch}, threads={threads})"
+                );
+                assert_eq!(
+                    profile.bypass_totals(),
+                    reference.bypass_totals(),
+                    "dual-stream totals ({strategy}, batch={batch}, threads={threads})"
+                );
+                assert_eq!(
+                    metric_multiset(&profile),
+                    metric_multiset(&reference),
+                    "per-operator counters ({strategy}, batch={batch}, threads={threads})"
+                );
+            }
+        }
+    }
+}
+
+/// The rendered EXPLAIN ANALYZE report — including the `disjuncts=[...]`
+/// selectivity block of adaptive chains — is identical at batch sizes
+/// 0, 1, 2 and 64 once timing tokens are stripped.
+#[test]
+fn explain_analyze_snapshots_are_batch_size_independent() {
+    let db = morsel_database();
+    for strategy in Strategy::all() {
+        for sql in [Q1, Q1_ORDERED] {
+            let reference = strip_timings(
+                &db.profile_governed(sql, strategy, &batch_limits(0, 1))
+                    .unwrap()
+                    .render(),
+            );
+            for batch in [1, 2, 64] {
+                for threads in [1, 8] {
+                    let snapshot = strip_timings(
+                        &db.profile_governed(sql, strategy, &batch_limits(batch, threads))
+                            .unwrap()
+                            .render(),
+                    );
+                    assert_eq!(
+                        snapshot, reference,
+                        "EXPLAIN ANALYZE must not depend on the batch size \
+                         ({strategy}, batch={batch}, threads={threads})"
+                    );
+                }
             }
         }
     }
