@@ -137,6 +137,10 @@ fn profile_json(sql: &str, sf1: f64, sf2: f64, p: &QueryProfile) -> String {
     ));
     out.push_str(&format!("\"sf1\":{},", json::number(sf1)));
     out.push_str(&format!("\"sf2\":{},", json::number(sf2)));
+    out.push_str(&format!(
+        "\"fingerprint\":{},",
+        json::quote(&bypass_core::format_fingerprint(p.fingerprint))
+    ));
     out.push_str(&format!("\"rows\":{},", p.rows));
     out.push_str(&format!(
         "\"phases_ms\":{{\"parse\":{},\"translate\":{},\"unnest\":{},\"optimize\":{},\"execute\":{},\"total\":{}}},",
@@ -153,6 +157,14 @@ fn profile_json(sql: &str, sf1: f64, sf2: f64, p: &QueryProfile) -> String {
         p.counters.memo_uncorr_misses,
         p.counters.memo_corr_hits,
         p.counters.memo_corr_misses,
+    ));
+    out.push_str(&format!(
+        "\"governor\":{{\"peak_memory_bytes\":{},\"checkpoints\":{}}},",
+        p.counters.peak_memory_bytes, p.counters.checkpoints,
+    ));
+    out.push_str(&format!(
+        "\"disjuncts\":{{\"evals\":{},\"hits\":{}}},",
+        p.counters.disjunct_evals, p.counters.disjunct_hits,
     ));
     out.push_str(&format!(
         "\"bypass\":{{\"nodes\":{nodes},\"pos_rows\":{pos},\"neg_rows\":{neg}}},"
@@ -206,6 +218,16 @@ fn push_operators(
             ",\"build_rows\":{},\"reverify\":{}",
             m.build_rows, m.reverify
         ));
+    }
+    if !m.disjuncts.is_empty() {
+        out.push_str(",\"disjuncts\":[");
+        for (i, d) in m.disjuncts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"evals\":{},\"hits\":{}}}", d.evals, d.hits));
+        }
+        out.push(']');
     }
     out.push('}');
     for sq in n.expr_subplans() {

@@ -128,6 +128,9 @@ pub struct FaultFailure {
     pub strategy: Strategy,
     /// The generated SQL.
     pub sql: String,
+    /// Normalized-AST fingerprint of the query (0 if it does not
+    /// parse) — the key to look the shape up in the metrics hub.
+    pub fingerprint: u64,
     /// The targeted governor checkpoint (0 when the failure happened
     /// before any injection, e.g. on the clean baseline run).
     pub checkpoint: u64,
@@ -150,6 +153,11 @@ impl fmt::Display for FaultFailure {
             self.case_seed
         )?;
         writeln!(f, "  query:     {}", self.sql)?;
+        writeln!(
+            f,
+            "  fingerprint: {}",
+            bypass_core::format_fingerprint(self.fingerprint)
+        )?;
         match self.kind {
             Some(kind) => writeln!(
                 f,
@@ -219,6 +227,7 @@ fn campaign(cfg: &FaultConfig) -> Result<FaultReport, Box<FaultFailure>> {
                 query,
                 strategy,
                 sql: sql.clone(),
+                fingerprint: bypass_core::fingerprint_sql(&sql).unwrap_or(0),
                 checkpoint,
                 kind,
                 detail,
@@ -486,6 +495,7 @@ mod tests {
             query: 3,
             strategy: Strategy::Unnested,
             sql: "SELECT * FROM r".to_string(),
+            fingerprint: bypass_core::fingerprint_sql("SELECT * FROM r").unwrap(),
             checkpoint: 17,
             kind: Some(FaultKind::Cancel),
             detail: "span stack unbalanced".to_string(),

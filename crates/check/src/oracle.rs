@@ -1253,6 +1253,9 @@ pub struct Mismatch {
     pub strategy: Strategy,
     /// The original failing query.
     pub sql: String,
+    /// Normalized-AST fingerprint of the original query (0 if it does
+    /// not parse) — the key to look the shape up in the metrics hub.
+    pub fingerprint: u64,
     /// The minimized failing query.
     pub minimized_sql: String,
     /// Row counts (canonical, strategy) or the execution error.
@@ -1274,6 +1277,11 @@ impl fmt::Display for Mismatch {
         )?;
         writeln!(f, "  reproduce: BYPASS_CHECK_SEED={:#x}", self.case_seed)?;
         writeln!(f, "  query:     {}", self.sql)?;
+        writeln!(
+            f,
+            "  fingerprint: {}",
+            bypass_core::format_fingerprint(self.fingerprint)
+        )?;
         writeln!(f, "  minimized: {}", self.minimized_sql)?;
         writeln!(f, "  detail:    {}", self.detail)?;
         for p in &self.profiles {
@@ -1446,6 +1454,7 @@ fn run_case(
                     case,
                     strategy,
                     sql: sql.clone(),
+                    fingerprint: bypass_core::fingerprint_sql(&sql).unwrap_or(0),
                     minimized_sql: sql.clone(),
                     detail,
                     instance: format!(
@@ -1473,6 +1482,7 @@ fn run_case(
                     case,
                     strategy,
                     sql: sql.clone(),
+                    fingerprint: bypass_core::fingerprint_sql(&sql).unwrap_or(0),
                     minimized_sql: sql.clone(),
                     detail,
                     instance: format!(
@@ -1794,6 +1804,7 @@ fn minimize(
         case_seed,
         case,
         strategy,
+        fingerprint: bypass_core::fingerprint_sql(&original_sql).unwrap_or(0),
         sql: original_sql,
         minimized_sql,
         detail: final_detail,

@@ -1,0 +1,160 @@
+//! Property tests for the `bypass-metrics` histogram and registry:
+//! merging is commutative/associative, folding is partition- (i.e.
+//! worker-count-) independent, and the log-linear bucket layout keeps
+//! every observation inside its claimed bucket bounds.
+
+use bypass_check::{forall, vec_of, Gen};
+use bypass_metrics::{bucket_index, bucket_upper, Histogram, Registry};
+
+/// Log-uniform `u64`s: random magnitude, then random bits — so the
+/// cases exercise every octave of the bucket layout, not just the
+/// top one.
+fn log_uniform() -> Gen<u64> {
+    Gen::new(|rng| {
+        let shift = rng.gen_range(0..64) as u32;
+        rng.next_u64() >> shift
+    })
+}
+
+fn values() -> Gen<Vec<u64>> {
+    vec_of(log_uniform(), 0, 200)
+}
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+#[test]
+fn merge_is_commutative_and_agrees_with_serial() {
+    forall(&values(), |vs| {
+        let split = vs.len() / 2;
+        let (a, b) = (hist_of(&vs[..split]), hist_of(&vs[split..]));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let serial = hist_of(vs);
+        assert_eq!(ab.snapshot(), ba.snapshot(), "merge is not commutative");
+        assert_eq!(ab.snapshot(), serial.snapshot(), "merge != serial observe");
+        assert_eq!(ab.count(), vs.len() as u64);
+        assert_eq!(
+            ab.sum(),
+            vs.iter().fold(0u64, |acc, &v| acc.saturating_add(v))
+        );
+    });
+}
+
+#[test]
+fn fold_is_partition_independent() {
+    forall(&values(), |vs| {
+        let reference = hist_of(vs).snapshot();
+        for workers in [1usize, 2, 3, 8] {
+            // Deal values round-robin over `workers` shards, then fold
+            // the shards in forward and reverse order: every schedule
+            // must reproduce the serial histogram bit-for-bit.
+            let mut shards = vec![Histogram::new(); workers];
+            for (i, &v) in vs.iter().enumerate() {
+                shards[i % workers].observe(v);
+            }
+            let mut forward = Histogram::new();
+            for s in &shards {
+                forward.merge(s);
+            }
+            let mut reverse = Histogram::new();
+            for s in shards.iter().rev() {
+                reverse.merge(s);
+            }
+            assert_eq!(forward.snapshot(), reference, "{workers} workers");
+            assert_eq!(reverse.snapshot(), reference, "{workers} workers, reversed");
+        }
+    });
+}
+
+#[test]
+fn bucket_layout_brackets_every_value() {
+    forall(&log_uniform(), |&v| {
+        let i = bucket_index(v);
+        assert!(v <= bucket_upper(i), "{v} above its bucket upper bound");
+        if i > 0 {
+            assert!(
+                v > bucket_upper(i - 1),
+                "{v} not above the previous bucket's upper bound {}",
+                bucket_upper(i - 1)
+            );
+        }
+    });
+}
+
+#[test]
+fn quantile_is_bounded_by_a_bucket_that_saw_the_value() {
+    forall(&values(), |vs| {
+        let h = hist_of(vs);
+        if vs.is_empty() {
+            assert_eq!(h.quantile(0.5), 0);
+            return;
+        }
+        let max = *vs.iter().max().unwrap();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let est = h.quantile(q);
+            // A quantile estimate is a bucket upper bound, so it can
+            // overshoot the true quantile only by the bucket's width:
+            // it never exceeds the bucket holding the maximum.
+            assert!(
+                est <= bucket_upper(bucket_index(max)),
+                "quantile({q}) = {est} beyond the max value's bucket ({max})"
+            );
+        }
+    });
+}
+
+#[test]
+fn registry_fold_is_thread_schedule_independent() {
+    // Random op streams: (metric selector, value). Applied serially on
+    // one thread and round-robin across 4 threads, the deterministic
+    // snapshots must be identical — counters sum, gauges max and
+    // histogram buckets add, all commutatively.
+    let ops = vec_of(
+        Gen::new(|rng| {
+            (
+                rng.gen_range(0..3) as u8,
+                rng.next_u64() >> (rng.gen_range(0..64) as u32),
+            )
+        }),
+        0,
+        200,
+    );
+    forall(&ops, |ops| {
+        let apply = |reg: &Registry, ops: &[(u8, u64)]| {
+            let c = reg.counter("ops_total", "test counter", &[]);
+            let g = reg.gauge_max("peak", "test gauge", &[]);
+            let h = reg.histogram("sizes", "test histogram", &[], false);
+            for &(which, v) in ops {
+                match which {
+                    0 => reg.add(c, v % 1024),
+                    1 => reg.observe_max(g, v),
+                    _ => reg.observe(h, v),
+                }
+            }
+        };
+        let serial = Registry::new();
+        apply(&serial, ops);
+
+        let threaded = Registry::new();
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let shard: Vec<(u8, u64)> = ops.iter().copied().skip(w).step_by(4).collect();
+                let reg = &threaded;
+                let apply = &apply;
+                scope.spawn(move || apply(reg, &shard));
+            }
+        });
+        assert_eq!(
+            serial.snapshot().deterministic(),
+            threaded.snapshot().deterministic()
+        );
+    });
+}

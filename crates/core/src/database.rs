@@ -5,9 +5,10 @@ use std::time::{Duration, Instant};
 use bypass_algebra::LogicalPlan;
 use bypass_catalog::Catalog;
 use bypass_exec::{
-    evaluate_with, physical_plan, ExecContext, ExecCounters, ExecOptions, NodeMetrics, PhysExpr,
-    PhysKind, PhysNode,
+    physical_plan, ExecContext, ExecCounters, ExecOptions, NodeMetrics, PhysExpr, PhysKind,
+    PhysNode,
 };
+use bypass_metrics::{ExecObservation, MetricsHub, OpCardinality};
 use bypass_sql::{parse_statement, Expr, SelectStmt, Statement};
 use bypass_translate::{translate_query, Translator};
 use bypass_types::{
@@ -43,6 +44,9 @@ pub struct Prepared {
     physical: Arc<PhysNode>,
     options: ExecOptions,
     strategy: Strategy,
+    fingerprint: u64,
+    sql: String,
+    hub: Arc<MetricsHub>,
 }
 
 impl Prepared {
@@ -80,10 +84,21 @@ impl Prepared {
     pub fn execute_governed(&self, limits: &RunLimits) -> Result<(Relation, ExecCounters)> {
         let mut options = self.options.clone();
         limits.apply(&mut options);
+        let t0 = Instant::now();
         let mut ctx = ExecContext::new(options);
         let rel = ctx.eval_plan(&self.physical)?;
         let counters = ctx.counters();
         let rel = Arc::try_unwrap(rel).unwrap_or_else(|shared| shared.as_ref().clone());
+        self.hub.record_execution(&observation(
+            self.fingerprint,
+            &self.sql,
+            self.strategy,
+            t0.elapsed().as_nanos() as u64,
+            None,
+            rel.len(),
+            &counters,
+            "prepared",
+        ));
         Ok((rel, counters))
     }
 
@@ -91,6 +106,12 @@ impl Prepared {
     /// resolved at preparation time).
     pub fn strategy(&self) -> Strategy {
         self.strategy
+    }
+
+    /// The normalized-AST fingerprint of the compiled query (the key
+    /// this plan's executions are aggregated under in the metrics hub).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 }
 
@@ -162,6 +183,9 @@ pub enum Response {
     Inserted(usize),
     /// `EXPLAIN [ANALYZE]` — the rendered report.
     Explained(String),
+    /// `SHOW METRICS` — the registry snapshot in the Prometheus text
+    /// exposition format.
+    Metrics(String),
 }
 
 impl Response {
@@ -175,10 +199,11 @@ impl Response {
         }
     }
 
-    /// The report text of an `Explained` response; errors otherwise.
+    /// The report text of an `Explained` or `Metrics` response; errors
+    /// otherwise.
     pub fn into_text(self) -> Result<String> {
         match self {
-            Response::Explained(s) => Ok(s),
+            Response::Explained(s) | Response::Metrics(s) => Ok(s),
             other => Err(Error::execution(format!(
                 "statement did not produce a report: {other:?}"
             ))),
@@ -236,6 +261,9 @@ pub struct QueryProfile {
     /// The concrete strategy the run executed under (CostBased
     /// resolved).
     pub strategy: Strategy,
+    /// Normalized-AST query fingerprint (see `bypass_sql::fingerprint`)
+    /// — the key this run is aggregated under in the metrics hub.
+    pub fingerprint: u64,
     pub physical: Arc<PhysNode>,
     pub metrics: HashMap<usize, NodeMetrics>,
     pub counters: ExecCounters,
@@ -276,9 +304,10 @@ impl QueryProfile {
     /// stream counts) and the query-wide counter footer.
     pub fn render(&self) -> String {
         let mut out = format!(
-            "-- EXPLAIN ANALYZE ({}), {} output rows\n-- phases: {}\n{}",
+            "-- EXPLAIN ANALYZE ({}), {} output rows\n-- fingerprint: {}\n-- phases: {}\n{}",
             self.strategy,
             self.rows,
+            bypass_metrics::format_fingerprint(self.fingerprint),
             self.phases.render(),
             self.physical.explain_with_metrics(&self.metrics)
         );
@@ -327,10 +356,21 @@ impl QueryProfile {
 ///     assert_eq!(r.len(), 1);
 /// }
 /// ```
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct Database {
     catalog: Catalog,
     default_strategy: Strategy,
+    metrics: Arc<MetricsHub>,
+}
+
+impl Default for Database {
+    fn default() -> Database {
+        Database {
+            catalog: Catalog::default(),
+            default_strategy: Strategy::default(),
+            metrics: MetricsHub::global(),
+        }
+    }
 }
 
 impl Database {
@@ -342,6 +382,25 @@ impl Database {
     pub fn with_default_strategy(mut self, strategy: Strategy) -> Database {
         self.default_strategy = strategy;
         self
+    }
+
+    /// Record into `hub` instead of the process-global
+    /// [`MetricsHub::global`] — isolated hubs are what make metrics
+    /// assertions independent of whatever else the process ran.
+    pub fn with_metrics_hub(mut self, hub: Arc<MetricsHub>) -> Database {
+        self.metrics = hub;
+        self
+    }
+
+    /// The hub this database records executions into.
+    pub fn metrics_hub(&self) -> &Arc<MetricsHub> {
+        &self.metrics
+    }
+
+    /// One consistent snapshot of the always-on metrics registry,
+    /// including the synthesized per-fingerprint series.
+    pub fn metrics(&self) -> bypass_metrics::Snapshot {
+        self.metrics.snapshot()
     }
 
     pub fn catalog(&self) -> &Catalog {
@@ -366,8 +425,22 @@ impl Database {
         let parse_nanos = t0.elapsed().as_nanos();
         match stmt {
             Statement::Query(q) => {
+                let fingerprint = bypass_sql::fingerprint(&q);
+                let t = Instant::now();
                 let logical = translate_query(&self.catalog, &q)?;
-                let rel = self.run(&logical, self.default_strategy, None)?;
+                let translate_nanos = t.elapsed().as_nanos() as u64;
+                let (rel, _) = self.run_observed(
+                    &logical,
+                    self.default_strategy,
+                    &RunLimits::default(),
+                    ObserveCtx {
+                        fingerprint,
+                        sql,
+                        parse_nanos: parse_nanos as u64,
+                        translate_nanos,
+                        detail: "query",
+                    },
+                )?;
                 Ok(Response::Rows(rel))
             }
             Statement::CreateTable { name, columns } => {
@@ -398,6 +471,9 @@ impl Database {
                 let text = self.explain_parsed(&query, self.default_strategy)?;
                 Ok(Response::Explained(text))
             }
+            Statement::ShowMetrics => Ok(Response::Metrics(bypass_metrics::render_prometheus(
+                &self.metrics.snapshot(),
+            ))),
         }
     }
 
@@ -413,8 +489,15 @@ impl Database {
         strategy: Strategy,
         timeout: Option<Duration>,
     ) -> Result<Relation> {
-        let logical = self.logical_plan(sql)?;
-        self.run(&logical, strategy, timeout)
+        self.run_governed(
+            sql,
+            strategy,
+            &RunLimits {
+                timeout,
+                ..Default::default()
+            },
+        )
+        .map(|(rel, _)| rel)
     }
 
     /// The canonical logical plan of a query (before strategy rewrites).
@@ -425,7 +508,9 @@ impl Database {
         }
     }
 
-    /// Execute a prepared logical plan under a strategy.
+    /// Execute a prepared logical plan under a strategy. Without SQL
+    /// text there is no fingerprint, so this path feeds the unnest-
+    /// outcome counters but not the per-query stats table.
     pub fn run(
         &self,
         canonical: &Arc<LogicalPlan>,
@@ -438,7 +523,10 @@ impl Database {
             if s.is_recording() {
                 s.arg("strategy", strategy.to_string());
             }
-            strategy.prepare(canonical)?
+            let prepared = strategy.prepare(canonical);
+            self.metrics
+                .record_unnest_outcomes(&bypass_unnest::take_outcomes());
+            prepared?
         };
         let physical = physical_plan(&logical, &self.catalog)?;
         let options = ExecOptions {
@@ -449,7 +537,7 @@ impl Database {
         if s.is_recording() {
             s.arg("strategy", strategy.to_string());
         }
-        evaluate_with(&physical, options)
+        bypass_exec::evaluate_with(&physical, options)
     }
 
     /// Run a `SELECT` under a cooperative cancel token. Calling
@@ -504,26 +592,93 @@ impl Database {
         strategy: Strategy,
         limits: &RunLimits,
     ) -> Result<(Relation, ExecCounters)> {
-        let canonical = self.logical_plan(sql)?;
-        let strategy = self.resolve_strategy(&canonical, strategy)?;
+        let t0 = Instant::now();
+        let stmt = parse_statement(sql)?;
+        let parse_nanos = t0.elapsed().as_nanos() as u64;
+        let Statement::Query(q) = stmt else {
+            return Err(Error::plan("not a SELECT statement"));
+        };
+        let fingerprint = bypass_sql::fingerprint(&q);
+        let t = Instant::now();
+        let canonical = translate_query(&self.catalog, &q)?;
+        let translate_nanos = t.elapsed().as_nanos() as u64;
+        self.run_observed(
+            &canonical,
+            strategy,
+            limits,
+            ObserveCtx {
+                fingerprint,
+                sql,
+                parse_nanos,
+                translate_nanos,
+                detail: "governed",
+            },
+        )
+    }
+
+    /// Prepare, plan and execute an already-translated query while
+    /// recording the run into the metrics hub — the shared tail of
+    /// every SQL-text entry point (which alone know the fingerprint).
+    fn run_observed(
+        &self,
+        canonical: &Arc<LogicalPlan>,
+        strategy: Strategy,
+        limits: &RunLimits,
+        obs: ObserveCtx<'_>,
+    ) -> Result<(Relation, ExecCounters)> {
+        let strategy = self.resolve_strategy(canonical, strategy)?;
+        let t = Instant::now();
         let logical = {
             let mut s = bypass_trace::span("prepare");
             if s.is_recording() {
                 s.arg("strategy", strategy.to_string());
+                s.arg(
+                    "fingerprint",
+                    bypass_metrics::format_fingerprint(obs.fingerprint),
+                );
             }
-            strategy.prepare(&canonical)?
+            let prepared = strategy.prepare(canonical);
+            self.metrics
+                .record_unnest_outcomes(&bypass_unnest::take_outcomes());
+            prepared?
         };
+        let unnest_nanos = t.elapsed().as_nanos() as u64;
+        let t = Instant::now();
         let physical = physical_plan(&logical, &self.catalog)?;
+        let optimize_nanos = t.elapsed().as_nanos() as u64;
         let mut options = strategy.exec_options();
         limits.apply(&mut options);
         let mut s = bypass_trace::span("execute");
         if s.is_recording() {
             s.arg("strategy", strategy.to_string());
+            s.arg(
+                "fingerprint",
+                bypass_metrics::format_fingerprint(obs.fingerprint),
+            );
         }
+        let t = Instant::now();
         let mut ctx = ExecContext::new(options);
         let rel = ctx.eval_plan(&physical)?;
         let counters = ctx.counters();
+        let execute_nanos = t.elapsed().as_nanos() as u64;
         let rel = Arc::try_unwrap(rel).unwrap_or_else(|shared| shared.as_ref().clone());
+        let phases = [
+            obs.parse_nanos,
+            obs.translate_nanos,
+            unnest_nanos,
+            optimize_nanos,
+            execute_nanos,
+        ];
+        self.metrics.record_execution(&observation(
+            obs.fingerprint,
+            obs.sql,
+            strategy,
+            phases.iter().sum(),
+            Some(phases),
+            rel.len(),
+            &counters,
+            obs.detail,
+        ));
         Ok((rel, counters))
     }
 
@@ -539,14 +694,24 @@ impl Database {
     /// assert_eq!(q.execute().unwrap().len(), 2); // no re-planning
     /// ```
     pub fn prepare(&self, sql: &str, strategy: Strategy) -> Result<Prepared> {
-        let canonical = self.logical_plan(sql)?;
+        let Statement::Query(q) = parse_statement(sql)? else {
+            return Err(Error::plan("not a SELECT statement"));
+        };
+        let fingerprint = bypass_sql::fingerprint(&q);
+        let canonical = translate_query(&self.catalog, &q)?;
         let strategy = self.resolve_strategy(&canonical, strategy)?;
-        let logical = strategy.prepare(&canonical)?;
+        let prepared = strategy.prepare(&canonical);
+        self.metrics
+            .record_unnest_outcomes(&bypass_unnest::take_outcomes());
+        let logical = prepared?;
         let physical = physical_plan(&logical, &self.catalog)?;
         Ok(Prepared {
             physical,
             options: strategy.exec_options(),
             strategy,
+            fingerprint,
+            sql: sql.to_string(),
+            hub: Arc::clone(&self.metrics),
         })
     }
 
@@ -646,7 +811,12 @@ impl Database {
             parse: parse_nanos,
             ..Default::default()
         };
+        let fingerprint = bypass_sql::fingerprint(query);
         let mut span = bypass_trace::span("core.profile_query");
+        span.arg(
+            "fingerprint",
+            bypass_metrics::format_fingerprint(fingerprint),
+        );
         let t = Instant::now();
         let canonical = {
             let _s = bypass_trace::span("translate");
@@ -659,7 +829,10 @@ impl Database {
         let rewritten = {
             let mut s = bypass_trace::span("unnest");
             s.arg("strategy", strategy.to_string());
-            strategy.rewrite_nesting(&canonical)?
+            let rewritten = strategy.rewrite_nesting(&canonical);
+            self.metrics
+                .record_unnest_outcomes(&bypass_unnest::take_outcomes());
+            rewritten?
         };
         phases.unnest = t.elapsed().as_nanos();
         let t = Instant::now();
@@ -690,14 +863,37 @@ impl Database {
                 counters.memo_uncorr_misses + counters.memo_corr_misses,
             );
         }
-        Ok(QueryProfile {
+        let profile = QueryProfile {
             strategy,
+            fingerprint,
             physical,
             metrics,
             counters,
             phases,
             rows: rel.len(),
-        })
+        };
+        let clamp = |n: u128| u64::try_from(n).unwrap_or(u64::MAX);
+        self.metrics.record_execution(&observation(
+            fingerprint,
+            &bypass_sql::normalized_sql(query),
+            strategy,
+            clamp(phases.total()),
+            Some([
+                clamp(phases.parse),
+                clamp(phases.translate),
+                clamp(phases.unnest),
+                clamp(phases.optimize),
+                clamp(phases.execute),
+            ]),
+            profile.rows,
+            &profile.counters,
+            "profile",
+        ));
+        self.metrics.record_cardinalities(
+            fingerprint,
+            op_cardinalities(&profile.physical, &profile.metrics),
+        );
+        Ok(profile)
     }
 
     /// Resolve [`Strategy::CostBased`] to a concrete strategy for this
@@ -754,6 +950,87 @@ impl Database {
         table.replace_data(Relation::new(schema, new_rows));
         Ok(n)
     }
+}
+
+/// What a SQL-text entry point knows about the run it is about to
+/// observe: the fingerprint, the original text, the already-measured
+/// parse/translate times and a short label for the execution path.
+struct ObserveCtx<'a> {
+    fingerprint: u64,
+    sql: &'a str,
+    parse_nanos: u64,
+    translate_nanos: u64,
+    detail: &'a str,
+}
+
+/// Package one finished run as the [`ExecObservation`] the metrics hub
+/// records.
+#[allow(clippy::too_many_arguments)]
+fn observation(
+    fingerprint: u64,
+    sql: &str,
+    strategy: Strategy,
+    total_nanos: u64,
+    phases_nanos: Option<[u64; 5]>,
+    rows: usize,
+    counters: &ExecCounters,
+    detail: &str,
+) -> ExecObservation {
+    ExecObservation {
+        fingerprint,
+        sql: sql.to_string(),
+        strategy: strategy.to_string(),
+        total_nanos,
+        phases_nanos,
+        rows: rows as u64,
+        peak_memory_bytes: counters.peak_memory_bytes,
+        checkpoints: counters.checkpoints,
+        memo_hits: counters.memo_uncorr_hits + counters.memo_corr_hits,
+        memo_misses: counters.memo_uncorr_misses + counters.memo_corr_misses,
+        disjunct_evals: counters.disjunct_evals,
+        disjunct_hits: counters.disjunct_hits,
+        detail: detail.to_string(),
+    }
+}
+
+/// Flatten a profiled physical tree into the cardinality-feedback
+/// records: deterministic pre-order walk (children before expression
+/// subplans, shared DAG nodes once), each operator labelled
+/// `position:name` so the label survives pointer reuse across runs.
+fn op_cardinalities(
+    root: &Arc<PhysNode>,
+    metrics: &HashMap<usize, NodeMetrics>,
+) -> Vec<OpCardinality> {
+    fn walk(
+        n: &Arc<PhysNode>,
+        seen: &mut std::collections::HashSet<*const PhysNode>,
+        out: &mut Vec<OpCardinality>,
+        metrics: &HashMap<usize, NodeMetrics>,
+    ) {
+        if !seen.insert(Arc::as_ptr(n)) {
+            return;
+        }
+        let m = metrics.get(&(Arc::as_ptr(n) as usize));
+        out.push(OpCardinality {
+            label: format!("{}:{}", out.len(), n.name()),
+            calls: m.map_or(0, |m| m.calls),
+            rows: m.map_or(0, |m| m.rows),
+        });
+        for c in n.children() {
+            walk(c, seen, out, metrics);
+        }
+        for c in n.expr_subplans() {
+            walk(c, seen, out, metrics);
+        }
+    }
+    let mut out = Vec::new();
+    walk(
+        root,
+        &mut std::collections::HashSet::new(),
+        &mut out,
+        metrics,
+    );
+    out
 }
 
 /// Resolve a constant expression (INSERT values): no columns, no

@@ -12,6 +12,12 @@ pub use strategy::Strategy;
 pub use bypass_algebra::LogicalPlan;
 pub use bypass_catalog::{Catalog, TableBuilder};
 pub use bypass_exec::ExecOptions;
+pub use bypass_metrics::{
+    format_fingerprint, render_json, render_prometheus, validate_prometheus, ExecObservation,
+    HistogramSnapshot, MetricEntry, MetricValue, MetricsHub, OpCardinality, QueryStatsSnapshot,
+    SlowQuery, Snapshot as MetricsSnapshot,
+};
+pub use bypass_sql::{fingerprint, fingerprint_sql, normalized_sql};
 pub use bypass_types::{
     CancelToken, DataType, Error, FaultKind, Field, InjectedFault, Relation, ResourceKind, Result,
     Schema, Tuple, Value,

@@ -206,6 +206,14 @@ pub struct ExecCounters {
     /// materialization charges). The fault oracle samples injection
     /// points from `1..=checkpoints`.
     pub checkpoints: u64,
+    /// Always-on totals of the per-disjunct adaptive-ordering
+    /// counters, summed over every chained disjunctive (≥ 2 terms)
+    /// σ/σ± in the query: predicate evaluations performed …
+    pub disjunct_evals: u64,
+    /// … and disjuncts decided (TRUE under OR / FALSE under AND).
+    /// Semantic counts — batch-size and worker-count independent —
+    /// feeding the metrics registry's selectivity counters.
+    pub disjunct_hits: u64,
 }
 
 impl ExecCounters {
@@ -997,6 +1005,13 @@ impl ExecContext {
             self.pending.build_rows += out.pending.build_rows;
             self.pending.reverify += out.pending.reverify;
             merge_disjuncts(&mut self.pending.disjuncts, &out.pending.disjuncts);
+            // Workers never probe memo caches (asserted above), but a
+            // nested non-memoized subplan evaluated on a worker may
+            // contain its own disjunctive chain; its semantic totals
+            // fold back commutatively, keeping the counters
+            // worker-count independent.
+            self.counters.disjunct_evals += out.memo_counters.disjunct_evals;
+            self.counters.disjunct_hits += out.memo_counters.disjunct_hits;
             if let Some(frame) = self.child_nanos.last_mut() {
                 *frame += out.child_nanos;
             }
@@ -1133,17 +1148,24 @@ impl ExecContext {
             }
             start = end;
         }
-        // Surface per-disjunct selectivities in EXPLAIN ANALYZE; a
-        // single-term chain is plain vectorization, not a disjunction,
-        // and keeps its metrics block unchanged.
-        if self.metrics.is_some() && chain.terms.len() >= 2 {
-            let top: Vec<DisjunctMetrics> = stats
-                .reach
-                .iter()
-                .zip(&stats.decide)
-                .map(|(&evals, &hits)| DisjunctMetrics { evals, hits })
-                .collect();
-            merge_disjuncts(&mut self.pending.disjuncts, &top);
+        // Surface per-disjunct selectivities in EXPLAIN ANALYZE and in
+        // the always-on counter totals; a single-term chain is plain
+        // vectorization, not a disjunction, and keeps its metrics
+        // block unchanged. Folded on the master thread only (workers
+        // return stats as morsel payloads), preserving the
+        // workers-never-touch-counters invariant.
+        if chain.terms.len() >= 2 {
+            self.counters.disjunct_evals += stats.reach.iter().sum::<u64>();
+            self.counters.disjunct_hits += stats.decide.iter().sum::<u64>();
+            if self.metrics.is_some() {
+                let top: Vec<DisjunctMetrics> = stats
+                    .reach
+                    .iter()
+                    .zip(&stats.decide)
+                    .map(|(&evals, &hits)| DisjunctMetrics { evals, hits })
+                    .collect();
+                merge_disjuncts(&mut self.pending.disjuncts, &top);
+            }
         }
         Ok((pos, neg))
     }

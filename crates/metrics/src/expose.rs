@@ -1,0 +1,388 @@
+//! Export surfaces: Prometheus text exposition (format 0.0.4), a JSON
+//! rendering (hand-rolled on `bypass_trace::json`, like every other
+//! machine-readable surface in this repo), and a strict validator for
+//! the exposition format used by the verify.sh metrics smoke.
+
+use bypass_trace::json;
+
+use crate::registry::{MetricValue, Snapshot};
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Render a snapshot in the Prometheus text exposition format.
+/// Entries are grouped by family (`# HELP` / `# TYPE` emitted once
+/// per name); histograms expand to `_bucket`/`_sum`/`_count` series
+/// with cumulative `le` buckets.
+pub fn render_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_name: Option<&str> = None;
+    for e in &snap.entries {
+        if last_name != Some(e.name.as_str()) {
+            let kind = match e.value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram(_) => "histogram",
+            };
+            out.push_str(&format!("# HELP {} {}\n", e.name, e.help));
+            out.push_str(&format!("# TYPE {} {}\n", e.name, kind));
+            last_name = Some(e.name.as_str());
+        }
+        match &e.value {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                out.push_str(&format!(
+                    "{}{} {}\n",
+                    e.name,
+                    label_block(&e.labels, None),
+                    v
+                ));
+            }
+            MetricValue::Histogram(h) => {
+                for (le, cum) in &h.buckets {
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        e.name,
+                        label_block(&e.labels, Some(("le", &le.to_string()))),
+                        cum
+                    ));
+                }
+                out.push_str(&format!(
+                    "{}_bucket{} {}\n",
+                    e.name,
+                    label_block(&e.labels, Some(("le", "+Inf"))),
+                    h.count
+                ));
+                out.push_str(&format!(
+                    "{}_sum{} {}\n",
+                    e.name,
+                    label_block(&e.labels, None),
+                    h.sum
+                ));
+                out.push_str(&format!(
+                    "{}_count{} {}\n",
+                    e.name,
+                    label_block(&e.labels, None),
+                    h.count
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Render a snapshot as one JSON object:
+/// `{"metrics":[{"name":…,"labels":{…},"type":…,"value":…}…]}`.
+pub fn render_json(snap: &Snapshot) -> String {
+    let mut out = String::from("{\"metrics\":[");
+    for (i, e) in snap.entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":{},\"labels\":{{",
+            json::quote(&e.name)
+        ));
+        for (j, (k, v)) in e.labels.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json::quote(k), json::quote(v)));
+        }
+        out.push_str("},");
+        match &e.value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!("\"type\":\"counter\",\"value\":{v}"));
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&format!("\"type\":\"gauge\",\"value\":{v}"));
+            }
+            MetricValue::Histogram(h) => {
+                out.push_str(&format!(
+                    "\"type\":\"histogram\",\"count\":{},\"sum\":{},\"buckets\":[",
+                    h.count, h.sum
+                ));
+                for (j, (le, cum)) in h.buckets.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("[{le},{cum}]"));
+                }
+                out.push(']');
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parse one sample line, returning the sample's metric name.
+fn parse_sample(line: &str, lineno: usize) -> Result<String, String> {
+    let err = |msg: &str| format!("line {lineno}: {msg}: {line}");
+    // name[{labels}] value
+    let (name_part, rest) = match line.find('{') {
+        Some(brace) => {
+            let close = line.rfind('}').ok_or_else(|| err("unclosed label block"))?;
+            if close < brace {
+                return Err(err("malformed label block"));
+            }
+            let labels = &line[brace + 1..close];
+            if !labels.is_empty() {
+                for pair in split_labels(labels).map_err(|m| err(&m))? {
+                    let (k, v) = pair;
+                    if !valid_label_name(&k) {
+                        return Err(err(&format!("bad label name '{k}'")));
+                    }
+                    if !v.starts_with('"') || !v.ends_with('"') || v.len() < 2 {
+                        return Err(err(&format!("label value not quoted: {v}")));
+                    }
+                }
+            }
+            (&line[..brace], &line[close + 1..])
+        }
+        None => {
+            let sp = line.find(' ').ok_or_else(|| err("missing value"))?;
+            (&line[..sp], &line[sp..])
+        }
+    };
+    if !valid_metric_name(name_part) {
+        return Err(err(&format!("bad metric name '{name_part}'")));
+    }
+    let value = rest.trim();
+    let ok = matches!(value, "+Inf" | "-Inf" | "NaN") || value.parse::<f64>().is_ok();
+    if !ok {
+        return Err(err(&format!("bad sample value '{value}'")));
+    }
+    Ok(name_part.to_string())
+}
+
+/// Split a label block on top-level commas (commas inside quoted
+/// values do not split), returning `(name, raw_quoted_value)` pairs.
+fn split_labels(s: &str) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    let mut rest = s;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label pair missing '=': {rest}"))?;
+        let name = rest[..eq].to_string();
+        let after = &rest[eq + 1..];
+        if !after.starts_with('"') {
+            return Err(format!("label value not quoted: {after}"));
+        }
+        // Scan for the closing quote, honoring backslash escapes.
+        let bytes = after.as_bytes();
+        let mut i = 1;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => break,
+                _ => i += 1,
+            }
+        }
+        if i >= bytes.len() {
+            return Err(format!("unterminated label value: {after}"));
+        }
+        out.push((name, after[..=i].to_string()));
+        rest = after[i + 1..].trim_start_matches(',');
+    }
+    Ok(out)
+}
+
+/// Validate Prometheus text exposition: every line is a well-formed
+/// comment or sample, every sample's family was declared with a
+/// preceding `# TYPE`, no family is declared twice, and every
+/// histogram family has a `+Inf` bucket plus `_sum`/`_count` series.
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    let mut typed: Vec<(String, String)> = Vec::new(); // (family, kind)
+    let mut hist_families: Vec<String> = Vec::new();
+    let mut inf_buckets: Vec<String> = Vec::new();
+    let mut sums: Vec<String> = Vec::new();
+    let mut counts: Vec<String> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let mut it = rest.splitn(2, ' ');
+                let name = it.next().unwrap_or("");
+                let kind = it.next().unwrap_or("").trim();
+                if !valid_metric_name(name) {
+                    return Err(format!("line {lineno}: bad TYPE metric name '{name}'"));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(format!("line {lineno}: bad TYPE kind '{kind}'"));
+                }
+                if typed.iter().any(|(n, _)| n == name) {
+                    return Err(format!("line {lineno}: duplicate TYPE for '{name}'"));
+                }
+                if kind == "histogram" {
+                    hist_families.push(name.to_string());
+                }
+                typed.push((name.to_string(), kind.to_string()));
+            }
+            // HELP and other comments: free-form.
+            continue;
+        }
+        let sample = parse_sample(line, lineno)?;
+        // Resolve the sample to a declared family (histograms expose
+        // _bucket/_sum/_count under the family name).
+        let family = typed.iter().map(|(n, _)| n.as_str()).find(|n| {
+            sample == **n
+                || (hist_families.iter().any(|h| h == n)
+                    && (sample == format!("{n}_bucket")
+                        || sample == format!("{n}_sum")
+                        || sample == format!("{n}_count")))
+        });
+        let Some(family) = family else {
+            return Err(format!(
+                "line {lineno}: sample '{sample}' has no preceding # TYPE"
+            ));
+        };
+        if hist_families.iter().any(|h| h == family) {
+            if sample.ends_with("_bucket") && line.contains("le=\"+Inf\"") {
+                inf_buckets.push(family.to_string());
+            } else if sample.ends_with("_sum") {
+                sums.push(family.to_string());
+            } else if sample.ends_with("_count") {
+                counts.push(family.to_string());
+            }
+        }
+    }
+    for fam in &hist_families {
+        // A histogram family may legitimately have zero series (never
+        // observed, trimmed); but any family that exposes buckets
+        // must close them with +Inf, _sum and _count.
+        let has_any = inf_buckets.contains(fam) || sums.contains(fam) || counts.contains(fam);
+        if has_any && !(inf_buckets.contains(fam) && sums.contains(fam) && counts.contains(fam)) {
+            return Err(format!(
+                "histogram family '{fam}' is missing one of +Inf bucket, _sum, _count"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample_snapshot() -> Snapshot {
+        let reg = Registry::new();
+        let c = reg.counter(
+            "bypass_queries_total",
+            "Queries executed",
+            &[("strategy", "canonical")],
+        );
+        let g = reg.gauge_max("bypass_peak_memory_bytes", "Peak memory", &[]);
+        let h = reg.histogram("bypass_query_latency_nanos", "Latency", &[], true);
+        reg.add(c, 3);
+        reg.observe_max(g, 4096);
+        reg.observe(h, 1500);
+        reg.observe(h, 90);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn prometheus_round_trips_through_validator() {
+        let text = render_prometheus(&sample_snapshot());
+        validate_prometheus(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+        assert!(text.contains("# TYPE bypass_queries_total counter"));
+        assert!(text.contains("bypass_queries_total{strategy=\"canonical\"} 3"));
+        assert!(text.contains("bypass_peak_memory_bytes 4096"));
+        assert!(text.contains("bypass_query_latency_nanos_bucket"));
+        assert!(text.contains("le=\"+Inf\"} 2"));
+        assert!(text.contains("bypass_query_latency_nanos_sum 1590"));
+        assert!(text.contains("bypass_query_latency_nanos_count 2"));
+    }
+
+    #[test]
+    fn json_rendering_is_valid_json() {
+        let text = render_json(&sample_snapshot());
+        json::validate(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+        assert!(text.contains("\"type\":\"histogram\""));
+        assert!(text.contains("\"strategy\":\"canonical\""));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = Registry::new();
+        let c = reg.counter("m_total", "m", &[("q", "say \"hi\"\\path\n")]);
+        reg.add(c, 1);
+        let text = render_prometheus(&reg.snapshot());
+        validate_prometheus(&text).unwrap();
+        assert!(text.contains("q=\"say \\\"hi\\\"\\\\path\\n\""));
+        json::validate(&render_json(&reg.snapshot())).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_malformed_exposition() {
+        for bad in [
+            "no_type_declared 1",
+            "# TYPE m counter\nm{x=\"1\"",
+            "# TYPE m counter\nm not-a-number",
+            "# TYPE m counter\n# TYPE m counter\nm 1",
+            "# TYPE m counter\n1bad_name 2",
+            "# TYPE m histogram\nm_bucket{le=\"5\"} 1\nm_sum 5",
+            "# TYPE m wrongkind\nm 1",
+        ] {
+            assert!(validate_prometheus(bad).is_err(), "should reject:\n{bad}");
+        }
+    }
+
+    #[test]
+    fn validator_accepts_empty_and_comment_only() {
+        validate_prometheus("").unwrap();
+        validate_prometheus("# HELP x y\n# TYPE x counter\n").unwrap();
+    }
+}

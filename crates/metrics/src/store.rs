@@ -1,0 +1,328 @@
+//! Per-fingerprint stores: the query-stats table, the slow-query
+//! ring, and the cardinality-feedback store.
+//!
+//! All three are bounded and keyed by the normalized-AST query
+//! fingerprint, so recurring query *shapes* accumulate history across
+//! executions regardless of literal values. The feedback store is the
+//! read surface the ROADMAP's cost-based search consumes: measured
+//! per-operator cardinalities from the most recent profiled run of
+//! each shape.
+
+use std::collections::HashMap;
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+
+/// Everything the hub records about one query execution.
+#[derive(Debug, Clone, Default)]
+pub struct ExecObservation {
+    /// Normalized-AST fingerprint ([`crate::format_fingerprint`]).
+    pub fingerprint: u64,
+    /// The raw SQL text (first-seen text is retained per fingerprint).
+    pub sql: String,
+    /// Display name of the strategy that actually ran.
+    pub strategy: String,
+    /// End-to-end wall latency.
+    pub total_nanos: u64,
+    /// Per-phase wall latencies, in [`crate::PHASE_NAMES`] order;
+    /// `None` when the caller did not time phases.
+    pub phases_nanos: Option<[u64; 5]>,
+    /// Output row count.
+    pub rows: u64,
+    /// Governor peak memory for this execution.
+    pub peak_memory_bytes: u64,
+    /// Governor checkpoints passed.
+    pub checkpoints: u64,
+    /// Correlation-memo hits/misses (uncorrelated + correlated).
+    pub memo_hits: u64,
+    pub memo_misses: u64,
+    /// Per-disjunct totals from the adaptive-ordering epochs:
+    /// predicate evaluations performed and disjuncts decided.
+    pub disjunct_evals: u64,
+    pub disjunct_hits: u64,
+    /// Optional rendered profile (EXPLAIN ANALYZE text) retained in
+    /// the slow-query ring; empty when not profiled.
+    pub detail: String,
+}
+
+/// Accumulated statistics for one query fingerprint.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct QueryStats {
+    pub sql: String,
+    pub strategy: String,
+    pub execs: u64,
+    pub rows: u64,
+    pub peak_memory_bytes: u64,
+    pub checkpoints: u64,
+    pub latency: Histogram,
+}
+
+/// Public snapshot of one fingerprint's accumulated stats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryStatsSnapshot {
+    pub fingerprint: u64,
+    pub sql: String,
+    /// Strategy of the most recent execution.
+    pub strategy: String,
+    pub execs: u64,
+    /// Total output rows across executions.
+    pub rows: u64,
+    /// Max across executions.
+    pub peak_memory_bytes: u64,
+    /// Total checkpoints across executions.
+    pub checkpoints: u64,
+    /// Wall-latency distribution (timing-derived; excluded from
+    /// deterministic snapshots).
+    pub latency: HistogramSnapshot,
+}
+
+/// Bounded fingerprint -> stats table. When full, the entry with the
+/// fewest executions (ties broken by fingerprint) is evicted — a
+/// recurring shape always survives one-off noise.
+#[derive(Debug, Default)]
+pub(crate) struct QueryTable {
+    pub stats: HashMap<u64, QueryStats>,
+    pub evictions: u64,
+    capacity: usize,
+}
+
+impl QueryTable {
+    pub fn new(capacity: usize) -> QueryTable {
+        QueryTable {
+            stats: HashMap::new(),
+            evictions: 0,
+            capacity,
+        }
+    }
+
+    pub fn record(&mut self, obs: &ExecObservation) {
+        if !self.stats.contains_key(&obs.fingerprint) && self.stats.len() >= self.capacity {
+            if let Some(victim) = self
+                .stats
+                .iter()
+                .map(|(fp, s)| (s.execs, *fp))
+                .min()
+                .map(|(_, fp)| fp)
+            {
+                self.stats.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+        let entry = self.stats.entry(obs.fingerprint).or_default();
+        if entry.sql.is_empty() {
+            entry.sql = obs.sql.clone();
+        }
+        entry.strategy = obs.strategy.clone();
+        entry.execs += 1;
+        entry.rows += obs.rows;
+        entry.peak_memory_bytes = entry.peak_memory_bytes.max(obs.peak_memory_bytes);
+        entry.checkpoints += obs.checkpoints;
+        entry.latency.observe(obs.total_nanos);
+    }
+}
+
+/// One retained slow query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowQuery {
+    pub fingerprint: u64,
+    pub sql: String,
+    pub strategy: String,
+    pub total_nanos: u64,
+    pub rows: u64,
+    pub peak_memory_bytes: u64,
+    /// Rendered profile when the run was profiled; empty otherwise.
+    pub detail: String,
+}
+
+/// Bounded top-K ring of the slowest executions seen, one slot per
+/// fingerprint (a hot shape does not monopolize the ring).
+#[derive(Debug, Default)]
+pub(crate) struct SlowQueryRing {
+    entries: Vec<SlowQuery>,
+    capacity: usize,
+}
+
+impl SlowQueryRing {
+    pub fn new(capacity: usize) -> SlowQueryRing {
+        SlowQueryRing {
+            entries: Vec::new(),
+            capacity,
+        }
+    }
+
+    pub fn offer(&mut self, q: SlowQuery) {
+        if let Some(existing) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.fingerprint == q.fingerprint)
+        {
+            if q.total_nanos > existing.total_nanos {
+                *existing = q;
+            }
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push(q);
+            return;
+        }
+        if let Some((idx, min)) = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.total_nanos)
+        {
+            if q.total_nanos > min.total_nanos {
+                self.entries[idx] = q;
+            }
+        }
+    }
+
+    /// Slowest-first.
+    pub fn sorted(&self) -> Vec<SlowQuery> {
+        let mut out = self.entries.clone();
+        out.sort_by(|a, b| {
+            b.total_nanos
+                .cmp(&a.total_nanos)
+                .then(a.fingerprint.cmp(&b.fingerprint))
+        });
+        out
+    }
+}
+
+/// Measured cardinality of one plan operator in a profiled run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpCardinality {
+    /// Stable operator label (operator name + plan position), not a
+    /// memory address — `NodeMetrics` keys are `Arc` pointers and do
+    /// not survive the run.
+    pub label: String,
+    pub calls: u64,
+    pub rows: u64,
+}
+
+/// Bounded fingerprint -> measured-cardinalities store (feedback for
+/// the cost-based search). Last profiled run wins; when full, the
+/// oldest-inserted fingerprint is evicted.
+#[derive(Debug, Default)]
+pub(crate) struct CardinalityStore {
+    entries: HashMap<u64, (u64, Vec<OpCardinality>)>,
+    /// Insertion order for eviction.
+    order: Vec<u64>,
+    capacity: usize,
+}
+
+impl CardinalityStore {
+    pub fn new(capacity: usize) -> CardinalityStore {
+        CardinalityStore {
+            entries: HashMap::new(),
+            order: Vec::new(),
+            capacity,
+        }
+    }
+
+    pub fn record(&mut self, fingerprint: u64, ops: Vec<OpCardinality>) {
+        if let Some(entry) = self.entries.get_mut(&fingerprint) {
+            entry.0 += 1;
+            entry.1 = ops;
+            return;
+        }
+        if self.entries.len() >= self.capacity && !self.order.is_empty() {
+            let victim = self.order.remove(0);
+            self.entries.remove(&victim);
+        }
+        self.entries.insert(fingerprint, (1, ops));
+        self.order.push(fingerprint);
+    }
+
+    /// Measured cardinalities for a shape, with the number of
+    /// profiled observations folded in so callers can judge
+    /// confidence.
+    pub fn get(&self, fingerprint: u64) -> Option<(u64, &[OpCardinality])> {
+        self.entries
+            .get(&fingerprint)
+            .map(|(n, ops)| (*n, ops.as_slice()))
+    }
+
+    pub fn fingerprints(&self) -> Vec<u64> {
+        let mut fps = self.order.clone();
+        fps.sort_unstable();
+        fps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(fp: u64, nanos: u64) -> ExecObservation {
+        ExecObservation {
+            fingerprint: fp,
+            sql: format!("SELECT {fp}"),
+            strategy: "canonical".into(),
+            total_nanos: nanos,
+            rows: 2,
+            peak_memory_bytes: 100 * fp,
+            checkpoints: 3,
+            ..ExecObservation::default()
+        }
+    }
+
+    #[test]
+    fn query_table_accumulates_and_evicts_coldest() {
+        let mut t = QueryTable::new(2);
+        t.record(&obs(1, 10));
+        t.record(&obs(1, 20));
+        t.record(&obs(2, 10));
+        // Table full; fp 3 evicts the coldest entry (fp 2, 1 exec).
+        t.record(&obs(3, 10));
+        assert_eq!(t.evictions, 1);
+        assert!(t.stats.contains_key(&1) && t.stats.contains_key(&3));
+        let s1 = &t.stats[&1];
+        assert_eq!((s1.execs, s1.rows, s1.checkpoints), (2, 4, 6));
+        assert_eq!(s1.peak_memory_bytes, 100);
+        assert_eq!(s1.latency.count(), 2);
+    }
+
+    #[test]
+    fn slow_ring_keeps_topk_one_slot_per_fingerprint() {
+        let mut r = SlowQueryRing::new(2);
+        let slow = |fp, nanos| SlowQuery {
+            fingerprint: fp,
+            sql: String::new(),
+            strategy: String::new(),
+            total_nanos: nanos,
+            rows: 0,
+            peak_memory_bytes: 0,
+            detail: String::new(),
+        };
+        r.offer(slow(1, 100));
+        r.offer(slow(2, 50));
+        r.offer(slow(3, 10)); // too fast, dropped
+        r.offer(slow(3, 500)); // now displaces the min (fp 2)
+        r.offer(slow(1, 40)); // same shape, faster: ignored
+        let got = r.sorted();
+        assert_eq!(
+            got.iter()
+                .map(|q| (q.fingerprint, q.total_nanos))
+                .collect::<Vec<_>>(),
+            vec![(3, 500), (1, 100)]
+        );
+    }
+
+    #[test]
+    fn cardinality_store_last_write_wins_and_bounds() {
+        let mut c = CardinalityStore::new(2);
+        let op = |rows| OpCardinality {
+            label: "Select".into(),
+            calls: 1,
+            rows,
+        };
+        c.record(10, vec![op(5)]);
+        c.record(10, vec![op(7)]);
+        let (n, ops) = c.get(10).unwrap();
+        assert_eq!((n, ops[0].rows), (2, 7));
+        c.record(11, vec![op(1)]);
+        c.record(12, vec![op(2)]); // evicts oldest (10)
+        assert!(c.get(10).is_none());
+        assert_eq!(c.fingerprints(), vec![11, 12]);
+    }
+}

@@ -25,6 +25,9 @@ pub enum Statement {
         analyze: bool,
         query: SelectStmt,
     },
+    /// `SHOW METRICS` — dump the engine's always-on metrics registry
+    /// in the Prometheus text exposition format.
+    ShowMetrics,
 }
 
 /// A `SELECT` query block. Nested query blocks appear inside [`Expr`]s

@@ -16,6 +16,7 @@
 //! report's quantified table subqueries.
 
 mod ast;
+mod fingerprint;
 mod lexer;
 mod parser;
 mod token;
@@ -24,6 +25,7 @@ pub use ast::{
     AggregateFunc, BinaryOp, Expr, Literal, OrderItem, Quantifier, SelectItem, SelectStmt,
     Statement, TableRef, UnaryOp,
 };
+pub use fingerprint::{fingerprint, fingerprint_sql, normalized_sql};
 pub use lexer::Lexer;
 pub use parser::{parse_expression, parse_statement, Parser};
 pub use token::{Keyword, Token, TokenKind};

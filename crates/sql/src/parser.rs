@@ -119,8 +119,16 @@ impl Parser {
             T::Keyword(K::Create) => self.create_table(),
             T::Keyword(K::Insert) => self.insert(),
             T::Keyword(K::Explain) => self.explain(),
-            _ => Err(self.error("expected SELECT, CREATE, INSERT or EXPLAIN")),
+            T::Keyword(K::Show) => self.show(),
+            _ => Err(self.error("expected SELECT, CREATE, INSERT, EXPLAIN or SHOW")),
         }
+    }
+
+    /// `SHOW METRICS`.
+    fn show(&mut self) -> Result<Statement> {
+        self.expect_kw(K::Show)?;
+        self.expect_kw(K::Metrics)?;
+        Ok(Statement::ShowMetrics)
     }
 
     /// `EXPLAIN [ANALYZE] <select>`.

@@ -49,6 +49,8 @@ pub enum Keyword {
     Varchar,
     Bool,
     Boolean,
+    Show,
+    Metrics,
 }
 
 impl Keyword {
@@ -101,6 +103,8 @@ impl Keyword {
             "VARCHAR" => Varchar,
             "BOOL" => Bool,
             "BOOLEAN" => Boolean,
+            "SHOW" => Show,
+            "METRICS" => Metrics,
             _ => return Option::None,
         };
         Option::Some(kw)

@@ -30,6 +30,16 @@ use bypass_types::{Result, Schema};
 
 use crate::analysis::{eq_correlation, is_local, EqCorrelation};
 use crate::names::NameGen;
+use crate::outcomes::record_outcome;
+
+/// Report one attempt outcome: always bump the metrics tally, and
+/// mirror it onto the trace span when tracing is recording.
+fn outcome(sp: &mut bypass_trace::SpanGuard, rec: bool, key: &'static str) {
+    record_outcome(key);
+    if rec {
+        sp.arg("outcome", key);
+    }
+}
 
 /// Attach the scalar-aggregate subquery `agg_plan` to `current`.
 /// Returns `None` when the subquery shape is not supported (the caller
@@ -46,24 +56,18 @@ pub(crate) fn attach_aggregate(
     let rec = sp.is_recording();
     // The canonical shape of a scalar subquery: key-less single-aggregate.
     let LogicalPlan::Aggregate { input, keys, aggs } = agg_plan.as_ref() else {
-        if rec {
-            sp.arg("outcome", "rejected:not-scalar-aggregate");
-        }
+        outcome(&mut sp, rec, "rejected:not-scalar-aggregate");
         return Ok(None);
     };
     if !keys.is_empty() || aggs.len() != 1 {
-        if rec {
-            sp.arg("outcome", "rejected:keyed-or-multi-aggregate");
-        }
+        outcome(&mut sp, rec, "rejected:keyed-or-multi-aggregate");
         return Ok(None);
     }
     let (agg, agg_name) = (&aggs[0].0, &aggs[0].1);
 
     // Type A: evaluate once, attach via cross product (cardinality ×1).
     if agg_plan.free_refs().is_empty() {
-        if rec {
-            sp.arg("outcome", "type-a:cross-join");
-        }
+        outcome(&mut sp, rec, "type-a:cross-join");
         let g = names.fresh("g");
         let one_row = PlanBuilder::from_plan(agg_plan.clone())
             .project(vec![(Scalar::col(agg_name.clone()), Some(g.clone()))]);
@@ -76,26 +80,20 @@ pub(crate) fn attach_aggregate(
     // conjunct list.
     let (source, conjuncts) = split_filters(input);
     if conjuncts.is_empty() {
-        if rec {
-            sp.arg("outcome", "rejected:correlated-without-filter");
-        }
+        outcome(&mut sp, rec, "rejected:correlated-without-filter");
         return Ok(None);
     }
     // All correlation must live in those filters; free references deeper
     // inside the source would survive the rewrite un-bound.
     if !source.free_refs().is_empty() {
-        if rec {
-            sp.arg("outcome", "rejected:free-refs-below-filter");
-        }
+        outcome(&mut sp, rec, "rejected:free-refs-below-filter");
         return Ok(None);
     }
     let inner_schema = source.schema();
     // Aggregate argument must be evaluable in the inner block.
     if let Some(arg) = agg.arg.as_deref() {
         if !is_local(arg, &inner_schema) {
-            if rec {
-                sp.arg("outcome", "rejected:non-local-aggregate-arg");
-            }
+            outcome(&mut sp, rec, "rejected:non-local-aggregate-arg");
             return Ok(None);
         }
     }
@@ -106,9 +104,7 @@ pub(crate) fn attach_aggregate(
     if free_cs.is_empty() {
         // Free refs hide somewhere we do not understand (nested deeper
         // than the top filter) — give up.
-        if rec {
-            sp.arg("outcome", "rejected:hidden-correlation");
-        }
+        outcome(&mut sp, rec, "rejected:hidden-correlation");
         return Ok(None);
     }
 
@@ -118,9 +114,7 @@ pub(crate) fn attach_aggregate(
         .map(|c| eq_correlation(c, &inner_schema))
         .collect();
     if eq_corrs.iter().all(Option::is_some) {
-        if rec {
-            sp.arg("outcome", "eqv1:gamma-outerjoin");
-        }
+        outcome(&mut sp, rec, "eqv1:gamma-outerjoin");
         let corrs: Vec<EqCorrelation> = eq_corrs.into_iter().flatten().collect();
         let plan = gamma_outerjoin(current, &source, &local_cs, &corrs, agg, names)?;
         return Ok(Some(plan));
@@ -129,9 +123,7 @@ pub(crate) fn attach_aggregate(
     if classic_only {
         // The pre-bypass repertoire (used by the OR→UNION baseline)
         // ends here: disjunctive correlation stays nested.
-        if rec {
-            sp.arg("outcome", "rejected:classic-only-disjunctive");
-        }
+        outcome(&mut sp, rec, "rejected:classic-only-disjunctive");
         return Ok(None);
     }
 
@@ -151,9 +143,7 @@ pub(crate) fn attach_aggregate(
                     && local_ds.iter().all(|d| !d.contains_subquery())
                 {
                     if let Some(corr) = eq_correlation(&corr_ds[0], &inner_schema) {
-                        if rec {
-                            sp.arg("outcome", "eqv4:decomposed-bypass-filter");
-                        }
+                        outcome(&mut sp, rec, "eqv4:decomposed-bypass-filter");
                         let plan = eqv4_decomposed(
                             current, &source, &local_cs, &corr, &local_ds, agg, names,
                         )?;
@@ -165,9 +155,7 @@ pub(crate) fn attach_aggregate(
                 // p may itself contain nested subqueries (linear
                 // queries) — they are unnested by the driver afterwards.
                 if corr_ds.iter().all(|d| !d.contains_subquery()) {
-                    if rec {
-                        sp.arg("outcome", "eqv5:bypass-join-binary-grouping");
-                    }
+                    outcome(&mut sp, rec, "eqv5:bypass-join-binary-grouping");
                     let plan = eqv5_binary_grouping(
                         current, &source, &local_cs, &corr_ds, &local_ds, agg, names,
                     )?;
@@ -179,9 +167,7 @@ pub(crate) fn attach_aggregate(
 
     // Case 5: general fallback — θ-join on the whole inner predicate +
     // binary grouping.
-    if rec {
-        sp.arg("outcome", "fallback:theta-join-binary-grouping");
-    }
+    outcome(&mut sp, rec, "fallback:theta-join-binary-grouping");
     let whole = Scalar::conjunction(free_cs.into_iter().chain(local_cs).collect())
         .expect("non-empty predicate");
     let plan = join_binary_grouping(current, &source, &whole, agg, names)?;

@@ -357,6 +357,7 @@ fn rewrite_conjunct(
 
     // Bypass chain (Eqv. 2/3 generalized to n disjuncts).
     let mut sp = bypass_trace::span("unnest.bypass_chain");
+    crate::outcomes::record_outcome("bypass:chain");
     if sp.is_recording() {
         sp.arg("disjuncts", disjuncts.len() as u64);
     }

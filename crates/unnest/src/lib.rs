@@ -62,6 +62,7 @@ pub mod cost;
 mod driver;
 mod joins;
 mod names;
+mod outcomes;
 mod quantified;
 mod rank;
 mod union_rewrite;
@@ -70,6 +71,7 @@ pub use analysis::{linking_ref, scalar_agg, LinkingRef, ScalarAggPlan};
 pub use driver::{unnest, RewriteOptions};
 pub use joins::optimize_joins;
 pub use names::NameGen;
+pub use outcomes::{record_outcome, take_outcomes};
 pub use quantified::desugar_quantified;
 pub use rank::{estimate_rank, reorder_or_disjuncts, DisjunctOrder};
 pub use union_rewrite::union_rewrite;

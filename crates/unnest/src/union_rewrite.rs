@@ -29,6 +29,7 @@ use crate::quantified::desugar_quantified;
 /// Apply the OR→UNION strategy to a canonical plan.
 pub fn union_rewrite(plan: &Arc<LogicalPlan>) -> Result<Arc<LogicalPlan>> {
     let _span = bypass_trace::span("unnest.union_rewrite");
+    crate::outcomes::record_outcome("union:rewrite");
     let mut ctx = Ctx {
         names: NameGen::new(),
         options: RewriteOptions {

@@ -46,7 +46,10 @@ THRESHOLD="${BENCH_REGRESS_PCT:-25}"
 # converges cheap-first (see benches/selectivity.rs).
 # `phases` gates the span-derived plan-phase medians (parse/translate/
 # unnest/optimize/execute — see benches/phases.rs).
-BENCHES="${BENCH_FILTER:-fig7a_q1 fig7b_q2d fig7c_q2 operators counters selectivity phases}"
+# `metrics` is timing-free: it asserts the always-on metrics registry
+# folds to a bit-identical deterministic snapshot across the worker ×
+# batch matrix and gates the count-derived series (benches/metrics.rs).
+BENCHES="${BENCH_FILTER:-fig7a_q1 fig7b_q2d fig7c_q2 operators counters selectivity phases metrics}"
 
 case "$MODE" in
 save | compare) ;;

@@ -81,8 +81,37 @@ explain_out="$(printf '%s\n' \
     'EXPLAIN ANALYZE SELECT DISTINCT * FROM r WHERE a1 = (SELECT COUNT(DISTINCT *) FROM s WHERE a2 = b2) OR a4 > 1500;' \
     | cargo run -q --release --bin bypassdb)"
 case "$explain_out" in
-  *"EXPLAIN ANALYZE (unnested)"*"-- bypass: 1 node(s)"*) ;;
+  *"EXPLAIN ANALYZE (unnested)"*"-- fingerprint: "*"-- bypass: 1 node(s)"*) ;;
   *) echo "EXPLAIN ANALYZE smoke failed:"; echo "$explain_out"; exit 1 ;;
+esac
+
+echo "==> metrics smoke (Prometheus exposition + SHOW METRICS)"
+# metrics_export validates the exposition with the in-tree validator
+# before printing (nonzero exit on malformed output); additionally
+# check that the required metric families made it into the scrape.
+metrics_out="$(cargo run -q --release -p bypass-bench --bin metrics_export -- 0.01 0.01)"
+for family in bypass_queries_total bypass_phase_nanos bypass_query_latency_nanos \
+    bypass_rows_total bypass_disjunct_evals_total bypass_peak_memory_bytes \
+    bypass_unnest_outcomes_total bypass_query_execs_total; do
+    case "$metrics_out" in
+      *"# TYPE $family "*) ;;
+      *) echo "metrics smoke: family $family missing from exposition"; exit 1 ;;
+    esac
+done
+# The JSON flavour must pass the in-tree JSON validator (it does so
+# internally; a zero exit plus non-empty output is the contract).
+json_out="$(cargo run -q --release -p bypass-bench --bin metrics_export -- --json 0.01 0.01)"
+test -n "$json_out" || { echo "metrics smoke: empty JSON export"; exit 1; }
+# SHOW METRICS round-trips through the SQL frontend in the REPL.
+show_out="$(printf '%s\n' \
+    'CREATE TABLE r (a1 INT, a2 INT, a3 INT, a4 INT);' \
+    'INSERT INTO r VALUES (1, 10, 0, 99), (0, 11, 0, 2000);' \
+    'SELECT DISTINCT * FROM r WHERE a4 > 1500;' \
+    'SHOW METRICS;' \
+    | cargo run -q --release --bin bypassdb)"
+case "$show_out" in
+  *"# TYPE bypass_queries_total counter"*"# TYPE bypass_rows_total counter"*) ;;
+  *) echo "SHOW METRICS smoke failed:"; echo "$show_out"; exit 1 ;;
 esac
 
 echo "verify: OK"

@@ -112,7 +112,9 @@ impl Shell {
             }
             Ok(bypass::Response::Created) => println!("CREATE TABLE"),
             Ok(bypass::Response::Inserted(n)) => println!("INSERT {n}"),
-            Ok(bypass::Response::Explained(text)) => println!("{text}"),
+            Ok(bypass::Response::Explained(text)) | Ok(bypass::Response::Metrics(text)) => {
+                println!("{text}")
+            }
             Err(e) => eprintln!("error: {e}"),
         }
     }

@@ -1,0 +1,266 @@
+//! End-to-end gates for the always-on metrics registry (DESIGN.md §9):
+//! deterministic snapshots across the execution-shape matrix, the
+//! `SHOW METRICS` statement, query fingerprints on every surface, and
+//! the per-fingerprint stats / slow-query / cardinality-feedback read
+//! APIs.
+
+use std::sync::Arc;
+
+use bypass::datagen::rst;
+use bypass::{
+    fingerprint_sql, format_fingerprint, validate_prometheus, Database, MetricValue, MetricsHub,
+    Response, RunLimits, Strategy,
+};
+
+/// The paper's Q1 (disjunctive linking).
+const Q1: &str = "SELECT DISTINCT * FROM r \
+                  WHERE a1 = (SELECT COUNT(DISTINCT *) FROM s WHERE a2 = b2) \
+                     OR a4 > 1500";
+
+/// Q2 — disjunctive correlation inside the nested block.
+const Q2: &str = "SELECT DISTINCT * FROM r \
+                  WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2 OR b4 > 1500)";
+
+/// Combined linking + correlation disjunction.
+const Q_COMBINED: &str = "SELECT DISTINCT * FROM r \
+                          WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2 OR b4 > 1500) \
+                             OR a4 > 2700";
+
+fn rst_database(hub: Arc<MetricsHub>) -> Database {
+    let mut db = Database::new().with_metrics_hub(hub);
+    rst::register(db.catalog_mut(), &rst::generate(0.05, 0.05, 42)).unwrap();
+    db
+}
+
+/// Run the workload into a fresh, isolated hub under one executor
+/// shape and return the hub.
+fn run_workload(threads: usize, batch_rows: usize) -> Arc<MetricsHub> {
+    let hub = Arc::new(MetricsHub::new());
+    let db = rst_database(Arc::clone(&hub));
+    let limits = RunLimits {
+        threads: Some(threads),
+        batch_rows: Some(batch_rows),
+        morsel_rows: (threads > 1).then_some(16),
+        ..RunLimits::default()
+    };
+    for sql in [Q1, Q2, Q_COMBINED] {
+        for strategy in Strategy::all() {
+            db.run_governed(sql, strategy, &limits)
+                .unwrap_or_else(|e| panic!("{strategy}: {e}"));
+        }
+    }
+    hub
+}
+
+/// Satellite 3: the timing-free registry snapshot is bit-identical
+/// across the worker-count × batch-size matrix under the *full*
+/// seven-strategy matrix — counters fold by sum, gauges by max,
+/// histogram buckets elementwise, independent of thread schedule.
+#[test]
+fn deterministic_snapshot_is_execution_shape_independent() {
+    let expected = run_workload(1, 0).snapshot().deterministic();
+    for (threads, batch_rows) in [(1, 64), (8, 0), (8, 64)] {
+        let got = run_workload(threads, batch_rows).snapshot().deterministic();
+        assert_eq!(
+            got, expected,
+            "deterministic snapshot differs at threads={threads} batch={batch_rows}"
+        );
+    }
+    // The snapshot actually observed the workload: 3 queries × 7
+    // strategies fired the per-strategy counters.
+    let canonical = expected
+        .get("bypass_queries_total", &[("strategy", "canonical")])
+        .expect("per-strategy query counter registered");
+    assert_eq!(canonical, &MetricValue::Counter(3));
+    match expected.get("bypass_rows_total", &[]) {
+        Some(MetricValue::Counter(n)) => assert!(*n > 0, "no rows counted"),
+        other => panic!("bypass_rows_total: {other:?}"),
+    }
+}
+
+/// `SHOW METRICS` is a real statement: it renders the database's hub
+/// as Prometheus text exposition that passes the in-tree validator and
+/// carries the required metric families.
+#[test]
+fn show_metrics_round_trips_valid_prometheus() {
+    let hub = Arc::new(MetricsHub::new());
+    let mut db = rst_database(Arc::clone(&hub));
+    db.execute_sql(Q1).unwrap();
+    db.execute_sql(Q2).unwrap();
+
+    let text = match db.execute_sql("SHOW METRICS") {
+        Ok(Response::Metrics(text)) => text,
+        other => panic!("SHOW METRICS must return Metrics, got {other:?}"),
+    };
+    validate_prometheus(&text).unwrap_or_else(|e| panic!("invalid exposition: {e}\n{text}"));
+    for family in [
+        "bypass_queries_total",
+        "bypass_rows_total",
+        "bypass_query_latency_nanos",
+        "bypass_phase_nanos",
+        "bypass_disjunct_evals_total",
+        "bypass_peak_memory_bytes",
+    ] {
+        assert!(text.contains(family), "missing family {family} in:\n{text}");
+    }
+    // And `into_text` treats it like any other textual response.
+    let again = db.execute_sql("SHOW METRICS").unwrap().into_text().unwrap();
+    assert!(again.contains("bypass_queries_total"));
+}
+
+/// Fingerprints hash the *normalized* AST: literal values are erased,
+/// so parameter drift maps to the same query shape, while structural
+/// changes (different disjuncts, different nesting) do not.
+#[test]
+fn fingerprint_is_literal_insensitive_and_shape_sensitive() {
+    let base = fingerprint_sql(Q1).expect("Q1 parses");
+    let other_literal = fingerprint_sql(
+        "SELECT DISTINCT * FROM r \
+         WHERE a1 = (SELECT COUNT(DISTINCT *) FROM s WHERE a2 = b2) OR a4 > 99",
+    )
+    .unwrap();
+    assert_eq!(
+        base, other_literal,
+        "literals must not affect the fingerprint"
+    );
+
+    let different_shape = fingerprint_sql(Q2).unwrap();
+    assert_ne!(base, different_shape, "distinct shapes must not collide");
+
+    // Whitespace and case of keywords are normalization noise too.
+    let reformatted = fingerprint_sql(
+        "select distinct * from r \
+         where a1 = (select count(distinct *) from s where a2 = b2) or a4 > 1500",
+    )
+    .unwrap();
+    assert_eq!(base, reformatted);
+
+    // EXPLAIN wraps a query: same fingerprint as the query itself.
+    assert_eq!(fingerprint_sql(&format!("EXPLAIN {Q1}")), Some(base));
+    // Non-query statements have no fingerprint.
+    assert_eq!(fingerprint_sql("CREATE TABLE z (a INT)"), None);
+}
+
+/// The fingerprint is surfaced on EXPLAIN ANALYZE output and matches
+/// the standalone `fingerprint_sql` of the same text.
+#[test]
+fn explain_analyze_prints_the_fingerprint() {
+    let hub = Arc::new(MetricsHub::new());
+    let mut db = rst_database(hub);
+    let text = db
+        .execute_sql(&format!("EXPLAIN ANALYZE {Q1}"))
+        .unwrap()
+        .into_text()
+        .unwrap();
+    let expected = format_fingerprint(fingerprint_sql(Q1).unwrap());
+    let line = format!("-- fingerprint: {expected}");
+    assert!(text.contains(&line), "missing `{line}` in:\n{text}");
+}
+
+/// Every SQL-text execution path lands in the per-fingerprint stats
+/// table and the slow-query ring; repeated executions accumulate.
+#[test]
+fn query_table_and_slow_ring_track_executions() {
+    let hub = Arc::new(MetricsHub::new());
+    let mut db = rst_database(Arc::clone(&hub));
+    let fp = fingerprint_sql(Q1).unwrap();
+
+    db.execute_sql(Q1).unwrap();
+    db.sql_with(Q1, Strategy::Canonical, None).unwrap();
+    let rows = db.sql_with(Q1, Strategy::Unnested, None).unwrap().len() as u64;
+
+    let stats = hub.query_stats(fp).expect("Q1 must be in the query table");
+    assert_eq!(stats.fingerprint, fp);
+    assert_eq!(stats.execs, 3);
+    assert_eq!(stats.rows, 3 * rows);
+    assert_eq!(stats.strategy, "unnested", "last strategy wins");
+    assert_eq!(stats.sql, Q1, "first-seen SQL text is kept");
+    assert_eq!(stats.latency.count, 3, "every exec observed a latency");
+
+    // The table lists exactly the executed shape; the ring holds its
+    // slowest execution, keyed by the same fingerprint.
+    let table = hub.query_table();
+    assert_eq!(table.len(), 1);
+    let slow = hub.slow_queries();
+    assert_eq!(slow.len(), 1);
+    assert_eq!(slow[0].fingerprint, fp);
+    assert!(slow[0].total_nanos > 0);
+    assert_eq!(slow[0].rows, rows);
+}
+
+/// A prepared statement knows its fingerprint, and executing it feeds
+/// the same stats entry as the ad-hoc paths.
+#[test]
+fn prepared_statements_share_the_fingerprint() {
+    let hub = Arc::new(MetricsHub::new());
+    let db = rst_database(Arc::clone(&hub));
+    let fp = fingerprint_sql(Q1).unwrap();
+
+    let prepared = db.prepare(Q1, Strategy::Unnested).unwrap();
+    assert_eq!(prepared.fingerprint(), fp);
+    prepared.execute().unwrap();
+    prepared.execute().unwrap();
+
+    let stats = hub.query_stats(fp).unwrap();
+    assert_eq!(stats.execs, 2);
+}
+
+/// Profiled runs record measured per-operator cardinalities into the
+/// feedback store, readable back by fingerprint.
+#[test]
+fn profile_feeds_the_cardinality_store() {
+    let hub = Arc::new(MetricsHub::new());
+    let db = rst_database(Arc::clone(&hub));
+    let fp = fingerprint_sql(Q1).unwrap();
+
+    assert_eq!(hub.cardinalities(fp), None, "store starts empty");
+    let profile = db.profile(Q1, Strategy::Unnested).unwrap();
+    assert_eq!(profile.fingerprint, fp);
+
+    assert!(hub.feedback_fingerprints().contains(&fp));
+    let (runs, ops) = hub.cardinalities(fp).expect("profiled run recorded");
+    assert_eq!(runs, 1, "one profiled observation so far");
+    assert!(!ops.is_empty(), "operator cardinalities recorded");
+    // Labels are stable plan positions, and the root operator's row
+    // count is the query's output cardinality.
+    for op in &ops {
+        assert!(
+            op.label.contains(':'),
+            "label {:?} not position:name",
+            op.label
+        );
+    }
+    let root = ops.iter().find(|o| o.label.starts_with("0:")).unwrap();
+    assert_eq!(root.rows, profile.rows as u64);
+
+    // A second profiled run folds in as another observation.
+    db.profile(Q1, Strategy::Canonical).unwrap();
+    assert_eq!(hub.cardinalities(fp).unwrap().0, 2);
+}
+
+/// Hubs are isolated: a database built with its own hub does not leak
+/// observations into another, and `Database::metrics()` snapshots the
+/// right one.
+#[test]
+fn metrics_hubs_are_isolated_per_database() {
+    let hub_a = Arc::new(MetricsHub::new());
+    let hub_b = Arc::new(MetricsHub::new());
+    let mut db_a = rst_database(Arc::clone(&hub_a));
+    let db_b = rst_database(Arc::clone(&hub_b));
+
+    db_a.execute_sql(Q1).unwrap();
+
+    let snap_a = db_a.metrics();
+    assert!(snap_a
+        .get("bypass_queries_total", &[("strategy", "unnested")])
+        .is_some());
+    assert!(
+        hub_b.query_table().is_empty(),
+        "hub B must not see hub A's runs"
+    );
+    assert!(db_b
+        .metrics()
+        .get("bypass_queries_total", &[("strategy", "unnested")])
+        .is_none());
+    assert!(Arc::ptr_eq(db_a.metrics_hub(), &hub_a));
+}
