@@ -112,6 +112,7 @@ fn label(plan: &LogicalPlan) -> String {
                 format!("Scan {table} AS {alias}")
             }
         }
+        LogicalPlan::Singleton => "Singleton".to_string(),
         LogicalPlan::Filter { predicate, .. } => format!("σ[{predicate}]"),
         LogicalPlan::Project { exprs, .. } => {
             let cols: Vec<String> = exprs

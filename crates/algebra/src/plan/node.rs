@@ -37,6 +37,9 @@ pub enum LogicalPlan {
         alias: String,
         schema: Schema,
     },
+    /// The one-row, zero-column relation (`SELECT 1 + 1` without a FROM
+    /// clause projects over it). Executes as a constant scan.
+    Singleton,
     /// Selection σ_p. The predicate may contain nested algebraic
     /// expressions (scalar subqueries) — the canonical translation of
     /// nested query blocks.
@@ -154,6 +157,7 @@ impl LogicalPlan {
     pub fn schema(&self) -> Schema {
         match self {
             LogicalPlan::Scan { schema, .. } => schema.clone(),
+            LogicalPlan::Singleton => Schema::empty(),
             LogicalPlan::Filter { input, .. }
             | LogicalPlan::Distinct { input }
             | LogicalPlan::Sort { input, .. }
@@ -224,7 +228,7 @@ impl LogicalPlan {
     /// Direct children (for Stream nodes: the shared bypass source).
     pub fn children(&self) -> Vec<&Arc<LogicalPlan>> {
         match self {
-            LogicalPlan::Scan { .. } => vec![],
+            LogicalPlan::Scan { .. } | LogicalPlan::Singleton => vec![],
             LogicalPlan::Filter { input, .. }
             | LogicalPlan::Project { input, .. }
             | LogicalPlan::Aggregate { input, .. }
@@ -256,7 +260,7 @@ impl LogicalPlan {
         );
         let mut next = || children.remove(0);
         match self {
-            LogicalPlan::Scan { .. } => self.clone(),
+            LogicalPlan::Scan { .. } | LogicalPlan::Singleton => self.clone(),
             LogicalPlan::Filter { predicate, .. } => LogicalPlan::Filter {
                 input: next(),
                 predicate: predicate.clone(),
@@ -352,6 +356,7 @@ impl LogicalPlan {
     pub fn exprs(&self) -> Vec<&Scalar> {
         match self {
             LogicalPlan::Scan { .. }
+            | LogicalPlan::Singleton
             | LogicalPlan::CrossJoin { .. }
             | LogicalPlan::Numbering { .. }
             | LogicalPlan::Distinct { .. }

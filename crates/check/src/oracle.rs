@@ -1323,7 +1323,7 @@ fn profile_summary(db: &Database, sql: &str, strategy: Strategy) -> String {
 /// strategy-dependent), which is exactly the normalization the
 /// determinism audit calls for: key projections of a key-sorted bag
 /// are unique, full-row orders are not.
-pub(crate) fn results_agree(
+pub fn results_agree(
     reference: &Relation,
     got: &Relation,
     order: Option<&OrderSpec>,

@@ -8,7 +8,16 @@
 //!   selectivities the query depends on (`p_size = 15`, `p_type LIKE
 //!   '%BRASS'`, `r_name = 'EUROPE'`, `ps_availqty > 2000`).
 //!
+//! * [`text`] — a strings/dates-heavy schema (mixed-case words, empty
+//!   strings, NULL stripes, ISO-8601 dates stored as both text and day
+//!   numbers) for the collation/ordering conformance corpus.
+//! * [`skew`] — a pathologically skewed schema (one hot key holding
+//!   ~90 % of the rows, periodic NULL stripes) for 3VL and per-group
+//!   state traps.
+//!
 //! All generators are deterministic given a seed.
 
 pub mod rst;
+pub mod skew;
+pub mod text;
 pub mod tpch;

@@ -1,0 +1,129 @@
+//! A pathologically skewed workload for the conformance corpus.
+//!
+//! Uniform RST data hides whole bug classes: a hot key that dominates
+//! a correlation column stresses per-group state (COUNT over one huge
+//! group next to many empty ones), and periodic NULL stripes in both
+//! the outer probe column and the inner subquery column force every
+//! 3VL path (`NOT IN` with inner NULLs, `<> ALL`, quantified
+//! comparisons) through mixed NULL/non-NULL evidence.
+//!
+//! Tables (registered by [`register`]):
+//!
+//! * `hot(h_id INT, h_key INT, h_val INT)` — ~90 % of rows share
+//!   `h_key = 0`; the rest spread uniformly over `1..100`. `h_val` is
+//!   NULL on every 7th row.
+//! * `cold(c_id INT, c_key INT, c_val INT)` — uniform keys `0..100`
+//!   (so key 0 joins the hot stripe); `c_val` NULL on every 11th row.
+
+use bypass_catalog::Catalog;
+use bypass_check::Rng;
+use bypass_types::{DataType, Field, Relation, Result, Schema, Tuple, Value};
+
+/// Exclusive upper bound of the key domain.
+pub const KEY_DOMAIN: i64 = 100;
+
+/// Fraction of `hot` rows pinned to key 0.
+pub const HOT_FRACTION: f64 = 0.9;
+
+/// One generated instance.
+#[derive(Debug, Clone)]
+pub struct SkewInstance {
+    pub hot: Relation,
+    pub cold: Relation,
+}
+
+/// Generate a deterministic instance with `rows` rows per table.
+pub fn generate(rows: usize, seed: u64) -> SkewInstance {
+    let mut rng = Rng::seed_from_u64(seed ^ 0x5e3d);
+    let hot_schema = Schema::new(vec![
+        Field::new("h_id", DataType::Int),
+        Field::new("h_key", DataType::Int),
+        Field::new("h_val", DataType::Int),
+    ]);
+    let hot_rows = (0..rows as i64)
+        .map(|id| {
+            let key = if rng.gen_bool(HOT_FRACTION) {
+                0
+            } else {
+                rng.gen_range(1..KEY_DOMAIN)
+            };
+            let val = if id % 7 == 6 {
+                Value::Null
+            } else {
+                Value::Int(rng.gen_range(0..1000i64))
+            };
+            Tuple::new(vec![Value::Int(id), Value::Int(key), val])
+        })
+        .collect();
+
+    let cold_schema = Schema::new(vec![
+        Field::new("c_id", DataType::Int),
+        Field::new("c_key", DataType::Int),
+        Field::new("c_val", DataType::Int),
+    ]);
+    let cold_rows = (0..rows as i64)
+        .map(|id| {
+            let val = if id % 11 == 10 {
+                Value::Null
+            } else {
+                Value::Int(rng.gen_range(0..1000i64))
+            };
+            Tuple::new(vec![
+                Value::Int(id),
+                Value::Int(rng.gen_range(0..KEY_DOMAIN)),
+                val,
+            ])
+        })
+        .collect();
+
+    SkewInstance {
+        hot: Relation::new(hot_schema, hot_rows),
+        cold: Relation::new(cold_schema, cold_rows),
+    }
+}
+
+/// Register under the names `hot`, `cold`.
+pub fn register(catalog: &mut Catalog, instance: &SkewInstance) -> Result<()> {
+    catalog.register("hot", instance.hot.clone())?;
+    catalog.register("cold", instance.cold.clone())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_key_dominates() {
+        let inst = generate(1000, 42);
+        let hot = inst
+            .hot
+            .rows()
+            .iter()
+            .filter(|t| t[1] == Value::Int(0))
+            .count();
+        assert!((800..=980).contains(&hot), "hot-key count {hot}");
+    }
+
+    #[test]
+    fn null_stripes_present_and_deterministic() {
+        let a = generate(220, 9);
+        let b = generate(220, 9);
+        assert_eq!(a.hot, b.hot);
+        assert_eq!(a.cold, b.cold);
+        let hv_nulls = a
+            .hot
+            .rows()
+            .iter()
+            .filter(|t| matches!(t[2], Value::Null))
+            .count();
+        let cv_nulls = a
+            .cold
+            .rows()
+            .iter()
+            .filter(|t| matches!(t[2], Value::Null))
+            .count();
+        assert_eq!(hv_nulls, 31); // every 7th of 220
+        assert_eq!(cv_nulls, 20); // every 11th of 220
+    }
+}

@@ -1,0 +1,206 @@
+//! A strings/dates-heavy schema for collation and ordering traps.
+//!
+//! The RST and TPC-H generators are dominated by integers, so the
+//! conformance corpus needs a workload where ORDER BY / MIN / MAX /
+//! comparison run over TEXT: mixed-case word variants (`apple`,
+//! `Apple`, `APPLE` are distinct values that sort by byte order),
+//! the empty string, NULL stripes, and ISO-8601 dates stored twice —
+//! as text (`e_date`) and as a day number since 1992-01-01 (`e_day`)
+//! — so queries can assert that lexicographic text-date order equals
+//! numeric day order.
+//!
+//! Tables (registered by [`register`]):
+//!
+//! * `words(w_id INT, w_word TEXT, w_cat TEXT, w_len INT)`
+//! * `events(e_id INT, e_word TEXT, e_date TEXT, e_day INT, e_qty INT)`
+
+use bypass_catalog::Catalog;
+use bypass_check::Rng;
+use bypass_types::{DataType, Field, Relation, Result, Schema, Tuple, Value};
+
+/// Base vocabulary; case variants are derived per row.
+const WORDS: [&str; 20] = [
+    "apple", "banana", "cherry", "date", "elder", "fig", "grape", "kiwi", "lemon", "mango",
+    "olive", "peach", "pear", "plum", "quince", "berry", "melon", "lime", "guava", "papaya",
+];
+
+const CATEGORIES: [&str; 3] = ["fruit", "Fruit", "FRUIT"];
+
+/// Day-number domain (exclusive): 1992-01-01 .. 2000-03-18.
+pub const DAY_DOMAIN: i64 = 3000;
+
+/// One generated instance.
+#[derive(Debug, Clone)]
+pub struct TextInstance {
+    pub words: Relation,
+    pub events: Relation,
+}
+
+/// Render a day number since 1992-01-01 as an ISO-8601 `YYYY-MM-DD`
+/// string. Lexicographic order of the output equals numeric order of
+/// the input for all non-negative days (zero-padded fields), which is
+/// exactly the invariant the date corpus files pin.
+pub fn iso_date(day: i64) -> String {
+    // Howard Hinnant's civil-from-days, shifted so day 0 = 1992-01-01
+    // (8035 days after the Unix epoch).
+    let z = day + 8035 + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Apply one of four case treatments to a word.
+fn cased(word: &str, variant: i64) -> String {
+    match variant {
+        0 => word.to_string(),
+        1 => word.to_ascii_uppercase(),
+        2 => {
+            let mut s = String::with_capacity(word.len());
+            for (i, c) in word.chars().enumerate() {
+                if i == 0 {
+                    s.extend(c.to_uppercase());
+                } else {
+                    s.push(c);
+                }
+            }
+            s
+        }
+        // aLtErNaTiNg case — sorts between upper and lower blocks.
+        _ => word
+            .chars()
+            .enumerate()
+            .map(|(i, c)| {
+                if i % 2 == 1 {
+                    c.to_ascii_uppercase()
+                } else {
+                    c
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Generate a deterministic instance with `rows` rows per table.
+pub fn generate(rows: usize, seed: u64) -> TextInstance {
+    let mut rng = Rng::seed_from_u64(seed ^ 0x7e97);
+    let words_schema = Schema::new(vec![
+        Field::new("w_id", DataType::Int),
+        Field::new("w_word", DataType::Text),
+        Field::new("w_cat", DataType::Text),
+        Field::new("w_len", DataType::Int),
+    ]);
+    let words_rows = (0..rows as i64)
+        .map(|id| {
+            let base = WORDS[rng.gen_range(0..WORDS.len())];
+            let word = if id % 13 == 12 {
+                // Visible-but-empty text value; `.slt` prints it as
+                // `(empty)`.
+                String::new()
+            } else {
+                cased(base, rng.gen_range(0..4i64))
+            };
+            let cat = if id % 7 == 6 {
+                Value::Null
+            } else {
+                Value::text(CATEGORIES[rng.gen_range(0..CATEGORIES.len())])
+            };
+            let len = word.len() as i64;
+            Tuple::new(vec![
+                Value::Int(id),
+                Value::text(word),
+                cat,
+                Value::Int(len),
+            ])
+        })
+        .collect();
+
+    let events_schema = Schema::new(vec![
+        Field::new("e_id", DataType::Int),
+        Field::new("e_word", DataType::Text),
+        Field::new("e_date", DataType::Text),
+        Field::new("e_day", DataType::Int),
+        Field::new("e_qty", DataType::Int),
+    ]);
+    let events_rows = (0..rows as i64)
+        .map(|id| {
+            let day = rng.gen_range(0..DAY_DOMAIN);
+            let qty = if id % 9 == 8 {
+                Value::Null
+            } else {
+                Value::Int(rng.gen_range(0..100i64))
+            };
+            Tuple::new(vec![
+                Value::Int(id),
+                Value::text(WORDS[rng.gen_range(0..WORDS.len())]),
+                Value::text(iso_date(day)),
+                Value::Int(day),
+                qty,
+            ])
+        })
+        .collect();
+
+    TextInstance {
+        words: Relation::new(words_schema, words_rows),
+        events: Relation::new(events_schema, events_rows),
+    }
+}
+
+/// Register under the names `words`, `events`.
+pub fn register(catalog: &mut Catalog, instance: &TextInstance) -> Result<()> {
+    catalog.register("words", instance.words.clone())?;
+    catalog.register("events", instance.events.clone())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iso_dates_anchor_correctly() {
+        assert_eq!(iso_date(0), "1992-01-01");
+        assert_eq!(iso_date(30), "1992-01-31");
+        assert_eq!(iso_date(59), "1992-02-29"); // 1992 is a leap year
+        assert_eq!(iso_date(365), "1992-12-31");
+        assert_eq!(iso_date(366), "1993-01-01");
+        assert_eq!(iso_date(2922), "2000-01-01");
+    }
+
+    #[test]
+    fn iso_text_order_equals_day_order() {
+        let mut prev = iso_date(0);
+        for day in 1..DAY_DOMAIN {
+            let next = iso_date(day);
+            assert!(prev < next, "{prev} !< {next}");
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn deterministic_and_trap_laden() {
+        let a = generate(130, 7);
+        let b = generate(130, 7);
+        assert_eq!(a.words, b.words);
+        assert_eq!(a.events, b.events);
+        let empties = a
+            .words
+            .rows()
+            .iter()
+            .filter(|t| matches!(&t[1], Value::Text(s) if s.is_empty()))
+            .count();
+        let nulls = a
+            .words
+            .rows()
+            .iter()
+            .filter(|t| matches!(t[2], Value::Null))
+            .count();
+        assert_eq!(empties, 10, "one empty word per 13 rows");
+        assert!(nulls > 0, "w_cat must contain NULLs");
+    }
+}

@@ -436,6 +436,37 @@ WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey AND p_size = 15 \
        OR ps_availqty > 2000) \
 ORDER BY s_acctbal DESC, n_name, s_name, p_partkey";
 
+/// A Q4-like shape (the engine has no GROUP BY, so the count is global
+/// rather than per-priority): orders in a date window that either are
+/// urgent or have a late-shipping lineitem — EXISTS under disjunction,
+/// the Eqv. 3 bypass case.
+pub const QUERY_4_LIKE: &str = "\
+SELECT COUNT(*) FROM orders \
+WHERE o_orderdate >= 800 AND o_orderdate < 1200 \
+  AND (o_orderpriority = '1-URGENT' \
+       OR EXISTS (SELECT * FROM lineitem \
+                  WHERE l_orderkey = o_orderkey \
+                    AND l_shipdate > o_orderdate + 60))";
+
+/// A Q17-like shape: revenue of small-quantity lineitems, where
+/// "small" is a correlated scalar AVG over the same part — type JA
+/// with a disjunctive escape on `p_size` (Eqv. 5 territory).
+pub const QUERY_17_LIKE: &str = "\
+SELECT SUM(l_extendedprice) FROM lineitem, part \
+WHERE p_partkey = l_partkey AND p_brand = 'Brand#11' \
+  AND (2 * l_quantity < (SELECT AVG(l2.l_quantity) FROM lineitem l2 \
+                         WHERE l2.l_partkey = p_partkey) \
+       OR p_size < 3)";
+
+/// A Q22-like shape: customers above the positive-balance average with
+/// no orders — an uncorrelated type-A scalar subquery feeding a
+/// NOT EXISTS anti-join.
+pub const QUERY_22_LIKE: &str = "\
+SELECT COUNT(*) FROM customer \
+WHERE c_acctbal > (SELECT AVG(c2.c_acctbal) FROM customer c2 \
+                   WHERE c2.c_acctbal > 0.0) \
+  AND NOT EXISTS (SELECT * FROM orders WHERE o_custkey = c_custkey)";
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -3,7 +3,7 @@ use std::sync::Arc;
 
 use bypass_algebra::{AggCall, BinOp, ColumnRef, LogicalPlan, Scalar, Stream};
 use bypass_catalog::Catalog;
-use bypass_types::{Error, Result, Schema, Value};
+use bypass_types::{Error, Relation, Result, Schema, Tuple, Value};
 
 use crate::agg::AggSpec;
 use crate::expr::PhysExpr;
@@ -154,6 +154,12 @@ impl<'a> Resolver<'a> {
                     schema,
                 )
             }
+            LogicalPlan::Singleton => PhysNode::new(
+                PhysKind::Scan {
+                    data: Arc::new(Relation::new(Schema::empty(), vec![Tuple::new(vec![])])),
+                },
+                schema,
+            ),
             LogicalPlan::Filter { input, predicate } => {
                 // A filter that was fused into a bypass join's negative
                 // stream compiles to just its input.

@@ -1,0 +1,155 @@
+//! Result normalization: engine [`Relation`]s become the canonical
+//! line-per-value text form that `.slt` expected blocks are written in,
+//! so comparison is a plain `Vec<String>` equality (or an FNV-1a hash
+//! of the joined lines for large results).
+
+use bypass_types::{Relation, Value};
+
+use crate::parse::{SortMode, TypeChar};
+
+/// Format one value under the record's declared column type.
+///
+/// * `I` — integers print as themselves; floats/bools are coerced the
+///   way sqllogictest does (truncate / 0-or-1) so a query may be typed
+///   `I` even if the engine widens an expression to float;
+/// * `R` — three decimal places, so float noise below 5e-4 cannot
+///   produce spurious diffs across strategies;
+/// * `T` — text verbatim, except the empty string prints as `(empty)`
+///   to stay visible in a whitespace-trimmed file format.
+///
+/// NULL prints as `NULL` under every type.
+pub fn format_value(v: &Value, t: TypeChar) -> String {
+    match (v, t) {
+        (Value::Null, _) => "NULL".to_string(),
+        (Value::Int(i), TypeChar::I) => i.to_string(),
+        (Value::Float(f), TypeChar::I) => format!("{}", *f as i64),
+        (Value::Bool(b), TypeChar::I) => if *b { "1" } else { "0" }.to_string(),
+        (Value::Int(i), TypeChar::R) => format!("{:.3}", *i as f64),
+        (Value::Float(f), TypeChar::R) => format!("{f:.3}"),
+        (Value::Bool(b), TypeChar::R) => format!("{:.3}", if *b { 1.0 } else { 0.0 }),
+        (Value::Text(s), _) if s.is_empty() => "(empty)".to_string(),
+        (Value::Text(s), _) => s.to_string(),
+        (Value::Int(i), TypeChar::T) => i.to_string(),
+        (Value::Float(f), TypeChar::T) => format!("{f}"),
+        (Value::Bool(b), TypeChar::T) => if *b { "true" } else { "false" }.to_string(),
+    }
+}
+
+/// Flatten a relation into the normalized value-per-line form.
+///
+/// Returns an error string if the relation's arity does not match the
+/// record's type string — that is a corpus bug worth failing loudly on.
+pub fn normalize(
+    rel: &Relation,
+    types: &[TypeChar],
+    sort: SortMode,
+) -> Result<Vec<String>, String> {
+    let arity = rel.schema().arity();
+    if arity != types.len() {
+        return Err(format!(
+            "query declares {} column(s) but produced {arity}",
+            types.len()
+        ));
+    }
+    let mut rows: Vec<Vec<String>> = rel
+        .rows()
+        .iter()
+        .map(|tup| {
+            tup.values()
+                .iter()
+                .zip(types)
+                .map(|(v, t)| format_value(v, *t))
+                .collect()
+        })
+        .collect();
+    let mut flat: Vec<String> = match sort {
+        SortMode::NoSort => rows.into_iter().flatten().collect(),
+        SortMode::RowSort => {
+            rows.sort();
+            rows.into_iter().flatten().collect()
+        }
+        SortMode::ValueSort => {
+            let mut vals: Vec<String> = rows.into_iter().flatten().collect();
+            vals.sort();
+            vals
+        }
+    };
+    for v in &mut flat {
+        // Expected blocks are stored with trailing whitespace trimmed;
+        // make the engine side match.
+        while v.ends_with(' ') || v.ends_with('\t') {
+            v.pop();
+        }
+    }
+    Ok(flat)
+}
+
+/// FNV-1a 64 over the normalized lines, each terminated with `\n` —
+/// the digest that `<count> values hashing to <hex>` records store.
+pub fn hash_lines(lines: &[String]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for line in lines {
+        for b in line.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(PRIME);
+        }
+        h ^= u64::from(b'\n');
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bypass_types::{Field, Schema, Tuple};
+
+    fn rel(rows: Vec<Vec<Value>>) -> Relation {
+        let arity = rows.first().map_or(1, |r| r.len());
+        let fields: Vec<Field> = (0..arity)
+            .map(|i| Field::new(format!("c{i}"), bypass_types::DataType::Unknown))
+            .collect();
+        Relation::new(
+            Schema::new(fields),
+            rows.into_iter().map(Tuple::new).collect(),
+        )
+    }
+
+    #[test]
+    fn formats_follow_type_chars() {
+        assert_eq!(format_value(&Value::Null, TypeChar::T), "NULL");
+        assert_eq!(format_value(&Value::Int(7), TypeChar::R), "7.000");
+        assert_eq!(format_value(&Value::Float(2.5), TypeChar::I), "2");
+        assert_eq!(format_value(&Value::text(""), TypeChar::T), "(empty)");
+        assert_eq!(format_value(&Value::Bool(true), TypeChar::I), "1");
+    }
+
+    #[test]
+    fn rowsort_orders_rows_not_values() {
+        let r = rel(vec![
+            vec![Value::Int(2), Value::Int(1)],
+            vec![Value::Int(1), Value::Int(9)],
+        ]);
+        let got = normalize(&r, &[TypeChar::I, TypeChar::I], SortMode::RowSort).unwrap();
+        assert_eq!(got, vec!["1", "9", "2", "1"]);
+        let got = normalize(&r, &[TypeChar::I, TypeChar::I], SortMode::ValueSort).unwrap();
+        assert_eq!(got, vec!["1", "1", "2", "9"]);
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error() {
+        let r = rel(vec![vec![Value::Int(1), Value::Int(2)]]);
+        assert!(normalize(&r, &[TypeChar::I], SortMode::NoSort).is_err());
+    }
+
+    #[test]
+    fn hash_is_stable_and_order_sensitive() {
+        let a = hash_lines(&["1".into(), "2".into()]);
+        let b = hash_lines(&["1".into(), "2".into()]);
+        let c = hash_lines(&["2".into(), "1".into()]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

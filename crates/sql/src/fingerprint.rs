@@ -248,6 +248,30 @@ mod tests {
     }
 
     #[test]
+    fn date_literals_normalize_like_any_literal() {
+        // ISO-8601 dates travel through the engine as text literals;
+        // the normalizer must treat them as values, not shape — and
+        // the exotic literal spellings the lexer accepts (leading-dot
+        // floats, overflow-degraded integers) must land in the same
+        // placeholder bucket.
+        let a = fp("SELECT e_id FROM events WHERE e_date BETWEEN '1994-01-01' AND '1994-12-31'");
+        assert_eq!(
+            a,
+            fp("SELECT e_id FROM events WHERE e_date BETWEEN '1998-06-07' AND '1999-01-01'")
+        );
+        assert_eq!(
+            a,
+            fp("SELECT e_id FROM events WHERE e_date BETWEEN 0 AND 1")
+        );
+        let b = fp("SELECT e_id FROM events WHERE e_qty > 1");
+        assert_eq!(b, fp("SELECT e_id FROM events WHERE e_qty > .5"));
+        assert_eq!(
+            b,
+            fp("SELECT e_id FROM events WHERE e_qty > 99999999999999999999999")
+        );
+    }
+
+    #[test]
     fn limit_presence_is_shape_but_count_is_not() {
         let with = fp("SELECT a1 FROM r LIMIT 10");
         assert_eq!(with, fp("SELECT a1 FROM r LIMIT 999"));

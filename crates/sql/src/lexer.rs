@@ -40,6 +40,16 @@ impl<'a> Lexer<'a> {
                 b'(' => self.single(TokenKind::LParen),
                 b')' => self.single(TokenKind::RParen),
                 b',' => self.single(TokenKind::Comma),
+                // A dot directly followed by a digit starts a float
+                // literal (`.5`); identifiers never begin with a digit,
+                // so this cannot shadow a qualified name.
+                b'.' if self
+                    .bytes
+                    .get(self.pos + 1)
+                    .is_some_and(|b| b.is_ascii_digit()) =>
+                {
+                    self.number(offset)?
+                }
                 b'.' => self.single(TokenKind::Dot),
                 b';' => self.single(TokenKind::Semi),
                 b'+' => self.single(TokenKind::Plus),
@@ -185,9 +195,17 @@ impl<'a> Lexer<'a> {
                 .map(TokenKind::Float)
                 .map_err(|e| Error::parse(format!("invalid float literal `{text}`: {e}")))
         } else {
-            text.parse::<i64>()
-                .map(TokenKind::Int)
-                .map_err(|e| Error::parse(format!("invalid integer literal `{text}`: {e}")))
+            // Integer literals that overflow i64 degrade to floats
+            // (SQLite semantics). This keeps `-9223372036854775808`
+            // lexable: the magnitude exceeds i64::MAX before the parser
+            // applies the unary minus.
+            match text.parse::<i64>() {
+                Ok(i) => Ok(TokenKind::Int(i)),
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(TokenKind::Float)
+                    .map_err(|e| Error::parse(format!("invalid integer literal `{text}`: {e}"))),
+            }
         }
     }
 
@@ -251,6 +269,26 @@ mod tests {
         assert_eq!(lex("1.5"), vec![Float(1.5), Eof]);
         assert_eq!(lex("1e3"), vec![Float(1000.0), Eof]);
         assert_eq!(lex("2.5e-1"), vec![Float(0.25), Eof]);
+    }
+
+    #[test]
+    fn leading_dot_float() {
+        assert_eq!(lex(".5"), vec![Float(0.5), Eof]);
+        assert_eq!(lex(".25e1"), vec![Float(2.5), Eof]);
+        // A bare dot is still punctuation.
+        assert_eq!(lex("."), vec![Dot, Eof]);
+    }
+
+    #[test]
+    fn integer_overflow_degrades_to_float() {
+        // i64::MAX still lexes as an integer...
+        assert_eq!(lex("9223372036854775807"), vec![Int(i64::MAX), Eof]);
+        // ...one past it becomes a float (so `-9223372036854775808`
+        // stays lexable; the magnitude exceeds i64::MAX on its own).
+        assert_eq!(
+            lex("9223372036854775808"),
+            vec![Float(9223372036854775808.0), Eof]
+        );
     }
 
     #[test]

@@ -219,37 +219,12 @@ impl Parser {
                 break;
             }
         }
-        self.expect_kw(K::From)?;
+        // FROM is optional: `SELECT 1 + 1` evaluates the select list
+        // over a single empty tuple (sqllogictest-style constant
+        // queries).
         let mut from = Vec::new();
-        loop {
-            if self.eat(&T::LParen) {
-                // Derived table: (SELECT ...) [AS] alias — the alias is
-                // mandatory (standard SQL).
-                let sq = self.select()?;
-                self.expect(&T::RParen)?;
-                self.eat_kw(K::As);
-                let alias = self
-                    .identifier()
-                    .map_err(|_| self.error("a derived table requires an alias"))?;
-                from.push(TableRef::Derived {
-                    subquery: Box::new(sq),
-                    alias,
-                });
-            } else {
-                let name = self.identifier()?;
-                let alias = if self.eat_kw(K::As) {
-                    Some(self.identifier()?)
-                } else if let T::Ident(_) = self.peek() {
-                    // Bare alias: `FROM part p`.
-                    Some(self.identifier()?)
-                } else {
-                    None
-                };
-                from.push(TableRef::Table { name, alias });
-            }
-            if !self.eat(&T::Comma) {
-                break;
-            }
+        if self.eat_kw(K::From) {
+            self.parse_from_list(&mut from)?;
         }
         let where_clause = if self.eat_kw(K::Where) {
             Some(self.expr()?)
@@ -289,6 +264,40 @@ impl Parser {
             order_by,
             limit,
         })
+    }
+
+    fn parse_from_list(&mut self, from: &mut Vec<TableRef>) -> Result<()> {
+        loop {
+            if self.eat(&T::LParen) {
+                // Derived table: (SELECT ...) [AS] alias — the alias is
+                // mandatory (standard SQL).
+                let sq = self.select()?;
+                self.expect(&T::RParen)?;
+                self.eat_kw(K::As);
+                let alias = self
+                    .identifier()
+                    .map_err(|_| self.error("a derived table requires an alias"))?;
+                from.push(TableRef::Derived {
+                    subquery: Box::new(sq),
+                    alias,
+                });
+            } else {
+                let name = self.identifier()?;
+                let alias = if self.eat_kw(K::As) {
+                    Some(self.identifier()?)
+                } else if let T::Ident(_) = self.peek() {
+                    // Bare alias: `FROM part p`.
+                    Some(self.identifier()?)
+                } else {
+                    None
+                };
+                from.push(TableRef::Table { name, alias });
+            }
+            if !self.eat(&T::Comma) {
+                break;
+            }
+        }
+        Ok(())
     }
 
     fn select_item(&mut self) -> Result<SelectItem> {
@@ -739,6 +748,24 @@ mod tests {
             SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("name")),
             _ => panic!(),
         }
+    }
+
+    #[test]
+    fn from_less_select() {
+        let q = match parse_statement("SELECT 1 + 1, 'x'").unwrap() {
+            Statement::Query(q) => q,
+            _ => panic!(),
+        };
+        assert!(q.from.is_empty());
+        assert_eq!(q.items.len(), 2);
+        // WHERE / ORDER BY / LIMIT still attach without a FROM clause.
+        let q = match parse_statement("SELECT 3 WHERE 1 = 1 LIMIT 1").unwrap() {
+            Statement::Query(q) => q,
+            _ => panic!(),
+        };
+        assert!(q.from.is_empty());
+        assert!(q.where_clause.is_some());
+        assert_eq!(q.limit, Some(1));
     }
 
     #[test]

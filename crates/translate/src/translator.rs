@@ -31,13 +31,15 @@ impl<'a> Translator<'a> {
     /// [Sort] ∘ [Distinct] ∘ (Project | Aggregate) ∘ [Filter] ∘ (× of Scans)
     /// ```
     pub fn translate(&self, stmt: &SelectStmt) -> Result<Arc<LogicalPlan>> {
-        if stmt.from.is_empty() {
-            return Err(Error::plan("a query block needs at least one FROM table"));
-        }
         // FROM: left-deep cross product of the scans; the WHERE clause
-        // carries all join predicates (canonical form).
+        // carries all join predicates (canonical form). An absent FROM
+        // clause ranges over the one-row Singleton relation.
         let mut seen_aliases: HashSet<String> = HashSet::new();
-        let mut builder: Option<PlanBuilder> = None;
+        let mut builder: Option<PlanBuilder> = if stmt.from.is_empty() {
+            Some(PlanBuilder::from_plan(Arc::new(LogicalPlan::Singleton)))
+        } else {
+            None
+        };
         for table_ref in &stmt.from {
             let alias = table_ref.effective_alias().to_string();
             if !seen_aliases.insert(alias.to_ascii_lowercase()) {
@@ -68,6 +70,7 @@ impl<'a> Translator<'a> {
         // WHERE.
         if let Some(w) = &stmt.where_clause {
             let predicate = self.expr(w)?;
+            check_comparisons(&predicate, &builder.schema())?;
             builder = builder.filter(predicate);
         }
 
@@ -113,6 +116,9 @@ impl<'a> Translator<'a> {
             for item in &stmt.items {
                 match item {
                     SelectItem::Wildcard => {
+                        if stmt.from.is_empty() {
+                            return Err(Error::plan("SELECT * requires a FROM clause"));
+                        }
                         for f in schema.fields() {
                             exprs.push((column_scalar(f.qualifier(), f.name()), None));
                         }
@@ -130,7 +136,9 @@ impl<'a> Translator<'a> {
                         }
                     }
                     SelectItem::Expr { expr, alias } => {
-                        exprs.push((self.expr(expr)?, alias.clone()));
+                        let e = self.expr(expr)?;
+                        check_comparisons(&e, &schema)?;
+                        exprs.push((e, alias.clone()));
                     }
                 }
             }
@@ -152,7 +160,22 @@ impl<'a> Translator<'a> {
             let mut keys: Vec<(Scalar, bool)> = Vec::new();
             let mut hidden: Vec<(Scalar, String)> = Vec::new();
             for (i, item) in stmt.order_by.iter().enumerate() {
-                let key = self.expr(&item.expr)?;
+                // An integer literal is an output-column ordinal
+                // (`ORDER BY 2 DESC` sorts by the second select item),
+                // never a constant sort key.
+                let key = if let Expr::Literal(Literal::Int(n)) = &item.expr {
+                    let arity = visible.arity() as i64;
+                    if *n < 1 || *n > arity {
+                        return Err(Error::plan(format!(
+                            "ORDER BY position {n} is not in the select list \
+                             (which has {arity} columns)"
+                        )));
+                    }
+                    let f = visible.field(*n as usize - 1);
+                    column_scalar(f.qualifier(), f.name())
+                } else {
+                    self.expr(&item.expr)?
+                };
                 let resolvable = key.column_refs().iter().all(|c| c.resolves_in(&visible));
                 if resolvable {
                     keys.push((key, item.desc));
@@ -297,6 +320,80 @@ impl<'a> Translator<'a> {
                 ))
             }
         })
+    }
+}
+
+/// Reject comparisons whose operand types can never be compared
+/// (`TEXT` vs numeric and the like). `Value::sql_cmp` yields UNKNOWN for
+/// such pairs, so without this check a typo'd literal silently empties
+/// the result instead of surfacing the type error. Columns that do not
+/// resolve in `schema` are outer references and type as `Unknown`, which
+/// is compatible with everything — correlated predicates stay untouched.
+fn check_comparisons(e: &Scalar, schema: &bypass_types::Schema) -> Result<()> {
+    let incompatible = |lt: bypass_types::DataType, rt: bypass_types::DataType, what: &str| {
+        if lt.is_compatible_with(rt) {
+            Ok(())
+        } else {
+            Err(Error::type_err(format!(
+                "cannot compare {lt} with {rt} in {what}"
+            )))
+        }
+    };
+    match e {
+        Scalar::Binary { op, left, right } => {
+            check_comparisons(left, schema)?;
+            check_comparisons(right, schema)?;
+            if op.is_comparison() {
+                incompatible(
+                    left.data_type(schema),
+                    right.data_type(schema),
+                    &format!("`{e}`"),
+                )?;
+            }
+            Ok(())
+        }
+        Scalar::InList { expr, list, .. } => {
+            check_comparisons(expr, schema)?;
+            let lt = expr.data_type(schema);
+            for item in list {
+                check_comparisons(item, schema)?;
+                incompatible(lt, item.data_type(schema), &format!("`{e}`"))?;
+            }
+            Ok(())
+        }
+        Scalar::InSubquery { expr, plan, .. } => {
+            check_comparisons(expr, schema)?;
+            let inner = plan.schema();
+            if inner.arity() == 1 {
+                incompatible(
+                    expr.data_type(schema),
+                    inner.field(0).data_type(),
+                    "an IN subquery",
+                )?;
+            }
+            Ok(())
+        }
+        Scalar::QuantifiedCmp { expr, plan, .. } => {
+            check_comparisons(expr, schema)?;
+            let inner = plan.schema();
+            if inner.arity() == 1 {
+                incompatible(
+                    expr.data_type(schema),
+                    inner.field(0).data_type(),
+                    "a quantified comparison",
+                )?;
+            }
+            Ok(())
+        }
+        Scalar::Not(inner) | Scalar::Neg(inner) => check_comparisons(inner, schema),
+        Scalar::IsNull { expr, .. } => check_comparisons(expr, schema),
+        Scalar::Like { expr, pattern, .. } => {
+            check_comparisons(expr, schema)?;
+            check_comparisons(pattern, schema)
+        }
+        Scalar::Column(_) | Scalar::Literal(_) | Scalar::Exists { .. } | Scalar::Subquery(_) => {
+            Ok(())
+        }
     }
 }
 
@@ -560,6 +657,68 @@ mod tests {
         // ... but ordering DISTINCT output by a projected key is fine.
         let p = plan_of("SELECT DISTINCT a1 FROM r ORDER BY a1 DESC");
         assert!(p.explain().contains("Sort[a1 DESC]"));
+    }
+
+    #[test]
+    fn order_by_ordinal_resolves_to_select_item() {
+        let p = plan_of("SELECT a1, a2 FROM r ORDER BY 2 DESC, 1");
+        let text = p.explain();
+        assert!(text.contains("Sort[r.a2 DESC, r.a1]"), "{text}");
+        // Out-of-range ordinals are plan errors, not constant sort keys.
+        let catalog = rst_catalog();
+        for sql in ["SELECT a1 FROM r ORDER BY 0", "SELECT a1 FROM r ORDER BY 2"] {
+            let Statement::Query(q) = parse_statement(sql).unwrap() else {
+                panic!()
+            };
+            let err = translate_query(&catalog, &q).unwrap_err();
+            assert!(err.to_string().contains("ORDER BY position"), "{err}");
+        }
+    }
+
+    #[test]
+    fn from_less_select_plans_over_singleton() {
+        let catalog = Catalog::new();
+        let Statement::Query(q) = parse_statement("SELECT 1 + 1 AS two").unwrap() else {
+            panic!()
+        };
+        let p = translate_query(&catalog, &q).unwrap();
+        assert!(p.explain().contains("Singleton"), "{}", p.explain());
+        assert_eq!(p.schema().field(0).name(), "two");
+        // `SELECT *` has nothing to range over.
+        let Statement::Query(q) = parse_statement("SELECT *").unwrap() else {
+            panic!()
+        };
+        let err = translate_query(&catalog, &q).unwrap_err();
+        assert!(err.to_string().contains("requires a FROM clause"), "{err}");
+    }
+
+    #[test]
+    fn incomparable_types_rejected_at_translate_time() {
+        let mut catalog = rst_catalog();
+        let mut b = TableBuilder::new();
+        b = b.column("w_word", DataType::Text);
+        catalog.register("w", b.build()).unwrap();
+        for sql in [
+            "SELECT * FROM w WHERE w_word > 5",
+            "SELECT * FROM w WHERE w_word IN (1, 2)",
+            "SELECT * FROM w WHERE w_word IN (SELECT a1 FROM r)",
+            "SELECT * FROM w WHERE w_word = ANY (SELECT a1 FROM r)",
+        ] {
+            let Statement::Query(q) = parse_statement(sql).unwrap() else {
+                panic!()
+            };
+            let err = translate_query(&catalog, &q).unwrap_err();
+            assert!(err.to_string().contains("cannot compare"), "{sql}: {err}");
+        }
+        // Correlated references from an enclosing block stay untouched
+        // (they type as Unknown inside the inner scope).
+        let Statement::Query(q) = parse_statement(
+            "SELECT * FROM r WHERE EXISTS (SELECT * FROM w WHERE w_word = a1 OR a2 > 1)",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert!(translate_query(&catalog, &q).is_ok());
     }
 
     #[test]

@@ -56,6 +56,10 @@ pub fn estimate(plan: &Arc<LogicalPlan>, stats: &dyn StatsSource) -> Estimate {
             let _ = schema;
             Estimate { rows, cost: rows }
         }
+        LogicalPlan::Singleton => Estimate {
+            rows: 1.0,
+            cost: 1.0,
+        },
         LogicalPlan::Filter { input, predicate } => {
             let e = estimate(input, stats);
             let sel = selectivity(predicate);

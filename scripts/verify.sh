@@ -31,6 +31,18 @@ echo "==> corpus smoke across the threads x batch matrix"
 BYPASS_THREADS=1 BYPASS_BATCH=64 cargo test -q --test corpus
 BYPASS_THREADS=8 BYPASS_BATCH=0 cargo test -q --test corpus
 
+# The slt conformance corpus, standalone-runner flavor (the same files
+# also run inside `cargo test` via tests/slt.rs). Each query record
+# already crosses the full 7-strategy x threads{1,8} x batch{0,64}
+# grid internally; the two invocations here exercise the runner's own
+# file-level scheduling serial and at 8 workers, printing the per-file
+# pass table both times (DESIGN.md §10).
+echo "==> slt conformance corpus (serial file runner)"
+cargo run -q --release -p bypass-slt --bin slt_runner -- --workers 1 tests/slt
+
+echo "==> slt conformance corpus (8 file workers)"
+cargo run -q --release -p bypass-slt --bin slt_runner -- --workers 8 tests/slt
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
