@@ -1,0 +1,197 @@
+//! Deterministic gate for the multi-session query-service counters.
+//!
+//! No timing groups. Each scenario drives a fresh `QueryService` (own
+//! database, own metrics hub) through one control path — steady-state
+//! completion, queue-full shedding, deadline-bounded admission with
+//! retries, session quotas and statement-size caps, graceful
+//! degradation with a memory-headroom retry, drain/resume — all on a
+//! single thread with artificial slot holds, so every count-derived
+//! counter is an exact function of the scenario. The full
+//! `CountersSnapshot` of each scenario is recorded under
+//! `service/counters/…`, and `scripts/bench.sh compare` trips if a
+//! refactor changes how statements traverse the admission, retry,
+//! degradation or drain machinery.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bypass_bench::timing::{criterion_group, criterion_main, record, Criterion};
+use bypass_bench::{rst_database, Q1};
+use bypass_core::{MetricsHub, RunLimits, Strategy};
+use bypass_service::{
+    CountersSnapshot, DegradePolicy, DegradeTier, QueryService, RetryPolicy, ServiceConfig,
+    SessionQuotas,
+};
+
+const SF: (f64, f64) = (0.05, 0.05);
+const SEED: u64 = 42;
+
+/// A service over a fresh database + isolated hub, with deterministic
+/// knobs: no backoff sleep jitter beyond the seeded stream, fixed gate.
+fn service(cfg: ServiceConfig) -> QueryService {
+    let db = rst_database(SF.0, SF.1, SEED).with_metrics_hub(Arc::new(MetricsHub::new()));
+    QueryService::new(Arc::new(db), Strategy::Unnested, cfg)
+}
+
+fn base_config() -> ServiceConfig {
+    ServiceConfig {
+        max_concurrency: 1,
+        queue_limit: 4,
+        retry: RetryPolicy {
+            max_retries: 2,
+            base_backoff: Duration::ZERO,
+            ..RetryPolicy::default()
+        },
+        degrade: DegradePolicy::default(),
+        seed: 0x00B1_9A55,
+    }
+}
+
+fn emit(scenario: &str, c: CountersSnapshot) {
+    for (field, value) in [
+        ("submitted", c.submitted),
+        ("admitted", c.admitted),
+        ("completed", c.completed),
+        ("failed", c.failed),
+        ("shed", c.shed),
+        ("admission_timeouts", c.admission_timeouts),
+        ("retries", c.retries),
+        ("degraded", c.degraded),
+        ("quota_rejected", c.quota_rejected),
+        ("oversized", c.oversized),
+        ("drain_rejected", c.drain_rejected),
+        ("cancelled", c.cancelled),
+    ] {
+        record(format!("service/counters/{scenario}/{field}"), value as f64);
+        println!("service/counters/{scenario}/{field} = {value}");
+    }
+}
+
+/// Steady state: every submission admits on the fast path and
+/// completes; one statement is a plan error (typed failure).
+fn steady() -> CountersSnapshot {
+    let svc = service(base_config());
+    let session = svc.session(SessionQuotas::default());
+    for _ in 0..3 {
+        session.execute(Q1).expect("Q1 runs clean");
+    }
+    session
+        .execute("SELECT no_such_column FROM r")
+        .expect_err("plan error");
+    svc.counters()
+}
+
+/// Queue-full shedding: with every slot held and a zero-length queue,
+/// submissions shed immediately; after release the service recovers.
+fn shed() -> CountersSnapshot {
+    let svc = service(ServiceConfig {
+        queue_limit: 0,
+        ..base_config()
+    });
+    let session = svc.session(SessionQuotas::default());
+    {
+        let _hold = svc.admission().hold_slots(1);
+        for _ in 0..3 {
+            session.execute(Q1).expect_err("must shed while saturated");
+        }
+    }
+    session.execute(Q1).expect("recovers after release");
+    svc.counters()
+}
+
+/// Deadline-bounded admission: a held gate plus a session deadline
+/// makes every attempt time out in the queue; the retry policy
+/// resubmits with a fresh deadline until attempts are exhausted.
+fn admission_timeout() -> CountersSnapshot {
+    let svc = service(base_config());
+    let session = svc.session(SessionQuotas {
+        timeout: Some(Duration::from_millis(2)),
+        ..SessionQuotas::default()
+    });
+    let _hold = svc.admission().hold_slots(1);
+    for _ in 0..2 {
+        session.execute(Q1).expect_err("deadline expires queued");
+    }
+    svc.counters()
+}
+
+/// Session quotas: a spent byte budget rejects before admission, an
+/// over-cap statement is rejected O(1) before the parser.
+fn quotas() -> CountersSnapshot {
+    let svc = service(base_config());
+    let session = svc.session(SessionQuotas {
+        byte_budget: Some(1),
+        max_statement_bytes: Some(128),
+        ..SessionQuotas::default()
+    });
+    session.execute(Q1).expect("first run charges the budget");
+    session.execute(Q1).expect_err("budget spent");
+    let oversized = format!("SELECT a1 FROM r -- {}", "x".repeat(160));
+    session
+        .execute(&oversized)
+        .expect_err("statement over the session cap");
+    svc.counters()
+}
+
+/// Graceful degradation + retry: once the hub's peak-memory watermark
+/// is set by the first run, the tier caps the next admission below the
+/// query's real peak; the memory trip is retried with raised headroom
+/// up to the session cap and completes degraded.
+fn degrade_retry() -> CountersSnapshot {
+    // Measure the query's deterministic governor peak on a throwaway
+    // database so the scenario thresholds derive from the byte model,
+    // not hard-coded sizes.
+    let peak = {
+        let db = rst_database(SF.0, SF.1, SEED).with_metrics_hub(Arc::new(MetricsHub::new()));
+        let (_, counters) = db
+            .run_governed(Q1, Strategy::Unnested, &RunLimits::default())
+            .expect("reference run");
+        counters.peak_memory_bytes
+    };
+    let svc = service(ServiceConfig {
+        degrade: DegradePolicy {
+            tiers: vec![DegradeTier {
+                queue_depth: usize::MAX,
+                peak_memory_bytes: 1, // active once anything has run
+                max_memory_bytes: peak / 2,
+                timeout: None,
+            }],
+        },
+        ..base_config()
+    });
+    let session = svc.session(SessionQuotas {
+        max_memory_bytes: Some(peak),
+        ..SessionQuotas::default()
+    });
+    let first = session.execute(Q1).expect("tier inactive on first run");
+    assert_eq!(first.tier, 0);
+    let second = session.execute(Q1).expect("retry raises to the cap");
+    assert_eq!(second.tier, 1);
+    assert_eq!(second.retry.retries(), 1);
+    svc.counters()
+}
+
+/// Drain/resume: draining rejects new work with a typed error and
+/// leaves the service reusable after `resume`.
+fn drain_resume() -> CountersSnapshot {
+    let svc = service(base_config());
+    let session = svc.session(SessionQuotas::default());
+    session.execute(Q1).expect("pre-drain");
+    svc.drain();
+    session.execute(Q1).expect_err("draining");
+    svc.resume();
+    session.execute(Q1).expect("post-resume");
+    svc.counters()
+}
+
+fn bench_service(_c: &mut Criterion) {
+    emit("steady", steady());
+    emit("shed", shed());
+    emit("admission_timeout", admission_timeout());
+    emit("quotas", quotas());
+    emit("degrade_retry", degrade_retry());
+    emit("drain_resume", drain_resume());
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! The multi-session service chaos harness as a CI gate.
+//!
+//! N seeded client threads share one `QueryService` over one `Database`
+//! and run a mixed workload — canonical scan, the paper's disjunctive
+//! Q1, the TPC-H Query 2d shape, an error-raising statement — while
+//! injecting faults: mid-query cancellation / memory-budget / deadline
+//! trips at exact governor checkpoints, plus forced admission-queue
+//! saturation and oversized-statement probes. Every event asserts the
+//! trifecta (typed error never panic, balanced span stack, and — after
+//! a full drain/resume — bit-identical post-chaos verification against
+//! the serial baselines).
+//!
+//! Fails on any violation, or when fewer than the floor of events
+//! actually executed (so a config regression can't hollow out the gate).
+//!
+//! Environment:
+//!
+//! * `BYPASS_CHECK_SERVICE_SEED`    — run seed (decimal or 0x-hex; pin in CI)
+//! * `BYPASS_CHECK_SERVICE_CLIENTS` — client threads        (default 8)
+//! * `BYPASS_CHECK_SERVICE_EVENTS`  — events per client     (default 80)
+//! * `BYPASS_CHECK_SERVICE_MIN`     — event-count floor     (default 500)
+
+use std::process::ExitCode;
+
+use bypass_check::{run_service_chaos, ServiceChaosConfig};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    let cfg = ServiceChaosConfig {
+        clients: env_u64("BYPASS_CHECK_SERVICE_CLIENTS", 8) as u32,
+        events_per_client: env_u64("BYPASS_CHECK_SERVICE_EVENTS", 80) as u32,
+        ..ServiceChaosConfig::default()
+    };
+    let min_events = env_u64("BYPASS_CHECK_SERVICE_MIN", 500);
+    eprintln!(
+        "service oracle: {} clients x {} events, seed {:#x}",
+        cfg.clients, cfg.events_per_client, cfg.seed,
+    );
+    let report = match run_service_chaos(&cfg) {
+        Ok(r) => r,
+        Err(f) => {
+            eprintln!("service oracle: TRIFECTA VIOLATION\n{f}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "events {}  p50 {:.3}ms  p99 {:.3}ms  {:.0} stmt/s",
+        report.events,
+        report.p50_nanos as f64 / 1e6,
+        report.p99_nanos as f64 / 1e6,
+        report.qps,
+    );
+    println!("  by class:");
+    for (class, n) in &report.by_class {
+        println!("    {class:<12} {n:>6}");
+    }
+    println!("  by fault:");
+    for (fault, n) in &report.by_fault {
+        println!("    {fault:<12} {n:>6}");
+    }
+    println!("  outcomes:");
+    for (label, n) in &report.outcomes {
+        println!("    {label:<20} {n:>6}");
+    }
+    let c = report.counters;
+    println!(
+        "  service counters: submitted {} admitted {} completed {} failed {} \
+         shed {} admission_timeouts {} retries {} cancelled {} oversized {}",
+        c.submitted,
+        c.admitted,
+        c.completed,
+        c.failed,
+        c.shed,
+        c.admission_timeouts,
+        c.retries,
+        c.cancelled,
+        c.oversized,
+    );
+    if report.events < min_events {
+        eprintln!(
+            "service oracle: only {} events executed (need >= {min_events}); \
+             raise BYPASS_CHECK_SERVICE_CLIENTS/EVENTS",
+            report.events
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "service oracle: OK ({} chaos events survived the trifecta)",
+        report.events
+    );
+    ExitCode::SUCCESS
+}

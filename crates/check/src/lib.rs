@@ -20,6 +20,12 @@
 //!    exact governor checkpoints of the same grammar-generated queries,
 //!    asserting typed errors (never panics), balanced tracing span
 //!    stacks, and clean re-runs (`BYPASS_CHECK_FAULT_SEED=…` replay).
+//! 5. [`service`]: a deterministic chaos-workload harness for the
+//!    multi-session query service — seeded client threads mixing query
+//!    classes with injected cancellation/budget/deadline faults and
+//!    forced admission saturation, asserting the same trifecta per
+//!    event plus post-chaos bit-identical verification
+//!    (`BYPASS_CHECK_SERVICE_SEED=…` replay).
 //!
 //! Reproduction workflow: any failure prints a seed; re-run with
 //! `BYPASS_CHECK_SEED=<seed>` (optionally `BYPASS_CHECK_CASES=1`) to
@@ -31,6 +37,7 @@ pub mod mutate;
 pub mod oracle;
 pub mod prop;
 pub mod rng;
+pub mod service;
 
 pub use fault::{run_fault_campaign, FaultConfig, FaultFailure, FaultReport};
 pub use gen::{
@@ -46,3 +53,4 @@ pub use oracle::{
 };
 pub use prop::{forall, forall_cases, Config, DEFAULT_SEED};
 pub use rng::{split_mix64, Rng, SampleRange};
+pub use service::{run_service_chaos, ServiceChaosConfig, ServiceChaosFailure, ServiceChaosReport};

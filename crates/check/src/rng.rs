@@ -1,259 +1,9 @@
-//! Deterministic, seedable PRNG: **xoshiro256\*\*** seeded through
-//! **SplitMix64**, plus the distribution helpers the repo previously
-//! imported from the `rand` crate (`gen_range`, `gen_bool`, `gen_ratio`,
-//! `choose`, `shuffle`).
+//! Deterministic, seedable PRNG — re-exported from `bypass_types::rng`.
 //!
-//! The API deliberately mirrors `rand::rngs::StdRng` usage so porting a
-//! call site is a one-line import change. Everything is reproducible:
-//! the same seed yields the same stream on every platform (only integer
-//! arithmetic, no platform-dependent state).
+//! The generator originally lived here; it moved into `bypass-types` so
+//! production code (the query service's seeded retry jitter) can share
+//! the exact stream implementation with the test substrate without
+//! depending on the test crate. Every existing `bypass_check::rng` /
+//! `bypass_check::{Rng, split_mix64}` import keeps working.
 
-use std::ops::{Range, RangeInclusive};
-
-/// One step of the SplitMix64 sequence — used both to expand a `u64`
-/// seed into xoshiro's 256-bit state and to derive independent child
-/// seeds ([`Rng::fork_seed`]).
-#[inline]
-pub fn split_mix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// xoshiro256\*\* (Blackman & Vigna): 256-bit state, period 2^256 − 1,
-/// passes BigCrush. Plenty for test-data generation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Rng {
-    s: [u64; 4],
-}
-
-impl Rng {
-    /// Seed via SplitMix64 expansion (the construction the xoshiro
-    /// authors recommend — avoids the all-zero state and decorrelates
-    /// nearby seeds).
-    pub fn seed_from_u64(seed: u64) -> Rng {
-        let mut sm = seed;
-        Rng {
-            s: [
-                split_mix64(&mut sm),
-                split_mix64(&mut sm),
-                split_mix64(&mut sm),
-                split_mix64(&mut sm),
-            ],
-        }
-    }
-
-    /// Next raw 64 random bits.
-    #[inline]
-    pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
-        let t = self.s[1] << 17;
-        self.s[2] ^= self.s[0];
-        self.s[3] ^= self.s[1];
-        self.s[1] ^= self.s[2];
-        self.s[0] ^= self.s[3];
-        self.s[2] ^= t;
-        self.s[3] = self.s[3].rotate_left(45);
-        result
-    }
-
-    /// A seed for an independent child generator (stream splitting).
-    pub fn fork_seed(&mut self) -> u64 {
-        let mut sm = self.next_u64();
-        split_mix64(&mut sm)
-    }
-
-    /// An independent child generator.
-    pub fn fork(&mut self) -> Rng {
-        Rng::seed_from_u64(self.fork_seed())
-    }
-
-    /// Uniform `f64` in `[0, 1)` (53 mantissa bits).
-    #[inline]
-    pub fn next_f64(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-    }
-
-    /// Uniform `u64` in `[0, bound)` by multiply-shift with rejection
-    /// (Lemire) — unbiased for every bound.
-    #[inline]
-    pub fn bounded_u64(&mut self, bound: u64) -> u64 {
-        assert!(bound > 0, "bounded_u64: empty bound");
-        loop {
-            let x = self.next_u64();
-            let m = (x as u128) * (bound as u128);
-            let low = m as u64;
-            if low >= bound || low >= low.wrapping_neg() % bound {
-                return (m >> 64) as u64;
-            }
-        }
-    }
-
-    /// Uniform value from a range (`gen_range(0..10)`,
-    /// `gen_range(1..=6)` — same shape as `rand`).
-    #[inline]
-    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
-        range.sample(self)
-    }
-
-    /// `true` with probability `p`.
-    #[inline]
-    pub fn gen_bool(&mut self, p: f64) -> bool {
-        debug_assert!((0.0..=1.0).contains(&p));
-        self.next_f64() < p
-    }
-
-    /// `true` with probability `numerator / denominator`.
-    #[inline]
-    pub fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
-        assert!(denominator > 0 && numerator <= denominator);
-        self.bounded_u64(denominator as u64) < numerator as u64
-    }
-
-    /// A uniformly chosen element of a non-empty slice.
-    #[inline]
-    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
-        assert!(!items.is_empty(), "choose: empty slice");
-        &items[self.bounded_u64(items.len() as u64) as usize]
-    }
-
-    /// Fisher–Yates shuffle.
-    pub fn shuffle<T>(&mut self, items: &mut [T]) {
-        for i in (1..items.len()).rev() {
-            let j = self.bounded_u64(i as u64 + 1) as usize;
-            items.swap(i, j);
-        }
-    }
-}
-
-/// Ranges [`Rng::gen_range`] can sample from. Implemented for the
-/// half-open and inclusive integer ranges the repo uses.
-pub trait SampleRange<T> {
-    fn sample(self, rng: &mut Rng) -> T;
-}
-
-macro_rules! impl_sample_signed {
-    ($($t:ty),*) => {$(
-        impl SampleRange<$t> for Range<$t> {
-            #[inline]
-            fn sample(self, rng: &mut Rng) -> $t {
-                assert!(self.start < self.end, "gen_range: empty range");
-                let span = (self.end as i128 - self.start as i128) as u64;
-                (self.start as i128 + rng.bounded_u64(span) as i128) as $t
-            }
-        }
-        impl SampleRange<$t> for RangeInclusive<$t> {
-            #[inline]
-            fn sample(self, rng: &mut Rng) -> $t {
-                let (lo, hi) = (*self.start(), *self.end());
-                assert!(lo <= hi, "gen_range: empty range");
-                let span = (hi as i128 - lo as i128 + 1) as u64;
-                (lo as i128 + rng.bounded_u64(span) as i128) as $t
-            }
-        }
-    )*};
-}
-
-impl_sample_signed!(i64, i32, u64, u32, usize);
-
-impl SampleRange<f64> for Range<f64> {
-    #[inline]
-    fn sample(self, rng: &mut Rng) -> f64 {
-        assert!(self.start < self.end, "gen_range: empty range");
-        self.start + rng.next_f64() * (self.end - self.start)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn deterministic_per_seed() {
-        let mut a = Rng::seed_from_u64(42);
-        let mut b = Rng::seed_from_u64(42);
-        for _ in 0..100 {
-            assert_eq!(a.next_u64(), b.next_u64());
-        }
-        let mut c = Rng::seed_from_u64(43);
-        assert_ne!(Rng::seed_from_u64(42).next_u64(), c.next_u64());
-    }
-
-    #[test]
-    fn known_splitmix_vector() {
-        // Reference value from the SplitMix64 paper's test vector
-        // lineage: seed 1234567 produces this first output.
-        let mut s = 1234567u64;
-        assert_eq!(split_mix64(&mut s), 6457827717110365317);
-    }
-
-    #[test]
-    fn ranges_stay_in_bounds_and_hit_endpoints() {
-        let mut rng = Rng::seed_from_u64(7);
-        let mut seen = [false; 6];
-        for _ in 0..1000 {
-            let v = rng.gen_range(0..6i64);
-            assert!((0..6).contains(&v));
-            seen[v as usize] = true;
-            let w = rng.gen_range(-3..=3i64);
-            assert!((-3..=3).contains(&w));
-            let u = rng.gen_range(0..5usize);
-            assert!(u < 5);
-        }
-        assert!(seen.iter().all(|&b| b), "all values reachable");
-    }
-
-    #[test]
-    fn full_i64_range_does_not_overflow() {
-        let mut rng = Rng::seed_from_u64(9);
-        for _ in 0..100 {
-            let _ = rng.gen_range(i64::MIN..i64::MAX);
-        }
-    }
-
-    #[test]
-    fn gen_bool_and_ratio_roughly_uniform() {
-        let mut rng = Rng::seed_from_u64(11);
-        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
-        assert!((2600..3400).contains(&hits), "{hits}");
-        let hits = (0..10_000).filter(|_| rng.gen_ratio(1, 4)).count();
-        assert!((2200..2800).contains(&hits), "{hits}");
-    }
-
-    #[test]
-    fn uniformity_chi_square_ish() {
-        let mut rng = Rng::seed_from_u64(5);
-        let mut buckets = [0usize; 10];
-        for _ in 0..10_000 {
-            buckets[rng.gen_range(0..10usize)] += 1;
-        }
-        for b in buckets {
-            assert!((850..1150).contains(&b), "bucket skew: {buckets:?}");
-        }
-    }
-
-    #[test]
-    fn fork_produces_decorrelated_stream() {
-        let mut parent = Rng::seed_from_u64(1);
-        let mut child = parent.fork();
-        let a: Vec<u64> = (0..8).map(|_| parent.next_u64()).collect();
-        let b: Vec<u64> = (0..8).map(|_| child.next_u64()).collect();
-        assert_ne!(a, b);
-    }
-
-    #[test]
-    fn shuffle_and_choose() {
-        let mut rng = Rng::seed_from_u64(3);
-        let mut v: Vec<i64> = (0..20).collect();
-        let orig = v.clone();
-        rng.shuffle(&mut v);
-        let mut sorted = v.clone();
-        sorted.sort();
-        assert_eq!(sorted, orig);
-        for _ in 0..50 {
-            assert!(orig.contains(rng.choose(&orig)));
-        }
-    }
-}
+pub use bypass_types::rng::{split_mix64, Rng, SampleRange};

@@ -3,8 +3,11 @@
 //! worker-count-) independent, and the log-linear bucket layout keeps
 //! every observation inside its claimed bucket bounds.
 
-use bypass_check::{forall, vec_of, Gen};
-use bypass_metrics::{bucket_index, bucket_upper, Histogram, Registry};
+use bypass_check::{forall, vec_of, Gen, Rng};
+use bypass_metrics::{
+    bucket_index, bucket_upper, ExecObservation, Histogram, MetricsHub, Registry, MAX_FINGERPRINTS,
+    SLOW_RING_CAPACITY,
+};
 
 /// Log-uniform `u64`s: random magnitude, then random bits — so the
 /// cases exercise every octave of the bucket layout, not just the
@@ -109,6 +112,151 @@ fn quantile_is_bounded_by_a_bucket_that_saw_the_value() {
             );
         }
     });
+}
+
+fn hub_obs(fp: u64, nanos: u64) -> ExecObservation {
+    ExecObservation {
+        fingerprint: fp,
+        sql: format!("SELECT {fp}"),
+        strategy: "unnested".into(),
+        total_nanos: nanos,
+        rows: fp % 7,
+        peak_memory_bytes: 64 * fp,
+        checkpoints: 1 + fp % 5,
+        ..ExecObservation::default()
+    }
+}
+
+/// Replay the same observation multiset into a hub from `workers`
+/// threads, dealt round-robin.
+fn record_threaded(hub: &MetricsHub, obs: &[ExecObservation], workers: usize) {
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let shard: Vec<&ExecObservation> = obs.iter().skip(w).step_by(workers).collect();
+            scope.spawn(move || {
+                for o in shard {
+                    hub.record_execution(o);
+                }
+            });
+        }
+    });
+}
+
+/// Below the table capacity nothing is ever evicted, and every
+/// per-fingerprint accumulation (exec/row/checkpoint sums, peak-memory
+/// max, latency histogram) is commutative — so 8-thread recording must
+/// reproduce the serial hub bit-for-bit, slow-query ring included.
+#[test]
+fn hub_concurrent_recording_below_capacity_matches_serial() {
+    for seed in [1u64, 0xFEED, 0x1CDE_2007] {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut obs = Vec::new();
+        for fp in 1..=600u64 {
+            for _ in 0..rng.gen_range(1..=3u64) {
+                obs.push(hub_obs(fp, rng.gen_range(1_000..=9_000_000u64)));
+            }
+        }
+        // Interleave shapes so threads contend on the same entries.
+        for i in (1..obs.len()).rev() {
+            obs.swap(i, rng.gen_range(0..=i as u64) as usize);
+        }
+        let serial = MetricsHub::new();
+        for o in &obs {
+            serial.record_execution(o);
+        }
+        let threaded = MetricsHub::new();
+        record_threaded(&threaded, &obs, 8);
+
+        let sorted = |hub: &MetricsHub| {
+            let mut t = hub.query_table();
+            t.sort_by_key(|s| s.fingerprint);
+            t
+        };
+        assert_eq!(sorted(&serial), sorted(&threaded), "seed {seed:#x}");
+        assert_eq!(
+            serial.slow_queries(),
+            threaded.slow_queries(),
+            "seed {seed:#x}"
+        );
+        assert_eq!(
+            serial.snapshot().deterministic(),
+            threaded.snapshot().deterministic(),
+            "seed {seed:#x}"
+        );
+    }
+}
+
+/// Over capacity, the fewest-execs eviction policy is loss-bounded and
+/// deterministic under 8-thread recording: hot shapes (recorded first,
+/// multiple times) always out-rank the one-shot flood at victim
+/// selection, the table never exceeds its capacity, the eviction count
+/// is exact, and the slow ring converges to the true top-K regardless
+/// of arrival order.
+#[test]
+fn hub_eviction_under_concurrent_pressure_is_loss_bounded() {
+    let hot = 32u64; // distinct hot shapes, well under capacity
+    let flood = MAX_FINGERPRINTS as u64 + 500; // one-shot cold shapes
+    let hub = MetricsHub::new();
+
+    // Phase 1: every thread records every hot shape once — each hot
+    // fingerprint accumulates 8 execs before any eviction can happen.
+    let hot_obs: Vec<ExecObservation> = (1..=hot).map(|fp| hub_obs(fp, 1_000_000 + fp)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let hot_obs = &hot_obs;
+            let hub = &hub;
+            scope.spawn(move || {
+                for o in hot_obs {
+                    hub.record_execution(o);
+                }
+            });
+        }
+    });
+
+    // Phase 2: flood with one-shot shapes from 8 threads. Victim
+    // selection is min-(execs, fingerprint), so every eviction hits a
+    // one-exec flood entry — never a hot shape — whatever the
+    // interleaving.
+    let flood_obs: Vec<ExecObservation> = (0..flood)
+        .map(|i| hub_obs(10_000 + i, 10_000 + i))
+        .collect();
+    record_threaded(&hub, &flood_obs, 8);
+
+    let mut table = hub.query_table();
+    table.sort_by_key(|s| s.fingerprint);
+    assert_eq!(table.len(), MAX_FINGERPRINTS, "table exceeded its bound");
+    for fp in 1..=hot {
+        let s = table
+            .iter()
+            .find(|s| s.fingerprint == fp)
+            .unwrap_or_else(|| panic!("hot shape {fp} was evicted"));
+        assert_eq!(s.execs, 8, "hot shape {fp} lost executions");
+    }
+    // Exactly (distinct inserts - capacity) evictions; no double
+    // counting, no lost evictions.
+    let evictions: u64 = hub
+        .snapshot()
+        .entries
+        .iter()
+        .filter(|e| e.name == "bypass_fingerprint_evictions_total")
+        .map(|e| match e.value {
+            bypass_metrics::MetricValue::Counter(n) => n,
+            _ => 0,
+        })
+        .sum();
+    assert_eq!(evictions, hot + flood - MAX_FINGERPRINTS as u64);
+
+    // The slow ring holds the true top-K latencies of everything
+    // offered, one slot per shape, independent of arrival order. The
+    // hot-phase latencies (~1ms) dominate the flood (~10µs), so the
+    // top-K is the upper tail of the hot shapes.
+    let slow = hub.slow_queries();
+    assert_eq!(slow.len(), SLOW_RING_CAPACITY);
+    let want: Vec<u64> = (0..SLOW_RING_CAPACITY as u64)
+        .map(|i| 1_000_000 + hot - i)
+        .collect();
+    let got: Vec<u64> = slow.iter().map(|q| q.total_nanos).collect();
+    assert_eq!(got, want, "slow ring is not the true top-K");
 }
 
 #[test]

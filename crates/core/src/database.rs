@@ -361,7 +361,15 @@ pub struct Database {
     catalog: Catalog,
     default_strategy: Strategy,
     metrics: Arc<MetricsHub>,
+    max_statement_bytes: usize,
 }
+
+/// Default cap on the byte length of one SQL statement. Oversized
+/// text is rejected with [`Error::StatementTooLarge`] *before* any
+/// lexing, so a hostile or runaway client cannot buy unbounded parse
+/// work with one giant string. Sessions opened through
+/// `bypass-service` can only tighten this engine-level cap.
+pub const DEFAULT_MAX_STATEMENT_BYTES: usize = 64 * 1024;
 
 impl Default for Database {
     fn default() -> Database {
@@ -369,6 +377,7 @@ impl Default for Database {
             catalog: Catalog::default(),
             default_strategy: Strategy::default(),
             metrics: MetricsHub::global(),
+            max_statement_bytes: DEFAULT_MAX_STATEMENT_BYTES,
         }
     }
 }
@@ -382,6 +391,31 @@ impl Database {
     pub fn with_default_strategy(mut self, strategy: Strategy) -> Database {
         self.default_strategy = strategy;
         self
+    }
+
+    /// Cap the byte length of a single SQL statement (default
+    /// [`DEFAULT_MAX_STATEMENT_BYTES`]). Longer text fails with
+    /// [`Error::StatementTooLarge`] before any parse work.
+    pub fn with_statement_cap(mut self, max_statement_bytes: usize) -> Database {
+        self.max_statement_bytes = max_statement_bytes;
+        self
+    }
+
+    /// The engine-level statement-size cap in bytes.
+    pub fn statement_cap(&self) -> usize {
+        self.max_statement_bytes
+    }
+
+    /// Reject oversized SQL text with a typed error — called by every
+    /// SQL-text entry point before `parse_statement`.
+    fn check_statement_size(&self, sql: &str) -> Result<()> {
+        if sql.len() > self.max_statement_bytes {
+            return Err(Error::StatementTooLarge {
+                bytes: sql.len() as u64,
+                limit: self.max_statement_bytes as u64,
+            });
+        }
+        Ok(())
     }
 
     /// Record into `hub` instead of the process-global
@@ -420,6 +454,7 @@ impl Database {
 
     /// Execute any supported statement.
     pub fn execute_sql(&mut self, sql: &str) -> Result<Response> {
+        self.check_statement_size(sql)?;
         let t0 = Instant::now();
         let stmt = parse_statement(sql)?;
         let parse_nanos = t0.elapsed().as_nanos();
@@ -502,6 +537,7 @@ impl Database {
 
     /// The canonical logical plan of a query (before strategy rewrites).
     pub fn logical_plan(&self, sql: &str) -> Result<Arc<LogicalPlan>> {
+        self.check_statement_size(sql)?;
         match parse_statement(sql)? {
             Statement::Query(q) => translate_query(&self.catalog, &q),
             _ => Err(Error::plan("not a SELECT statement")),
@@ -592,6 +628,7 @@ impl Database {
         strategy: Strategy,
         limits: &RunLimits,
     ) -> Result<(Relation, ExecCounters)> {
+        self.check_statement_size(sql)?;
         let t0 = Instant::now();
         let stmt = parse_statement(sql)?;
         let parse_nanos = t0.elapsed().as_nanos() as u64;
@@ -694,6 +731,7 @@ impl Database {
     /// assert_eq!(q.execute().unwrap().len(), 2); // no re-planning
     /// ```
     pub fn prepare(&self, sql: &str, strategy: Strategy) -> Result<Prepared> {
+        self.check_statement_size(sql)?;
         let Statement::Query(q) = parse_statement(sql)? else {
             return Err(Error::plan("not a SELECT statement"));
         };
@@ -719,6 +757,7 @@ impl Database {
     /// physical operator tree. For [`Strategy::CostBased`], the chosen
     /// strategy and all candidate cost estimates are reported.
     pub fn explain(&self, sql: &str, strategy: Strategy) -> Result<String> {
+        self.check_statement_size(sql)?;
         match parse_statement(sql)? {
             Statement::Query(q) | Statement::Explain { query: q, .. } => {
                 self.explain_parsed(&q, strategy)
@@ -784,6 +823,7 @@ impl Database {
         strategy: Strategy,
         limits: &RunLimits,
     ) -> Result<QueryProfile> {
+        self.check_statement_size(sql)?;
         let t0 = Instant::now();
         let stmt = parse_statement(sql)?;
         let parse_nanos = t0.elapsed().as_nanos();
@@ -1098,6 +1138,38 @@ mod tests {
             let got = db.sql_with(q, s, None).unwrap();
             assert!(got.bag_eq(&expected), "strategy {s} differs");
         }
+    }
+
+    #[test]
+    fn statement_cap_rejects_before_parse() {
+        let mut db = db().with_statement_cap(256);
+        // Under the cap: runs normally.
+        assert!(db.sql("SELECT a1 FROM r").is_ok());
+        // Over the cap: typed rejection on every SQL-text entry point,
+        // with a garbage payload proving the parser never saw the text.
+        let big = format!("SELECT a1 FROM r -- {}", "\u{0} garbage ".repeat(64));
+        assert!(big.len() > 256);
+        let expect = |r: Result<(), Error>| match r {
+            Err(Error::StatementTooLarge { bytes, limit }) => {
+                assert_eq!(bytes, big.len() as u64);
+                assert_eq!(limit, 256);
+            }
+            other => panic!("expected StatementTooLarge, got {other:?}"),
+        };
+        expect(db.sql(&big).map(drop));
+        expect(
+            db.run_governed(&big, Strategy::Unnested, &RunLimits::default())
+                .map(drop),
+        );
+        expect(db.prepare(&big, Strategy::Unnested).map(drop));
+        expect(db.explain(&big, Strategy::Unnested).map(drop));
+        expect(db.profile(&big, Strategy::Unnested).map(drop));
+        expect(db.logical_plan(&big).map(drop));
+        expect(db.execute_sql(&big).map(drop));
+        // The database stays fully usable afterwards.
+        assert_eq!(db.sql("SELECT a1 FROM r").unwrap().len(), 3);
+        assert_eq!(db.statement_cap(), 256);
+        assert_eq!(Database::new().statement_cap(), DEFAULT_MAX_STATEMENT_BYTES);
     }
 
     #[test]

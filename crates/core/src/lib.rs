@@ -6,12 +6,14 @@
 mod database;
 mod strategy;
 
-pub use database::{Database, PhaseNanos, Prepared, QueryProfile, Response, RunLimits};
+pub use database::{
+    Database, PhaseNanos, Prepared, QueryProfile, Response, RunLimits, DEFAULT_MAX_STATEMENT_BYTES,
+};
 pub use strategy::Strategy;
 
 pub use bypass_algebra::LogicalPlan;
 pub use bypass_catalog::{Catalog, TableBuilder};
-pub use bypass_exec::ExecOptions;
+pub use bypass_exec::{ExecCounters, ExecOptions};
 pub use bypass_metrics::{
     format_fingerprint, render_json, render_prometheus, validate_prometheus, ExecObservation,
     HistogramSnapshot, MetricEntry, MetricValue, MetricsHub, OpCardinality, QueryStatsSnapshot,
@@ -19,8 +21,8 @@ pub use bypass_metrics::{
 };
 pub use bypass_sql::{fingerprint, fingerprint_sql, normalized_sql};
 pub use bypass_types::{
-    CancelToken, DataType, Error, FaultKind, Field, InjectedFault, Relation, ResourceKind, Result,
-    Schema, Tuple, Value,
+    CancelToken, DataType, Error, FaultKind, Field, InjectedFault, QuotaKind, Relation,
+    ResourceKind, Result, Schema, Tuple, Value,
 };
 
 // A `Database` is shared by reference across the scoped worker threads

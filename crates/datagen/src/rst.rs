@@ -9,7 +9,7 @@
 //! `rows/3000` tuples per outer tuple.
 
 use bypass_catalog::Catalog;
-use bypass_check::Rng;
+use bypass_types::Rng;
 use bypass_types::{DataType, Field, Relation, Result, Schema, Tuple, Value};
 
 /// Upper bound (exclusive) of the uniform value domain.

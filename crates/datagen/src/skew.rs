@@ -16,7 +16,7 @@
 //!   (so key 0 joins the hot stripe); `c_val` NULL on every 11th row.
 
 use bypass_catalog::Catalog;
-use bypass_check::Rng;
+use bypass_types::Rng;
 use bypass_types::{DataType, Field, Relation, Result, Schema, Tuple, Value};
 
 /// Exclusive upper bound of the key domain.

@@ -15,7 +15,7 @@
 //! * `events(e_id INT, e_word TEXT, e_date TEXT, e_day INT, e_qty INT)`
 
 use bypass_catalog::Catalog;
-use bypass_check::Rng;
+use bypass_types::Rng;
 use bypass_types::{DataType, Field, Relation, Result, Schema, Tuple, Value};
 
 /// Base vocabulary; case variants are derived per row.

@@ -20,7 +20,7 @@
 //! schema stays recognizably TPC-H.
 
 use bypass_catalog::Catalog;
-use bypass_check::Rng;
+use bypass_types::Rng;
 use bypass_types::{DataType, Field, Relation, Result, Schema, Tuple, Value};
 
 pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];

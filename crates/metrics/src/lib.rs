@@ -175,6 +175,13 @@ impl MetricsHub {
         &self.registry
     }
 
+    /// The governor's peak-memory watermark (bytes) across every
+    /// execution recorded into this hub — a cheap single-series fold,
+    /// polled by the service's degradation controller on each submit.
+    pub fn peak_memory_bytes(&self) -> u64 {
+        self.registry.fold_value(self.ids.peak_memory)
+    }
+
     /// Record one completed query execution: registry counters and
     /// histograms, the per-fingerprint stats table, and the
     /// slow-query ring.

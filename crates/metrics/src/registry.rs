@@ -216,6 +216,26 @@ impl Registry {
         }
     }
 
+    /// Fold one series across all shards without building a full
+    /// snapshot: counters sum, gauges max, histograms report their
+    /// total observation count. The admission controller polls the
+    /// peak-memory watermark on every submit, so this path must stay
+    /// O(shards), not O(shards x series).
+    pub fn fold_value(&self, id: MetricId) -> u64 {
+        let inner = self.inner.lock().unwrap();
+        let mut acc = 0u64;
+        for shard in &inner.shards {
+            let shard = shard.lock().unwrap();
+            match shard.slots.get(id.0) {
+                Some(Some(Slot::Counter(c))) => acc += *c,
+                Some(Some(Slot::GaugeMax(g))) => acc = acc.max(*g),
+                Some(Some(Slot::Histogram(h))) => acc += h.count(),
+                _ => {}
+            }
+        }
+        acc
+    }
+
     /// Fold every shard into one consistent snapshot. Registered but
     /// never-written series appear with their identity value, so
     /// "required family present" checks hold on an idle engine.

@@ -1,0 +1,316 @@
+//! The admission controller: a semaphore-style concurrency gate plus a
+//! bounded FIFO queue.
+//!
+//! Every statement submitted through a [`Session`](crate::Session) must
+//! obtain an [`AdmitPermit`] before any parse or planning work. The
+//! controller enforces three policies, all surfaced as typed errors so
+//! callers can distinguish "shed, resubmit later" from real failures:
+//!
+//! * **Concurrency gate** — at most `max_concurrency` statements execute
+//!   at once; excess submissions wait in FIFO order.
+//! * **Bounded queue** — at most `queue_limit` statements wait; beyond
+//!   that the submission is *shed* with [`Error::Overloaded`] without
+//!   consuming any resources. A `queue_limit` of zero disables queueing
+//!   entirely (busy ⇒ immediate shed), which is what deterministic
+//!   saturation tests use.
+//! * **Deadline-aware queueing** — a statement whose remaining deadline
+//!   is already zero is rejected up front, and a queued statement whose
+//!   deadline expires while waiting gives up its slot with
+//!   [`Error::AdmissionTimeout`]; it never reaches the executor.
+//!
+//! [`drain_begin`](AdmissionController::drain_begin) flips the
+//! controller into draining mode: new submissions and all queued waiters
+//! fail with [`Error::Draining`], while running statements keep their
+//! permits until they finish (the service layer additionally cancels
+//! them via their [`CancelToken`](bypass_types::CancelToken)s).
+//! [`wait_idle`](AdmissionController::wait_idle) blocks until the last
+//! permit is returned, at which point the shared `Database` is
+//! guaranteed quiescent and reusable.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use bypass_types::{Error, Result};
+
+#[derive(Debug, Default)]
+struct AdmState {
+    /// Permits out (running statements + artificial holds).
+    running: usize,
+    /// FIFO tickets of waiting statements.
+    queue: VecDeque<u64>,
+    /// Monotonic ticket source.
+    next_ticket: u64,
+    /// When set, nothing is admitted and waiters are woken to fail.
+    draining: bool,
+}
+
+/// Concurrency gate + bounded FIFO admission queue. See the module docs
+/// for the policy; one instance is shared by every session of a
+/// [`QueryService`](crate::QueryService).
+#[derive(Debug)]
+pub struct AdmissionController {
+    max_concurrency: usize,
+    queue_limit: usize,
+    state: Mutex<AdmState>,
+    cv: Condvar,
+}
+
+/// An execution slot. Dropping it releases the slot and wakes the next
+/// FIFO waiter.
+#[derive(Debug)]
+pub struct AdmitPermit<'a> {
+    ctl: &'a AdmissionController,
+}
+
+impl Drop for AdmitPermit<'_> {
+    fn drop(&mut self) {
+        let mut st = self.ctl.state.lock().unwrap();
+        st.running -= 1;
+        drop(st);
+        self.ctl.cv.notify_all();
+    }
+}
+
+/// Artificially held execution slots — the deterministic-saturation
+/// hook used by tests and benches to force shed/timeout paths without
+/// racing real queries. Dropping releases all held slots.
+#[derive(Debug)]
+pub struct SlotHold<'a> {
+    ctl: &'a AdmissionController,
+    n: usize,
+}
+
+impl Drop for SlotHold<'_> {
+    fn drop(&mut self) {
+        let mut st = self.ctl.state.lock().unwrap();
+        st.running -= self.n;
+        drop(st);
+        self.ctl.cv.notify_all();
+    }
+}
+
+impl AdmissionController {
+    /// A controller admitting `max_concurrency` concurrent statements
+    /// with at most `queue_limit` more waiting. `max_concurrency` is
+    /// clamped to at least one (a gate nothing can pass would deadlock
+    /// every session).
+    pub fn new(max_concurrency: usize, queue_limit: usize) -> AdmissionController {
+        AdmissionController {
+            max_concurrency: max_concurrency.max(1),
+            queue_limit,
+            state: Mutex::new(AdmState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Acquire an execution slot, waiting in FIFO order if the gate is
+    /// busy. `deadline` is the statement's *remaining* wall-clock
+    /// budget: `None` waits indefinitely, `Some(zero)` never queues.
+    pub fn admit(&self, deadline: Option<Duration>) -> Result<AdmitPermit<'_>> {
+        let start = Instant::now();
+        let deadline_ms = deadline.map_or(0, |d| d.as_millis() as u64);
+        let mut st = self.state.lock().unwrap();
+        if st.draining {
+            return Err(Error::Draining);
+        }
+        // Fast path: a free slot and nobody queued ahead of us.
+        if st.running < self.max_concurrency && st.queue.is_empty() {
+            st.running += 1;
+            return Ok(AdmitPermit { ctl: self });
+        }
+        if st.queue.len() >= self.queue_limit {
+            return Err(Error::Overloaded {
+                queued: st.queue.len() as u64,
+                limit: self.queue_limit as u64,
+            });
+        }
+        if deadline == Some(Duration::ZERO) {
+            // Provably expires while queued: reject before enqueueing.
+            return Err(Error::AdmissionTimeout {
+                queued: st.queue.len() as u64,
+                deadline_ms,
+            });
+        }
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.queue.push_back(ticket);
+        loop {
+            if st.draining {
+                st.queue.retain(|t| *t != ticket);
+                drop(st);
+                self.cv.notify_all();
+                return Err(Error::Draining);
+            }
+            if st.queue.front() == Some(&ticket) && st.running < self.max_concurrency {
+                st.queue.pop_front();
+                st.running += 1;
+                drop(st);
+                // More than one slot may be free; let followers re-check.
+                self.cv.notify_all();
+                return Ok(AdmitPermit { ctl: self });
+            }
+            st = match deadline {
+                None => self.cv.wait(st).unwrap(),
+                Some(d) => {
+                    let remaining = d.saturating_sub(start.elapsed());
+                    if remaining.is_zero() {
+                        st.queue.retain(|t| *t != ticket);
+                        let queued = st.queue.len() as u64;
+                        drop(st);
+                        self.cv.notify_all();
+                        return Err(Error::AdmissionTimeout {
+                            queued,
+                            deadline_ms,
+                        });
+                    }
+                    self.cv.wait_timeout(st, remaining).unwrap().0
+                }
+            };
+        }
+    }
+
+    /// Statements currently waiting in the admission queue.
+    pub fn queue_depth(&self) -> usize {
+        self.state.lock().unwrap().queue.len()
+    }
+
+    /// Execution slots currently out (including artificial holds).
+    pub fn running(&self) -> usize {
+        self.state.lock().unwrap().running
+    }
+
+    /// The configured queue bound.
+    pub fn queue_limit(&self) -> usize {
+        self.queue_limit
+    }
+
+    /// The configured concurrency gate width.
+    pub fn max_concurrency(&self) -> usize {
+        self.max_concurrency
+    }
+
+    /// Deterministic-saturation hook: occupy `n` slots without running
+    /// anything, so tests and benches can force the shed / admission-
+    /// timeout paths on a single thread. Released on drop.
+    pub fn hold_slots(&self, n: usize) -> SlotHold<'_> {
+        let mut st = self.state.lock().unwrap();
+        st.running += n;
+        SlotHold { ctl: self, n }
+    }
+
+    /// Stop admitting: new submissions and queued waiters fail with
+    /// [`Error::Draining`]. Running statements keep their permits.
+    pub fn drain_begin(&self) {
+        self.state.lock().unwrap().draining = true;
+        self.cv.notify_all();
+    }
+
+    /// Re-open admissions after a drain.
+    pub fn resume(&self) {
+        self.state.lock().unwrap().draining = false;
+        self.cv.notify_all();
+    }
+
+    /// True while in draining mode.
+    pub fn is_draining(&self) -> bool {
+        self.state.lock().unwrap().draining
+    }
+
+    /// Block until every permit has been returned (queue is already
+    /// empty once draining woke all waiters).
+    pub fn wait_idle(&self) {
+        let mut st = self.state.lock().unwrap();
+        while st.running > 0 {
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_path_admits_up_to_gate() {
+        let ctl = AdmissionController::new(2, 4);
+        let p1 = ctl.admit(None).unwrap();
+        let p2 = ctl.admit(None).unwrap();
+        assert_eq!(ctl.running(), 2);
+        drop((p1, p2));
+        assert_eq!(ctl.running(), 0);
+    }
+
+    #[test]
+    fn zero_queue_sheds_immediately() {
+        let ctl = AdmissionController::new(1, 0);
+        let _hold = ctl.hold_slots(1);
+        match ctl.admit(None) {
+            Err(Error::Overloaded {
+                queued: 0,
+                limit: 0,
+            }) => {}
+            other => panic!("expected Overloaded, got {other:?}"),
+        };
+    }
+
+    #[test]
+    fn zero_deadline_times_out_without_queueing() {
+        let ctl = AdmissionController::new(1, 8);
+        let _hold = ctl.hold_slots(1);
+        match ctl.admit(Some(Duration::ZERO)) {
+            Err(Error::AdmissionTimeout { queued: 0, .. }) => {}
+            other => panic!("expected AdmissionTimeout, got {other:?}"),
+        }
+        assert_eq!(ctl.queue_depth(), 0);
+    }
+
+    #[test]
+    fn queued_waiter_times_out_and_leaves_queue() {
+        let ctl = AdmissionController::new(1, 8);
+        let _hold = ctl.hold_slots(1);
+        let err = ctl.admit(Some(Duration::from_millis(5))).unwrap_err();
+        assert!(matches!(err, Error::AdmissionTimeout { .. }), "{err:?}");
+        assert_eq!(ctl.queue_depth(), 0);
+    }
+
+    #[test]
+    fn drain_rejects_and_wait_idle_returns() {
+        let ctl = AdmissionController::new(2, 4);
+        let p = ctl.admit(None).unwrap();
+        ctl.drain_begin();
+        assert!(matches!(ctl.admit(None), Err(Error::Draining)));
+        drop(p);
+        ctl.wait_idle();
+        ctl.resume();
+        assert!(ctl.admit(None).is_ok());
+    }
+
+    #[test]
+    fn fifo_order_is_preserved_across_contention() {
+        use std::sync::Arc;
+        let ctl = Arc::new(AdmissionController::new(1, 16));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let hold = ctl.hold_slots(1);
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let (ctl2, order) = (ctl.clone(), order.clone());
+                let h = std::thread::spawn(move || {
+                    let _p = ctl2.admit(None).unwrap();
+                    order.lock().unwrap().push(i);
+                });
+                // Wait until this thread is enqueued before spawning the
+                // next, so ticket order equals spawn order.
+                while ctl.queue_depth() < i + 1 {
+                    std::thread::yield_now();
+                }
+                h
+            })
+            .collect();
+        drop(hold);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,58 @@
+//! Multi-session query service over a shared [`Database`](bypass_core::Database).
+//!
+//! The engine below this crate was built for exactly this layer: the
+//! governor (`RunLimits` / `CancelToken`) makes every run boundable and
+//! cooperatively cancellable, and the `MetricsHub` makes pressure
+//! observable without timing content. This crate adds the front-end
+//! that lets many sessions share one engine with real failure
+//! semantics:
+//!
+//! * [`Session`] — per-client handle carrying quotas (in-flight
+//!   statements, memory/deadline caps, cumulative result-byte budget,
+//!   statement-size cap), all enforced **at admission** with typed
+//!   errors before any parse work.
+//! * [`AdmissionController`] — semaphore-style concurrency gate plus a
+//!   bounded FIFO queue; a full queue *sheds* with
+//!   [`Error::Overloaded`](bypass_types::Error::Overloaded), and
+//!   deadline-aware queueing rejects with
+//!   [`Error::AdmissionTimeout`](bypass_types::Error::AdmissionTimeout)
+//!   instead of burning an execution slot on a statement that already
+//!   lost its deadline.
+//! * [`RetryPolicy`] — bounded transparent re-runs of transient
+//!   failures (memory exhaustion under configurable headroom,
+//!   admission timeouts) with deterministic seeded-jitter backoff;
+//!   every retry is surfaced in the response's [`RetryReport`].
+//! * [`DegradePolicy`] — graceful degradation: under sustained
+//!   pressure (queue depth, governor peak-memory watermark) new
+//!   admissions run under tighter `RunLimits` tiers instead of
+//!   failing.
+//! * [`QueryService::drain`] — stop admissions, cancel stragglers via
+//!   their `CancelToken`s, wait for quiescence; the `Database` stays
+//!   intact and reusable.
+//!
+//! Determinism invariants (DESIGN.md §11): every rejection is a typed
+//! error, never a panic; results, errors and executor counters are
+//! identical whether a statement ran directly or through the service
+//! (admission adds no observable state to the run); retry jitter is a
+//! pure function of the service seed and session id; all service
+//! counters are count-derived, so the deterministic chaos scenarios in
+//! `bypass-check` gate them exactly.
+
+mod admission;
+mod retry;
+mod service;
+
+pub use admission::{AdmissionController, AdmitPermit, SlotHold};
+pub use retry::{RetryAttempt, RetryDecision, RetryPolicy, RetryReport};
+pub use service::{
+    CountersSnapshot, DegradePolicy, DegradeTier, QueryService, ServiceConfig, ServiceResponse,
+    Session, SessionQuotas,
+};
+
+// Sessions are shared across client threads by reference; the service
+// handle crosses threads freely. Compile-time proof:
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<QueryService>();
+    assert_send_sync::<Session>();
+};

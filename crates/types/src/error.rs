@@ -30,6 +30,24 @@ impl fmt::Display for ResourceKind {
     }
 }
 
+/// The session quota that tripped in [`Error::QuotaExceeded`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuotaKind {
+    /// Too many statements in flight on one session.
+    InFlight,
+    /// The session's cumulative result-byte budget is spent.
+    Bytes,
+}
+
+impl fmt::Display for QuotaKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuotaKind::InFlight => write!(f, "in-flight statements"),
+            QuotaKind::Bytes => write!(f, "cumulative result bytes"),
+        }
+    }
+}
+
 /// The error type shared by all layers of the engine.
 ///
 /// Variants mirror the pipeline stage that produced the error so that a
@@ -66,6 +84,45 @@ pub enum Error {
     /// The query's [`CancelToken`](crate::CancelToken) was triggered. The
     /// run stopped at a governor checkpoint; the `Database` stays usable.
     Cancelled,
+    /// The service's admission queue is full: the statement was shed
+    /// before any parse or planning work. `queued` is the queue depth
+    /// observed at rejection, `limit` the configured queue bound.
+    Overloaded {
+        /// Statements waiting in the admission queue at rejection time.
+        queued: u64,
+        /// The configured queue capacity.
+        limit: u64,
+    },
+    /// The statement's remaining deadline expired (or would provably
+    /// expire) while waiting in the admission queue; it was rejected
+    /// without consuming an execution slot.
+    AdmissionTimeout {
+        /// Statements ahead of (or alongside) this one when it gave up.
+        queued: u64,
+        /// The statement's deadline budget in milliseconds.
+        deadline_ms: u64,
+    },
+    /// The SQL text exceeds the configured statement-size cap. Raised
+    /// before any parse work, so an oversized statement costs O(1).
+    StatementTooLarge {
+        /// Size of the submitted SQL text in bytes.
+        bytes: u64,
+        /// The configured cap in bytes.
+        limit: u64,
+    },
+    /// A per-session quota (not a per-run resource budget) was
+    /// exceeded: the statement was rejected at admission, nothing ran.
+    QuotaExceeded {
+        /// Which session quota tripped.
+        quota: QuotaKind,
+        /// The observed usage at rejection time.
+        used: u64,
+        /// The configured quota.
+        limit: u64,
+    },
+    /// The service is draining: no new statements are admitted. The
+    /// underlying `Database` stays intact and reusable.
+    Draining,
 }
 
 impl Error {
@@ -108,6 +165,20 @@ impl Error {
     pub fn is_resource_limit(&self) -> bool {
         matches!(self, Error::ResourceExhausted { .. } | Error::Cancelled)
     }
+
+    /// True for the admission-layer errors: the statement never reached
+    /// the executor (no parse, no plan, no partial run), so the caller
+    /// may resubmit verbatim once pressure subsides.
+    pub fn is_admission(&self) -> bool {
+        matches!(
+            self,
+            Error::Overloaded { .. }
+                | Error::AdmissionTimeout { .. }
+                | Error::StatementTooLarge { .. }
+                | Error::QuotaExceeded { .. }
+                | Error::Draining
+        )
+    }
 }
 
 impl fmt::Display for Error {
@@ -131,6 +202,27 @@ impl fmt::Display for Error {
                 observed,
             } => write!(f, "resource exhausted: {resource} budget exceeded (observed {observed}, limit {limit})"),
             Error::Cancelled => write!(f, "cancelled: query cancel token was triggered"),
+            Error::Overloaded { queued, limit } => write!(
+                f,
+                "overloaded: admission queue full ({queued} queued, limit {limit})"
+            ),
+            Error::AdmissionTimeout {
+                queued,
+                deadline_ms,
+            } => write!(
+                f,
+                "admission timeout: deadline ({deadline_ms} ms) expired while queued \
+                 ({queued} waiting)"
+            ),
+            Error::StatementTooLarge { bytes, limit } => write!(
+                f,
+                "statement too large: {bytes} bytes of SQL text (limit {limit})"
+            ),
+            Error::QuotaExceeded { quota, used, limit } => write!(
+                f,
+                "quota exceeded: session {quota} at {used} (limit {limit})"
+            ),
+            Error::Draining => write!(f, "draining: service is not admitting new statements"),
         }
     }
 }
@@ -174,5 +266,46 @@ mod tests {
         assert!(time.is_resource_limit());
         assert!(Error::cancelled().is_resource_limit());
         assert!(!Error::execution("x").is_resource_limit());
+    }
+
+    #[test]
+    fn admission_errors_display_and_classify() {
+        let shed = Error::Overloaded {
+            queued: 4,
+            limit: 4,
+        };
+        assert_eq!(
+            shed.to_string(),
+            "overloaded: admission queue full (4 queued, limit 4)"
+        );
+        let timeout = Error::AdmissionTimeout {
+            queued: 2,
+            deadline_ms: 50,
+        };
+        assert!(
+            timeout.to_string().contains("admission timeout"),
+            "{timeout}"
+        );
+        let large = Error::StatementTooLarge {
+            bytes: 70_000,
+            limit: 65_536,
+        };
+        assert!(large.to_string().contains("statement too large"), "{large}");
+        let quota = Error::QuotaExceeded {
+            quota: QuotaKind::InFlight,
+            used: 3,
+            limit: 2,
+        };
+        assert!(
+            quota.to_string().contains("in-flight statements"),
+            "{quota}"
+        );
+        assert!(Error::Draining.to_string().contains("draining"));
+        for e in [&shed, &timeout, &large, &quota, &Error::Draining] {
+            assert!(e.is_admission(), "{e}");
+            assert!(!e.is_resource_limit(), "{e}");
+        }
+        assert!(!Error::cancelled().is_admission());
+        assert!(!Error::execution("x").is_admission());
     }
 }

@@ -23,6 +23,7 @@ pub mod fxhash;
 pub mod govern;
 pub mod par;
 mod relation;
+pub mod rng;
 mod schema;
 mod sort;
 mod stats;
@@ -31,13 +32,14 @@ mod value;
 
 pub use batch::{batch_rows_or, Batch, BATCH_ENV, BATCH_ROWS};
 pub use datatype::DataType;
-pub use error::{Error, ResourceKind, Result};
+pub use error::{Error, QuotaKind, ResourceKind, Result};
 pub use fxhash::{hash_one, hash_values, FxBuildHasher, FxHashMap, FxHashSet, FxHasher, Prehashed};
 pub use govern::{
     tuple_bytes, value_heap_bytes, CancelToken, FaultKind, GovEvent, InjectedFault,
     ROW_OVERHEAD_BYTES, SHARED_ROW_BYTES, VALUE_BYTES,
 };
 pub use relation::Relation;
+pub use rng::{split_mix64, Rng, SampleRange};
 pub use schema::{Field, Schema};
 pub use sort::{compare_tuples, SortKey, SortOrder};
 pub use stats::{ColumnStats, TableStats};

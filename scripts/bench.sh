@@ -49,7 +49,10 @@ THRESHOLD="${BENCH_REGRESS_PCT:-25}"
 # `metrics` is timing-free: it asserts the always-on metrics registry
 # folds to a bit-identical deterministic snapshot across the worker ×
 # batch matrix and gates the count-derived series (benches/metrics.rs).
-BENCHES="${BENCH_FILTER:-fig7a_q1 fig7b_q2d fig7c_q2 operators counters selectivity phases metrics}"
+# `service` is timing-free: it drives single-threaded admission/retry/
+# degradation/drain scenarios and gates the exact service counter
+# snapshots (benches/service.rs).
+BENCHES="${BENCH_FILTER:-fig7a_q1 fig7b_q2d fig7c_q2 operators counters selectivity phases metrics service}"
 
 case "$MODE" in
 save | compare) ;;

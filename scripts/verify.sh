@@ -75,6 +75,23 @@ echo "==> fault-injection oracle (pinned seed, error-path trifecta)"
 BYPASS_CHECK_FAULT_SEED=0xFA17 BYPASS_CHECK_FAULT_QUERIES=16 \
     cargo run -q --release -p bypass-check --bin fault_oracle
 
+echo "==> service chaos oracle (pinned seed, 8 clients then 1 client)"
+# Deterministic chaos workload over the multi-session query service:
+# seeded clients mix query classes (canonical, unnested Q1, TPC-H Q2d,
+# error-raising) with injected cancellation/memory/deadline faults at
+# exact governor checkpoints plus forced admission saturation and
+# oversized statements — >= 500 events per run. Every event must
+# surface typed (never panic) with a balanced span stack, and after a
+# drain/resume every class must re-run bit-identical to its serial
+# pre-chaos baseline. Replay a reported failure with:
+#   BYPASS_CHECK_SERVICE_SEED=<reported seed> \
+#       cargo run -q --release -p bypass-check --bin service_oracle
+BYPASS_CHECK_SERVICE_SEED=0x5E41CE BYPASS_CHECK_SERVICE_CLIENTS=8 \
+    cargo run -q --release -p bypass-check --bin service_oracle
+BYPASS_CHECK_SERVICE_SEED=0x5E41CE BYPASS_CHECK_SERVICE_CLIENTS=1 \
+    BYPASS_CHECK_SERVICE_EVENTS=520 \
+    cargo run -q --release -p bypass-check --bin service_oracle
+
 echo "==> observability smoke (profile JSON + Chrome trace + EXPLAIN ANALYZE)"
 # profile_canon validates both its --json output and the Chrome trace
 # with the in-tree bypass_trace::json validator before printing/writing

@@ -44,6 +44,13 @@ pub mod datagen {
     pub use bypass_datagen::*;
 }
 
+/// Multi-session query service: admission control with overload
+/// shedding, per-session quotas, deterministic retry/backoff and
+/// graceful degradation over a shared [`Database`].
+pub mod service {
+    pub use bypass_service::*;
+}
+
 /// In-tree tracing: spans, counters, and the Chrome-trace JSON export
 /// (`trace::set_enabled(true)` → run queries →
 /// `trace::export_chrome_and_clear()`, viewable in Perfetto).
